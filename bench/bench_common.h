@@ -1,0 +1,76 @@
+// Shared scaffolding for the experiment harnesses: one function to run the
+// global two-week scenario through the analysis pipeline, plus the country
+// orderings and paper reference values the harness output is printed against.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "common/table.h"
+#include "world/traffic.h"
+#include "world/world.h"
+
+namespace tamper::bench {
+
+struct ScenarioRun {
+  std::unique_ptr<world::World> world;
+  std::unique_ptr<world::TrafficGenerator> generator;
+  std::unique_ptr<analysis::Pipeline> pipeline;
+  std::size_t connections = 0;
+};
+
+/// Build the default world, generate `connections` of the January 2023
+/// two-week scenario, and run everything through the analysis pipeline.
+inline ScenarioRun run_global_scenario(std::size_t connections,
+                                       std::uint64_t seed = 42,
+                                       world::TrafficConfig traffic = {}) {
+  ScenarioRun run;
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  run.world = std::make_unique<world::World>(world_cfg);
+  traffic.seed = seed ^ 0xbe7c4;
+  run.generator = std::make_unique<world::TrafficGenerator>(*run.world, traffic);
+  run.pipeline = std::make_unique<analysis::Pipeline>(*run.world);
+  run.pipeline->run(*run.generator, connections);
+  run.connections = connections;
+  return run;
+}
+
+/// Default experiment size; override with argv[1] or TAMPER_BENCH_N.
+inline std::size_t bench_connections(int argc, char** argv,
+                                     std::size_t fallback = 300'000) {
+  if (argc > 1) return std::strtoull(argv[1], nullptr, 10);
+  if (const char* env = std::getenv("TAMPER_BENCH_N")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+/// Fig. 4's country ordering (restricted to countries in the built-in world).
+inline const std::vector<std::string>& fig4_country_order() {
+  static const std::vector<std::string> kOrder = {
+      "TM", "PE", "UZ", "CU", "SA", "KZ", "RU", "PK", "NI", "UA", "BD", "MX",
+      "IR", "OM", "DJ", "AZ", "AE", "SD", "CN", "BY", "RW", "EG", "YE", "AF",
+      "LA", "MM", "IQ", "KW", "TR", "BH", "ET", "IN", "HN", "ER", "PS", "MY",
+      "TH", "KR", "VN", "VE", "GB", "SY", "US", "DE", "KP"};
+  return kOrder;
+}
+
+/// Fig. 6 / Table 2 / Table 3 focus regions.
+inline const std::vector<std::string>& focus_regions() {
+  static const std::vector<std::string> kRegions = {"CN", "DE", "GB", "IN", "IR",
+                                                    "KR", "MX", "PE", "RU", "US"};
+  return kRegions;
+}
+
+inline void print_header(const std::string& experiment, const ScenarioRun& run) {
+  common::print_banner(std::cout, experiment);
+  std::cout << "workload: " << run.connections
+            << " sampled connections, two-week window 2023-01-12..26, seed-deterministic\n";
+}
+
+}  // namespace tamper::bench

@@ -1,0 +1,62 @@
+// Extension study: coarse middlebox localization from injected-packet TTLs.
+// §3.4 notes the dataset cannot say who tampered; this quantifies how far
+// the TTL evidence (Fig. 3) can be pushed toward "where": assuming common
+// initial TTL constants, the arrival TTL of a forged packet bounds the
+// injector's distance from the server.
+#include <iostream>
+#include <map>
+
+#include "analysis/injector.h"
+#include "bench_common.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::bench_connections(argc, argv, 250'000);
+  world::WorldConfig world_cfg;
+  world_cfg.seed = 0xd157;
+  world::World world(world_cfg);
+  world::TrafficConfig traffic;
+  traffic.seed = 0x70b0;
+  world::TrafficGenerator generator(world, traffic);
+  core::SignatureClassifier classifier;
+
+  struct CountryStats {
+    std::uint64_t tampered_with_rst = 0;
+    std::uint64_t estimable = 0;
+    common::EmpiricalCdf relative_position;
+  };
+  std::map<std::string, CountryStats> by_country;
+
+  generator.generate(n, [&](world::LabeledConnection&& conn) {
+    if (!conn.truth.tampered) return;
+    const auto verdict = classifier.classify(conn.sample);
+    if (verdict.rst_count + verdict.rst_ack_count == 0) return;
+    CountryStats& stats = by_country[conn.truth.country];
+    ++stats.tampered_with_rst;
+    const auto distance = analysis::estimate_injector_distance(conn.sample, verdict);
+    if (!distance) return;
+    ++stats.estimable;
+    stats.relative_position.add(distance->relative_position());
+  });
+
+  common::print_banner(std::cout,
+                       "Extension — injector localization from TTL evidence");
+  std::cout << "workload: " << n << " connections; relative position 1.0 = at the\n"
+               "client's access network, 0.0 = at the server\n\n";
+  common::TextTable table({"Country", "RST-tampered", "estimable", "p25", "median",
+                           "p75"});
+  for (const auto& [cc, stats] : by_country) {
+    if (stats.relative_position.count() < 40) continue;
+    table.add_row({cc, common::TextTable::num(stats.tampered_with_rst),
+                   common::TextTable::pct(
+                       common::percent(stats.estimable, stats.tampered_with_rst), 0),
+                   common::TextTable::num(stats.relative_position.quantile(0.25), 2),
+                   common::TextTable::num(stats.relative_position.quantile(0.5), 2),
+                   common::TextTable::num(stats.relative_position.quantile(0.75), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: national censors inject mid-path (median ~0.5-0.8);\n"
+               "KR's randomized-TTL injector defeats estimation (low estimable %).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 2: CDF of the maximum absolute IP-ID change between a tear-down
+// packet and the preceding packet, per signature, vs the Not Tampering
+// baseline (up to 1,000 IPv4 connections per signature, as in the paper).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const auto run = bench::run_global_scenario(bench::bench_connections(argc, argv));
+  bench::print_header("Figure 2 — IP-ID discontinuity evidence", run);
+  const analysis::EvidenceCollector& evidence = run.pipeline->evidence();
+
+  common::TextTable table(
+      {"Signature", "n", "frac <= 1", "p50", "p90", "max"});
+  auto row = [&](const std::string& label, const common::EmpiricalCdf& cdf) {
+    if (cdf.count() == 0) {
+      table.add_row({label, "0", "-", "-", "-", "-"});
+      return;
+    }
+    table.add_row({label, common::TextTable::num(std::uint64_t{cdf.count()}),
+                   common::TextTable::num(cdf.cdf(1.0), 3),
+                   common::TextTable::num(cdf.quantile(0.5), 0),
+                   common::TextTable::num(cdf.quantile(0.9), 0),
+                   common::TextTable::num(cdf.max(), 0)});
+  };
+
+  for (core::Signature sig : core::all_signatures()) {
+    // Timeout-only signatures have no tear-down packet to compare.
+    if (sig == core::Signature::kSynNone || sig == core::Signature::kAckNone ||
+        sig == core::Signature::kPshNone)
+      continue;
+    row(std::string(core::name(sig)),
+        evidence.ipid_cdf(static_cast<std::size_t>(sig)));
+  }
+  row("Not Tampering", evidence.ipid_cdf(analysis::EvidenceCollector::clean_bucket()));
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): >95% of Not Tampering connections have a\n"
+               "max delta <= 1; most signatures show 40-100% large deltas; the\n"
+               "exceptions with small deltas are SYN → RST+ACK, SYN;ACK → RST+ACK\n"
+               "and PSH;Data → RST+ACK (client-stack resets and IP-ID-copying\n"
+               "injectors).\n";
+  return 0;
+}

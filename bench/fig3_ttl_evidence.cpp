@@ -1,0 +1,44 @@
+// Figure 3: CDF of the maximum TTL (hop limit) change between a tear-down
+// packet and the preceding packet, per signature, vs the baseline.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const auto run = bench::run_global_scenario(bench::bench_connections(argc, argv));
+  bench::print_header("Figure 3 — TTL discontinuity evidence", run);
+  const analysis::EvidenceCollector& evidence = run.pipeline->evidence();
+
+  common::TextTable table(
+      {"Signature", "n", "frac <= 1", "p10", "p50", "p90", "max"});
+  auto row = [&](const std::string& label, const common::EmpiricalCdf& cdf) {
+    if (cdf.count() == 0) {
+      table.add_row({label, "0", "-", "-", "-", "-", "-"});
+      return;
+    }
+    table.add_row({label, common::TextTable::num(std::uint64_t{cdf.count()}),
+                   common::TextTable::num(cdf.cdf(1.0), 3),
+                   common::TextTable::num(cdf.quantile(0.1), 0),
+                   common::TextTable::num(cdf.quantile(0.5), 0),
+                   common::TextTable::num(cdf.quantile(0.9), 0),
+                   common::TextTable::num(cdf.max(), 0)});
+  };
+
+  for (core::Signature sig : core::all_signatures()) {
+    if (sig == core::Signature::kSynNone || sig == core::Signature::kAckNone ||
+        sig == core::Signature::kPshNone)
+      continue;
+    row(std::string(core::name(sig)), evidence.ttl_cdf(static_cast<std::size_t>(sig)));
+  }
+  row("Not Tampering", evidence.ttl_cdf(analysis::EvidenceCollector::clean_bucket()));
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): >99% of Not Tampering connections show no\n"
+               "large TTL change; injection-heavy Post-PSH signatures show large\n"
+               "deltas with step-like CDFs (distinct injector TTL constants), and\n"
+               "PSH → RST≠RST shows a near-linear spread (the Korean ISP whose RSTs\n"
+               "carry random TTLs; its p10-p90 spread below should be wide).\n";
+  return 0;
+}

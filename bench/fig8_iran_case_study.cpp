@@ -1,0 +1,95 @@
+// Figure 8 (§5.6): Iran during the September 2022 protests. A 17-day
+// Iran-only timeline with a protest-intensity ramp layered on the baseline
+// policy: blocked-content demand and enforcement surge after Sept 13 &
+// peak in the local evening; mobile carriers dominate the tampering.
+#include <array>
+#include <cmath>
+#include <iostream>
+
+#include "analysis/pipeline.h"
+#include "bench_common.h"
+#include "common/sim_clock.h"
+#include "world/scenarios.h"
+
+using namespace tamper;
+
+
+
+int main(int argc, char** argv) {
+  const std::size_t connections = bench::bench_connections(argc, argv, 150'000);
+  const world::Scenario scenario = world::iran_protests_2022();
+  world::World& world = *scenario.world;
+  const world::TrafficConfig& traffic = scenario.traffic;
+  const common::SimTime window_start = traffic.window_start;
+  const common::SimTime window_end = traffic.window_end;
+  const int ir = world::country_index("IR");
+  const double utc_offset = world.country(ir).utc_offset;
+
+  world::TrafficGenerator generator = scenario.make_generator();
+  analysis::Pipeline pipeline(world);
+
+  // Iran-only timeline: sample times against Iran's diurnal volume.
+  common::Rng rng(0x5e9);
+  std::uint64_t mobile = 0, mobile_matches = 0, fixed = 0, fixed_matches = 0;
+  core::SignatureClassifier classifier;
+  for (std::size_t i = 0; i < connections; ++i) {
+    common::SimTime t = rng.uniform(window_start, window_end);
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      if (rng.chance(world.volume_factor(ir, t))) break;
+      t = rng.uniform(window_start, window_end);
+    }
+    auto conn = generator.generate_at(ir, t);
+    pipeline.ingest(conn.sample);
+    const bool is_mobile = world.geo().as_by_number(conn.truth.asn).mobile;
+    const bool match = classifier.classify(conn.sample).signature.has_value();
+    (is_mobile ? mobile : fixed) += 1;
+    if (match && is_mobile) ++mobile_matches;
+    if (match && !is_mobile) ++fixed_matches;
+  }
+
+  common::print_banner(std::cout, "Figure 8 — Iran, September 2022 protests");
+  std::cout << "workload: " << connections << " IR connections, 2022-09-13..30\n\n";
+
+  const auto& hours = pipeline.timeseries().country_hours("IR");
+  common::TextTable table({"Date", "conns", "any-match %", "SYN→RST %", "SYN;ACK→∅ %",
+                           "SYN;ACK→RST+ACK %", "evening peak %"});
+  std::map<std::int64_t, std::array<std::uint64_t, 5>> days;  // total, match, 3 sigs
+  std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> evening;
+  for (const auto& [hour_index, bucket] : hours) {
+    const common::SimTime t = static_cast<double>(hour_index) * 3600.0;
+    const std::int64_t day = static_cast<std::int64_t>((t - window_start) / 86400.0);
+    auto& d = days[day];
+    d[0] += bucket.connections;
+    std::uint64_t all_matches = 0;
+    for (std::size_t s = 0; s < core::kSignatureCount; ++s) all_matches += bucket.by_signature[s];
+    d[1] += all_matches;
+    d[2] += bucket.by_signature[static_cast<std::size_t>(core::Signature::kSynRst)];
+    d[3] += bucket.by_signature[static_cast<std::size_t>(core::Signature::kAckNone)];
+    d[4] += bucket.by_signature[static_cast<std::size_t>(core::Signature::kAckRstAck)];
+    const double local = common::local_hour(t, utc_offset);
+    if (local >= 18.0 && local < 24.0) {
+      evening[day].first += bucket.connections;
+      evening[day].second += all_matches;
+    }
+  }
+  for (const auto& [day, d] : days) {
+    table.add_row({common::format_date(window_start + static_cast<double>(day) * 86400.0),
+                   common::TextTable::num(d[0]),
+                   common::TextTable::pct(common::percent(d[1], d[0])),
+                   common::TextTable::pct(common::percent(d[2], d[0])),
+                   common::TextTable::pct(common::percent(d[3], d[0])),
+                   common::TextTable::pct(common::percent(d[4], d[0])),
+                   common::TextTable::pct(
+                       common::percent(evening[day].second, evening[day].first))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nmobile carriers: " << common::TextTable::pct(common::percent(mobile_matches, mobile))
+            << " of mobile connections match vs "
+            << common::TextTable::pct(common::percent(fixed_matches, fixed))
+            << " on fixed-line ASes (paper: tampering dominated by two mobile ISPs)\n"
+            << "Expected shape (paper): match rates ramp sharply after Sept 13,\n"
+               "dominated by SYN→RST and post-handshake timeouts/RST+ACKs, with\n"
+               "evening peaks; >40% post-handshake timeouts at the height.\n";
+  return 0;
+}

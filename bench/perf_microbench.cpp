@@ -1,0 +1,172 @@
+// Engineering microbenchmarks (google-benchmark): the classifier and its
+// substrates must keep up with CDN-scale sampling (the paper's deployment
+// samples from 45M requests/second). One binary, standard --benchmark_*
+// flags apply.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "analysis/evidence.h"
+#include "appproto/http.h"
+#include "appproto/tls.h"
+#include "capture/sampler.h"
+#include "core/classifier.h"
+#include "net/pcap.h"
+#include "world/traffic.h"
+
+using namespace tamper;
+
+namespace {
+
+/// A shared corpus of realistic samples (mix of clean and tampered).
+const std::vector<capture::ConnectionSample>& corpus() {
+  static const std::vector<capture::ConnectionSample> kCorpus = [] {
+    world::World world;
+    world::TrafficConfig traffic;
+    traffic.seed = 7;
+    world::TrafficGenerator generator(world, traffic);
+    std::vector<capture::ConnectionSample> samples;
+    samples.reserve(4096);
+    generator.generate(4096, [&](world::LabeledConnection&& conn) {
+      samples.push_back(std::move(conn.sample));
+    });
+    return samples;
+  }();
+  return kCorpus;
+}
+
+void BM_ClassifySample(benchmark::State& state) {
+  const auto& samples = corpus();
+  core::SignatureClassifier classifier;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(samples[i]));
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassifySample);
+
+void BM_OrderPackets(benchmark::State& state) {
+  const auto& samples = corpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::order_packets(samples[i]));
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OrderPackets);
+
+void BM_EvidenceDeltas(benchmark::State& state) {
+  const auto& samples = corpus();
+  core::SignatureClassifier classifier;
+  std::vector<core::Classification> classes;
+  classes.reserve(samples.size());
+  for (const auto& sample : samples) classes.push_back(classifier.classify(sample));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::evidence_deltas(samples[i], classes[i]));
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvidenceDeltas);
+
+void BM_BuildClientHello(benchmark::State& state) {
+  common::Rng rng(11);
+  appproto::ClientHelloSpec spec;
+  spec.sni = "brightmedia12345.com";
+  for (auto _ : state) benchmark::DoNotOptimize(appproto::build_client_hello(spec, rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BuildClientHello);
+
+void BM_ParseClientHelloSni(benchmark::State& state) {
+  common::Rng rng(11);
+  appproto::ClientHelloSpec spec;
+  spec.sni = "brightmedia12345.com";
+  const auto hello = appproto::build_client_hello(spec, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(appproto::extract_sni(hello));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseClientHelloSni);
+
+void BM_ParseHttpHost(benchmark::State& state) {
+  appproto::HttpRequestSpec spec;
+  spec.host = "brightmedia12345.com";
+  const auto request = appproto::build_http_request(spec);
+  for (auto _ : state) benchmark::DoNotOptimize(appproto::extract_host(request));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseHttpHost);
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+  net::Packet pkt = net::make_tcp_packet(net::IpAddress::v4(11, 2, 3, 4), 31337,
+                                         net::IpAddress::v4(198, 18, 0, 1), 443,
+                                         net::tcpflag::kPsh | net::tcpflag::kAck, 1000,
+                                         2000, std::vector<std::uint8_t>(200, 0x41));
+  pkt.tcp.options.push_back(net::TcpOption::timestamps_opt(1, 2));
+  for (auto _ : state) {
+    const auto wire = net::serialize(pkt);
+    benchmark::DoNotOptimize(net::parse(wire));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+void BM_SamplerIngest(benchmark::State& state) {
+  capture::ConnectionSampler::Config config;
+  config.sample_one_in = 10'000;
+  capture::ConnectionSampler sampler(config);
+  common::Rng rng(3);
+  net::Packet syn = net::make_tcp_packet(net::IpAddress::v4(11, 2, 3, 4), 31337,
+                                         net::IpAddress::v4(198, 18, 0, 1), 443,
+                                         net::tcpflag::kSyn, 1, 0);
+  double now = 0.0;
+  for (auto _ : state) {
+    syn.src = net::IpAddress::v4(static_cast<std::uint32_t>(rng.next()));
+    syn.tcp.src_port = static_cast<std::uint16_t>(rng.below(65536));
+    now += 1e-5;
+    sampler.on_packet(syn, now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamplerIngest);
+
+void BM_GenerateSession(benchmark::State& state) {
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 13;
+  world::TrafficGenerator generator(world, traffic);
+  for (auto _ : state) benchmark::DoNotOptimize(generator.generate_one());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerateSession);
+
+void BM_PcapRoundtrip(benchmark::State& state) {
+  const auto& samples = corpus();
+  // Build a small pcap in memory from reconstructed packets.
+  std::ostringstream out;
+  net::PcapWriter writer(out);
+  net::Packet pkt = net::make_tcp_packet(net::IpAddress::v4(11, 2, 3, 4), 31337,
+                                         net::IpAddress::v4(198, 18, 0, 1), 443,
+                                         net::tcpflag::kSyn, 1, 0);
+  for (int i = 0; i < 64; ++i) writer.write(pkt);
+  const std::string blob = out.str();
+  (void)samples;
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    net::PcapReader reader(in);
+    std::size_t count = 0;
+    while (reader.next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PcapRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

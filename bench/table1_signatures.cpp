@@ -1,0 +1,64 @@
+// Table 1 + §4.1 narrative numbers: the signature taxonomy as measured on
+// the synthetic global scenario — share of possibly-tampered connections,
+// stage breakdown, and within-stage signature coverage, printed against the
+// paper's reported values.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/signature.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const auto run = bench::run_global_scenario(bench::bench_connections(argc, argv));
+  bench::print_header("Table 1 — tampering signatures (global scenario)", run);
+  const analysis::SignatureMatrix& m = run.pipeline->signatures();
+
+  const double possibly_pct = common::percent(m.possibly_tampered(), m.total_connections());
+  const double matched_of_possibly = common::percent(m.matched(), m.possibly_tampered());
+  std::cout << "\npossibly tampered: " << common::TextTable::pct(possibly_pct)
+            << " of all connections   (paper: 25.7%)\n"
+            << "signature coverage: " << common::TextTable::pct(matched_of_possibly)
+            << " of possibly tampered (paper: 86.9%)\n\n";
+
+  {
+    common::TextTable stages(
+        {"Stage", "% of possibly tampered", "paper", "% matching a signature", "paper"});
+    struct Ref {
+      core::Stage stage;
+      const char* share;
+      const char* coverage;
+    };
+    const Ref refs[] = {
+        {core::Stage::kPostSyn, "43.2%", "99.5%"},
+        {core::Stage::kPostAck, "16.1%", "98.7%"},
+        {core::Stage::kPostPsh, "5.3%", "97.9%"},
+        {core::Stage::kPostData, "33.0%", "69.2%"},
+        {core::Stage::kOther, "2.3%", "-"},
+    };
+    for (const auto& ref : refs) {
+      const std::uint64_t possibly = m.stage_possibly(ref.stage);
+      const std::uint64_t matched = m.stage_matched(ref.stage);
+      stages.add_row({std::string(core::name(ref.stage)),
+                      common::TextTable::pct(common::percent(possibly, m.possibly_tampered())),
+                      ref.share,
+                      common::TextTable::pct(common::percent(matched, possibly)),
+                      ref.coverage});
+    }
+    stages.print(std::cout);
+  }
+
+  std::cout << "\nPer-signature match counts:\n";
+  common::TextTable table({"Signature", "Stage", "Connections", "% of matches",
+                           "% of all connections"});
+  for (core::Signature sig : core::all_signatures()) {
+    const std::uint64_t count = m.signature_total(sig);
+    table.add_row({std::string(core::name(sig)),
+                   std::string(core::name(core::stage_of(sig))),
+                   common::TextTable::num(count),
+                   common::TextTable::pct(common::percent(count, m.matched())),
+                   common::TextTable::pct(common::percent(count, m.total_connections()), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 2: how Post-PSH tampering maps onto content categories per region —
+// the top-3 affected categories, their share of the region's tampered
+// connections, and the category "coverage" (share of the category's seen
+// domains that are tampered).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "world/category.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::bench_connections(argc, argv, 600'000);
+  const auto run = bench::run_global_scenario(n);
+  bench::print_header("Table 2 — Post-PSH tampering by content category", run);
+
+  // The paper thresholds domains at >=100 tampered connections per day at
+  // CDN volumes; scale the threshold to this run's sample count.
+  const std::uint64_t threshold = std::max<std::uint64_t>(2, n / 300'000);
+  std::cout << "domain confidence threshold: >=" << threshold
+            << " tampered connections (paper: >=100/day at full CDN volume)\n\n";
+
+  common::TextTable table({"Region", "Top categories", "% of tampered conns",
+                           "category coverage"});
+  auto add_region = [&](const std::string& cc, const std::string& label) {
+    std::map<world::Category, analysis::CategoryAggregator::CategoryStats> stats;
+    if (cc == "Global") {
+      for (const auto& country : run.pipeline->categories().countries()) {
+        for (auto& [cat, s] : run.pipeline->categories().country_stats(country, threshold)) {
+          auto& agg = stats[cat];
+          agg.tampered_connections += s.tampered_connections;
+          agg.tampered_domains.insert(s.tampered_domains.begin(), s.tampered_domains.end());
+          agg.seen_domains.insert(s.seen_domains.begin(), s.seen_domains.end());
+        }
+      }
+    } else {
+      stats = run.pipeline->categories().country_stats(cc, threshold);
+    }
+    std::uint64_t total_tampered = 0;
+    for (const auto& [cat, s] : stats) total_tampered += s.tampered_connections;
+    if (total_tampered == 0) return;
+
+    std::vector<std::pair<world::Category, const analysis::CategoryAggregator::CategoryStats*>>
+        ranked;
+    for (const auto& [cat, s] : stats) ranked.emplace_back(cat, &s);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second->tampered_connections > b.second->tampered_connections;
+    });
+    bool first = true;
+    for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+      const auto& [cat, s] = ranked[i];
+      const double share = common::percent(s->tampered_connections, total_tampered);
+      const double coverage =
+          common::percent(s->tampered_domains.size(), s->seen_domains.size());
+      table.add_row({first ? label : "", std::string(world::name(cat)),
+                     common::TextTable::pct(share, 2), common::TextTable::pct(coverage, 2)});
+      first = false;
+    }
+  };
+
+  add_region("Global", "Global");
+  for (const auto& cc : bench::focus_regions()) add_region(cc, cc);
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): Adult Themes / Content Servers / Technology\n"
+               "lead globally; CN and IN dominated by Adult Themes (high coverage);\n"
+               "IR by Content Servers; KR by Adult Themes + Login Screens; MX/PE by\n"
+               "Advertisements; US/GB/DE show tiny coverage but concentrated shares.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 3: coverage of active-measurement test lists over the domains we
+// passively observed being tampered with (Post-PSH matches), per region —
+// exact (eTLD+1) membership and the best-case substring rows.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "analysis/testlists.h"
+#include "bench_common.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::bench_connections(argc, argv, 600'000);
+  const auto run = bench::run_global_scenario(n);
+  bench::print_header("Table 3 — test-list coverage of observed tampered domains", run);
+
+  const std::uint64_t threshold = std::max<std::uint64_t>(2, n / 300'000);
+  const auto& categories = run.pipeline->categories();
+
+  // Observed tampered-domain sets per region (+ a pooled Global set).
+  std::vector<std::string> regions = bench::focus_regions();
+  std::map<std::string, std::vector<std::string>> observed;
+  std::set<std::string> global_set;
+  for (const auto& cc : categories.countries()) {
+    auto domains = categories.tampered_domains(cc, threshold);
+    global_set.insert(domains.begin(), domains.end());
+    observed[cc] = std::move(domains);
+  }
+  std::vector<std::string> global_observed(global_set.begin(), global_set.end());
+
+  analysis::TestListBuilder builder(*run.world, 0xfeed);
+  std::vector<analysis::TestList> battery = builder.standard_battery();
+  const analysis::TestList* greatfire = &battery[8];
+  const analysis::TestList* citizenlab = &battery[10];
+  battery.push_back(analysis::TestListBuilder::union_of("Union: CL + GreatFire",
+                                                        {citizenlab, greatfire}));
+  {
+    std::vector<const analysis::TestList*> all;
+    for (std::size_t i = 0; i + 1 < battery.size(); ++i) all.push_back(&battery[i]);
+    battery.push_back(analysis::TestListBuilder::union_of("Union: All lists", all));
+  }
+
+  std::vector<std::string> header = {"List", "#Entries", "Global"};
+  for (const auto& cc : regions) header.push_back(cc);
+  common::TextTable table(header);
+
+  auto add_rows = [&](const analysis::TestList& list, bool substring) {
+    std::vector<std::string> row;
+    row.push_back(substring ? "Substring: " + list.name : list.name);
+    row.push_back(substring ? "-" : common::TextTable::num(std::uint64_t{list.entries.size()}));
+    auto coverage_cell = [&](const std::vector<std::string>& domains) {
+      const analysis::Coverage c = analysis::audit_coverage(list, domains);
+      return common::TextTable::pct(substring ? c.substring_pct() : c.exact_pct());
+    };
+    row.push_back(coverage_cell(global_observed));
+    for (const auto& cc : regions) row.push_back(coverage_cell(observed[cc]));
+    table.add_row(std::move(row));
+  };
+
+  for (const auto& list : battery) add_rows(list, /*substring=*/false);
+  add_rows(battery[battery.size() - 2], /*substring=*/true);  // CL + GreatFire
+  add_rows(battery.back(), /*substring=*/true);               // All lists
+  table.print(std::cout);
+
+  std::cout << "\nObserved tampered domains: Global=" << global_observed.size();
+  for (const auto& cc : regions) std::cout << " " << cc << "=" << observed[cc].size();
+  std::cout << "\n\nExpected shape (paper): curated censorship lists miss most observed\n"
+               "domains (CN coverage ~11% for CL+GreatFire); popularity lists do\n"
+               "better only at their largest tiers; substring matching raises but\n"
+               "does not complete coverage.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Compact version of the §5.6 case study: Iran around the September 2022
+// protests, built from the packaged scenario — and fed through the
+// longitudinal change detector to show the operational alerting workflow.
+//
+//   ./examples/iran_case_study [connections]
+#include <array>
+#include <iostream>
+
+#include "analysis/changes.h"
+#include "analysis/pipeline.h"
+#include "common/table.h"
+#include "world/scenarios.h"
+
+using namespace tamper;
+
+int main(int argc, char** argv) {
+  const std::size_t connections = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60'000;
+
+  const world::Scenario scenario = world::iran_protests_2022();
+  world::TrafficGenerator generator = scenario.make_generator();
+  analysis::Pipeline pipeline(*scenario.world);
+
+  const int ir = world::country_index("IR");
+  const common::SimTime window_start = scenario.traffic.window_start;
+  const common::SimTime window_end = scenario.traffic.window_end;
+  common::Rng rng(5151);
+  for (std::size_t i = 0; i < connections; ++i)
+    pipeline.ingest(generator.generate_at(ir, rng.uniform(window_start, window_end)).sample);
+
+  common::print_banner(std::cout, "Iran, September 2022: daily signature match rates");
+  common::TextTable table(
+      {"Date", "connections", "any match", "post-handshake timeouts", "SYN→RST"});
+  std::map<std::int64_t, std::array<std::uint64_t, 4>> days;
+  for (const auto& [hour, bucket] : pipeline.timeseries().country_hours("IR")) {
+    const std::int64_t day =
+        static_cast<std::int64_t>((hour * 3600.0 - window_start) / 86400.0);
+    auto& d = days[day];
+    d[0] += bucket.connections;
+    for (std::size_t s = 0; s < core::kSignatureCount; ++s) d[1] += bucket.by_signature[s];
+    d[2] += bucket.by_signature[static_cast<std::size_t>(core::Signature::kAckNone)];
+    d[3] += bucket.by_signature[static_cast<std::size_t>(core::Signature::kSynRst)];
+  }
+  for (const auto& [day, d] : days) {
+    table.add_row({common::format_date(window_start + static_cast<double>(day) * 86400.0),
+                   common::TextTable::num(d[0]),
+                   common::TextTable::pct(common::percent(d[1], d[0])),
+                   common::TextTable::pct(common::percent(d[2], d[0])),
+                   common::TextTable::pct(common::percent(d[3], d[0]))});
+  }
+  table.print(std::cout);
+
+  // The operational view: what an automated monitor would have alerted on.
+  analysis::ChangeDetectorConfig config;
+  config.recent_hours = 96;
+  config.z_threshold = 4.0;
+  const auto events = analysis::detect_changes(pipeline.timeseries(), config);
+  std::cout << "\nChange-detector alerts (recent 4 days vs the rest):\n";
+  int shown = 0;
+  for (const auto& event : events) {
+    if (event.country != "IR") continue;
+    std::cout << "  " << (event.is_surge() ? "SURGE " : "DROP  ") << event.country << "  "
+              << core::name(event.signature) << "  "
+              << common::TextTable::pct(event.baseline_pct) << " -> "
+              << common::TextTable::pct(event.recent_pct)
+              << "  (z=" << common::TextTable::num(event.z_score, 1) << ")\n";
+    if (++shown >= 6) break;
+  }
+  if (shown == 0) std::cout << "  (no alerts above threshold at this sample size)\n";
+  std::cout << "\nThe ramp after 2022-09-13 mirrors Figure 8: surging timeouts after\n"
+               "the handshake (dropped ClientHellos) and SYN-stage resets, carried\n"
+               "mostly by the mobile carriers.\n";
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Streaming aggregators behind the paper's tables and figures.
+//
+// Each aggregator consumes ConnectionRecords; none of them retain raw
+// samples (mirroring the paper's aggregate-only reporting, §3.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/record.h"
+#include "core/signature.h"
+#include "world/category.h"
+
+namespace tamper::analysis {
+
+/// Counts of signature matches cross-tabulated by country.
+/// Figure 1 reads columns (country composition of each signature);
+/// Figure 4 reads rows (signature composition of each country).
+class SignatureMatrix {
+ public:
+  void add(const ConnectionRecord& record);
+
+  [[nodiscard]] std::uint64_t total_connections() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t country_connections(const std::string& cc) const;
+  [[nodiscard]] std::uint64_t count(const std::string& cc, core::Signature sig) const;
+  [[nodiscard]] std::uint64_t signature_total(core::Signature sig) const;
+  [[nodiscard]] std::uint64_t country_matches(const std::string& cc) const;
+  [[nodiscard]] std::uint64_t possibly_tampered() const noexcept { return possibly_; }
+  [[nodiscard]] std::uint64_t matched() const noexcept { return matched_; }
+  /// Possibly-tampered / matched counts per connection stage (Table 1 text).
+  [[nodiscard]] std::uint64_t stage_possibly(core::Stage stage) const;
+  [[nodiscard]] std::uint64_t stage_matched(core::Stage stage) const;
+
+  [[nodiscard]] std::vector<std::string> countries() const;
+
+ private:
+  struct CountryRow {
+    std::array<std::uint64_t, core::kSignatureCount> by_signature{};
+    std::uint64_t connections = 0;
+    std::uint64_t matches = 0;
+  };
+  std::map<std::string, CountryRow> rows_;
+  std::array<std::uint64_t, core::kSignatureCount> signature_totals_{};
+  std::array<std::uint64_t, 5> stage_possibly_{};
+  std::array<std::uint64_t, 5> stage_matched_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t possibly_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+/// Per-AS match proportions within each country (Figure 5).
+class AsnAggregator {
+ public:
+  void add(const ConnectionRecord& record);
+
+  struct AsnStats {
+    std::uint32_t asn = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t matches = 0;
+    [[nodiscard]] double match_percent() const noexcept {
+      return connections == 0 ? 0.0
+                              : 100.0 * static_cast<double>(matches) /
+                                    static_cast<double>(connections);
+    }
+  };
+  /// ASes collectively originating `traffic_share` of a country's
+  /// connections (paper: top 80%), largest first.
+  [[nodiscard]] std::vector<AsnStats> top_ases(const std::string& cc,
+                                               double traffic_share = 0.8) const;
+  [[nodiscard]] std::uint64_t country_total(const std::string& cc) const;
+
+ private:
+  std::map<std::string, std::map<std::uint32_t, AsnStats>> by_country_;
+};
+
+/// Hourly time series of match rates (Figures 6, 8, 9).
+class TimeSeries {
+ public:
+  enum class Metric : std::uint8_t {
+    kPostAckPostPsh,  ///< Fig. 6: Post-ACK + Post-PSH signatures only
+    kPerSignature,    ///< Figs. 8/9: every signature separately
+  };
+
+  void add(const ConnectionRecord& record);
+
+  struct HourBucket {
+    std::uint64_t connections = 0;
+    std::uint64_t post_ack_psh_matches = 0;
+    std::array<std::uint64_t, core::kSignatureCount> by_signature{};
+  };
+  /// Buckets keyed by hour index (epoch seconds / 3600) for one country.
+  [[nodiscard]] const std::map<std::int64_t, HourBucket>& country_hours(
+      const std::string& cc) const;
+  [[nodiscard]] std::vector<std::string> countries() const;
+
+ private:
+  std::map<std::string, std::map<std::int64_t, HourBucket>> series_;
+};
+
+/// IPv4-vs-IPv6 and TLS-vs-HTTP comparison (Figure 7).
+class VersionProtocolAggregator {
+ public:
+  void add(const ConnectionRecord& record);
+
+  struct Split {
+    std::uint64_t v4_total = 0, v4_matches = 0;        ///< Post-ACK+PSH matches
+    std::uint64_t v6_total = 0, v6_matches = 0;
+    std::uint64_t tls_total = 0, tls_psh_matches = 0;  ///< Post-PSH matches
+    std::uint64_t http_total = 0, http_psh_matches = 0;
+  };
+  [[nodiscard]] const std::map<std::string, Split>& by_country() const noexcept {
+    return by_country_;
+  }
+
+ private:
+  std::map<std::string, Split> by_country_;
+};
+
+/// Category view of Post-PSH tampering (Table 2). Needs a category oracle
+/// (domain name -> category), injected so the aggregator stays decoupled
+/// from the world model.
+class CategoryAggregator {
+ public:
+  using CategoryLookup = std::function<std::optional<world::Category>(const std::string&)>;
+
+  explicit CategoryAggregator(CategoryLookup lookup) : lookup_(std::move(lookup)) {}
+
+  void add(const ConnectionRecord& record);
+
+  struct CategoryStats {
+    std::uint64_t tampered_connections = 0;
+    std::set<std::string> tampered_domains;
+    std::set<std::string> seen_domains;  ///< all domains requested, tampered or not
+  };
+  struct DomainCount {
+    std::uint64_t tampered = 0;
+  };
+
+  /// Apply the paper's >=100-matches-per-domain confidence threshold and
+  /// return per-category stats for one country.
+  [[nodiscard]] std::map<world::Category, CategoryStats> country_stats(
+      const std::string& cc, std::uint64_t domain_threshold = 100) const;
+  /// The tampered-domain set for a region (for the Table 3 test-list audit).
+  [[nodiscard]] std::vector<std::string> tampered_domains(
+      const std::string& cc, std::uint64_t domain_threshold = 100) const;
+  [[nodiscard]] std::vector<std::string> countries() const;
+
+ private:
+  struct CountryData {
+    std::unordered_map<std::string, std::uint64_t> tampered_by_domain;
+    std::unordered_map<std::string, std::uint64_t> seen_by_domain;
+  };
+  CategoryLookup lookup_;
+  std::map<std::string, CountryData> by_country_;
+};
+
+/// First-vs-next signature for repeated (client IP, domain) pairs
+/// (Figure 10 / Appendix B). Values 0..18 are signatures; 19 = clean.
+class OverlapMatrix {
+ public:
+  static constexpr std::size_t kStates = core::kSignatureCount + 1;
+
+  void add(const ConnectionRecord& record);
+
+  [[nodiscard]] std::uint64_t count(std::size_t first_state, std::size_t next_state) const {
+    return matrix_[first_state][next_state];
+  }
+  [[nodiscard]] std::uint64_t row_total(std::size_t first_state) const;
+  [[nodiscard]] static std::size_t state_of(const core::Classification& c) noexcept {
+    return c.signature ? static_cast<std::size_t>(*c.signature) : kStates - 1;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> first_state_;  ///< pair-hash -> state
+  std::array<std::array<std::uint64_t, kStates>, kStates> matrix_{};
+};
+
+}  // namespace tamper::analysis

@@ -1,0 +1,73 @@
+#include "analysis/changes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace tamper::analysis {
+
+namespace {
+
+/// Two-proportion z-statistic for counts (k1 of n1) vs (k2 of n2);
+/// positive when the second (recent) proportion is higher.
+double two_proportion_z(std::uint64_t k1, std::uint64_t n1, std::uint64_t k2,
+                        std::uint64_t n2) {
+  if (n1 == 0 || n2 == 0) return 0.0;
+  const double p1 = static_cast<double>(k1) / static_cast<double>(n1);
+  const double p2 = static_cast<double>(k2) / static_cast<double>(n2);
+  const double pooled =
+      static_cast<double>(k1 + k2) / static_cast<double>(n1 + n2);
+  const double variance =
+      pooled * (1.0 - pooled) * (1.0 / static_cast<double>(n1) + 1.0 / static_cast<double>(n2));
+  if (variance <= 0.0) return 0.0;
+  return (p2 - p1) / std::sqrt(variance);
+}
+
+}  // namespace
+
+std::vector<ChangeEvent> detect_changes(const TimeSeries& series,
+                                        const ChangeDetectorConfig& config) {
+  std::vector<ChangeEvent> events;
+  for (const auto& country : series.countries()) {
+    const auto& hours = series.country_hours(country);
+    if (hours.empty()) continue;
+    const std::int64_t last_hour = hours.rbegin()->first;
+    const std::int64_t split = last_hour - config.recent_hours;
+
+    std::array<std::uint64_t, core::kSignatureCount> base_hits{}, recent_hits{};
+    std::uint64_t base_total = 0, recent_total = 0;
+    for (const auto& [hour, bucket] : hours) {
+      const bool recent = hour > split;
+      (recent ? recent_total : base_total) += bucket.connections;
+      for (std::size_t s = 0; s < core::kSignatureCount; ++s)
+        (recent ? recent_hits : base_hits)[s] += bucket.by_signature[s];
+    }
+    if (base_total < config.min_connections || recent_total < config.min_connections)
+      continue;
+
+    for (core::Signature sig : core::all_signatures()) {
+      const auto idx = static_cast<std::size_t>(sig);
+      const double z =
+          two_proportion_z(base_hits[idx], base_total, recent_hits[idx], recent_total);
+      if (std::abs(z) < config.z_threshold) continue;
+      ChangeEvent event;
+      event.country = country;
+      event.signature = sig;
+      event.baseline_pct = common::percent(base_hits[idx], base_total);
+      event.recent_pct = common::percent(recent_hits[idx], recent_total);
+      if (std::abs(event.recent_pct - event.baseline_pct) < config.min_abs_shift_pct)
+        continue;
+      event.z_score = z;
+      event.baseline_connections = base_total;
+      event.recent_connections = recent_total;
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const ChangeEvent& a, const ChangeEvent& b) {
+    return std::abs(a.z_score) > std::abs(b.z_score);
+  });
+  return events;
+}
+
+}  // namespace tamper::analysis

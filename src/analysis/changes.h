@@ -1,0 +1,55 @@
+// Longitudinal change detection over signature match rates.
+//
+// The operational payoff the paper motivates (§1: "identify and communicate
+// network failures", §5.6: tampering around noteworthy events): watch the
+// per-country per-signature time series and flag statistically significant
+// shifts — a new blocking deployment, a protest response, or a middlebox
+// being switched off.
+//
+// Method: split the series into a baseline window and a recent window,
+// compare match proportions with a two-proportion z-test, and report events
+// above the significance threshold with their direction and magnitude.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/aggregates.h"
+#include "core/signature.h"
+
+namespace tamper::analysis {
+
+struct ChangeEvent {
+  std::string country;
+  core::Signature signature = core::Signature::kSynNone;
+  double baseline_pct = 0.0;  ///< match % in the baseline window
+  double recent_pct = 0.0;    ///< match % in the recent window
+  double z_score = 0.0;       ///< signed: positive = surge, negative = drop
+  std::uint64_t baseline_connections = 0;
+  std::uint64_t recent_connections = 0;
+
+  [[nodiscard]] bool is_surge() const noexcept { return z_score > 0; }
+  /// recent/baseline rate ratio (clamped when the baseline is zero).
+  [[nodiscard]] double fold_change() const noexcept {
+    return baseline_pct > 0 ? recent_pct / baseline_pct
+                            : (recent_pct > 0 ? 1e9 : 1.0);
+  }
+};
+
+struct ChangeDetectorConfig {
+  /// Hours (inclusive of the end) forming the "recent" window; everything
+  /// earlier is baseline.
+  std::int64_t recent_hours = 48;
+  double z_threshold = 4.0;  ///< minimum |z| to report
+  /// Windows with fewer connections than this are not evaluated.
+  std::uint64_t min_connections = 500;
+  /// Ignore shifts smaller than this many percentage points (guards against
+  /// statistically-significant-but-operationally-trivial events).
+  double min_abs_shift_pct = 0.5;
+};
+
+/// Scan a TimeSeries and return events sorted by |z| descending.
+[[nodiscard]] std::vector<ChangeEvent> detect_changes(
+    const TimeSeries& series, const ChangeDetectorConfig& config = {});
+
+}  // namespace tamper::analysis

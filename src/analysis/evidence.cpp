@@ -1,0 +1,71 @@
+#include "analysis/evidence.h"
+
+#include <cstdlib>
+
+namespace tamper::analysis {
+
+namespace {
+std::uint32_t abs_delta_u16(std::uint16_t a, std::uint16_t b) noexcept {
+  return static_cast<std::uint32_t>(a > b ? a - b : b - a);
+}
+std::uint32_t abs_delta_u8(std::uint8_t a, std::uint8_t b) noexcept {
+  return static_cast<std::uint32_t>(a > b ? a - b : b - a);
+}
+}  // namespace
+
+EvidenceDeltas evidence_deltas(const capture::ConnectionSample& sample,
+                               const core::Classification& classification,
+                               const core::ClassifierConfig& config) {
+  EvidenceDeltas out;
+  const auto ordered = core::order_packets(sample, config);
+  if (ordered.size() < 2) return out;
+  const bool has_ipid = sample.ip_version == net::IpVersion::kV4;
+
+  std::uint32_t ipid_max = 0, ttl_max = 0;
+  bool any = false;
+  if (classification.signature && classification.rst_count + classification.rst_ack_count > 0) {
+    // Tampered: compare each tear-down packet with the closest preceding
+    // non-tear-down packet.
+    const capture::ObservedPacket* last_clean = nullptr;
+    for (const auto* pkt : ordered) {
+      if (pkt->is_rst()) {
+        if (last_clean == nullptr) continue;
+        ipid_max = std::max(ipid_max, abs_delta_u16(pkt->ip_id, last_clean->ip_id));
+        ttl_max = std::max(ttl_max, abs_delta_u8(pkt->ttl, last_clean->ttl));
+        any = true;
+      } else {
+        last_clean = pkt;
+      }
+    }
+  } else {
+    // Baseline: consecutive-packet deltas.
+    for (std::size_t i = 1; i < ordered.size(); ++i) {
+      ipid_max = std::max(ipid_max, abs_delta_u16(ordered[i]->ip_id, ordered[i - 1]->ip_id));
+      ttl_max = std::max(ttl_max, abs_delta_u8(ordered[i]->ttl, ordered[i - 1]->ttl));
+      any = true;
+    }
+  }
+  if (!any) return out;
+  if (has_ipid) out.max_ipid_delta = ipid_max;
+  out.max_ttl_delta = ttl_max;
+  return out;
+}
+
+void EvidenceCollector::add(const capture::ConnectionSample& sample,
+                            const ConnectionRecord& record) {
+  const auto& c = record.classification;
+  std::size_t bucket;
+  if (c.signature) {
+    bucket = static_cast<std::size_t>(*c.signature);
+  } else if (!c.possibly_tampered) {
+    bucket = clean_bucket();
+  } else {
+    return;  // unmatched possibly-tampered: not plotted in Figs. 2-3
+  }
+  if (ttl_[bucket].count() >= cap_) return;
+  const EvidenceDeltas deltas = evidence_deltas(sample, c);
+  if (deltas.max_ipid_delta) ipid_[bucket].add(static_cast<double>(*deltas.max_ipid_delta));
+  if (deltas.max_ttl_delta) ttl_[bucket].add(static_cast<double>(*deltas.max_ttl_delta));
+}
+
+}  // namespace tamper::analysis

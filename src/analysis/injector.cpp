@@ -1,0 +1,35 @@
+#include "analysis/injector.h"
+
+namespace tamper::analysis {
+
+std::optional<InjectorDistance> estimate_injector_distance(
+    const capture::ConnectionSample& sample, const core::Classification& classification,
+    const core::ClassifierConfig& config) {
+  if (!classification.possibly_tampered ||
+      classification.rst_count + classification.rst_ack_count == 0)
+    return std::nullopt;
+
+  const auto ordered = core::order_packets(sample, config);
+  const capture::ObservedPacket* client_pkt = nullptr;
+  const capture::ObservedPacket* teardown = nullptr;
+  for (const auto* pkt : ordered) {
+    if (pkt->is_rst()) {
+      if (teardown == nullptr) teardown = pkt;
+    } else if (client_pkt == nullptr) {
+      client_pkt = pkt;  // first genuine client packet (the SYN)
+    }
+  }
+  if (client_pkt == nullptr || teardown == nullptr) return std::nullopt;
+
+  const auto client_hops = hops_from_initial_ttl(client_pkt->ttl);
+  const auto injector_hops = hops_from_initial_ttl(teardown->ttl);
+  if (!client_hops || !injector_hops) return std::nullopt;
+  if (*client_hops == 0) return std::nullopt;  // degenerate (zero-hop path)
+
+  InjectorDistance out;
+  out.client_hops = *client_hops;
+  out.injector_hops = *injector_hops;
+  return out;
+}
+
+}  // namespace tamper::analysis

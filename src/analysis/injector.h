@@ -1,0 +1,46 @@
+// Injector distance estimation — a natural extension of the paper's TTL
+// evidence (Fig. 3). The arrival TTL of a forged tear-down packet encodes
+// how many hops it traveled: assuming the injector initialized its TTL at
+// one of the common constants (64, 128, 255), the distance is the gap to
+// the next constant above the observed value. Comparing against the
+// client's own distance localizes the middlebox coarsely along the path —
+// the "where did this happen" question §3.4 leaves open.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "capture/sample.h"
+#include "core/classifier.h"
+
+namespace tamper::analysis {
+
+struct InjectorDistance {
+  int injector_hops = 0;  ///< estimated hops from the injector to the server
+  int client_hops = 0;    ///< estimated hops from the client to the server
+  /// injector_hops / client_hops: ~1 means near the client (access-network
+  /// filtering), ~0 means near the server, in between is a transit censor.
+  [[nodiscard]] double relative_position() const noexcept {
+    return client_hops == 0
+               ? 0.0
+               : static_cast<double>(injector_hops) / static_cast<double>(client_hops);
+  }
+};
+
+/// Distance of a TTL value to the next common initial TTL at or above it.
+[[nodiscard]] inline std::optional<int> hops_from_initial_ttl(std::uint8_t observed) {
+  for (int initial : {32, 64, 128, 255}) {
+    if (observed <= initial && initial - static_cast<int>(observed) <= 31)
+      return initial - static_cast<int>(observed);
+  }
+  return std::nullopt;  // implausible gap: likely a randomized TTL
+}
+
+/// Estimate where the injector sits for a tampered sample. Returns nullopt
+/// when there is no tear-down packet, the TTLs are implausible (randomized
+/// injectors), or the estimate degenerates.
+[[nodiscard]] std::optional<InjectorDistance> estimate_injector_distance(
+    const capture::ConnectionSample& sample, const core::Classification& classification,
+    const core::ClassifierConfig& config = {});
+
+}  // namespace tamper::analysis

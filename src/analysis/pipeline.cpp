@@ -1,0 +1,42 @@
+#include "analysis/pipeline.h"
+
+namespace tamper::analysis {
+
+Pipeline::Pipeline(const world::World& world, core::ClassifierConfig classifier_config)
+    : world_(world),
+      classifier_(classifier_config),
+      categories_([&world](const std::string& domain) -> std::optional<world::Category> {
+        const auto rank = world.domains().rank_of(domain);
+        if (!rank) return std::nullopt;
+        return world.domains().by_rank(*rank).category;
+      }) {}
+
+void Pipeline::ingest(const capture::ConnectionSample& sample) {
+  // A flow with no packets was never actually observed at the tap (e.g. the
+  // SYN itself was lost upstream).
+  if (sample.packets.empty()) return;
+  const ConnectionRecord record = analyze(sample, world_.geo(), classifier_);
+  matrix_.add(record);
+  asns_.add(record);
+  timeseries_.add(record);
+  version_protocol_.add(record);
+  categories_.add(record);
+  overlap_.add(record);
+  evidence_.add(sample, record);
+
+  ++scanner_.connections;
+  const core::ScannerIndicators indicators = core::scanner_indicators(sample);
+  if (indicators.no_tcp_options) ++scanner_.no_tcp_options;
+  if (indicators.high_ttl) ++scanner_.high_ttl;
+  if (record.classification.signature == core::Signature::kSynRst) {
+    ++scanner_.syn_rst_matches;
+    if (indicators.likely_zmap()) ++scanner_.syn_rst_zmap;
+  }
+}
+
+void Pipeline::run(world::TrafficGenerator& generator, std::size_t connections) {
+  generator.generate(connections,
+                     [this](world::LabeledConnection&& conn) { ingest(conn.sample); });
+}
+
+}  // namespace tamper::analysis

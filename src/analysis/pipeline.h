@@ -1,0 +1,68 @@
+// One-stop analysis pipeline: classify each sampled connection, attribute
+// it, and feed every aggregator. Benches and examples run a scenario
+// through a Pipeline and then read the aggregates behind each table/figure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/aggregates.h"
+#include "analysis/evidence.h"
+#include "analysis/record.h"
+#include "core/classifier.h"
+#include "core/scanner.h"
+#include "world/traffic.h"
+#include "world/world.h"
+
+namespace tamper::analysis {
+
+class Pipeline {
+ public:
+  explicit Pipeline(const world::World& world,
+                    core::ClassifierConfig classifier_config = {});
+
+  /// Classify + attribute one sample and update all aggregators.
+  void ingest(const capture::ConnectionSample& sample);
+
+  /// Convenience: run `connections` of generated traffic through the
+  /// pipeline (ground truth is dropped on the floor — validation tests use
+  /// the generator directly).
+  void run(world::TrafficGenerator& generator, std::size_t connections);
+
+  [[nodiscard]] const SignatureMatrix& signatures() const noexcept { return matrix_; }
+  [[nodiscard]] const AsnAggregator& asns() const noexcept { return asns_; }
+  [[nodiscard]] const TimeSeries& timeseries() const noexcept { return timeseries_; }
+  [[nodiscard]] const VersionProtocolAggregator& version_protocol() const noexcept {
+    return version_protocol_;
+  }
+  [[nodiscard]] const CategoryAggregator& categories() const noexcept { return categories_; }
+  [[nodiscard]] const OverlapMatrix& overlap() const noexcept { return overlap_; }
+  [[nodiscard]] const EvidenceCollector& evidence() const noexcept { return evidence_; }
+
+  struct ScannerStats {
+    std::uint64_t connections = 0;
+    std::uint64_t no_tcp_options = 0;
+    std::uint64_t high_ttl = 0;
+    std::uint64_t syn_rst_matches = 0;       ///< connections matching ⟨SYN → RST⟩
+    std::uint64_t syn_rst_zmap = 0;          ///< ... attributable to ZMap
+  };
+  [[nodiscard]] const ScannerStats& scanner_stats() const noexcept { return scanner_; }
+
+  [[nodiscard]] const core::SignatureClassifier& classifier() const noexcept {
+    return classifier_;
+  }
+
+ private:
+  const world::World& world_;
+  core::SignatureClassifier classifier_;
+  SignatureMatrix matrix_;
+  AsnAggregator asns_;
+  TimeSeries timeseries_;
+  VersionProtocolAggregator version_protocol_;
+  CategoryAggregator categories_;
+  OverlapMatrix overlap_;
+  EvidenceCollector evidence_;
+  ScannerStats scanner_;
+};
+
+}  // namespace tamper::analysis

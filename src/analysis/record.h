@@ -1,0 +1,57 @@
+// Per-connection analysis record.
+//
+// Everything here is derived the way the paper derives it: source country
+// and AS from a geo lookup on the client address, the requested domain and
+// application protocol from DPI on the first data payload, and the
+// signature from the classifier. Ground truth never enters this path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "appproto/dpi.h"
+#include "capture/sample.h"
+#include "core/classifier.h"
+#include "world/geo.h"
+
+namespace tamper::analysis {
+
+struct ConnectionRecord {
+  core::Classification classification;
+  std::string country = "??";  ///< "??" when the source address is unattributed
+  std::uint32_t asn = 0;
+  net::IpVersion ip_version = net::IpVersion::kV4;
+  appproto::AppProtocol protocol = appproto::AppProtocol::kUnknown;
+  std::optional<std::string> domain;  ///< from SNI / Host; absent for drops
+  std::optional<std::string> http_user_agent;
+  std::int64_t first_ts_sec = 0;
+  std::uint64_t client_ip_hash = 0;  ///< stable key for (IP, domain) pairing
+};
+
+[[nodiscard]] inline ConnectionRecord analyze(const capture::ConnectionSample& sample,
+                                              const world::GeoDatabase& geo,
+                                              const core::SignatureClassifier& classifier) {
+  ConnectionRecord record;
+  record.classification = classifier.classify(sample);
+  record.ip_version = sample.ip_version;
+  if (const auto country = geo.lookup_country(sample.client_ip)) record.country = *country;
+  if (const auto asn = geo.lookup_asn(sample.client_ip)) record.asn = *asn;
+  record.client_ip_hash = sample.client_ip.hash();
+  if (!sample.packets.empty()) record.first_ts_sec = sample.packets.front().ts_sec;
+
+  // Port gives the coarse protocol; DPI refines it and yields the domain.
+  if (sample.server_port == 80)
+    record.protocol = appproto::AppProtocol::kHttp;
+  else if (sample.server_port == 443)
+    record.protocol = appproto::AppProtocol::kTls;
+  if (const auto* payload = sample.first_data_payload()) {
+    const appproto::DpiResult dpi = appproto::inspect_payload(*payload);
+    if (dpi.protocol != appproto::AppProtocol::kUnknown) record.protocol = dpi.protocol;
+    record.domain = dpi.domain;
+    record.http_user_agent = dpi.http_user_agent;
+  }
+  return record;
+}
+
+}  // namespace tamper::analysis

@@ -1,0 +1,27 @@
+// Aggregate JSON report export — the shape of the data the paper shares
+// publicly on Cloudflare Radar (§1, "Data sharing"): per-country signature
+// shares and stage mixes, per-signature country composition, and daily time
+// series. Only aggregates are exported, mirroring the paper's privacy
+// posture (§3.3): no addresses, no domains.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/pipeline.h"
+
+namespace tamper::analysis {
+
+struct ReportOptions {
+  /// Countries with fewer sampled connections are suppressed (aggregation
+  /// floor, like the paper's aggregate-only reporting).
+  std::uint64_t min_country_connections = 200;
+  /// Emit the per-country daily time series section.
+  bool include_timeseries = true;
+  bool pretty = true;
+};
+
+/// Serialize the pipeline's aggregates as a JSON document.
+void write_radar_report(std::ostream& out, const Pipeline& pipeline,
+                        const ReportOptions& options = {});
+
+}  // namespace tamper::analysis

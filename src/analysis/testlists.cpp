@@ -1,0 +1,213 @@
+#include "analysis/testlists.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "world/countries.h"
+
+namespace tamper::analysis {
+
+namespace {
+
+/// Popularity score in (0, 1]: ~1 for the head of the ranking, decaying
+/// through the tail. Curated lists over-sample the head (volunteers and
+/// researchers test famous domains).
+double pop01(std::size_t rank) { return std::exp(-static_cast<double>(rank) / 4000.0); }
+
+/// Curated lists are full of URL/host variants of the real domain
+/// ("www.x.com", "m.x.com", deep links) that fail an eTLD+1 exact match but
+/// still substring-match — the reason the paper's "Substring" rows beat the
+/// exact rows (§5.5).
+std::string curated_entry(const std::string& name, common::Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.40) return name;
+  if (roll < 0.62) return "www." + name;
+  if (roll < 0.78) return "m." + name;
+  if (roll < 0.90) return "blog." + name;
+  return name + "/index";
+}
+
+}  // namespace
+
+bool TestList::contains_substring(const std::string& domain) const {
+  if (lookup.contains(domain)) return true;
+  for (const auto& entry : entries) {
+    if (entry.size() >= domain.size()) {
+      if (entry.find(domain) != std::string::npos) return true;
+    } else if (domain.find(entry) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TestListBuilder::TestListBuilder(const world::World& world, std::uint64_t seed)
+    : world_(world), seed_(seed) {}
+
+TestList TestListBuilder::ranked_list(std::size_t size, std::string name, double sigma,
+                                      std::uint64_t salt) const {
+  const auto& domains = world_.domains();
+  common::Rng rng(seed_ ^ salt);
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(domains.size());
+  for (std::size_t rank = 0; rank < domains.size(); ++rank) {
+    // Noisy measured rank: rank * lognormal error.
+    const double measured = static_cast<double>(rank + 1) * std::exp(rng.normal(0.0, sigma));
+    scored.emplace_back(measured, rank);
+  }
+  size = std::min(size, scored.size());
+  std::nth_element(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(size),
+                   scored.end());
+  TestList list;
+  list.name = std::move(name);
+  list.entries.reserve(size);
+  for (std::size_t i = 0; i < size; ++i)
+    list.entries.push_back(domains.by_rank(scored[i].second).name);
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::tranco(std::size_t size, std::string name) const {
+  return ranked_list(size, std::move(name), 0.35, 0x77a);
+}
+
+TestList TestListBuilder::majestic(std::size_t size, std::string name) const {
+  // Majestic ranks by referring subnets: correlated with popularity but
+  // noisier and skewed differently.
+  return ranked_list(size, std::move(name), 0.85, 0x3a5);
+}
+
+TestList TestListBuilder::greatfire_all() const {
+  const auto& domains = world_.domains();
+  const int cn = world::country_index("CN");
+  common::Rng rng(seed_ ^ 0x9f);
+  TestList list;
+  list.name = "Greatfire_all";
+  for (std::size_t rank = 0; rank < domains.size(); ++rank) {
+    const bool blocked_cn = cn >= 0 && world_.is_blocked(cn, rank);
+    // Popularity-biased inclusion, boosted for domains actually blocked in
+    // China, plus a large stale/noise floor of never-blocked domains — and
+    // most entries are host variants rather than the clean eTLD+1.
+    const double p = 0.35 * pop01(rank) + (blocked_cn ? 0.22 : 0.0) + 0.10;
+    if (rng.chance(std::min(p, 1.0)))
+      list.entries.push_back(curated_entry(domains.by_rank(rank).name, rng));
+  }
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::greatfire_30d() const {
+  // Recently-tested subset: ~10% of the full list, popularity-biased.
+  const TestList full = greatfire_all();
+  const auto& domains = world_.domains();
+  common::Rng rng(seed_ ^ 0x30d);
+  TestList list;
+  list.name = "Greatfire_30d";
+  for (const auto& entry : full.entries) {
+    const auto rank = domains.rank_of(entry);
+    const double p = rank ? 0.04 + 0.5 * pop01(*rank) : 0.04;
+    if (rng.chance(p)) list.entries.push_back(entry);
+  }
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::citizenlab() const {
+  const auto& domains = world_.domains();
+  common::Rng rng(seed_ ^ 0xc17);
+  TestList list;
+  list.name = "Citizenlab";
+  for (std::size_t rank = 0; rank < domains.size(); ++rank) {
+    // Hand-curated: strongly head-biased, with thin sensitive-category tails.
+    const world::Category cat = domains.by_rank(rank).category;
+    const bool sensitive = cat == world::Category::kNewsMedia ||
+                           cat == world::Category::kSocialNetworks ||
+                           cat == world::Category::kChat;
+    const double p = 0.30 * std::pow(pop01(rank), 2.0) + (sensitive ? 0.012 : 0.002);
+    if (rng.chance(p)) list.entries.push_back(curated_entry(domains.by_rank(rank).name, rng));
+  }
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::citizenlab_global() const {
+  const auto& domains = world_.domains();
+  common::Rng rng(seed_ ^ 0xc19);
+  TestList list;
+  list.name = "Citizenlab_global";
+  for (std::size_t rank = 0; rank < domains.size(); ++rank) {
+    const double p = 0.18 * std::pow(pop01(rank), 4.0);
+    if (rng.chance(p)) list.entries.push_back(curated_entry(domains.by_rank(rank).name, rng));
+  }
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::citizenlab_country(const std::string& cc) const {
+  const auto& domains = world_.domains();
+  const int country = world::country_index(cc);
+  common::Rng rng(seed_ ^ common::fnv1a(cc) ^ 0xcc);
+  TestList list;
+  list.name = "Citizenlab_" + cc;
+  if (country < 0) return list;
+  for (std::size_t rank = 0; rank < domains.size(); ++rank) {
+    if (!world_.is_blocked(country, rank)) continue;
+    // Volunteers know a thin, popularity-biased slice of the blocklist —
+    // and lists lag policy, so much of it is stale (modeled by the small p).
+    const double p = 0.02 + 0.25 * std::pow(pop01(rank), 3.0);
+    if (rng.chance(p)) list.entries.push_back(curated_entry(domains.by_rank(rank).name, rng));
+  }
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  return list;
+}
+
+TestList TestListBuilder::union_of(std::string name,
+                                   const std::vector<const TestList*>& lists) {
+  TestList out;
+  out.name = std::move(name);
+  for (const TestList* list : lists) {
+    for (const auto& entry : list->entries) {
+      if (out.lookup.insert(entry).second) out.entries.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<TestList> TestListBuilder::standard_battery() const {
+  // Sizes mirror the paper's 1K/10K/100K/1M tiers, scaled to the synthetic
+  // universe (the largest popularity tier reaches ~35% of it, as Tranco_1M
+  // reaches only part of the CDN's zone corpus).
+  const std::size_t n = world_.domains().size();
+  std::vector<TestList> battery;
+  battery.push_back(tranco(n / 1000, "Tranco_1K"));
+  battery.push_back(tranco(n / 100, "Tranco_10K"));
+  battery.push_back(tranco(n * 8 / 100, "Tranco_100K"));
+  battery.push_back(tranco(n * 35 / 100, "Tranco_1M"));
+  battery.push_back(majestic(n / 1000, "Majestic_1K"));
+  battery.push_back(majestic(n / 100, "Majestic_10K"));
+  battery.push_back(majestic(n * 8 / 100, "Majestic_100K"));
+  battery.push_back(majestic(n * 35 / 100, "Majestic_1M"));
+  battery.push_back(greatfire_all());
+  battery.push_back(greatfire_30d());
+  battery.push_back(citizenlab());
+  battery.push_back(citizenlab_global());
+  return battery;
+}
+
+Coverage audit_coverage(const TestList& list,
+                        const std::vector<std::string>& observed_domains) {
+  Coverage coverage;
+  coverage.observed = observed_domains.size();
+  for (const auto& domain : observed_domains) {
+    if (list.contains(domain)) {
+      ++coverage.exact;
+      ++coverage.substring;
+    } else if (list.contains_substring(domain)) {
+      ++coverage.substring;
+    }
+  }
+  return coverage;
+}
+
+}  // namespace tamper::analysis

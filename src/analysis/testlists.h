@@ -1,0 +1,83 @@
+// Synthetic active-measurement test lists and the Table 3 coverage audit.
+//
+// Models the construction processes of the real lists:
+//  * Tranco / Majestic — popularity rankings with measurement noise; larger
+//    tiers reach deeper into the tail.
+//  * GreatFire — curated around Chinese blocking, with a strong popularity
+//    bias (volunteers test famous sites) and substantial staleness.
+//  * Citizen Lab — small, hand-curated global and per-country lists.
+//
+// The audit asks the paper's question: of the domains we passively observed
+// being tampered with in a region, what fraction would an active scanner
+// driven by list X have tested?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "world/world.h"
+
+namespace tamper::analysis {
+
+struct TestList {
+  std::string name;
+  std::vector<std::string> entries;
+  std::unordered_set<std::string> lookup;
+
+  [[nodiscard]] bool contains(const std::string& domain) const {
+    return lookup.contains(domain);
+  }
+  /// Substring match in either direction (the paper's best-case rows).
+  [[nodiscard]] bool contains_substring(const std::string& domain) const;
+};
+
+class TestListBuilder {
+ public:
+  TestListBuilder(const world::World& world, std::uint64_t seed);
+
+  /// Popularity lists; `size` entries of a noisily-measured ranking.
+  [[nodiscard]] TestList tranco(std::size_t size, std::string name) const;
+  [[nodiscard]] TestList majestic(std::size_t size, std::string name) const;
+
+  [[nodiscard]] TestList greatfire_all() const;
+  [[nodiscard]] TestList greatfire_30d() const;
+  [[nodiscard]] TestList citizenlab() const;
+  [[nodiscard]] TestList citizenlab_global() const;
+  [[nodiscard]] TestList citizenlab_country(const std::string& cc) const;
+
+  [[nodiscard]] static TestList union_of(std::string name,
+                                         const std::vector<const TestList*>& lists);
+
+  /// The standard battery used by the Table 3 bench: the four Tranco tiers,
+  /// four Majestic tiers, GreatFire and Citizen Lab variants, plus unions.
+  [[nodiscard]] std::vector<TestList> standard_battery() const;
+
+ private:
+  [[nodiscard]] TestList ranked_list(std::size_t size, std::string name, double sigma,
+                                     std::uint64_t salt) const;
+
+  const world::World& world_;
+  std::uint64_t seed_;
+};
+
+struct Coverage {
+  std::size_t observed = 0;   ///< tampered domains observed in the region
+  std::size_t exact = 0;      ///< ... present in the list verbatim
+  std::size_t substring = 0;  ///< ... matching as a substring
+  [[nodiscard]] double exact_pct() const noexcept {
+    return observed == 0 ? 0.0
+                         : 100.0 * static_cast<double>(exact) / static_cast<double>(observed);
+  }
+  [[nodiscard]] double substring_pct() const noexcept {
+    return observed == 0 ? 0.0
+                         : 100.0 * static_cast<double>(substring) /
+                               static_cast<double>(observed);
+  }
+};
+
+[[nodiscard]] Coverage audit_coverage(const TestList& list,
+                                      const std::vector<std::string>& observed_domains);
+
+}  // namespace tamper::analysis

@@ -1,0 +1,56 @@
+// Unified deep-packet-inspection view of a client's first data bytes:
+// classifies the application protocol and extracts the domain the way a
+// middlebox (or the passive analysis pipeline) would.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "appproto/http.h"
+#include "appproto/tls.h"
+
+namespace tamper::appproto {
+
+enum class AppProtocol : std::uint8_t { kUnknown, kTls, kHttp };
+
+struct DpiResult {
+  AppProtocol protocol = AppProtocol::kUnknown;
+  std::optional<std::string> domain;  ///< SNI host or HTTP Host header
+  std::optional<std::string> http_path;
+  std::optional<std::string> http_user_agent;
+};
+
+[[nodiscard]] inline DpiResult inspect_payload(std::span<const std::uint8_t> payload) {
+  DpiResult out;
+  if (payload.empty()) return out;
+  if (looks_like_client_hello(payload)) {
+    out.protocol = AppProtocol::kTls;
+    out.domain = extract_sni(payload);
+    return out;
+  }
+  if (looks_like_http_request(payload)) {
+    out.protocol = AppProtocol::kHttp;
+    if (const auto req = parse_http_request(payload)) {
+      out.domain = req->host;
+      out.http_path = req->path;
+      out.http_user_agent = req->user_agent;
+    }
+    return out;
+  }
+  return out;
+}
+
+[[nodiscard]] inline const char* to_string(AppProtocol p) noexcept {
+  switch (p) {
+    case AppProtocol::kTls:
+      return "TLS";
+    case AppProtocol::kHttp:
+      return "HTTP";
+    case AppProtocol::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace tamper::appproto

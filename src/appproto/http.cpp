@@ -1,0 +1,100 @@
+#include "appproto/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tamper::appproto {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_http_request(const HttpRequestSpec& spec) {
+  std::string head;
+  head.reserve(256);
+  head += spec.method;
+  head += ' ';
+  head += spec.path;
+  head += " HTTP/1.1\r\nHost: ";
+  head += spec.host;
+  head += "\r\nUser-Agent: ";
+  head += spec.user_agent;
+  head += "\r\nAccept: */*\r\nConnection: keep-alive\r\n";
+  for (const auto& [name, value] : spec.extra_headers) {
+    head += name;
+    head += ": ";
+    head += value;
+    head += "\r\n";
+  }
+  head += "\r\n";
+  return {head.begin(), head.end()};
+}
+
+bool looks_like_http_request(std::span<const std::uint8_t> payload) noexcept {
+  static constexpr std::string_view kMethods[] = {"GET ",     "POST ",   "HEAD ",
+                                                  "PUT ",     "DELETE ", "OPTIONS ",
+                                                  "CONNECT ", "PATCH ",  "TRACE "};
+  const std::string_view text{reinterpret_cast<const char*>(payload.data()),
+                              std::min<std::size_t>(payload.size(), 8)};
+  return std::any_of(std::begin(kMethods), std::end(kMethods),
+                     [&](std::string_view m) { return text.starts_with(m); });
+}
+
+std::optional<ParsedHttpRequest> parse_http_request(std::span<const std::uint8_t> payload) {
+  if (!looks_like_http_request(payload)) return std::nullopt;
+  const std::string_view text{reinterpret_cast<const char*>(payload.data()),
+                              payload.size()};
+  const std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+
+  const std::string_view request_line = text.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+
+  ParsedHttpRequest out;
+  out.method = std::string(request_line.substr(0, sp1));
+  out.path = std::string(trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  out.version = std::string(request_line.substr(sp2 + 1));
+
+  std::size_t pos = line_end + 2;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find("\r\n", pos);
+    const std::string_view line =
+        eol == std::string_view::npos ? text.substr(pos) : text.substr(pos, eol - pos);
+    if (line.empty()) break;  // end of head
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string name = to_lower(trim(line.substr(0, colon)));
+      const std::string value{trim(line.substr(colon + 1))};
+      out.headers[name] = value;
+      if (name == "host") out.host = value;
+      if (name == "user-agent") out.user_agent = value;
+    }
+    if (eol == std::string_view::npos) break;  // truncated mid-head: keep what we have
+    pos = eol + 2;
+  }
+  return out;
+}
+
+std::optional<std::string> extract_host(std::span<const std::uint8_t> payload) {
+  const auto parsed = parse_http_request(payload);
+  if (!parsed || !parsed->host) return std::nullopt;
+  return parsed->host;
+}
+
+}  // namespace tamper::appproto

@@ -1,0 +1,46 @@
+// HTTP/1.1 request construction and parsing.
+//
+// Cleartext HTTP exposes the Host header and the request line to DPI
+// middleboxes; keyword censorship matches on the GET path or headers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamper::appproto {
+
+struct HttpRequestSpec {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string host;
+  std::string user_agent = "Mozilla/5.0 (X11; Linux x86_64) tamper-sim/1.0";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Serialize a request head (no body).
+[[nodiscard]] std::vector<std::uint8_t> build_http_request(const HttpRequestSpec& spec);
+
+struct ParsedHttpRequest {
+  std::string method;
+  std::string path;
+  std::string version;
+  std::optional<std::string> host;
+  std::optional<std::string> user_agent;
+  std::map<std::string, std::string> headers;  ///< lower-cased field names
+};
+
+/// True when the payload starts with a plausible HTTP/1.x request line.
+[[nodiscard]] bool looks_like_http_request(std::span<const std::uint8_t> payload) noexcept;
+
+/// Parse the head; tolerates truncation after a complete Host header.
+[[nodiscard]] std::optional<ParsedHttpRequest> parse_http_request(
+    std::span<const std::uint8_t> payload);
+
+/// Convenience for DPI: the Host header, if present.
+[[nodiscard]] std::optional<std::string> extract_host(std::span<const std::uint8_t> payload);
+
+}  // namespace tamper::appproto

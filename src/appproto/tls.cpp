@@ -1,0 +1,251 @@
+#include "appproto/tls.h"
+
+#include <algorithm>
+
+namespace tamper::appproto {
+
+namespace {
+
+constexpr std::uint8_t kContentTypeHandshake = 22;
+constexpr std::uint8_t kHandshakeClientHello = 1;
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+constexpr std::uint16_t kExtSupportedGroups = 10;
+constexpr std::uint16_t kExtSignatureAlgorithms = 13;
+constexpr std::uint16_t kExtKeyShare = 51;
+
+void put8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put24(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Simple big-endian cursor with bounds checking; `ok` latches failures.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8() noexcept {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() noexcept {
+    if (!require(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u24() noexcept {
+    if (!require(3)) return 0;
+    const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                            data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (!require(n)) return {};
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip(std::size_t n) noexcept {
+    if (require(n)) pos_ += n;
+  }
+
+ private:
+  bool require(std::size_t n) noexcept {
+    if (data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> build_client_hello(const ClientHelloSpec& spec,
+                                             common::Rng& rng) {
+  std::vector<std::uint8_t> body;
+  body.reserve(512);
+  put16(body, 0x0303);  // legacy_version TLS 1.2
+  for (int i = 0; i < 32; ++i) put8(body, static_cast<std::uint8_t>(rng.below(256)));
+  put8(body, static_cast<std::uint8_t>(spec.session_id_len));
+  for (std::size_t i = 0; i < spec.session_id_len; ++i)
+    put8(body, static_cast<std::uint8_t>(rng.below(256)));
+
+  // A realistic modern cipher suite offering.
+  static constexpr std::uint16_t kSuites[] = {0x1301, 0x1302, 0x1303, 0xc02b,
+                                              0xc02f, 0xc02c, 0xc030, 0x00ff};
+  put16(body, static_cast<std::uint16_t>(sizeof(kSuites) / sizeof(kSuites[0]) * 2));
+  for (std::uint16_t suite : kSuites) put16(body, suite);
+  put8(body, 1);  // compression methods length
+  put8(body, 0);  // null
+
+  std::vector<std::uint8_t> exts;
+  if (!spec.sni.empty()) {
+    std::vector<std::uint8_t> sni;
+    put16(sni, static_cast<std::uint16_t>(spec.sni.size() + 3));  // server_name_list
+    put8(sni, 0);                                                 // host_name
+    put16(sni, static_cast<std::uint16_t>(spec.sni.size()));
+    put_bytes(sni, {reinterpret_cast<const std::uint8_t*>(spec.sni.data()), spec.sni.size()});
+    put16(exts, kExtServerName);
+    put16(exts, static_cast<std::uint16_t>(sni.size()));
+    put_bytes(exts, sni);
+  }
+  if (!spec.alpn.empty()) {
+    std::vector<std::uint8_t> alpn_list;
+    for (const auto& proto : spec.alpn) {
+      put8(alpn_list, static_cast<std::uint8_t>(proto.size()));
+      put_bytes(alpn_list,
+                {reinterpret_cast<const std::uint8_t*>(proto.data()), proto.size()});
+    }
+    put16(exts, kExtAlpn);
+    put16(exts, static_cast<std::uint16_t>(alpn_list.size() + 2));
+    put16(exts, static_cast<std::uint16_t>(alpn_list.size()));
+    put_bytes(exts, alpn_list);
+  }
+  {
+    // supported_groups: x25519, secp256r1
+    put16(exts, kExtSupportedGroups);
+    put16(exts, 6);
+    put16(exts, 4);
+    put16(exts, 0x001d);
+    put16(exts, 0x0017);
+    // signature_algorithms: a small plausible set
+    put16(exts, kExtSignatureAlgorithms);
+    put16(exts, 8);
+    put16(exts, 6);
+    put16(exts, 0x0403);
+    put16(exts, 0x0804);
+    put16(exts, 0x0401);
+  }
+  if (spec.offer_tls13) {
+    put16(exts, kExtSupportedVersions);
+    put16(exts, 5);
+    put8(exts, 4);        // list length
+    put16(exts, 0x0304);  // TLS 1.3
+    put16(exts, 0x0303);  // TLS 1.2
+    // key_share: x25519 with a random 32-byte public key
+    put16(exts, kExtKeyShare);
+    put16(exts, 38);
+    put16(exts, 36);
+    put16(exts, 0x001d);
+    put16(exts, 32);
+    for (int i = 0; i < 32; ++i) put8(exts, static_cast<std::uint8_t>(rng.below(256)));
+  }
+  put16(body, static_cast<std::uint16_t>(exts.size()));
+  put_bytes(body, exts);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 9);
+  put8(out, kContentTypeHandshake);
+  put16(out, 0x0301);  // record legacy version (as emitted in the wild)
+  put16(out, static_cast<std::uint16_t>(body.size() + 4));
+  put8(out, kHandshakeClientHello);
+  put24(out, static_cast<std::uint32_t>(body.size()));
+  put_bytes(out, body);
+  return out;
+}
+
+bool looks_like_client_hello(std::span<const std::uint8_t> payload) noexcept {
+  return payload.size() >= 6 && payload[0] == kContentTypeHandshake &&
+         payload[1] == 0x03 && payload[2] <= 0x04 && payload[5] == kHandshakeClientHello;
+}
+
+std::optional<ParsedClientHello> parse_client_hello(std::span<const std::uint8_t> payload,
+                                                    bool allow_truncated) {
+  if (!looks_like_client_hello(payload)) return std::nullopt;
+  Reader rec(payload);
+  rec.skip(3);  // content type + record version
+  const std::uint16_t record_len = rec.u16();
+  if (!rec.ok()) return std::nullopt;
+  const bool truncated = rec.remaining() < record_len;
+  if (truncated && !allow_truncated) return std::nullopt;
+
+  Reader hs(payload.subspan(5, std::min<std::size_t>(record_len, payload.size() - 5)));
+  if (hs.u8() != kHandshakeClientHello) return std::nullopt;
+  hs.u24();  // handshake length (may exceed what we captured)
+
+  ParsedClientHello out;
+  out.legacy_version = hs.u16();
+  hs.skip(32);  // random
+  const std::uint8_t session_id_len = hs.u8();
+  hs.skip(session_id_len);
+  const std::uint16_t suites_len = hs.u16();
+  if (!hs.ok() || suites_len % 2 != 0) return std::nullopt;
+  out.cipher_suite_count = suites_len / 2;
+  hs.skip(suites_len);
+  const std::uint8_t compression_len = hs.u8();
+  hs.skip(compression_len);
+  if (!hs.ok()) return std::nullopt;
+  if (hs.remaining() < 2) return allow_truncated ? std::optional(out) : std::nullopt;
+  const std::uint16_t ext_total = hs.u16();
+  (void)ext_total;
+
+  while (hs.ok() && hs.remaining() >= 4) {
+    const std::uint16_t ext_type = hs.u16();
+    const std::uint16_t ext_len = hs.u16();
+    if (hs.remaining() < ext_len) {
+      if (allow_truncated) break;
+      return std::nullopt;
+    }
+    Reader ext(hs.bytes(ext_len));
+    switch (ext_type) {
+      case kExtServerName: {
+        const std::uint16_t list_len = ext.u16();
+        (void)list_len;
+        const std::uint8_t name_type = ext.u8();
+        const std::uint16_t name_len = ext.u16();
+        const auto name = ext.bytes(name_len);
+        if (ext.ok() && name_type == 0)
+          out.sni = std::string(name.begin(), name.end());
+        break;
+      }
+      case kExtAlpn: {
+        const std::uint16_t list_len = ext.u16();
+        (void)list_len;
+        while (ext.ok() && ext.remaining() > 0) {
+          const std::uint8_t proto_len = ext.u8();
+          const auto proto = ext.bytes(proto_len);
+          if (ext.ok()) out.alpn.emplace_back(proto.begin(), proto.end());
+        }
+        break;
+      }
+      case kExtSupportedVersions: {
+        const std::uint8_t list_len = ext.u8();
+        for (int i = 0; ext.ok() && i + 1 < list_len; i += 2) {
+          if (ext.u16() == 0x0304) out.offers_tls13 = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> payload) {
+  const auto parsed = parse_client_hello(payload);
+  if (!parsed || !parsed->sni) return std::nullopt;
+  return parsed->sni;
+}
+
+}  // namespace tamper::appproto

@@ -1,0 +1,54 @@
+// TLS ClientHello construction and parsing.
+//
+// Tampering middleboxes key on the cleartext SNI in the ClientHello (§2.1);
+// the analysis side likewise recovers the requested domain from the first
+// data packet of sampled connections (§3.4). We implement enough of RFC 8446
+// to build and parse a realistic ClientHello: record layer, handshake
+// header, cipher suites, and the server_name / ALPN / supported_versions
+// extensions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamper::appproto {
+
+struct ClientHelloSpec {
+  std::string sni;                  ///< empty = omit the server_name extension
+  std::vector<std::string> alpn = {"h2", "http/1.1"};
+  bool offer_tls13 = true;
+  std::size_t session_id_len = 32;  ///< 32 in TLS 1.3 compatibility mode
+};
+
+/// Serialize a ClientHello (record layer + handshake message).
+[[nodiscard]] std::vector<std::uint8_t> build_client_hello(const ClientHelloSpec& spec,
+                                                           common::Rng& rng);
+
+struct ParsedClientHello {
+  std::uint16_t legacy_version = 0;
+  std::optional<std::string> sni;
+  std::vector<std::string> alpn;
+  bool offers_tls13 = false;
+  std::size_t cipher_suite_count = 0;
+};
+
+/// True when the payload begins with a TLS handshake record containing a
+/// ClientHello (the cheap DPI pre-check).
+[[nodiscard]] bool looks_like_client_hello(std::span<const std::uint8_t> payload) noexcept;
+
+/// Full parse; nullopt when the payload is not a well-formed ClientHello.
+/// Tolerates a ClientHello truncated at a packet boundary if the SNI
+/// extension is complete (`allow_truncated`).
+[[nodiscard]] std::optional<ParsedClientHello> parse_client_hello(
+    std::span<const std::uint8_t> payload, bool allow_truncated = true);
+
+/// Convenience for DPI: extract just the SNI, if any.
+[[nodiscard]] std::optional<std::string> extract_sni(std::span<const std::uint8_t> payload);
+
+}  // namespace tamper::appproto

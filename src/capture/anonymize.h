@@ -1,0 +1,41 @@
+// Privacy layer (§3.3): anonymize capture records before they leave the
+// trusted analysis boundary.
+//
+// The paper's pipeline restricts raw-data access and reports only
+// aggregates. For the cases where per-connection records must be shared at
+// all (debugging, appeals, research hand-off), this module applies the
+// standard degradations: client addresses truncated to their routing prefix
+// or replaced by a keyed pseudonym, ports scrambled under the same key, and
+// payloads stripped (header analysis — including signature classification —
+// is unaffected; DPI-based domain analysis is deliberately destroyed).
+#pragma once
+
+#include <cstdint>
+
+#include "capture/sample.h"
+
+namespace tamper::capture {
+
+struct AnonymizeConfig {
+  /// Keep this many leading bits of the client address (paper-style
+  /// aggregation keeps routing information but not the host).
+  int v4_prefix_bits = 24;
+  int v6_prefix_bits = 48;
+  /// Replace the truncated address with a keyed pseudonym instead
+  /// (prefix-preserving within the kept bits).
+  bool pseudonymize = false;
+  std::uint64_t key = 0;  ///< pseudonymization key (keep secret)
+  bool strip_payloads = true;
+  bool scramble_client_port = true;
+};
+
+/// Anonymized copy of an address under the config.
+[[nodiscard]] net::IpAddress anonymize_address(const net::IpAddress& addr,
+                                               const AnonymizeConfig& config);
+
+/// Anonymize one sample in place. Classification-relevant fields (flags,
+/// seq/ack, TTL, IP-ID, timestamps) are preserved; the classifier's verdict
+/// on the anonymized sample is identical by construction.
+void anonymize(ConnectionSample& sample, const AnonymizeConfig& config);
+
+}  // namespace tamper::capture

@@ -1,0 +1,22 @@
+#include "capture/sample.h"
+
+#include <cmath>
+
+namespace tamper::capture {
+
+ObservedPacket observe(const net::Packet& pkt, bool keep_payload, double time_scale) {
+  ObservedPacket out;
+  out.ts_sec = static_cast<std::int64_t>(std::floor(pkt.timestamp * time_scale));
+  out.flags = pkt.tcp.flags;
+  out.seq = pkt.tcp.seq;
+  out.ack = pkt.tcp.ack;
+  out.window = pkt.tcp.window;
+  out.ttl = pkt.ip.ttl;
+  out.ip_id = pkt.ip.ip_id;
+  out.has_tcp_options = !pkt.tcp.options.empty();
+  out.payload_len = static_cast<std::uint16_t>(pkt.payload.size());
+  if (keep_payload) out.payload = pkt.payload;
+  return out;
+}
+
+}  // namespace tamper::capture

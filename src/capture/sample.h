@@ -1,0 +1,84 @@
+// The connection sample record — the exact information the paper's logging
+// pipeline retains (§3.2), no more:
+//   * inbound (client->server) packets only,
+//   * at most the first 10 packets of a connection,
+//   * timestamps at 1-second granularity,
+//   * full headers and payloads of those packets.
+// Everything downstream (the classifier, the analyses) consumes only this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ip_address.h"
+#include "net/packet.h"
+
+namespace tamper::capture {
+
+/// One logged inbound packet.
+struct ObservedPacket {
+  std::int64_t ts_sec = 0;  ///< floor(arrival time): 1 s granularity (§3.2)
+  std::uint8_t flags = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;
+  std::uint8_t ttl = 0;
+  std::uint16_t ip_id = 0;
+  bool has_tcp_options = false;
+  std::uint16_t payload_len = 0;
+  std::vector<std::uint8_t> payload;  ///< empty when the sampler drops payloads
+
+  [[nodiscard]] bool has(std::uint8_t bits) const noexcept {
+    return (flags & bits) == bits;
+  }
+  [[nodiscard]] bool is_syn() const noexcept {
+    return has(net::tcpflag::kSyn) && !has(net::tcpflag::kAck);
+  }
+  [[nodiscard]] bool is_rst() const noexcept { return has(net::tcpflag::kRst); }
+  /// RST with the ACK flag (the paper's "RST+ACK").
+  [[nodiscard]] bool is_rst_ack() const noexcept {
+    return has(net::tcpflag::kRst) && has(net::tcpflag::kAck);
+  }
+  /// RST without the ACK flag (the paper's bare "RST").
+  [[nodiscard]] bool is_plain_rst() const noexcept {
+    return has(net::tcpflag::kRst) && !has(net::tcpflag::kAck);
+  }
+  [[nodiscard]] bool is_fin() const noexcept { return has(net::tcpflag::kFin); }
+  [[nodiscard]] bool is_pure_ack() const noexcept {
+    return flags == net::tcpflag::kAck && payload_len == 0;
+  }
+  [[nodiscard]] bool is_data() const noexcept {
+    return payload_len > 0 && !has(net::tcpflag::kSyn) && !is_rst();
+  }
+};
+
+/// All inbound packets logged for one sampled connection.
+struct ConnectionSample {
+  net::IpAddress client_ip;
+  net::IpAddress server_ip;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  net::IpVersion ip_version = net::IpVersion::kV4;
+  std::vector<ObservedPacket> packets;  ///< arrival order, <= max_packets
+  /// When the tap stopped watching this flow; trailing silence is measured
+  /// against this (1 s granularity like the packet timestamps).
+  std::int64_t observation_end_sec = 0;
+
+  /// Payload of the first data packet (TLS ClientHello / HTTP request head),
+  /// or empty — what the DPI/analysis side gets to inspect.
+  [[nodiscard]] const std::vector<std::uint8_t>* first_data_payload() const noexcept {
+    for (const auto& pkt : packets)
+      if (pkt.is_data() && !pkt.payload.empty()) return &pkt.payload;
+    return nullptr;
+  }
+};
+
+/// Convert an on-the-wire packet to the logged form. `time_scale` is ticks
+/// per second: 1.0 reproduces the paper's 1-second granularity; larger
+/// values (e.g. 1000 for milliseconds) exist for the ablation study and
+/// scale ts_sec (and the classifier's inactivity threshold) accordingly.
+[[nodiscard]] ObservedPacket observe(const net::Packet& pkt, bool keep_payload = true,
+                                     double time_scale = 1.0);
+
+}  // namespace tamper::capture

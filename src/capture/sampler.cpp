@@ -1,0 +1,70 @@
+#include "capture/sampler.h"
+
+#include <cmath>
+
+namespace tamper::capture {
+
+bool ConnectionSampler::should_sample(const FlowKey& key) const noexcept {
+  if (config_.sample_one_in <= 1) return true;
+  // Hash-based uniform sampling: deterministic per flow, unbiased across
+  // flows, independent of arrival order.
+  const std::uint64_t h = common::mix64(FlowKeyHash{}(key) ^ config_.hash_salt);
+  return h % config_.sample_one_in == 0;
+}
+
+void ConnectionSampler::on_packet(const net::Packet& pkt, common::SimTime now) {
+  ++stats_.packets_seen;
+  if (config_.scrub && config_.scrub(pkt)) {
+    ++stats_.packets_scrubbed;
+    return;
+  }
+  const FlowKey key{pkt.src, pkt.dst, pkt.tcp.src_port, pkt.tcp.dst_port};
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    // Only a SYN opens a flow; anything else without flow state is a
+    // mid-connection packet of an unsampled (or evicted) flow.
+    if (!pkt.tcp.has(net::tcpflag::kSyn) || pkt.tcp.has(net::tcpflag::kAck)) return;
+    ++stats_.connections_seen;
+    if (!should_sample(key)) return;
+    ++stats_.connections_sampled;
+    FlowState state;
+    state.sample.client_ip = pkt.src;
+    state.sample.server_ip = pkt.dst;
+    state.sample.client_port = pkt.tcp.src_port;
+    state.sample.server_port = pkt.tcp.dst_port;
+    state.sample.ip_version = pkt.src.version();
+    it = flows_.emplace(key, std::move(state)).first;
+  }
+  FlowState& flow = it->second;
+  flow.last_seen = now;
+  if (flow.full) return;
+  flow.sample.packets.push_back(observe(pkt, config_.keep_payloads));
+  if (flow.sample.packets.size() >= config_.max_packets) flow.full = true;
+}
+
+std::vector<ConnectionSample> ConnectionSampler::drain_idle(common::SimTime now) {
+  std::vector<ConnectionSample> out;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen >= config_.flow_idle_timeout) {
+      it->second.sample.observation_end_sec = static_cast<std::int64_t>(std::floor(now));
+      out.push_back(std::move(it->second.sample));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<ConnectionSample> ConnectionSampler::flush_all(common::SimTime observation_end) {
+  std::vector<ConnectionSample> out;
+  out.reserve(flows_.size());
+  for (auto& [key, flow] : flows_) {
+    flow.sample.observation_end_sec = static_cast<std::int64_t>(std::floor(observation_end));
+    out.push_back(std::move(flow.sample));
+  }
+  flows_.clear();
+  return out;
+}
+
+}  // namespace tamper::capture

@@ -1,0 +1,81 @@
+// Server-side connection sampler.
+//
+// Mirrors the paper's collection pipeline (§3.2): uniformly sample one in N
+// *connections* (decided at the SYN, after an optional DDoS-scrub
+// predicate), then log the first `max_packets` inbound packets of sampled
+// connections with 1-second timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "capture/sample.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "net/packet.h"
+
+namespace tamper::capture {
+
+class ConnectionSampler {
+ public:
+  struct Config {
+    std::uint32_t sample_one_in = 10000;  ///< paper: 1 in 10,000 connections
+    std::size_t max_packets = 10;         ///< paper: first 10 packets
+    bool keep_payloads = true;
+    double flow_idle_timeout = 30.0;      ///< idle eviction horizon
+    std::uint64_t hash_salt = 0x7a3d90c1b2e4f586ULL;
+    /// DDoS scrubbing executed *before* sampling; return true to discard.
+    std::function<bool(const net::Packet&)> scrub;
+  };
+
+  explicit ConnectionSampler(Config config) : config_(std::move(config)) {}
+
+  /// Feed one inbound (client->server) packet. Packets that do not open a
+  /// new flow and do not belong to a sampled flow are counted and dropped.
+  void on_packet(const net::Packet& pkt, common::SimTime now);
+
+  /// Evict flows idle past the timeout, emitting their samples.
+  [[nodiscard]] std::vector<ConnectionSample> drain_idle(common::SimTime now);
+
+  /// Close out every open flow (end of the observation window).
+  [[nodiscard]] std::vector<ConnectionSample> flush_all(common::SimTime observation_end);
+
+  struct Stats {
+    std::uint64_t packets_seen = 0;
+    std::uint64_t packets_scrubbed = 0;
+    std::uint64_t connections_seen = 0;
+    std::uint64_t connections_sampled = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct FlowKey {
+    net::IpAddress client;
+    net::IpAddress server;
+    std::uint16_t client_port;
+    std::uint16_t server_port;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          common::mix64(k.client.hash() ^ common::mix64(k.server.hash()) ^
+                        (static_cast<std::uint64_t>(k.client_port) << 16 | k.server_port)));
+    }
+  };
+  struct FlowState {
+    ConnectionSample sample;
+    common::SimTime last_seen = 0.0;
+    bool full = false;
+  };
+
+  [[nodiscard]] bool should_sample(const FlowKey& key) const noexcept;
+
+  Config config_;
+  Stats stats_;
+  std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
+};
+
+}  // namespace tamper::capture

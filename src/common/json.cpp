@@ -1,0 +1,70 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tamper::common {
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value directly follows its key
+  }
+  if (stack_.empty()) return;
+  Frame& frame = stack_.back();
+  if (frame.count > 0) out_ << ',';
+  ++frame.count;
+  newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::write_string(std::string_view s) {
+  out_ << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << static_cast<char>(c);
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ << buf;
+  return *this;
+}
+
+}  // namespace tamper::common

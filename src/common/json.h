@@ -1,0 +1,105 @@
+// Minimal streaming JSON writer (no external dependencies) used by the
+// report exporter and the CLI. Emits RFC 8259-conformant output: proper
+// string escaping, no trailing commas, and non-finite numbers as null.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace tamper::common {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true)
+      : out_(out), pretty_(pretty) {}
+
+  JsonWriter& begin_object() {
+    element_prefix();
+    out_ << '{';
+    stack_.push_back({true, 0});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    const bool had_items = !stack_.empty() && stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    out_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    element_prefix();
+    out_ << '[';
+    stack_.push_back({false, 0});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    const bool had_items = !stack_.empty() && stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_items) newline_indent();
+    out_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    element_prefix();
+    write_string(name);
+    out_ << (pretty_ ? ": " : ":");
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    element_prefix();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v) {
+    element_prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    element_prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    element_prefix();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& null() {
+    element_prefix();
+    out_ << "null";
+    return *this;
+  }
+
+  // Convenience for "key": value pairs.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  struct Frame {
+    bool is_object;
+    std::size_t count;
+  };
+
+  void element_prefix();
+  void newline_indent();
+  void write_string(std::string_view s);
+
+  std::ostream& out_;
+  bool pretty_;
+  bool pending_key_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace tamper::common

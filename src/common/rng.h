@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// All randomness in libtamper flows through Rng so that every experiment is
+// exactly reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via splitmix64 (the construction recommended by the
+// xoshiro authors), which is fast, has a 2^256-1 period, and — unlike
+// std::mt19937 distributions — gives identical streams on every platform
+// because we implement the distributions ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace tamper::common {
+
+/// splitmix64 step; used for seeding and hashing small integers.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value (for hashing ids into streams).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// FNV-1a over a string, for deriving stream seeds from names.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic xoshiro256** engine with self-contained distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8badf00ddeadbeefULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const noexcept {
+    return Rng(mix64(state_[0] ^ mix64(salt ^ 0xa5a5a5a5a5a5a5a5ULL)));
+  }
+  [[nodiscard]] Rng fork(std::string_view name) const noexcept { return fork(fnv1a(name)); }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps stream simple).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Exponential with given rate (lambda).
+  [[nodiscard]] double exponential(double rate) noexcept {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+  /// Poisson (Knuth for small lambda, normal approx for large).
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+
+  /// Pick an index with probability proportional to weights[i].
+  [[nodiscard]] std::size_t pick_weighted(std::span<const double> weights) noexcept;
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks [0, n) with precomputed CDF; O(log n) sample.
+/// Used for domain popularity: rank 0 is the most popular domain.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of a single rank.
+  [[nodiscard]] double pmf(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tamper::common

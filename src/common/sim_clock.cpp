@@ -1,0 +1,85 @@
+#include "common/sim_clock.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tamper::common {
+namespace {
+
+// Howard Hinnant's days-from-civil / civil-from-days algorithms.
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+                       static_cast<unsigned>(d) - 1u;                    // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;         // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+CivilTime to_civil(SimTime t) noexcept {
+  const auto total = static_cast<std::int64_t>(std::floor(t));
+  std::int64_t days = total / 86400;
+  std::int64_t rem = total % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  // 1970-01-01 (day 0) was a Thursday (weekday 4).
+  ct.weekday = static_cast<int>(((days % 7) + 11) % 7);
+  return ct;
+}
+
+SimTime from_civil(int year, int month, int day, int hour, int minute, int second) noexcept {
+  return static_cast<SimTime>(days_from_civil(year, month, day)) * kSecondsPerDay +
+         hour * kSecondsPerHour + minute * kSecondsPerMinute + second;
+}
+
+double local_hour(SimTime t, double utc_offset_hours) noexcept {
+  const double shifted = t + utc_offset_hours * kSecondsPerHour;
+  double day_fraction = std::fmod(shifted, kSecondsPerDay);
+  if (day_fraction < 0) day_fraction += kSecondsPerDay;
+  return day_fraction / kSecondsPerHour;
+}
+
+bool is_weekend(SimTime t, double utc_offset_hours) noexcept {
+  const CivilTime ct = to_civil(t + utc_offset_hours * kSecondsPerHour);
+  return ct.weekday == 0 || ct.weekday == 6;
+}
+
+std::string format_date(SimTime t) {
+  const CivilTime ct = to_civil(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", ct.year, ct.month, ct.day);
+  return buf;
+}
+
+std::string format_datetime(SimTime t) {
+  const CivilTime ct = to_civil(t);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", ct.year, ct.month,
+                ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+}  // namespace tamper::common

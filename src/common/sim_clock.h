@@ -1,0 +1,52 @@
+// Simulated wall-clock time.
+//
+// Experiments run on a virtual timeline measured in seconds since the Unix
+// epoch (double precision: microsecond resolution over the simulated ranges).
+// The world model needs calendar arithmetic — local hour-of-day for diurnal
+// load curves and day-of-week for weekend effects — implemented here without
+// depending on the host timezone database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tamper::common {
+
+/// Seconds since 1970-01-01T00:00:00Z on the simulated timeline.
+using SimTime = double;
+
+constexpr double kSecondsPerMinute = 60.0;
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Calendar date/time split of a SimTime (UTC unless an offset was applied).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;   ///< 1-12
+  int day = 1;     ///< 1-31
+  int hour = 0;    ///< 0-23
+  int minute = 0;  ///< 0-59
+  int second = 0;  ///< 0-59
+  int weekday = 4; ///< 0=Sunday .. 6=Saturday (1970-01-01 was a Thursday)
+};
+
+/// Convert epoch seconds to civil time (proleptic Gregorian, no leap seconds).
+[[nodiscard]] CivilTime to_civil(SimTime t) noexcept;
+
+/// Convert a UTC civil date to epoch seconds.
+[[nodiscard]] SimTime from_civil(int year, int month, int day, int hour = 0,
+                                 int minute = 0, int second = 0) noexcept;
+
+/// Local hour-of-day (fractional) for a zone at fixed UTC offset.
+[[nodiscard]] double local_hour(SimTime t, double utc_offset_hours) noexcept;
+
+/// True when the local day is Saturday or Sunday.
+[[nodiscard]] bool is_weekend(SimTime t, double utc_offset_hours) noexcept;
+
+/// "YYYY-MM-DD" for the UTC date containing t.
+[[nodiscard]] std::string format_date(SimTime t);
+
+/// "YYYY-MM-DD HH:MM:SS" UTC.
+[[nodiscard]] std::string format_datetime(SimTime t);
+
+}  // namespace tamper::common

@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace tamper::common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::num(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string TextTable::pct(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (c + 1 == header_.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace tamper::common

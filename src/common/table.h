@@ -1,0 +1,41 @@
+// Plain-text table and CSV rendering for experiment harnesses.
+//
+// Every bench binary prints its table/figure data through TextTable so the
+// output format is uniform and directly comparable with the paper's rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tamper::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string num(std::uint64_t v);
+  /// "12.34%" with guard for NaN.
+  [[nodiscard]] static std::string pct(double v, int precision = 1);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between experiment blocks in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace tamper::common

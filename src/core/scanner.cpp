@@ -1,0 +1,28 @@
+#include "core/scanner.h"
+
+namespace tamper::core {
+
+ScannerIndicators scanner_indicators(const capture::ConnectionSample& sample) {
+  ScannerIndicators out;
+  if (sample.packets.empty()) return out;
+
+  bool saw_syn = false;
+  bool any_options = false;
+  bool ipid_consistent = true;
+  std::uint16_t first_ipid = sample.packets.front().ip_id;
+  for (const auto& pkt : sample.packets) {
+    if (pkt.is_syn()) {
+      saw_syn = true;
+      if (pkt.has_tcp_options) any_options = true;
+      if (pkt.ttl >= kHighTtlThreshold) out.high_ttl = true;
+      if (pkt.ip_id == kZmapIpId) out.zmap_ipid = true;
+    }
+    if (pkt.ip_id != first_ipid) ipid_consistent = false;
+  }
+  out.no_tcp_options = saw_syn && !any_options;
+  out.fixed_nonzero_ipid =
+      ipid_consistent && first_ipid != 0 && sample.ip_version == net::IpVersion::kV4;
+  return out;
+}
+
+}  // namespace tamper::core

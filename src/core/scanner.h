@@ -1,0 +1,33 @@
+// Scanner fingerprints (§4.2, "Threats to validity").
+//
+// Network scanners such as ZMap produce packet sequences that collide with
+// the Post-SYN signatures (a SYN answered by a bare RST). Following Hiesgen
+// et al., three properties separate scanner probes from real client stacks:
+// no TCP options, a high initial TTL (>=200 observed), and a fixed non-zero
+// IP-ID. ZMap specifically stamps IP-ID 54321 on its probes.
+#pragma once
+
+#include "capture/sample.h"
+
+namespace tamper::core {
+
+struct ScannerIndicators {
+  bool no_tcp_options = false;   ///< SYN carried no options at all
+  bool high_ttl = false;         ///< arrival TTL >= 200
+  bool fixed_nonzero_ipid = false;  ///< same non-zero IP-ID on every packet
+  bool zmap_ipid = false;        ///< the literal ZMap IP-ID (54321)
+
+  [[nodiscard]] bool likely_scanner() const noexcept {
+    return no_tcp_options || (high_ttl && fixed_nonzero_ipid);
+  }
+  [[nodiscard]] bool likely_zmap() const noexcept {
+    return zmap_ipid && (high_ttl || no_tcp_options);
+  }
+};
+
+inline constexpr std::uint16_t kZmapIpId = 54321;
+inline constexpr std::uint8_t kHighTtlThreshold = 200;
+
+[[nodiscard]] ScannerIndicators scanner_indicators(const capture::ConnectionSample& sample);
+
+}  // namespace tamper::core

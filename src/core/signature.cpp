@@ -1,0 +1,122 @@
+#include "core/signature.h"
+
+#include <array>
+
+namespace tamper::core {
+
+namespace {
+
+constexpr std::array<Signature, kSignatureCount> kAll = {
+    Signature::kSynNone,         Signature::kSynRst,
+    Signature::kSynRstAck,       Signature::kSynRstRstAck,
+    Signature::kAckNone,         Signature::kAckRst,
+    Signature::kAckRstRst,       Signature::kAckRstAck,
+    Signature::kAckRstAckRstAck, Signature::kPshNone,
+    Signature::kPshRst,          Signature::kPshRstAck,
+    Signature::kPshRstRstAck,    Signature::kPshRstAckRstAck,
+    Signature::kPshRstEqRst,     Signature::kPshRstNeqRst,
+    Signature::kPshRstRst0,      Signature::kDataRst,
+    Signature::kDataRstAck,
+};
+
+struct NameEntry {
+  Signature sig;
+  std::string_view pretty;
+  std::string_view ascii;
+};
+
+constexpr NameEntry kNames[] = {
+    {Signature::kSynNone, "SYN → ∅", "SYN->NONE"},
+    {Signature::kSynRst, "SYN → RST", "SYN->RST"},
+    {Signature::kSynRstAck, "SYN → RST+ACK", "SYN->RSTACK"},
+    {Signature::kSynRstRstAck, "SYN → RST;RST+ACK", "SYN->RST_RSTACK"},
+    {Signature::kAckNone, "SYN;ACK → ∅", "SYNACK->NONE"},
+    {Signature::kAckRst, "SYN;ACK → RST", "SYNACK->RST"},
+    {Signature::kAckRstRst, "SYN;ACK → RST;RST", "SYNACK->RST_RST"},
+    {Signature::kAckRstAck, "SYN;ACK → RST+ACK", "SYNACK->RSTACK"},
+    {Signature::kAckRstAckRstAck, "SYN;ACK → RST+ACK;RST+ACK", "SYNACK->RSTACK_RSTACK"},
+    {Signature::kPshNone, "PSH → ∅", "PSH->NONE"},
+    {Signature::kPshRst, "PSH → RST", "PSH->RST"},
+    {Signature::kPshRstAck, "PSH → RST+ACK", "PSH->RSTACK"},
+    {Signature::kPshRstRstAck, "PSH → RST;RST+ACK", "PSH->RST_RSTACK"},
+    {Signature::kPshRstAckRstAck, "PSH → RST+ACK;RST+ACK", "PSH->RSTACK_RSTACK"},
+    {Signature::kPshRstEqRst, "PSH → RST=RST", "PSH->RST_EQ_RST"},
+    {Signature::kPshRstNeqRst, "PSH → RST≠RST", "PSH->RST_NEQ_RST"},
+    {Signature::kPshRstRst0, "PSH → RST;RST₀", "PSH->RST_RST0"},
+    {Signature::kDataRst, "PSH;Data → RST", "PSH_DATA->RST"},
+    {Signature::kDataRstAck, "PSH;Data → RST+ACK", "PSH_DATA->RSTACK"},
+};
+
+}  // namespace
+
+std::span<const Signature> all_signatures() noexcept { return kAll; }
+
+Stage stage_of(Signature sig) noexcept {
+  switch (sig) {
+    case Signature::kSynNone:
+    case Signature::kSynRst:
+    case Signature::kSynRstAck:
+    case Signature::kSynRstRstAck:
+      return Stage::kPostSyn;
+    case Signature::kAckNone:
+    case Signature::kAckRst:
+    case Signature::kAckRstRst:
+    case Signature::kAckRstAck:
+    case Signature::kAckRstAckRstAck:
+      return Stage::kPostAck;
+    case Signature::kPshNone:
+    case Signature::kPshRst:
+    case Signature::kPshRstAck:
+    case Signature::kPshRstRstAck:
+    case Signature::kPshRstAckRstAck:
+    case Signature::kPshRstEqRst:
+    case Signature::kPshRstNeqRst:
+    case Signature::kPshRstRst0:
+      return Stage::kPostPsh;
+    case Signature::kDataRst:
+    case Signature::kDataRstAck:
+      return Stage::kPostData;
+  }
+  return Stage::kOther;
+}
+
+std::string_view name(Signature sig) noexcept {
+  for (const auto& entry : kNames)
+    if (entry.sig == sig) return entry.pretty;
+  return "?";
+}
+
+std::string_view ascii_name(Signature sig) noexcept {
+  for (const auto& entry : kNames)
+    if (entry.sig == sig) return entry.ascii;
+  return "?";
+}
+
+std::string_view name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kPostSyn:
+      return "Post-SYN";
+    case Stage::kPostAck:
+      return "Post-ACK";
+    case Stage::kPostPsh:
+      return "Post-PSH";
+    case Stage::kPostData:
+      return "Post-Data";
+    case Stage::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+std::optional<Signature> signature_from_name(std::string_view text) noexcept {
+  for (const auto& entry : kNames)
+    if (entry.pretty == text || entry.ascii == text) return entry.sig;
+  return std::nullopt;
+}
+
+bool is_post_ack_or_psh(Signature sig) noexcept {
+  const Stage s = stage_of(sig);
+  return s == Stage::kPostAck || s == Stage::kPostPsh;
+}
+
+}  // namespace tamper::core

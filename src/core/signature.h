@@ -1,0 +1,71 @@
+// The tampering-signature taxonomy of Table 1.
+//
+// A signature ⟨X → Y⟩ names the inbound packets seen before the tampering
+// event (X: how deep into the connection the client got) and the tear-down
+// packets seen after it (Y: nothing within 3 seconds, or some combination of
+// RST / RST+ACK packets). There are 19 signatures across four stages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace tamper::core {
+
+/// Connection stage at which the tampering event occurred.
+enum class Stage : std::uint8_t {
+  kPostSyn,   ///< mid-handshake: only a SYN from the client
+  kPostAck,   ///< handshake complete, no data yet
+  kPostPsh,   ///< immediately after the first data packet
+  kPostData,  ///< after multiple data (or post-data ACK) packets
+  kOther,     ///< does not fall cleanly into a stage (paper: ~2.3%)
+};
+
+enum class Signature : std::uint8_t {
+  // Post-SYN (mid-handshake)
+  kSynNone,          ///< ⟨SYN → ∅⟩
+  kSynRst,           ///< ⟨SYN → RST⟩
+  kSynRstAck,        ///< ⟨SYN → RST+ACK⟩
+  kSynRstRstAck,     ///< ⟨SYN → RST; RST+ACK⟩
+  // Post-ACK (immediately post-handshake)
+  kAckNone,          ///< ⟨SYN; ACK → ∅⟩
+  kAckRst,           ///< ⟨SYN; ACK → RST⟩ (exactly one)
+  kAckRstRst,        ///< ⟨SYN; ACK → RST; RST⟩ (more than one)
+  kAckRstAck,        ///< ⟨SYN; ACK → RST+ACK⟩ (exactly one)
+  kAckRstAckRstAck,  ///< ⟨SYN; ACK → RST+ACK; RST+ACK⟩ (more than one)
+  // Post-PSH (after the first data packet)
+  kPshNone,          ///< ⟨PSH+ACK → ∅⟩
+  kPshRst,           ///< ⟨PSH+ACK → RST⟩ (exactly one)
+  kPshRstAck,        ///< ⟨PSH+ACK → RST+ACK⟩ (exactly one)
+  kPshRstRstAck,     ///< ⟨PSH+ACK → RST; RST+ACK⟩ (at least one of each)
+  kPshRstAckRstAck,  ///< ⟨PSH+ACK → RST+ACK; RST+ACK⟩ (at least two)
+  kPshRstEqRst,      ///< ⟨PSH+ACK → RST = RST⟩ (>1 RST, same ACK numbers)
+  kPshRstNeqRst,     ///< ⟨PSH+ACK → RST ≠ RST⟩ (>1 RST, differing ACK numbers)
+  kPshRstRst0,       ///< ⟨PSH+ACK → RST; RST₀⟩ (>1 RST, one ACK number zero)
+  // Post-multiple-data-packets
+  kDataRst,          ///< ⟨PSH+ACK; Data → RST⟩
+  kDataRstAck,       ///< ⟨PSH+ACK; Data → RST+ACK⟩
+};
+
+inline constexpr std::size_t kSignatureCount = 19;
+
+/// All 19 signatures in Table 1 order.
+[[nodiscard]] std::span<const Signature> all_signatures() noexcept;
+
+[[nodiscard]] Stage stage_of(Signature sig) noexcept;
+
+/// Paper-style name, e.g. "SYN;ACK → RST+ACK" or "PSH → RST;RST₀" (UTF-8).
+[[nodiscard]] std::string_view name(Signature sig) noexcept;
+/// Pure-ASCII name for CSV/code contexts, e.g. "SYN_ACK->RSTACK".
+[[nodiscard]] std::string_view ascii_name(Signature sig) noexcept;
+[[nodiscard]] std::string_view name(Stage stage) noexcept;
+
+/// Reverse lookup by either naming scheme; nullopt when unknown.
+[[nodiscard]] std::optional<Signature> signature_from_name(std::string_view text) noexcept;
+
+/// Signatures the paper treats as robust against SYN-flood/scanner noise
+/// (Post-ACK and Post-PSH; §4.2) — several analyses restrict to these.
+[[nodiscard]] bool is_post_ack_or_psh(Signature sig) noexcept;
+
+}  // namespace tamper::core

@@ -1,0 +1,88 @@
+#include "core/weaver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/classifier.h"
+
+namespace tamper::core {
+
+namespace {
+std::uint32_t abs_delta(std::uint32_t a, std::uint32_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+}  // namespace
+
+WeaverVerdict weaver_detect(const capture::ConnectionSample& sample,
+                            const WeaverConfig& config) {
+  WeaverVerdict verdict;
+  const auto ordered = order_packets(sample);
+  if (ordered.empty()) return verdict;
+
+  // Reconstruct the client's sequence state from non-RST packets.
+  std::uint32_t expected_seq = 0;
+  bool have_seq = false;
+  std::set<std::uint32_t> client_acks;
+  std::vector<std::uint8_t> client_ttls;
+  const capture::ObservedPacket* prev_clean = nullptr;
+
+  std::set<std::uint32_t> rst_acks;
+  bool seq_mismatch = false, ack_zero_mix = false, ipid_jump = false, ttl_jump = false;
+  bool client_uses_options = false, rst_missing_options = false;
+
+  for (const auto* pkt : ordered) {
+    if (!pkt->is_rst()) {
+      const std::uint32_t consumed =
+          pkt->payload_len + (pkt->has(net::tcpflag::kSyn) ? 1 : 0) +
+          (pkt->has(net::tcpflag::kFin) ? 1 : 0);
+      expected_seq = pkt->seq + consumed;
+      have_seq = true;
+      if (pkt->has(net::tcpflag::kAck)) client_acks.insert(pkt->ack);
+      client_ttls.push_back(pkt->ttl);
+      if (!pkt->is_syn() && pkt->has_tcp_options) client_uses_options = true;
+      prev_clean = pkt;
+      continue;
+    }
+
+    ++verdict.rst_count;
+    rst_acks.insert(pkt->ack);
+
+    // SEQ test: a genuine endpoint resets at its current sequence position.
+    if (have_seq && pkt->seq != expected_seq) seq_mismatch = true;
+
+    // ACK-ZERO test: a zero acknowledgment on a connection whose client has
+    // been acknowledging real data.
+    if (pkt->ack == 0 && !client_acks.empty() && *client_acks.rbegin() != 0)
+      ack_zero_mix = true;
+
+    // IPID test: the reset's IP-ID is far from the client's counter.
+    if (sample.ip_version == net::IpVersion::kV4 && prev_clean != nullptr &&
+        abs_delta(pkt->ip_id, prev_clean->ip_id) > config.ipid_jump_threshold)
+      ipid_jump = true;
+
+    // TTL test: the reset traveled a different path length.
+    if (!client_ttls.empty()) {
+      const std::uint8_t reference = client_ttls.front();
+      if (abs_delta(pkt->ttl, reference) > config.ttl_jump_threshold) ttl_jump = true;
+    }
+
+    // OPTIONS test: the stack kept emitting the timestamps option on every
+    // segment (RFC 7323), but this reset carries none.
+    if (client_uses_options && !pkt->has_tcp_options) rst_missing_options = true;
+  }
+
+  // ACK-DIVERSE test: multiple resets guessing different acknowledgments
+  // (Weaver et al.'s strongest middlebox fingerprint).
+  const bool ack_diverse = rst_acks.size() > 1;
+
+  if (seq_mismatch) verdict.evidence.emplace_back("SEQ");
+  if (ack_diverse) verdict.evidence.emplace_back("ACK-DIVERSE");
+  if (ack_zero_mix) verdict.evidence.emplace_back("ACK-ZERO");
+  if (ipid_jump) verdict.evidence.emplace_back("IPID");
+  if (ttl_jump) verdict.evidence.emplace_back("TTL");
+  if (rst_missing_options) verdict.evidence.emplace_back("OPTIONS");
+  verdict.forged_rst_detected = !verdict.evidence.empty();
+  return verdict;
+}
+
+}  // namespace tamper::core

@@ -1,0 +1,47 @@
+// Baseline: forged-RST detection after Weaver, Sommer & Paxson, "Detecting
+// Forged TCP Reset Packets" (NDSS 2009) — the closest prior work (§2.3).
+//
+// Weaver et al. examined individual RST packets for inconsistencies with
+// the connection state that a well-behaved endpoint stack would never
+// produce. We implement the detector over the same inbound-only capture
+// record the signature classifier uses, so the two approaches are directly
+// comparable on identical data. The paper's point, which the comparison
+// bench quantifies, is that per-packet forgery tests (a) cannot see
+// drop-based tampering at all and (b) miss injectors that mimic endpoint
+// state, while sequence signatures cover both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/sample.h"
+
+namespace tamper::core {
+
+struct WeaverConfig {
+  /// IP-ID jump beyond this (vs the preceding client packet) is suspicious.
+  std::uint32_t ipid_jump_threshold = 200;
+  /// TTL difference vs other packets of the connection that is suspicious.
+  std::uint32_t ttl_jump_threshold = 3;
+};
+
+struct WeaverVerdict {
+  bool forged_rst_detected = false;
+  std::uint32_t rst_count = 0;
+  /// Names of the heuristics that fired ("SEQ", "ACK-DIVERSE", "ACK-ZERO",
+  /// "IPID", "TTL", "OPTIONS").
+  std::vector<std::string> evidence;
+
+  [[nodiscard]] bool fired(const std::string& heuristic) const {
+    for (const auto& e : evidence)
+      if (e == heuristic) return true;
+    return false;
+  }
+};
+
+/// Run the Weaver-style per-RST forgery tests on a capture record.
+[[nodiscard]] WeaverVerdict weaver_detect(const capture::ConnectionSample& sample,
+                                          const WeaverConfig& config = {});
+
+}  // namespace tamper::core

@@ -1,0 +1,235 @@
+#include "middlebox/catalog.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tamper::middlebox::catalog {
+
+namespace {
+
+using SeqMode = TeardownSpec::SeqMode;
+using AckMode = TeardownSpec::AckMode;
+
+TeardownSpec rst(AckMode ack = AckMode::kCorrect, double delay = 0.0005) {
+  return TeardownSpec{.ack_flag = false, .ack_mode = ack, .delay = delay};
+}
+TeardownSpec rst_ack(AckMode ack = AckMode::kCorrect, double delay = 0.0005) {
+  return TeardownSpec{.ack_flag = true, .ack_mode = ack, .delay = delay};
+}
+
+tcp::IpStackModel::Config injector_defaults() {
+  // Injectors run their own stack: global IP-ID counter, TTL 64 from a
+  // mid-path position (so the arrival TTL differs from the client's).
+  return {.initial_ttl = 64, .ipid = tcp::IpIdStrategy::kGlobalCounter};
+}
+
+Behavior base(std::string name, TriggerPoint point) {
+  Behavior b;
+  b.name = std::move(name);
+  b.trigger_point = point;
+  b.injector_stack = injector_defaults();
+  return b;
+}
+
+}  // namespace
+
+Behavior syn_blackhole() {
+  Behavior b = base("syn_blackhole", TriggerPoint::kClientSyn);
+  b.drop_server_to_client = true;  // the SYN passes; the SYN+ACK never returns
+  return b;
+}
+
+Behavior syn_rst() {
+  Behavior b = base("syn_rst", TriggerPoint::kClientSyn);
+  b.to_server = {rst(AckMode::kZero)};
+  b.to_client = {rst_ack()};
+  b.drop_server_to_client = true;
+  return b;
+}
+
+Behavior syn_rst_ack() {
+  Behavior b = base("syn_rst_ack", TriggerPoint::kClientSyn);
+  b.to_server = {rst_ack()};
+  b.to_client = {rst_ack()};
+  b.drop_server_to_client = true;
+  // Fig. 2: this signature shows small IP-ID deltas in the wild — the
+  // injectors copy the IP-ID from the triggering packet (§4.3).
+  b.injector_stack.ipid = tcp::IpIdStrategy::kCopyTrigger;
+  return b;
+}
+
+Behavior gfw_syn_burst() {
+  Behavior b = base("gfw_syn_burst", TriggerPoint::kClientSyn);
+  b.to_server = {rst(AckMode::kZero), rst_ack(AckMode::kCorrect, 0.001)};
+  b.to_client = {rst(AckMode::kZero), rst_ack(AckMode::kCorrect, 0.001)};
+  b.drop_server_to_client = true;
+  return b;
+}
+
+Behavior post_ack_blackhole() {
+  Behavior b = base("post_ack_blackhole", TriggerPoint::kClientData);
+  b.drop_trigger_packet = true;           // the ClientHello never arrives
+  b.drop_subsequent_client_data = true;   // nor its retransmissions
+  return b;
+}
+
+Behavior post_ack_rst() {
+  Behavior b = base("post_ack_rst", TriggerPoint::kClientData);
+  b.drop_trigger_packet = true;
+  b.drop_subsequent_client_data = true;
+  b.to_server = {rst(AckMode::kCorrect)};
+  b.to_client = {rst_ack()};
+  return b;
+}
+
+Behavior post_ack_rst_burst() {
+  Behavior b = base("post_ack_rst_burst", TriggerPoint::kClientData);
+  b.drop_trigger_packet = true;
+  b.drop_subsequent_client_data = true;
+  b.to_server = {rst(AckMode::kCorrect), rst(AckMode::kCorrect, 0.001)};
+  b.to_client = {rst_ack()};
+  return b;
+}
+
+Behavior iran_rst_ack() {
+  Behavior b = base("iran_rst_ack", TriggerPoint::kClientData);
+  b.drop_trigger_packet = true;
+  b.drop_subsequent_client_data = true;
+  b.to_server = {rst_ack()};
+  b.to_client = {rst_ack()};
+  b.block_page_to_client = true;  // Aryan et al.: block page + teardown
+  b.drop_subsequent_client_all = true;  // in-path: the page's ACK never leaves
+  // Copies the client's IP-ID (Fig. 2 shows small deltas for this pattern).
+  b.injector_stack.ipid = tcp::IpIdStrategy::kCopyTrigger;
+  return b;
+}
+
+Behavior iran_rst_ack_burst() {
+  Behavior b = base("iran_rst_ack_burst", TriggerPoint::kClientData);
+  b.drop_trigger_packet = true;
+  b.drop_subsequent_client_data = true;
+  b.to_server = {rst_ack(), rst_ack(AckMode::kCorrect, 0.0015)};
+  b.to_client = {rst_ack()};
+  b.injector_stack.ipid = tcp::IpIdStrategy::kCopyTrigger;
+  return b;
+}
+
+Behavior psh_blackhole() {
+  Behavior b = base("psh_blackhole", TriggerPoint::kClientData);
+  b.drop_trigger_packet = false;          // the offending packet reaches us
+  b.drop_subsequent_client_data = true;   // nothing from the client after it
+  b.drop_server_to_client = true;         // and the response never returns
+  return b;
+}
+
+Behavior single_rst_firewall() {
+  Behavior b = base("single_rst_firewall", TriggerPoint::kClientData);
+  b.to_server = {rst(AckMode::kCorrect)};
+  b.to_client = {rst(AckMode::kCorrect)};
+  return b;
+}
+
+Behavior single_rst_ack_firewall() {
+  Behavior b = base("single_rst_ack_firewall", TriggerPoint::kClientData);
+  b.to_server = {rst_ack()};
+  b.to_client = {rst_ack()};
+  return b;
+}
+
+Behavior gfw_mixed_burst() {
+  Behavior b = base("gfw_mixed_burst", TriggerPoint::kClientData);
+  b.to_server = {rst(AckMode::kCorrect), rst_ack(AckMode::kCorrect, 0.001)};
+  b.to_client = {rst(AckMode::kCorrect), rst_ack(AckMode::kCorrect, 0.001)};
+  b.refire = true;  // the GFW keeps killing retries (residual censorship)
+  return b;
+}
+
+Behavior gfw_double_rst_ack() {
+  Behavior b = base("gfw_double_rst_ack", TriggerPoint::kClientData);
+  b.to_server = {rst_ack(), rst_ack(AckMode::kCorrect, 0.001),
+                 rst_ack(AckMode::kCorrect, 0.002)};
+  b.to_client = {rst_ack(), rst_ack(AckMode::kCorrect, 0.001)};
+  b.refire = true;
+  return b;
+}
+
+Behavior repeated_rst_same_ack() {
+  Behavior b = base("repeated_rst_same_ack", TriggerPoint::kClientData);
+  b.to_server = {rst(AckMode::kCorrect), rst(AckMode::kCorrect, 0.001),
+                 rst(AckMode::kCorrect, 0.002)};
+  b.to_client = {rst(AckMode::kCorrect)};
+  return b;
+}
+
+Behavior ack_guessing_injector() {
+  // Weaver et al.: inject several RSTs guessing ahead in the window so at
+  // least one lands in the receiver's acceptable range.
+  Behavior b = base("ack_guessing_injector", TriggerPoint::kClientData);
+  TeardownSpec guess1 = rst(AckMode::kOffset, 0.001);
+  guess1.ack_offset = 1460;
+  TeardownSpec guess2 = rst(AckMode::kOffset, 0.002);
+  guess2.ack_offset = 2920;
+  b.to_server = {rst(AckMode::kCorrect), guess1, guess2};
+  b.to_client = {rst(AckMode::kCorrect)};
+  return b;
+}
+
+Behavior zero_ack_injector() {
+  Behavior b = base("zero_ack_injector", TriggerPoint::kClientData);
+  b.to_server = {rst(AckMode::kCorrect), rst(AckMode::kZero, 0.001)};
+  b.to_client = {rst(AckMode::kCorrect)};
+  return b;
+}
+
+Behavior korea_random_ttl() {
+  Behavior b = ack_guessing_injector();
+  b.name = "korea_random_ttl";
+  b.injector_stack.random_ttl = true;
+  return b;
+}
+
+Behavior keyword_firewall_rst() {
+  Behavior b = base("keyword_firewall_rst", TriggerPoint::kClientData);
+  b.min_data_packets = 2;  // acts only after multiple data packets
+  b.to_server = {rst(AckMode::kCorrect)};
+  b.to_client = {rst(AckMode::kCorrect)};
+  return b;
+}
+
+Behavior keyword_firewall_rst_ack() {
+  Behavior b = base("keyword_firewall_rst_ack", TriggerPoint::kClientData);
+  b.min_data_packets = 2;
+  b.to_server = {rst_ack()};
+  b.to_client = {rst_ack()};
+  return b;
+}
+
+Behavior by_name(std::string_view preset_name) {
+  static const std::pair<std::string_view, Behavior (*)()> kCatalog[] = {
+      {"syn_blackhole", syn_blackhole},
+      {"syn_rst", syn_rst},
+      {"syn_rst_ack", syn_rst_ack},
+      {"gfw_syn_burst", gfw_syn_burst},
+      {"post_ack_blackhole", post_ack_blackhole},
+      {"post_ack_rst", post_ack_rst},
+      {"post_ack_rst_burst", post_ack_rst_burst},
+      {"iran_rst_ack", iran_rst_ack},
+      {"iran_rst_ack_burst", iran_rst_ack_burst},
+      {"psh_blackhole", psh_blackhole},
+      {"single_rst_firewall", single_rst_firewall},
+      {"single_rst_ack_firewall", single_rst_ack_firewall},
+      {"gfw_mixed_burst", gfw_mixed_burst},
+      {"gfw_double_rst_ack", gfw_double_rst_ack},
+      {"repeated_rst_same_ack", repeated_rst_same_ack},
+      {"ack_guessing_injector", ack_guessing_injector},
+      {"zero_ack_injector", zero_ack_injector},
+      {"korea_random_ttl", korea_random_ttl},
+      {"keyword_firewall_rst", keyword_firewall_rst},
+      {"keyword_firewall_rst_ack", keyword_firewall_rst_ack},
+  };
+  for (const auto& [name, factory] : kCatalog)
+    if (name == preset_name) return factory();
+  throw std::out_of_range("unknown middlebox preset: " + std::string(preset_name));
+}
+
+}  // namespace tamper::middlebox::catalog

@@ -1,0 +1,66 @@
+// Catalog of documented tampering behaviors.
+//
+// Each preset reproduces a behavior described in the paper or its cited
+// measurements, named accordingly. The presets define *how* a middlebox
+// tampers; the TriggerSet (what it tampers with) is attached separately by
+// the world model's censorship policies.
+//
+//   Preset                      Expected server-side signature(s)
+//   ------------------------------------------------------------------
+//   syn_blackhole               ⟨SYN → ∅⟩          (SYN+ACK eaten on return path)
+//   syn_rst                     ⟨SYN → RST⟩        (IP block, bare RST)
+//   syn_rst_ack                 ⟨SYN → RST+ACK⟩
+//   gfw_syn_burst               ⟨SYN → RST;RST+ACK⟩ (GFW-style mixed burst)
+//   post_ack_blackhole          ⟨SYN;ACK → ∅⟩      (Iran 2020: ClientHello dropped)
+//   post_ack_rst                ⟨SYN;ACK → RST⟩    (Turkmenistan CDN blanket bans)
+//   post_ack_rst_burst          ⟨SYN;ACK → RST;RST⟩
+//   iran_rst_ack                ⟨SYN;ACK → RST+ACK⟩ (Iran 2013: drop + inject)
+//   iran_rst_ack_burst          ⟨SYN;ACK → RST+ACK;RST+ACK⟩
+//   psh_blackhole               ⟨PSH → ∅⟩          (first data passes, rest dropped)
+//   single_rst_firewall         ⟨PSH → RST⟩
+//   single_rst_ack_firewall     ⟨PSH → RST+ACK⟩
+//   gfw_mixed_burst             ⟨PSH → RST;RST+ACK⟩ (GFW classic)
+//   gfw_double_rst_ack          ⟨PSH → RST+ACK;RST+ACK⟩ (GFW "backup" middleboxes)
+//   repeated_rst_same_ack       ⟨PSH → RST=RST⟩
+//   ack_guessing_injector       ⟨PSH → RST≠RST⟩    (Weaver et al. ack-guessers)
+//   zero_ack_injector           ⟨PSH → RST;RST₀⟩   (seen from CN and KR)
+//   keyword_firewall_rst        ⟨PSH;Data → RST⟩   (acts after multiple packets)
+//   keyword_firewall_rst_ack    ⟨PSH;Data → RST+ACK⟩ (commercial firewalls, UA)
+//   korea_random_ttl            ⟨PSH → RST≠RST⟩ with random TTLs (KR ISP, §5.1)
+#pragma once
+
+#include <string_view>
+
+#include "middlebox/middlebox.h"
+
+namespace tamper::middlebox::catalog {
+
+[[nodiscard]] Behavior syn_blackhole();
+[[nodiscard]] Behavior syn_rst();
+[[nodiscard]] Behavior syn_rst_ack();
+[[nodiscard]] Behavior gfw_syn_burst();
+
+[[nodiscard]] Behavior post_ack_blackhole();
+[[nodiscard]] Behavior post_ack_rst();
+[[nodiscard]] Behavior post_ack_rst_burst();
+[[nodiscard]] Behavior iran_rst_ack();
+[[nodiscard]] Behavior iran_rst_ack_burst();
+
+[[nodiscard]] Behavior psh_blackhole();
+[[nodiscard]] Behavior single_rst_firewall();
+[[nodiscard]] Behavior single_rst_ack_firewall();
+[[nodiscard]] Behavior gfw_mixed_burst();
+[[nodiscard]] Behavior gfw_double_rst_ack();
+[[nodiscard]] Behavior repeated_rst_same_ack();
+[[nodiscard]] Behavior ack_guessing_injector();
+[[nodiscard]] Behavior zero_ack_injector();
+[[nodiscard]] Behavior korea_random_ttl();
+
+[[nodiscard]] Behavior keyword_firewall_rst();
+[[nodiscard]] Behavior keyword_firewall_rst_ack();
+
+/// Look up any preset by its catalog name; throws std::out_of_range on a
+/// name that is not listed above.
+[[nodiscard]] Behavior by_name(std::string_view preset_name);
+
+}  // namespace tamper::middlebox::catalog

@@ -1,0 +1,82 @@
+#include "middlebox/evasive.h"
+
+#include <algorithm>
+
+#include "appproto/dpi.h"
+
+namespace tamper::middlebox {
+
+using net::Packet;
+using namespace net::tcpflag;
+
+Packet EvasiveCensor::impersonate(std::uint8_t flags, std::uint32_t seq,
+                                  std::uint32_t ack) {
+  Packet pkt = net::make_tcp_packet(client_addr_, client_port_, server_addr_,
+                                    server_port_, flags, seq, ack);
+  // Mimic the client's fingerprint as observed mid-path: same remaining TTL
+  // budget, continuation of its IP-ID counter and timestamp clock.
+  pkt.ip.ttl = static_cast<std::uint8_t>(
+      std::max(1, static_cast<int>(client_ttl_at_mb_) - geometry_.hops_to_server()));
+  pkt.ip.ip_id = client_addr_.is_v4() ? ++next_ip_id_ : 0;
+  if (client_emits_options_) {
+    pkt.tcp.options.push_back(net::TcpOption::nop_opt());
+    pkt.tcp.options.push_back(net::TcpOption::nop_opt());
+    pkt.tcp.options.push_back(net::TcpOption::timestamps_opt(++ts_clock_, 0));
+  }
+  return pkt;
+}
+
+tcp::PathDecision EvasiveCensor::on_transit(tcp::Direction dir, const Packet& pkt,
+                                            common::SimTime /*now*/) {
+  tcp::PathDecision decision;
+
+  if (!triggered_) {
+    if (dir != tcp::Direction::kClientToServer || pkt.payload.empty()) return decision;
+    const appproto::DpiResult dpi = appproto::inspect_payload(pkt.payload);
+    if (!dpi.domain || !triggers_.matches_domain(*dpi.domain)) return decision;
+
+    triggered_ = true;
+    client_addr_ = pkt.src;
+    server_addr_ = pkt.dst;
+    client_port_ = pkt.tcp.src_port;
+    server_port_ = pkt.tcp.dst_port;
+    client_ttl_at_mb_ = pkt.ip.ttl;
+    next_ip_id_ = pkt.ip.ip_id;
+    client_emits_options_ = !pkt.tcp.options.empty();
+    if (const auto ts = pkt.tcp.timestamp_value()) ts_clock_ = *ts;
+    client_next_seq_ = pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size());
+    server_next_seq_ = pkt.tcp.ack;
+    // The offending request itself is allowed through: the censor wants the
+    // server to keep talking to "the client".
+    return decision;
+  }
+
+  if (dir == tcp::Direction::kClientToServer) {
+    // The real client is cut off; its retransmissions must not reach the
+    // server (they would contradict the impersonated conversation).
+    decision.drop = true;
+    return decision;
+  }
+
+  // Server -> client: eat everything, and keep the server happy.
+  decision.drop = true;
+  const std::uint32_t consumed = static_cast<std::uint32_t>(pkt.payload.size()) +
+                                 (pkt.tcp.has(kFin) ? 1u : 0u);
+  if (consumed == 0) return decision;  // bare ACKs need no reply
+  server_next_seq_ = pkt.tcp.seq + consumed;
+
+  if (pkt.tcp.has(kFin) && !fin_sent_) {
+    // Close gracefully, exactly as a content client would.
+    fin_sent_ = true;
+    decision.injections.push_back({impersonate(kFin | kAck, client_next_seq_,
+                                               server_next_seq_),
+                                   tcp::Direction::kClientToServer, 0.0004});
+    client_next_seq_ += 1;
+  } else {
+    decision.injections.push_back({impersonate(kAck, client_next_seq_, server_next_seq_),
+                                   tcp::Direction::kClientToServer, 0.0004});
+  }
+  return decision;
+}
+
+}  // namespace tamper::middlebox

@@ -1,0 +1,61 @@
+// The paper's §6 thought experiment, implemented: a censor built to evade
+// passive server-side detection.
+//
+// "The ideal tampering strategy would involve blocking content from the
+//  server to the client (so the client does not get any objectionable
+//  content), while continuing the connection to the server as if it were
+//  the client (so the server does not detect any immediate connection
+//  teardowns)."
+//
+// EvasiveCensor does exactly that: once its trigger fires it becomes a
+// man-in-the-middle — every server->client packet is dropped, and the censor
+// impersonates the client toward the server (correct sequence space, the
+// client's own TTL/IP-ID/timestamp-option fingerprint as observed mid-path),
+// acking the response and completing a graceful FIN handshake. The server
+// tap sees a perfectly normal connection; the client sees a dead one.
+//
+// The paper notes this requires in-path packet-drop capability, which is
+// uncommon in practice (§2.1) — bench/ext_evasion quantifies how completely
+// it defeats both the signature taxonomy and per-RST forgery tests.
+#pragma once
+
+#include "common/rng.h"
+#include "middlebox/trigger.h"
+#include "tcp/session.h"
+
+namespace tamper::middlebox {
+
+class EvasiveCensor : public tcp::PathHook {
+ public:
+  EvasiveCensor(TriggerSet triggers, tcp::PathGeometry geometry, common::Rng rng)
+      : triggers_(std::move(triggers)), geometry_(geometry), rng_(rng) {}
+
+  tcp::PathDecision on_transit(tcp::Direction dir, const net::Packet& pkt,
+                               common::SimTime now) override;
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+
+ private:
+  [[nodiscard]] net::Packet impersonate(std::uint8_t flags, std::uint32_t seq,
+                                        std::uint32_t ack);
+
+  TriggerSet triggers_;
+  tcp::PathGeometry geometry_;
+  common::Rng rng_;
+
+  bool triggered_ = false;
+  bool fin_sent_ = false;
+  // Client identity captured from the triggering packet (as seen mid-path).
+  net::IpAddress client_addr_;
+  net::IpAddress server_addr_;
+  std::uint16_t client_port_ = 0;
+  std::uint16_t server_port_ = 0;
+  std::uint8_t client_ttl_at_mb_ = 0;
+  std::uint16_t next_ip_id_ = 0;
+  std::uint32_t ts_clock_ = 0;
+  bool client_emits_options_ = false;
+  std::uint32_t client_next_seq_ = 0;  ///< sequence we continue from
+  std::uint32_t server_next_seq_ = 0;  ///< what we acknowledge
+};
+
+}  // namespace tamper::middlebox

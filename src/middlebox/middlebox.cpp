@@ -1,0 +1,178 @@
+#include "middlebox/middlebox.h"
+
+#include <algorithm>
+
+#include "appproto/dpi.h"
+
+namespace tamper::middlebox {
+
+using net::Packet;
+using namespace net::tcpflag;
+
+Middlebox::Middlebox(Behavior behavior, TriggerSet triggers, tcp::PathGeometry geometry,
+                     common::Rng rng)
+    : behavior_(std::move(behavior)),
+      triggers_(std::move(triggers)),
+      geometry_(geometry),
+      rng_(rng),
+      injector_stack_(behavior_.injector_stack) {
+  injector_stack_.start_connection(rng_);
+}
+
+bool Middlebox::evaluate_trigger(tcp::Direction dir, const Packet& pkt) {
+  if (dir != tcp::Direction::kClientToServer) return false;
+  switch (behavior_.trigger_point) {
+    case TriggerPoint::kClientSyn:
+      return pkt.tcp.is_syn() && triggers_.matches_ip(pkt.dst);
+    case TriggerPoint::kHandshakeAck:
+      return pkt.tcp.flags == kAck && pkt.payload.empty() && triggers_.matches_ip(pkt.dst);
+    case TriggerPoint::kClientData: {
+      if (pkt.payload.empty() || pkt.tcp.has(kSyn) || pkt.tcp.has(kRst)) return false;
+      ++client_data_packets_;
+      if (client_data_packets_ < behavior_.min_data_packets) return false;
+      const appproto::DpiResult dpi = appproto::inspect_payload(pkt.payload);
+      if (dpi.domain && triggers_.matches_domain(*dpi.domain)) {
+        trigger_domain_ = dpi.domain;
+        return true;
+      }
+      if (dpi.http_path && triggers_.matches_keyword(*dpi.http_path)) {
+        trigger_domain_ = dpi.domain;
+        return true;
+      }
+      // Blanket DPI (match-everything) still fires on opaque payloads.
+      if (triggers_.empty()) return false;
+      if (!dpi.domain && !dpi.http_path && triggers_.matches_keyword("")) {
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+net::Packet Middlebox::forge(const TeardownSpec& spec, const Packet& trigger_pkt,
+                             bool toward_server) {
+  // The trigger packet travels client->server, so toward the server we spoof
+  // the client and continue its sequence space; toward the client we spoof
+  // the server and mirror the acknowledgment state.
+  const std::uint32_t client_next_seq =
+      trigger_pkt.tcp.seq + static_cast<std::uint32_t>(trigger_pkt.payload.size()) +
+      (trigger_pkt.tcp.has(kSyn) ? 1u : 0u);
+  const std::uint32_t client_acked = trigger_pkt.tcp.ack;
+
+  Packet pkt;
+  if (toward_server) {
+    pkt = net::make_tcp_packet(trigger_pkt.src, trigger_pkt.tcp.src_port, trigger_pkt.dst,
+                               trigger_pkt.tcp.dst_port, 0, 0, 0);
+  } else {
+    pkt = net::make_tcp_packet(trigger_pkt.dst, trigger_pkt.tcp.dst_port, trigger_pkt.src,
+                               trigger_pkt.tcp.src_port, 0, 0, 0);
+  }
+  pkt.tcp.flags = static_cast<std::uint8_t>(kRst | (spec.ack_flag ? kAck : 0));
+
+  const std::uint32_t correct_seq = toward_server ? client_next_seq : client_acked;
+  const std::uint32_t correct_ack = toward_server ? client_acked : client_next_seq;
+  pkt.tcp.seq = spec.seq_mode == TeardownSpec::SeqMode::kCorrect
+                    ? correct_seq
+                    : static_cast<std::uint32_t>(rng_.next());
+  switch (spec.ack_mode) {
+    case TeardownSpec::AckMode::kCorrect:
+      pkt.tcp.ack = correct_ack;
+      break;
+    case TeardownSpec::AckMode::kZero:
+      pkt.tcp.ack = 0;
+      break;
+    case TeardownSpec::AckMode::kOffset:
+      pkt.tcp.ack = correct_ack + static_cast<std::uint32_t>(spec.ack_offset);
+      break;
+    case TeardownSpec::AckMode::kRandom:
+      pkt.tcp.ack = static_cast<std::uint32_t>(rng_.next());
+      break;
+  }
+  pkt.tcp.window = 0;
+
+  // Stamp with the injector's stack, then pre-decrement the TTL for the
+  // remaining path (PathHook contract: injections carry arrival TTL).
+  injector_stack_.stamp(pkt, rng_, &trigger_pkt);
+  const int remaining =
+      toward_server ? geometry_.hops_to_server() : geometry_.hops_to_client();
+  pkt.ip.ttl = static_cast<std::uint8_t>(std::max(1, static_cast<int>(pkt.ip.ttl) - remaining));
+  return pkt;
+}
+
+void Middlebox::fire(tcp::PathDecision& decision, const Packet& trigger_pkt) {
+  if (behavior_.block_page_to_client) {
+    static constexpr std::string_view kBlockPage =
+        "HTTP/1.1 403 Forbidden\r\nContent-Type: text/html\r\n"
+        "Connection: close\r\n\r\n<html><body>Access denied.</body></html>";
+    Packet page = net::make_tcp_packet(
+        trigger_pkt.dst, trigger_pkt.tcp.dst_port, trigger_pkt.src,
+        trigger_pkt.tcp.src_port, kPsh | kAck, trigger_pkt.tcp.ack,
+        trigger_pkt.tcp.seq + static_cast<std::uint32_t>(trigger_pkt.payload.size()),
+        std::vector<std::uint8_t>(kBlockPage.begin(), kBlockPage.end()));
+    injector_stack_.stamp(page, rng_, &trigger_pkt);
+    page.ip.ttl = static_cast<std::uint8_t>(
+        std::max(1, static_cast<int>(page.ip.ttl) - geometry_.hops_to_client()));
+    decision.injections.push_back(
+        {std::move(page), tcp::Direction::kServerToClient, 0.0003});
+  }
+  for (const auto& spec : behavior_.to_server) {
+    decision.injections.push_back(
+        {forge(spec, trigger_pkt, /*toward_server=*/true),
+         tcp::Direction::kClientToServer, spec.delay});
+  }
+  for (const auto& spec : behavior_.to_client) {
+    decision.injections.push_back(
+        {forge(spec, trigger_pkt, /*toward_server=*/false),
+         tcp::Direction::kServerToClient, spec.delay});
+  }
+}
+
+tcp::PathDecision Middlebox::on_transit(tcp::Direction dir, const Packet& pkt,
+                                        common::SimTime /*now*/) {
+  tcp::PathDecision decision;
+
+  if (triggered_) {
+    // Post-trigger policy for the rest of the flow.
+    if (dir == tcp::Direction::kClientToServer) {
+      if (behavior_.drop_subsequent_client_all ||
+          (behavior_.drop_subsequent_client_data && !pkt.payload.empty())) {
+        decision.drop = true;
+        return decision;
+      }
+      if (behavior_.refire && !pkt.payload.empty() && evaluate_trigger(dir, pkt)) {
+        fire(decision, pkt);
+        decision.drop = behavior_.drop_trigger_packet;
+        return decision;
+      }
+    } else if (behavior_.drop_server_to_client) {
+      decision.drop = true;
+      return decision;
+    }
+    return decision;
+  }
+
+  if (evaluate_trigger(dir, pkt)) {
+    triggered_ = true;
+    fire(decision, pkt);
+    decision.drop = behavior_.drop_trigger_packet;
+  }
+  return decision;
+}
+
+tcp::PathDecision MiddleboxChain::on_transit(tcp::Direction dir, const Packet& pkt,
+                                             common::SimTime now) {
+  tcp::PathDecision combined;
+  for (auto& hook : hooks_) {
+    tcp::PathDecision decision = hook->on_transit(dir, pkt, now);
+    for (auto& injection : decision.injections)
+      combined.injections.push_back(std::move(injection));
+    if (decision.drop) {
+      combined.drop = true;
+      break;  // later (further) boxes never see the packet
+    }
+  }
+  return combined;
+}
+
+}  // namespace tamper::middlebox

@@ -1,0 +1,125 @@
+// The programmable tampering middlebox.
+//
+// A Middlebox watches one session's packets mid-path (tcp::PathHook) and,
+// when its TriggerSet fires, executes a Behavior: drop the offending
+// packet and/or subsequent traffic, and inject a configurable burst of
+// tear-down packets toward the server and/or the client. Injected packets
+// are stamped by the injector's own IP stack (TTL/IP-ID), which is what the
+// paper's Figs. 2-3 evidence detects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "middlebox/trigger.h"
+#include "tcp/ip_stack_model.h"
+#include "tcp/session.h"
+
+namespace tamper::middlebox {
+
+/// When the middlebox evaluates its trigger.
+enum class TriggerPoint : std::uint8_t {
+  kClientSyn,      ///< on the client's SYN (destination-IP blocking)
+  kHandshakeAck,   ///< on the client's handshake ACK
+  kClientData,     ///< on client data packets (SNI / Host / keyword DPI)
+};
+
+/// One forged tear-down packet in the injection burst.
+struct TeardownSpec {
+  bool ack_flag = true;  ///< RST+ACK when true, bare RST when false
+
+  enum class SeqMode : std::uint8_t {
+    kCorrect,  ///< next in-window sequence number for the receiver
+    kRandom,
+  };
+  enum class AckMode : std::uint8_t {
+    kCorrect,  ///< echo the acknowledgment state from the trigger packet
+    kZero,
+    kOffset,   ///< correct value + ack_offset (ack-guessing injectors)
+    kRandom,
+  };
+  SeqMode seq_mode = SeqMode::kCorrect;
+  AckMode ack_mode = AckMode::kCorrect;
+  std::int32_t ack_offset = 0;
+  double delay = 0.0005;  ///< relative to the trigger packet, seconds
+};
+
+struct Behavior {
+  std::string name = "middlebox";
+  TriggerPoint trigger_point = TriggerPoint::kClientData;
+  /// For kClientData: fire only when this many client data packets have been
+  /// seen (1 = the first data packet; >1 models devices that act later,
+  /// e.g. keyword firewalls inspecting the full request or decrypted TLS).
+  int min_data_packets = 1;
+
+  bool drop_trigger_packet = false;        ///< in-path: eat the offending packet
+  bool drop_subsequent_client_data = false;  ///< eat later client->server payloads
+  /// In-path censor holds the whole flow: every later client->server packet
+  /// (including bare ACKs, e.g. of an injected block page) is eaten.
+  bool drop_subsequent_client_all = false;
+  bool drop_server_to_client = false;        ///< eat server responses after trigger
+
+  std::vector<TeardownSpec> to_server;
+  std::vector<TeardownSpec> to_client;
+  /// Inject an HTTP 403 block page toward the client before the tear-down
+  /// (Aryan et al. observed this from Iran's censor). Invisible to the
+  /// server-side tap, but completes the client-side behavior.
+  bool block_page_to_client = false;
+
+  tcp::IpStackModel::Config injector_stack{.initial_ttl = 64,
+                                           .ipid = tcp::IpIdStrategy::kGlobalCounter};
+  /// Re-fire on subsequent trigger-matching packets (residual blocking).
+  bool refire = false;
+};
+
+class Middlebox : public tcp::PathHook {
+ public:
+  Middlebox(Behavior behavior, TriggerSet triggers, tcp::PathGeometry geometry,
+            common::Rng rng);
+
+  tcp::PathDecision on_transit(tcp::Direction dir, const net::Packet& pkt,
+                               common::SimTime now) override;
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] const Behavior& behavior() const noexcept { return behavior_; }
+  /// The domain that caused the trigger, if the trigger was content-based.
+  [[nodiscard]] const std::optional<std::string>& trigger_domain() const noexcept {
+    return trigger_domain_;
+  }
+
+ private:
+  [[nodiscard]] bool evaluate_trigger(tcp::Direction dir, const net::Packet& pkt);
+  void fire(tcp::PathDecision& decision, const net::Packet& trigger_pkt);
+  [[nodiscard]] net::Packet forge(const TeardownSpec& spec, const net::Packet& trigger_pkt,
+                                  bool toward_server);
+
+  Behavior behavior_;
+  TriggerSet triggers_;
+  tcp::PathGeometry geometry_;
+  common::Rng rng_;
+  tcp::IpStackModel injector_stack_;
+
+  bool triggered_ = false;
+  int client_data_packets_ = 0;
+  std::optional<std::string> trigger_domain_;
+};
+
+/// Composes middleboxes in path order (censorship-in-depth). A packet
+/// dropped by an earlier box is not seen by later ones; injections are
+/// delivered directly.
+class MiddleboxChain : public tcp::PathHook {
+ public:
+  void add(std::unique_ptr<tcp::PathHook> hook) { hooks_.push_back(std::move(hook)); }
+  [[nodiscard]] bool empty() const noexcept { return hooks_.empty(); }
+
+  tcp::PathDecision on_transit(tcp::Direction dir, const net::Packet& pkt,
+                               common::SimTime now) override;
+
+ private:
+  std::vector<std::unique_ptr<tcp::PathHook>> hooks_;
+};
+
+}  // namespace tamper::middlebox

@@ -1,0 +1,91 @@
+// DPI trigger rules: what makes a middlebox act on a connection.
+//
+// Real tampering systems key on destination IPs (mid-handshake blocking),
+// domain names in the TLS SNI or HTTP Host header, and keywords in HTTP
+// requests — including sloppy substring rules that over-block (§5.5 cites
+// Turkmenistan matching any domain containing "wn.com").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace tamper::middlebox {
+
+class TriggerSet {
+ public:
+  TriggerSet& add_exact_domain(std::string domain) {
+    exact_.insert(std::move(domain));
+    return *this;
+  }
+  /// Matches the domain itself and any subdomain of it.
+  TriggerSet& add_domain_suffix(std::string suffix) {
+    suffixes_.push_back(std::move(suffix));
+    return *this;
+  }
+  /// Over-blocking rule: any domain containing this substring.
+  TriggerSet& add_domain_substring(std::string fragment) {
+    substrings_.push_back(std::move(fragment));
+    return *this;
+  }
+  /// Keyword matched against the HTTP path (cleartext requests only).
+  TriggerSet& add_http_keyword(std::string keyword) {
+    keywords_.push_back(std::move(keyword));
+    return *this;
+  }
+  TriggerSet& add_ip_prefix(net::IpPrefix prefix) {
+    prefixes_.push_back(prefix);
+    return *this;
+  }
+  /// Trigger on every connection regardless of content (blanket blocking).
+  TriggerSet& match_everything() {
+    match_all_ = true;
+    return *this;
+  }
+
+  [[nodiscard]] bool matches_domain(std::string_view domain) const {
+    if (match_all_) return true;
+    if (exact_.contains(std::string(domain))) return true;
+    for (const auto& suffix : suffixes_) {
+      if (domain == suffix) return true;
+      if (domain.size() > suffix.size() && domain.ends_with(suffix) &&
+          domain[domain.size() - suffix.size() - 1] == '.')
+        return true;
+    }
+    for (const auto& fragment : substrings_)
+      if (domain.find(fragment) != std::string_view::npos) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool matches_keyword(std::string_view text) const {
+    if (match_all_) return true;
+    for (const auto& keyword : keywords_)
+      if (text.find(keyword) != std::string_view::npos) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool matches_ip(const net::IpAddress& addr) const {
+    if (match_all_) return true;
+    for (const auto& prefix : prefixes_)
+      if (prefix.contains(addr)) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !match_all_ && exact_.empty() && suffixes_.empty() && substrings_.empty() &&
+           keywords_.empty() && prefixes_.empty();
+  }
+
+ private:
+  std::unordered_set<std::string> exact_;
+  std::vector<std::string> suffixes_;
+  std::vector<std::string> substrings_;
+  std::vector<std::string> keywords_;
+  std::vector<net::IpPrefix> prefixes_;
+  bool match_all_ = false;
+};
+
+}  // namespace tamper::middlebox

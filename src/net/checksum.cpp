@@ -1,0 +1,63 @@
+#include "net/checksum.h"
+
+#include <array>
+
+namespace tamper::net {
+
+std::uint16_t checksum_fold(std::span<const std::uint8_t> data,
+                            std::uint32_t initial) noexcept {
+  std::uint64_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return static_cast<std::uint16_t>(~checksum_fold(data) & 0xffff);
+}
+
+std::uint16_t tcp_checksum(const IpAddress& src, const IpAddress& dst,
+                           std::span<const std::uint8_t> segment) noexcept {
+  std::uint32_t pseudo = 0;
+  const auto len = static_cast<std::uint32_t>(segment.size());
+  if (src.is_v4()) {
+    // src(4) + dst(4) + zero(1) + proto(1) + tcp length(2)
+    std::array<std::uint8_t, 12> ph{};
+    const std::uint32_t s = src.v4_value();
+    const std::uint32_t d = dst.v4_value();
+    ph[0] = static_cast<std::uint8_t>(s >> 24);
+    ph[1] = static_cast<std::uint8_t>(s >> 16);
+    ph[2] = static_cast<std::uint8_t>(s >> 8);
+    ph[3] = static_cast<std::uint8_t>(s);
+    ph[4] = static_cast<std::uint8_t>(d >> 24);
+    ph[5] = static_cast<std::uint8_t>(d >> 16);
+    ph[6] = static_cast<std::uint8_t>(d >> 8);
+    ph[7] = static_cast<std::uint8_t>(d);
+    ph[8] = 0;
+    ph[9] = 6;  // TCP
+    ph[10] = static_cast<std::uint8_t>(len >> 8);
+    ph[11] = static_cast<std::uint8_t>(len);
+    pseudo = checksum_fold(ph);
+  } else {
+    // RFC 8200 pseudo-header: src(16) + dst(16) + length(4) + zeros(3) + next(1)
+    std::array<std::uint8_t, 40> ph{};
+    const auto& sb = src.bytes();
+    const auto& db = dst.bytes();
+    for (std::size_t i = 0; i < 16; ++i) {
+      ph[i] = sb[i];
+      ph[16 + i] = db[i];
+    }
+    ph[32] = static_cast<std::uint8_t>(len >> 24);
+    ph[33] = static_cast<std::uint8_t>(len >> 16);
+    ph[34] = static_cast<std::uint8_t>(len >> 8);
+    ph[35] = static_cast<std::uint8_t>(len);
+    ph[39] = 6;  // TCP
+    pseudo = checksum_fold(ph);
+  }
+  return static_cast<std::uint16_t>(~checksum_fold(segment, pseudo) & 0xffff);
+}
+
+}  // namespace tamper::net

@@ -1,0 +1,26 @@
+// RFC 1071 Internet checksum, with the TCP pseudo-header forms for both IP
+// families. Used when serializing packets to wire format and to validate
+// parsed captures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ip_address.h"
+
+namespace tamper::net {
+
+/// One's-complement sum of 16-bit words over `data` (odd tail zero-padded),
+/// folded to 16 bits; caller decides when to take the final complement.
+[[nodiscard]] std::uint16_t checksum_fold(std::span<const std::uint8_t> data,
+                                          std::uint32_t initial = 0) noexcept;
+
+/// Plain Internet checksum of a buffer (e.g. an IPv4 header).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP checksum including the v4/v6 pseudo-header. `segment` is the TCP
+/// header + payload with the checksum field zeroed.
+[[nodiscard]] std::uint16_t tcp_checksum(const IpAddress& src, const IpAddress& dst,
+                                         std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace tamper::net

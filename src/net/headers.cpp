@@ -1,0 +1,104 @@
+#include "net/headers.h"
+
+namespace tamper::net {
+
+std::string flags_to_string(std::uint8_t flags) {
+  static constexpr struct {
+    std::uint8_t bit;
+    const char* name;
+  } kNames[] = {
+      {tcpflag::kSyn, "SYN"}, {tcpflag::kFin, "FIN"}, {tcpflag::kRst, "RST"},
+      {tcpflag::kPsh, "PSH"}, {tcpflag::kAck, "ACK"}, {tcpflag::kUrg, "URG"},
+      {tcpflag::kEce, "ECE"}, {tcpflag::kCwr, "CWR"},
+  };
+  std::string out;
+  for (const auto& [bit, name] : kNames) {
+    if (flags & bit) {
+      if (!out.empty()) out += '+';
+      out += name;
+    }
+  }
+  if (out.empty()) out = "NONE";
+  return out;
+}
+
+TcpOption TcpOption::mss_opt(std::uint16_t mss) {
+  TcpOption o;
+  o.kind = TcpOptionKind::kMss;
+  o.mss = mss;
+  return o;
+}
+
+TcpOption TcpOption::window_scale_opt(std::uint8_t shift) {
+  TcpOption o;
+  o.kind = TcpOptionKind::kWindowScale;
+  o.window_scale = shift;
+  return o;
+}
+
+TcpOption TcpOption::sack_permitted_opt() {
+  TcpOption o;
+  o.kind = TcpOptionKind::kSackPermitted;
+  return o;
+}
+
+TcpOption TcpOption::timestamps_opt(std::uint32_t value, std::uint32_t echo) {
+  TcpOption o;
+  o.kind = TcpOptionKind::kTimestamps;
+  o.ts_value = value;
+  o.ts_echo = echo;
+  return o;
+}
+
+TcpOption TcpOption::nop_opt() {
+  TcpOption o;
+  o.kind = TcpOptionKind::kNop;
+  return o;
+}
+
+namespace {
+std::size_t option_size(const TcpOption& o) {
+  switch (o.kind) {
+    case TcpOptionKind::kEnd:
+    case TcpOptionKind::kNop:
+      return 1;
+    case TcpOptionKind::kMss:
+      return 4;
+    case TcpOptionKind::kWindowScale:
+      return 3;
+    case TcpOptionKind::kSackPermitted:
+      return 2;
+    case TcpOptionKind::kTimestamps:
+      return 10;
+    case TcpOptionKind::kSack:
+      return 2 + o.raw.size();
+  }
+  return 1;
+}
+}  // namespace
+
+std::size_t TcpHeader::options_wire_size() const {
+  std::size_t total = 0;
+  for (const auto& o : options) total += option_size(o);
+  return (total + 3) & ~std::size_t{3};
+}
+
+std::optional<std::uint16_t> TcpHeader::mss() const noexcept {
+  for (const auto& o : options)
+    if (o.kind == TcpOptionKind::kMss) return o.mss;
+  return std::nullopt;
+}
+
+bool TcpHeader::sack_permitted() const noexcept {
+  for (const auto& o : options)
+    if (o.kind == TcpOptionKind::kSackPermitted) return true;
+  return false;
+}
+
+std::optional<std::uint32_t> TcpHeader::timestamp_value() const noexcept {
+  for (const auto& o : options)
+    if (o.kind == TcpOptionKind::kTimestamps) return o.ts_value;
+  return std::nullopt;
+}
+
+}  // namespace tamper::net

@@ -1,0 +1,230 @@
+#include "net/ip_address.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace tamper::net {
+
+IpAddress IpAddress::v4(std::uint32_t host_order) noexcept {
+  IpAddress a;
+  a.version_ = IpVersion::kV4;
+  a.bytes_[10] = 0xff;
+  a.bytes_[11] = 0xff;
+  a.bytes_[12] = static_cast<std::uint8_t>(host_order >> 24);
+  a.bytes_[13] = static_cast<std::uint8_t>(host_order >> 16);
+  a.bytes_[14] = static_cast<std::uint8_t>(host_order >> 8);
+  a.bytes_[15] = static_cast<std::uint8_t>(host_order);
+  return a;
+}
+
+IpAddress IpAddress::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept {
+  return v4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+            std::uint32_t{d});
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& bytes) noexcept {
+  IpAddress a;
+  a.version_ = IpVersion::kV6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+IpAddress IpAddress::v6(std::uint64_t hi, std::uint64_t lo) noexcept {
+  std::array<std::uint8_t, 16> b{};
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  return v6(b);
+}
+
+std::uint32_t IpAddress::v4_value() const noexcept {
+  return (std::uint32_t{bytes_[12]} << 24) | (std::uint32_t{bytes_[13]} << 16) |
+         (std::uint32_t{bytes_[14]} << 8) | std::uint32_t{bytes_[15]};
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  std::array<std::uint8_t, 4> parts{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned value = 0;
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    parts[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IpAddress::v4(parts[0], parts[1], parts[2], parts[3]);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split on "::" (at most once), then parse colon-separated 16-bit groups.
+  std::array<std::uint16_t, 8> groups{};
+  const auto parse_groups = [](std::string_view part, std::uint16_t* out,
+                               int max_groups) -> int {
+    if (part.empty()) return 0;
+    int count = 0;
+    std::size_t pos = 0;
+    while (true) {
+      if (count >= max_groups) return -1;
+      unsigned value = 0;
+      const auto* begin = part.data() + pos;
+      const auto* end = part.data() + part.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+      if (ec != std::errc{} || value > 0xffff || ptr == begin) return -1;
+      out[count++] = static_cast<std::uint16_t>(value);
+      pos = static_cast<std::size_t>(ptr - part.data());
+      if (pos == part.size()) return count;
+      if (part[pos] != ':') return -1;
+      ++pos;
+      if (pos == part.size()) return -1;  // trailing single colon
+    }
+  };
+
+  const std::size_t dc = text.find("::");
+  std::array<std::uint16_t, 8> head{}, tail{};
+  int head_n = 0, tail_n = 0;
+  if (dc == std::string_view::npos) {
+    head_n = parse_groups(text, head.data(), 8);
+    if (head_n != 8) return std::nullopt;
+    groups = head;
+  } else {
+    if (text.find("::", dc + 1) != std::string_view::npos) return std::nullopt;
+    head_n = parse_groups(text.substr(0, dc), head.data(), 8);
+    tail_n = parse_groups(text.substr(dc + 2), tail.data(), 8);
+    if (head_n < 0 || tail_n < 0 || head_n + tail_n > 7) return std::nullopt;
+    for (int i = 0; i < head_n; ++i) groups[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(i)];
+    for (int i = 0; i < tail_n; ++i)
+      groups[static_cast<std::size_t>(8 - tail_n + i)] = tail[static_cast<std::size_t>(i)];
+  }
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(2 * i)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
+    bytes[static_cast<std::size_t>(2 * i + 1)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[12], bytes_[13], bytes_[14],
+                  bytes_[15]);
+    return buf;
+  }
+  // RFC 5952: compress the longest run of zero groups (length >= 2).
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 8; ++i)
+    groups[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * i)] << 8) |
+                                   bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  int i = 0;
+  while (i < 8) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::uint64_t IpAddress::hash() const noexcept {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | bytes_[static_cast<std::size_t>(i)];
+    lo = (lo << 8) | bytes_[static_cast<std::size_t>(8 + i)];
+  }
+  return common::mix64(hi ^ common::mix64(lo ^ (is_v4() ? 0x04 : 0x06)));
+}
+
+IpPrefix::IpPrefix(IpAddress base, int length) noexcept : base_(base), length_(length) {
+  const int max_len = base.is_v4() ? 32 : 128;
+  if (length_ < 0) length_ = 0;
+  if (length_ > max_len) length_ = max_len;
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = 0;
+  const auto tail = text.substr(slash + 1);
+  const auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), length);
+  if (ec != std::errc{} || ptr != tail.data() + tail.size()) return std::nullopt;
+  const int max_len = addr->is_v4() ? 32 : 128;
+  if (length < 0 || length > max_len) return std::nullopt;
+  return IpPrefix(*addr, length);
+}
+
+bool IpPrefix::contains(const IpAddress& addr) const noexcept {
+  if (addr.version() != base_.version()) return false;
+  // For v4 the significant bytes start at offset 12 in the mapped layout.
+  const int offset_bits = base_.is_v4() ? 96 : 0;
+  const int total = offset_bits + length_;
+  const auto& a = addr.bytes();
+  const auto& b = base_.bytes();
+  int bit = offset_bits;
+  while (bit < total) {
+    const int byte = bit / 8;
+    const int remaining = total - bit;
+    if (remaining >= 8 && bit % 8 == 0) {
+      if (a[static_cast<std::size_t>(byte)] != b[static_cast<std::size_t>(byte)]) return false;
+      bit += 8;
+    } else {
+      const int shift = 7 - (bit % 8);
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << shift);
+      if ((a[static_cast<std::size_t>(byte)] & mask) != (b[static_cast<std::size_t>(byte)] & mask))
+        return false;
+      ++bit;
+    }
+  }
+  return true;
+}
+
+std::string IpPrefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace tamper::net

@@ -1,0 +1,82 @@
+// IP addresses (IPv4 and IPv6) as a single value type.
+//
+// Stored as 16 bytes in network order; IPv4 addresses occupy the last 4 bytes
+// (IPv4-mapped layout, ::ffff:a.b.c.d) so that one representation serves both
+// families while remembering which family the address belongs to.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tamper::net {
+
+enum class IpVersion : std::uint8_t { kV4 = 4, kV6 = 6 };
+
+class IpAddress {
+ public:
+  /// Default: IPv4 0.0.0.0.
+  constexpr IpAddress() noexcept = default;
+
+  [[nodiscard]] static IpAddress v4(std::uint32_t host_order) noexcept;
+  [[nodiscard]] static IpAddress v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                    std::uint8_t d) noexcept;
+  [[nodiscard]] static IpAddress v6(const std::array<std::uint8_t, 16>& bytes) noexcept;
+  /// Build an IPv6 address from two 64-bit halves (host order).
+  [[nodiscard]] static IpAddress v6(std::uint64_t hi, std::uint64_t lo) noexcept;
+
+  /// Parse dotted-quad or RFC-4291 textual IPv6 (including "::" compression).
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+
+  [[nodiscard]] IpVersion version() const noexcept { return version_; }
+  [[nodiscard]] bool is_v4() const noexcept { return version_ == IpVersion::kV4; }
+  [[nodiscard]] bool is_v6() const noexcept { return version_ == IpVersion::kV6; }
+
+  /// Host-order 32-bit value; only meaningful for IPv4 addresses.
+  [[nodiscard]] std::uint32_t v4_value() const noexcept;
+  /// Raw 16 bytes (IPv4-mapped for v4 addresses), network order.
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash (used for flow keys and geo lookups).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend bool operator==(const IpAddress&, const IpAddress&) noexcept = default;
+  friend std::strong_ordering operator<=>(const IpAddress&, const IpAddress&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+  IpVersion version_ = IpVersion::kV4;
+};
+
+/// CIDR prefix; matches addresses of the same family sharing `length` leading bits.
+class IpPrefix {
+ public:
+  IpPrefix() noexcept = default;
+  IpPrefix(IpAddress base, int length) noexcept;
+
+  [[nodiscard]] static std::optional<IpPrefix> parse(std::string_view text);
+
+  [[nodiscard]] bool contains(const IpAddress& addr) const noexcept;
+  [[nodiscard]] const IpAddress& base() const noexcept { return base_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  IpAddress base_;
+  int length_ = 0;
+};
+
+}  // namespace tamper::net
+
+template <>
+struct std::hash<tamper::net::IpAddress> {
+  std::size_t operator()(const tamper::net::IpAddress& a) const noexcept {
+    return static_cast<std::size_t>(a.hash());
+  }
+};

@@ -1,0 +1,56 @@
+// The Packet value type used throughout the simulator, plus wire
+// serialization/parsing so that packets can round-trip through pcap files
+// (and real captures can be ingested by the classifier).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "net/headers.h"
+#include "net/ip_address.h"
+
+namespace tamper::net {
+
+/// A TCP/IP packet on the simulated (or real) wire.
+struct Packet {
+  common::SimTime timestamp = 0.0;  ///< capture/emission time, epoch seconds
+  IpAddress src;
+  IpAddress dst;
+  IpFields ip;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept { return payload.size(); }
+  /// Human-readable one-liner for debugging ("1.2.3.4:1234 > 5.6.7.8:443 PSH+ACK ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Serialize to raw IP bytes (IPv4 or IPv6 header + TCP header + payload)
+/// with correct lengths and checksums.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Packet& pkt);
+
+/// Result of parsing raw IP bytes.
+struct ParseResult {
+  Packet packet;
+  bool ip_checksum_ok = true;   ///< always true for IPv6 (no header checksum)
+  bool tcp_checksum_ok = true;
+};
+
+/// Parse raw IP bytes (auto-detects v4/v6 from the version nibble).
+/// Returns nullopt for malformed or non-TCP input.
+[[nodiscard]] std::optional<ParseResult> parse(std::span<const std::uint8_t> bytes,
+                                               common::SimTime timestamp = 0.0);
+
+// ---- Packet construction helpers used by endpoints and middleboxes ----
+
+[[nodiscard]] Packet make_tcp_packet(const IpAddress& src, std::uint16_t sport,
+                                     const IpAddress& dst, std::uint16_t dport,
+                                     std::uint8_t flags, std::uint32_t seq,
+                                     std::uint32_t ack,
+                                     std::vector<std::uint8_t> payload = {});
+
+}  // namespace tamper::net

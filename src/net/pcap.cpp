@@ -1,0 +1,151 @@
+#include "net/pcap.h"
+
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace tamper::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  const std::array<char, 2> b{static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out.write(b.data(), b.size());
+}
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const std::array<char, 4> b{
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(b.data(), b.size());
+}
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+}
+
+bool read_u32(std::istream& in, bool swap, std::uint32_t& out) {
+  std::array<unsigned char, 4> b{};
+  if (!in.read(reinterpret_cast<char*>(b.data()), 4)) return false;
+  out = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+  if (swap) out = swap32(out);
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t linktype, std::uint32_t snaplen)
+    : out_(out), linktype_(linktype) {
+  put_u32le(out_, kMagicMicros);
+  put_u16le(out_, 2);  // version major
+  put_u16le(out_, 4);  // version minor
+  put_u32le(out_, 0);  // thiszone
+  put_u32le(out_, 0);  // sigfigs
+  put_u32le(out_, snaplen);
+  put_u32le(out_, linktype_);
+}
+
+void PcapWriter::write(const Packet& pkt) {
+  write_raw(pkt.timestamp, serialize(pkt));
+}
+
+void PcapWriter::write_raw(common::SimTime timestamp, std::span<const std::uint8_t> frame) {
+  const double floor_s = std::floor(timestamp);
+  const auto secs = static_cast<std::uint32_t>(floor_s);
+  const auto micros =
+      static_cast<std::uint32_t>(std::min(999999.0, (timestamp - floor_s) * 1e6));
+  put_u32le(out_, secs);
+  put_u32le(out_, micros);
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));  // captured length
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));  // original length
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++count_;
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  std::uint32_t magic = 0;
+  if (!read_u32(in_, false, magic)) throw std::runtime_error("pcap: empty stream");
+  if (magic == kMagicMicros) {
+    swap_ = false;
+    nanos_ = false;
+  } else if (magic == kMagicNanos) {
+    swap_ = false;
+    nanos_ = true;
+  } else if (swap32(magic) == kMagicMicros) {
+    swap_ = true;
+    nanos_ = false;
+  } else if (swap32(magic) == kMagicNanos) {
+    swap_ = true;
+    nanos_ = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic number");
+  }
+  std::uint32_t tmp = 0;
+  read_u32(in_, swap_, tmp);  // version
+  read_u32(in_, swap_, tmp);  // thiszone
+  read_u32(in_, swap_, tmp);  // sigfigs
+  read_u32(in_, swap_, tmp);  // snaplen
+  if (!read_u32(in_, swap_, linktype_)) throw std::runtime_error("pcap: truncated header");
+}
+
+std::optional<Packet> PcapReader::next() {
+  while (true) {
+    std::uint32_t secs = 0, subsecs = 0, caplen = 0, origlen = 0;
+    if (!read_u32(in_, swap_, secs)) return std::nullopt;
+    if (!read_u32(in_, swap_, subsecs) || !read_u32(in_, swap_, caplen) ||
+        !read_u32(in_, swap_, origlen))
+      return std::nullopt;
+    if (caplen > (1u << 26)) throw std::runtime_error("pcap: implausible record length");
+    std::vector<std::uint8_t> frame(caplen);
+    if (!in_.read(reinterpret_cast<char*>(frame.data()),
+                  static_cast<std::streamsize>(caplen)))
+      return std::nullopt;
+    ++frames_;
+    const double ts = static_cast<double>(secs) +
+                      static_cast<double>(subsecs) * (nanos_ ? 1e-9 : 1e-6);
+
+    std::span<const std::uint8_t> ip_bytes{frame};
+    if (linktype_ == kLinktypeEthernet) {
+      if (frame.size() < 14) {
+        ++skipped_;
+        continue;
+      }
+      const std::uint16_t ethertype = static_cast<std::uint16_t>((frame[12] << 8) | frame[13]);
+      if (ethertype != 0x0800 && ethertype != 0x86dd) {
+        ++skipped_;
+        continue;
+      }
+      ip_bytes = ip_bytes.subspan(14);
+    }
+    auto parsed = parse(ip_bytes, ts);
+    if (!parsed) {
+      ++skipped_;
+      continue;
+    }
+    return std::move(parsed->packet);
+  }
+}
+
+void write_pcap_file(const std::string& path, const std::vector<Packet>& packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pcap: cannot open for writing: " + path);
+  PcapWriter writer(out);
+  for (const auto& pkt : packets) writer.write(pkt);
+}
+
+std::vector<Packet> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open for reading: " + path);
+  PcapReader reader(in);
+  std::vector<Packet> out;
+  while (auto pkt = reader.next()) out.push_back(std::move(*pkt));
+  return out;
+}
+
+}  // namespace tamper::net

@@ -1,0 +1,77 @@
+// Classic pcap (libpcap savefile) reader and writer.
+//
+// Implemented from the published format rather than linking libpcap:
+// 24-byte global header (magic 0xa1b2c3d4 microseconds / 0xa1b23c4d
+// nanoseconds, either byte order) followed by 16-byte-per-record frames.
+// We write LINKTYPE_RAW (101): record payloads are bare IPv4/IPv6 packets,
+// which matches net::serialize()/net::parse(). The reader also accepts
+// LINKTYPE_ETHERNET captures and skips the 14-byte MAC header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace tamper::net {
+
+inline constexpr std::uint32_t kLinktypeRaw = 101;
+inline constexpr std::uint32_t kLinktypeEthernet = 1;
+
+/// Streams packets into a pcap savefile.
+class PcapWriter {
+ public:
+  /// Writes the global header immediately. Stream must outlive the writer.
+  explicit PcapWriter(std::ostream& out, std::uint32_t linktype = kLinktypeRaw,
+                      std::uint32_t snaplen = 65535);
+
+  /// Serializes and appends one packet record.
+  void write(const Packet& pkt);
+  /// Appends a pre-serialized raw IP frame.
+  void write_raw(common::SimTime timestamp, std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::uint32_t linktype_;
+  std::uint64_t count_ = 0;
+};
+
+/// Pulls packets out of a pcap savefile; tolerates both byte orders and
+/// microsecond/nanosecond timestamp variants.
+class PcapReader {
+ public:
+  /// Reads and validates the global header; throws std::runtime_error on a
+  /// bad magic number. Stream must outlive the reader.
+  explicit PcapReader(std::istream& in);
+
+  /// Next parseable TCP/IP packet, skipping non-IP or truncated frames.
+  /// nullopt at end of file.
+  [[nodiscard]] std::optional<Packet> next();
+
+  [[nodiscard]] std::uint32_t linktype() const noexcept { return linktype_; }
+  [[nodiscard]] std::uint64_t frames_read() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t frames_skipped() const noexcept { return skipped_; }
+
+ private:
+  std::istream& in_;
+  std::uint32_t linktype_ = kLinktypeRaw;
+  bool swap_ = false;
+  bool nanos_ = false;
+  std::uint64_t frames_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+/// Convenience: write all packets to a file path.
+void write_pcap_file(const std::string& path, const std::vector<Packet>& packets);
+
+/// Convenience: read every TCP/IP packet from a file path.
+[[nodiscard]] std::vector<Packet> read_pcap_file(const std::string& path);
+
+}  // namespace tamper::net

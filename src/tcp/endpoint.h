@@ -1,0 +1,169 @@
+// TCP endpoint state machines for the session simulator.
+//
+// One class models both roles. The goal is not a full RFC 9293 stack but a
+// faithful generator of the *header sequences* a server-side tap observes:
+// handshakes, request/response data, graceful FIN teardown, abortive RST,
+// retransmission on loss, and the abnormal client behaviors the paper calls
+// out as false-positive sources (scanners, Happy Eyeballs cancellation,
+// SYN-only probes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "net/packet.h"
+#include "tcp/ip_stack_model.h"
+
+namespace tamper::tcp {
+
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kTimeWait,
+  kReset,
+};
+
+/// Client application behaviors.
+enum class ClientKind : std::uint8_t {
+  kNormal,            ///< request, consume response, graceful FIN
+  kSynOnly,           ///< sends one SYN then nothing (spoofed / flood probe)
+  kRstOnSynAck,       ///< answers the SYN+ACK with a bare RST (ZMap; HE per RFC 8305)
+  kRstAckOnSynAck,    ///< answers the SYN+ACK with RST+ACK (some client stacks)
+  kVanishOnSynAck,    ///< ignores the SYN+ACK (curl-style Happy Eyeballs loser)
+  kVanishAfterAck,    ///< completes handshake then goes silent (never sends data)
+  kVanishAfterRequest, ///< sends the request then goes silent (never ACKs response)
+  kAbortMidTransfer,   ///< sends RST+ACK after receiving part of the response
+                       ///< (user hit "stop"; a benign post-data RST source)
+  kRstAfterFin,        ///< graceful FIN immediately followed by a RST (close()
+                       ///< with data in flight; lands in the "other" stage)
+};
+
+enum class TimerKind : std::uint8_t {
+  kSynRetransmit,
+  kDataRetransmit,
+  kThink,        ///< client: delay before first request byte
+  kNextSegment,  ///< client: gap between request segments
+  kService,      ///< server: delay before the response
+  kResponseRetransmit,  ///< server: resend unacked response/FIN
+};
+inline constexpr std::size_t kTimerKindCount = 6;
+
+/// Packets to emit now plus timers to arm, returned from every transition.
+struct EndpointActions {
+  struct Timer {
+    double delay = 0.0;
+    TimerKind kind = TimerKind::kThink;
+    std::uint64_t generation = 0;
+  };
+  std::vector<net::Packet> packets;
+  std::vector<Timer> timers;
+};
+
+struct EndpointConfig {
+  net::IpAddress addr;
+  std::uint16_t port = 0;
+  bool is_client = true;
+  IpStackModel stack = IpStackModel::linux_like();
+  std::uint32_t isn = 0;
+  std::uint16_t mss = 1460;
+  std::uint16_t window = 65535;
+
+  // Client application behavior.
+  ClientKind kind = ClientKind::kNormal;
+  std::vector<std::vector<std::uint8_t>> request_segments;
+  double think_time = 0.02;
+  double inter_segment_gap = 0.02;
+  int syn_retries = 1;
+  double syn_rto = 1.0;
+  int data_retries = 1;
+  double data_rto = 1.5;
+  /// kAbortMidTransfer: abort once this many response bytes arrived.
+  std::size_t abort_after_response_bytes = 2000;
+
+  // Server application behavior.
+  std::size_t response_size = 3000;
+  double service_delay = 0.03;
+  bool close_after_response = true;
+  int response_retries = 2;    ///< retransmissions of unacked response/FIN
+  double response_rto = 1.0;
+};
+
+class TcpEndpoint {
+ public:
+  TcpEndpoint(EndpointConfig config, common::Rng rng);
+
+  void set_peer(const net::IpAddress& addr, std::uint16_t port) {
+    peer_addr_ = addr;
+    peer_port_ = port;
+  }
+
+  /// Client: emit the initial SYN. Server: enter LISTEN.
+  [[nodiscard]] EndpointActions start(common::SimTime now);
+  [[nodiscard]] EndpointActions on_packet(const net::Packet& pkt, common::SimTime now);
+  [[nodiscard]] EndpointActions on_timer(TimerKind kind, std::uint64_t generation,
+                                         common::SimTime now);
+
+  [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] bool is_client() const noexcept { return config_.is_client; }
+  /// True when the endpoint will produce no further packets spontaneously.
+  [[nodiscard]] bool quiescent() const noexcept;
+  [[nodiscard]] const EndpointConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] net::Packet make_packet(std::uint8_t flags, std::uint32_t seq,
+                                        std::uint32_t ack,
+                                        std::vector<std::uint8_t> payload = {});
+  [[nodiscard]] net::Packet make_syn();
+  void arm(EndpointActions& actions, TimerKind kind, double delay);
+  [[nodiscard]] EndpointActions client_on_packet(const net::Packet& pkt,
+                                                 common::SimTime now);
+  [[nodiscard]] EndpointActions server_on_packet(const net::Packet& pkt,
+                                                 common::SimTime now);
+  void send_request_segment(EndpointActions& actions);
+  void send_response(EndpointActions& actions);
+  void retransmit_response(EndpointActions& actions);
+
+  EndpointConfig config_;
+  common::Rng rng_;
+  TcpState state_ = TcpState::kClosed;
+  net::IpAddress peer_addr_;
+  std::uint16_t peer_port_ = 0;
+
+  std::uint32_t snd_nxt_ = 0;  ///< next sequence number to send
+  std::uint32_t snd_una_ = 0;  ///< oldest unacknowledged
+  std::uint32_t rcv_nxt_ = 0;  ///< next expected from peer
+  bool fin_sent_ = false;
+  bool fin_received_ = false;
+  bool vanished_ = false;      ///< client stopped participating
+
+  std::size_t next_segment_ = 0;       ///< index into request_segments
+  std::vector<std::uint8_t> unacked_;  ///< client retransmission buffer
+  std::uint32_t unacked_seq_ = 0;
+  /// Server retransmission buffer: (seq, length, fin) of emitted response
+  /// segments, resent while unacknowledged.
+  struct SentSegment {
+    std::uint32_t seq;
+    std::uint32_t length;
+    bool fin;
+  };
+  std::vector<SentSegment> response_sent_;
+  int response_retries_left_ = 0;
+  int syn_retries_left_ = 0;
+  int data_retries_left_ = 0;
+  bool request_seen_ = false;  ///< server: got first data byte
+  std::size_t response_bytes_rcvd_ = 0;  ///< client: response progress
+  std::uint32_t ts_clock_ = 0;  ///< RFC 7323 timestamps option clock
+  std::uint32_t ts_echo_ = 0;   ///< last timestamp value received from peer
+  std::uint64_t timer_gen_[kTimerKindCount] = {};
+};
+
+}  // namespace tamper::tcp

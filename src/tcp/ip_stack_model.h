@@ -1,0 +1,116 @@
+// Models of how a host (or injector) IP stack stamps TTL and IP-ID fields.
+//
+// These matter because the paper's validation evidence (Figs. 2 and 3) rests
+// on injected packets being stamped by a *different* stack than the client's:
+// most OSes use zero, a per-connection counter, or a global counter for
+// IP-ID, and a constant initial TTL (commonly 64 or 128) — while injectors
+// use their own counters/constants, producing large discontinuities.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace tamper::tcp {
+
+enum class IpIdStrategy : std::uint8_t {
+  kZero,                 ///< always 0 (common for DF packets on Linux)
+  kPerConnectionCounter, ///< random start, +1 per packet within the connection
+  kGlobalCounter,        ///< shared counter across connections (older Windows)
+  kRandomPerPacket,      ///< uniformly random each packet
+  kCopyTrigger,          ///< copies the IP-ID of the packet that triggered it
+  kFixed,                ///< constant value (ZMap uses 54321)
+};
+
+/// Per-host stamping policy plus its mutable counter state.
+class IpStackModel {
+ public:
+  struct Config {
+    std::uint8_t initial_ttl = 64;
+    bool random_ttl = false;  ///< per-packet uniform TTL (observed from a KR ISP)
+    IpIdStrategy ipid = IpIdStrategy::kPerConnectionCounter;
+    std::uint16_t fixed_ipid = 0;
+    bool emit_tcp_options = true;  ///< scanners often omit all options
+    /// SYN carries only an MSS option (scanner probes that survive DDoS
+    /// scrubbing; fully optionless SYNs are scrubbed, which is why the
+    /// paper found none).
+    bool minimal_syn_options = false;
+  };
+
+  IpStackModel() : IpStackModel(Config{}) {}
+  explicit IpStackModel(const Config& config) : config_(config) {}
+
+  /// Initialize per-connection state (counter start) from the stream RNG.
+  void start_connection(common::Rng& rng) {
+    if (config_.ipid == IpIdStrategy::kPerConnectionCounter ||
+        config_.ipid == IpIdStrategy::kGlobalCounter) {
+      if (!counter_initialized_) {
+        counter_ = static_cast<std::uint16_t>(rng.below(65536));
+        counter_initialized_ = true;
+      }
+    }
+    if (config_.ipid == IpIdStrategy::kPerConnectionCounter) {
+      counter_ = static_cast<std::uint16_t>(rng.below(65536));
+    }
+  }
+
+  /// Stamp TTL and IP-ID onto an outgoing packet. `trigger` is the packet
+  /// that provoked this one (used by kCopyTrigger injectors).
+  void stamp(net::Packet& pkt, common::Rng& rng, const net::Packet* trigger = nullptr) {
+    pkt.ip.ttl = config_.random_ttl
+                     ? static_cast<std::uint8_t>(rng.range(16, 255))
+                     : config_.initial_ttl;
+    if (pkt.src.is_v6()) {
+      pkt.ip.ip_id = 0;
+      return;
+    }
+    switch (config_.ipid) {
+      case IpIdStrategy::kZero:
+        pkt.ip.ip_id = 0;
+        break;
+      case IpIdStrategy::kPerConnectionCounter:
+      case IpIdStrategy::kGlobalCounter:
+        pkt.ip.ip_id = counter_++;
+        break;
+      case IpIdStrategy::kRandomPerPacket:
+        pkt.ip.ip_id = static_cast<std::uint16_t>(rng.below(65536));
+        break;
+      case IpIdStrategy::kCopyTrigger:
+        pkt.ip.ip_id = trigger != nullptr ? trigger->ip.ip_id
+                                          : static_cast<std::uint16_t>(rng.below(65536));
+        break;
+      case IpIdStrategy::kFixed:
+        pkt.ip.ip_id = config_.fixed_ipid;
+        break;
+    }
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Canonical client stacks.
+  [[nodiscard]] static IpStackModel linux_like() {
+    return IpStackModel(Config{.initial_ttl = 64,
+                               .ipid = IpIdStrategy::kPerConnectionCounter});
+  }
+  [[nodiscard]] static IpStackModel windows_like() {
+    return IpStackModel(Config{.initial_ttl = 128, .ipid = IpIdStrategy::kGlobalCounter});
+  }
+  [[nodiscard]] static IpStackModel zero_ipid() {
+    return IpStackModel(Config{.initial_ttl = 64, .ipid = IpIdStrategy::kZero});
+  }
+  /// ZMap probe stack: fixed IP-ID 54321, high TTL, minimal options.
+  [[nodiscard]] static IpStackModel zmap() {
+    return IpStackModel(Config{.initial_ttl = 255,
+                               .ipid = IpIdStrategy::kFixed,
+                               .fixed_ipid = 54321,
+                               .minimal_syn_options = true});
+  }
+
+ private:
+  Config config_;
+  std::uint16_t counter_ = 0;
+  bool counter_initialized_ = false;
+};
+
+}  // namespace tamper::tcp

@@ -1,0 +1,156 @@
+#include "tcp/session.h"
+
+#include <algorithm>
+#include <queue>
+#include <variant>
+
+namespace tamper::tcp {
+
+namespace {
+
+struct TimerEvent {
+  TimerKind kind;
+  std::uint64_t generation;
+};
+
+struct DeliveryEvent {
+  net::Packet pkt;
+  bool injected;
+};
+
+struct Event {
+  common::SimTime time;
+  std::uint64_t order;  ///< stable tiebreak for equal times
+  bool to_server;       ///< which endpoint handles it
+  std::variant<DeliveryEvent, TimerEvent> body;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.order > b.order;
+  }
+};
+
+}  // namespace
+
+SessionResult simulate_session(TcpEndpoint& client, TcpEndpoint& server, PathHook* hook,
+                               const SessionConfig& config, common::Rng& rng) {
+  SessionResult result;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  std::uint64_t order = 0;
+  const common::SimTime deadline = config.start_time + config.time_budget;
+
+  auto delay_sample = [&]() {
+    return config.one_way_delay + rng.uniform(-config.jitter, config.jitter);
+  };
+
+  // Packets sharing a direction share a path: deliveries are FIFO (jitter
+  // shifts the whole stream, it does not reorder it). Without this, a
+  // response burst's FIN could overtake its data and stall the peer.
+  common::SimTime last_arrival[2] = {0.0, 0.0};
+  auto schedule_delivery = [&](common::SimTime when, bool to_server, net::Packet pkt,
+                               bool injected) {
+    common::SimTime& previous = last_arrival[to_server ? 1 : 0];
+    when = std::max(when, previous + 1e-6);
+    previous = when;
+    queue.push(Event{when, order++, to_server, DeliveryEvent{std::move(pkt), injected}});
+  };
+
+  // Send a packet emitted by an endpoint (not injected) across the path.
+  auto transmit = [&](bool from_client, net::Packet pkt, common::SimTime now) {
+    const Direction dir =
+        from_client ? Direction::kClientToServer : Direction::kServerToClient;
+    pkt.timestamp = now;
+
+    PathDecision decision;
+    double mb_latency = 0.0;
+    if (hook != nullptr) {
+      // The hook sees the packet mid-path with a partially decremented TTL.
+      net::Packet at_middlebox = pkt;
+      const int hops_to_mb = from_client ? config.geometry.middlebox_hop
+                                         : config.geometry.hops_to_server();
+      at_middlebox.ip.ttl = static_cast<std::uint8_t>(
+          std::max(1, static_cast<int>(pkt.ip.ttl) - hops_to_mb));
+      decision = hook->on_transit(dir, at_middlebox, now);
+      mb_latency =
+          delay_sample() * (from_client
+                                ? static_cast<double>(config.geometry.middlebox_hop) /
+                                      std::max(1, config.geometry.total_hops)
+                                : static_cast<double>(config.geometry.hops_to_server()) /
+                                      std::max(1, config.geometry.total_hops));
+    }
+
+    // Deliver (or drop) the traversing packet first: on the wire it is ahead
+    // of anything the middlebox forges in response to it.
+    if (decision.drop) {
+      ++result.packets_dropped_by_hook;
+    } else if (config.loss_rate > 0.0 && rng.chance(config.loss_rate)) {
+      ++result.packets_lost;
+    } else {
+      net::Packet delivered = pkt;
+      delivered.ip.ttl = static_cast<std::uint8_t>(
+          std::max(1, static_cast<int>(pkt.ip.ttl) - config.geometry.total_hops));
+      schedule_delivery(now + delay_sample(), from_client, std::move(delivered), false);
+    }
+
+    for (auto& injection : decision.injections) {
+      injection.pkt.timestamp = now + mb_latency + injection.delay;
+      const double rest =
+          delay_sample() *
+          (injection.toward == Direction::kClientToServer
+               ? static_cast<double>(config.geometry.hops_to_server())
+               : static_cast<double>(config.geometry.hops_to_client())) /
+          std::max(1, config.geometry.total_hops);
+      schedule_delivery(injection.pkt.timestamp + rest,
+                        injection.toward == Direction::kClientToServer,
+                        std::move(injection.pkt), true);
+    }
+  };
+
+  auto process_actions = [&](bool from_client, EndpointActions actions,
+                             common::SimTime now) {
+    for (auto& pkt : actions.packets) transmit(from_client, std::move(pkt), now);
+    for (const auto& timer : actions.timers) {
+      queue.push(Event{now + timer.delay, order++, !from_client,
+                       TimerEvent{timer.kind, timer.generation}});
+    }
+  };
+
+  process_actions(false, server.start(config.start_time), config.start_time);
+  process_actions(true, client.start(config.start_time), config.start_time);
+
+  common::SimTime now = config.start_time;
+  while (!queue.empty()) {
+    Event ev = queue.top();
+    queue.pop();
+    if (ev.time > deadline) break;
+    now = ev.time;
+    TcpEndpoint& target = ev.to_server ? server : client;
+    const bool replies_from_client = !ev.to_server;
+
+    if (std::holds_alternative<DeliveryEvent>(ev.body)) {
+      auto& delivery = std::get<DeliveryEvent>(ev.body);
+      delivery.pkt.timestamp = now;
+      if (ev.to_server) {
+        result.server_inbound.push_back(
+            TracedPacket{delivery.pkt, Direction::kClientToServer, delivery.injected});
+      }
+      result.full_trace.push_back(TracedPacket{
+          delivery.pkt,
+          ev.to_server ? Direction::kClientToServer : Direction::kServerToClient,
+          delivery.injected});
+      process_actions(replies_from_client, target.on_packet(delivery.pkt, now), now);
+    } else {
+      const auto& timer = std::get<TimerEvent>(ev.body);
+      process_actions(replies_from_client, target.on_timer(timer.kind, timer.generation, now),
+                      now);
+    }
+  }
+  // The tap keeps observing until the horizon even after traffic stops, so
+  // trailing-silence ("no packets for >3 s") computations use the deadline.
+  result.end_time = deadline;
+  return result;
+}
+
+}  // namespace tamper::tcp

@@ -1,0 +1,91 @@
+// Discrete-event simulation of one TCP session across a network path with an
+// optional in/on-path middlebox hook.
+//
+// The simulator delivers packets between a client and a server endpoint with
+// configurable one-way delay, jitter, random loss, and hop counts (TTL is
+// decremented like a real path so the Fig. 3 evidence arises naturally). The
+// PathHook observes every traversing packet and may drop it and/or inject
+// forged packets toward either end — exactly the capability set of the
+// tampering middleboxes in the paper (§2.1, §3.1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "net/packet.h"
+#include "tcp/endpoint.h"
+
+namespace tamper::tcp {
+
+enum class Direction : std::uint8_t { kClientToServer, kServerToClient };
+
+/// Where the middlebox sits on the path; used by hooks to compute the TTL an
+/// injected packet will arrive with.
+struct PathGeometry {
+  int total_hops = 14;     ///< client NIC -> server NIC
+  int middlebox_hop = 5;   ///< hops from the client to the middlebox
+  [[nodiscard]] int hops_to_server() const noexcept { return total_hops - middlebox_hop; }
+  [[nodiscard]] int hops_to_client() const noexcept { return middlebox_hop; }
+};
+
+/// A forged packet to deliver. `pkt.ip.ttl` must already be the *arrival*
+/// TTL (injector initial TTL minus hops from the middlebox; see
+/// PathGeometry::hops_to_*). `delay` is measured from the trigger packet's
+/// traversal of the middlebox.
+struct Injection {
+  net::Packet pkt;
+  Direction toward = Direction::kClientToServer;
+  double delay = 0.0;
+};
+
+/// Hook verdict for one traversing packet.
+struct PathDecision {
+  bool drop = false;
+  std::vector<Injection> injections;
+};
+
+/// Interface implemented by middleboxes (see middlebox/).
+class PathHook {
+ public:
+  virtual ~PathHook() = default;
+  /// `pkt` carries the TTL as seen at the middlebox.
+  virtual PathDecision on_transit(Direction dir, const net::Packet& pkt,
+                                  common::SimTime now) = 0;
+};
+
+struct SessionConfig {
+  common::SimTime start_time = 0.0;
+  double one_way_delay = 0.04;   ///< seconds, each direction
+  double jitter = 0.004;         ///< uniform +/- jitter
+  double loss_rate = 0.0;        ///< independent per-packet loss, both directions
+  double time_budget = 30.0;     ///< simulated seconds before the session is cut
+  PathGeometry geometry;
+};
+
+/// A packet observed at the server tap (or in the full trace).
+struct TracedPacket {
+  net::Packet pkt;      ///< as received (arrival TTL/timestamps)
+  Direction dir = Direction::kClientToServer;
+  bool injected = false;  ///< ground truth: forged by the middlebox
+};
+
+struct SessionResult {
+  /// Packets that arrived at the server, in arrival order (the tap input).
+  std::vector<TracedPacket> server_inbound;
+  /// Every delivered packet, both directions (for pcap export/debugging).
+  std::vector<TracedPacket> full_trace;
+  common::SimTime end_time = 0.0;
+  std::uint64_t packets_dropped_by_hook = 0;
+  std::uint64_t packets_lost = 0;
+};
+
+/// Runs one client/server pair to quiescence or the time budget.
+/// `hook` may be nullptr (clean path).
+[[nodiscard]] SessionResult simulate_session(TcpEndpoint& client, TcpEndpoint& server,
+                                             PathHook* hook, const SessionConfig& config,
+                                             common::Rng& rng);
+
+}  // namespace tamper::tcp

@@ -1,0 +1,58 @@
+#include "world/category.h"
+
+#include <array>
+
+namespace tamper::world {
+
+namespace {
+struct CategoryInfo {
+  Category category;
+  std::string_view label;
+  double universe_share;     ///< fraction of all domains
+  double request_multiplier; ///< per-domain request intensity
+};
+
+constexpr std::array<CategoryInfo, kCategoryCount> kInfo = {{
+    {Category::kAdultThemes, "Adult Themes", 0.08, 1.2},
+    {Category::kContentServers, "Content Servers", 0.06, 4.0},
+    {Category::kTechnology, "Technology", 0.12, 1.5},
+    {Category::kBusiness, "Business", 0.16, 1.0},
+    {Category::kEducation, "Education", 0.06, 0.8},
+    {Category::kChat, "Chat", 0.03, 1.6},
+    {Category::kGaming, "Gaming", 0.05, 1.1},
+    {Category::kLoginScreens, "Login Screens", 0.02, 1.8},
+    {Category::kAdvertisements, "Advertisements", 0.05, 3.5},
+    {Category::kHobbiesInterests, "Hobbies & Interests", 0.09, 0.9},
+    {Category::kNewsMedia, "News & Media", 0.07, 1.3},
+    {Category::kSocialNetworks, "Social Networks", 0.03, 2.2},
+    {Category::kStreaming, "Streaming", 0.04, 1.7},
+    {Category::kShopping, "Shopping", 0.08, 1.0},
+    {Category::kGovernment, "Government", 0.03, 0.5},
+    {Category::kHealth, "Health", 0.03, 0.6},
+}};
+
+constexpr std::array<Category, kCategoryCount> kAll = {
+    Category::kAdultThemes,   Category::kContentServers, Category::kTechnology,
+    Category::kBusiness,      Category::kEducation,      Category::kChat,
+    Category::kGaming,        Category::kLoginScreens,   Category::kAdvertisements,
+    Category::kHobbiesInterests, Category::kNewsMedia,   Category::kSocialNetworks,
+    Category::kStreaming,     Category::kShopping,       Category::kGovernment,
+    Category::kHealth,
+};
+}  // namespace
+
+std::span<const Category> all_categories() noexcept { return kAll; }
+
+std::string_view name(Category c) noexcept {
+  return kInfo[static_cast<std::size_t>(c)].label;
+}
+
+double universe_share(Category c) noexcept {
+  return kInfo[static_cast<std::size_t>(c)].universe_share;
+}
+
+double request_multiplier(Category c) noexcept {
+  return kInfo[static_cast<std::size_t>(c)].request_multiplier;
+}
+
+}  // namespace tamper::world

@@ -1,0 +1,43 @@
+// Content categories for domains, mirroring the taxonomy the paper reports
+// against in Table 2 (the CDN's categorization vendor feed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tamper::world {
+
+enum class Category : std::uint8_t {
+  kAdultThemes,
+  kContentServers,  ///< CDNs and sites serving content for other applications
+  kTechnology,
+  kBusiness,
+  kEducation,
+  kChat,
+  kGaming,
+  kLoginScreens,
+  kAdvertisements,
+  kHobbiesInterests,
+  kNewsMedia,
+  kSocialNetworks,
+  kStreaming,
+  kShopping,
+  kGovernment,
+  kHealth,
+};
+
+inline constexpr std::size_t kCategoryCount = 16;
+
+[[nodiscard]] std::span<const Category> all_categories() noexcept;
+[[nodiscard]] std::string_view name(Category c) noexcept;
+
+/// Share of the domain universe in each category (sums to ~1).
+[[nodiscard]] double universe_share(Category c) noexcept;
+
+/// Relative request popularity multiplier: some categories (content servers,
+/// advertisements) are requested far more often per domain than others
+/// because they are fetched programmatically by other pages.
+[[nodiscard]] double request_multiplier(Category c) noexcept;
+
+}  // namespace tamper::world

@@ -1,0 +1,591 @@
+#include "world/countries.h"
+
+#include <unordered_map>
+
+namespace tamper::world {
+
+namespace {
+
+using appproto::AppProtocol;
+using Cat = Category;
+
+MethodWeight mw(std::string preset, double weight,
+                AppProtocol only = AppProtocol::kUnknown) {
+  return MethodWeight{std::move(preset), weight, only};
+}
+
+/// Baseline for countries without notable censorship: sparse corporate /
+/// copyright firewalls acting on cleartext keywords and a handful of
+/// category-filtered domains. Produces the small but non-zero match rates
+/// the paper reports for the US, GB, DE, etc.
+CensorshipPolicy light_policy(double interest = 0.012, double spread = 0.6) {
+  CensorshipPolicy p;
+  p.extra_interest = interest;
+  p.enforcement = 0.80;
+  p.asn_spread = spread;  // corporate blocking varies a lot across ASes
+  p.night_amp = 0.45;
+  p.weekend_factor = 0.75;  // enterprise networks idle on weekends
+  p.methods = {
+      mw("keyword_firewall_rst_ack", 0.40),
+      mw("keyword_firewall_rst", 0.30),
+      mw("single_rst_firewall", 0.20),
+      mw("single_rst_ack_firewall", 0.10),
+  };
+  p.category_block_share = {
+      {Cat::kContentServers, 0.006}, {Cat::kTechnology, 0.004},
+      {Cat::kBusiness, 0.003},       {Cat::kAdultThemes, 0.030},
+      {Cat::kStreaming, 0.010},
+  };
+  return p;
+}
+
+std::vector<CountrySpec> build_countries() {
+  std::vector<CountrySpec> v;
+  auto add = [&](CountrySpec spec) { v.push_back(std::move(spec)); };
+
+  // ---- Heavily tampering regions (Fig. 4 left side) ----
+
+  {
+    // Turkmenistan: blanket bans on CDN ranges; TLS killed at the dropped
+    // ClientHello (SYN;ACK → RST), HTTP requests observed then reset.
+    CensorshipPolicy p;
+    p.extra_interest = 0.10;
+    p.enforcement = 0.95;
+    p.asn_spread = 0.05;
+    p.night_amp = 0.4;
+    p.tls_bias = 1.0;
+    p.http_bias = 1.0;
+    p.methods = {
+        mw("post_ack_rst", 0.72, AppProtocol::kTls),
+        mw("post_ack_rst_burst", 0.06, AppProtocol::kTls),
+        mw("single_rst_firewall", 0.16, AppProtocol::kHttp),
+        mw("syn_rst", 0.06),
+    };
+    // Blanket: nearly every category is substantially blocked.
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.95},   {Cat::kContentServers, 0.90},
+        {Cat::kTechnology, 0.88},    {Cat::kBusiness, 0.85},
+        {Cat::kEducation, 0.85},     {Cat::kChat, 0.95},
+        {Cat::kGaming, 0.85},        {Cat::kLoginScreens, 0.85},
+        {Cat::kAdvertisements, 0.90},{Cat::kHobbiesInterests, 0.85},
+        {Cat::kNewsMedia, 0.95},     {Cat::kSocialNetworks, 0.97},
+        {Cat::kStreaming, 0.92},     {Cat::kShopping, 0.80},
+        {Cat::kGovernment, 0.60},    {Cat::kHealth, 0.75},
+    };
+    add({"TM", "Turkmenistan", 0.0018, 5.0, 0.02, 0.28, 3, p});
+  }
+  {
+    // Peru: ISP-level filtering dominated by advertisement domains.
+    CensorshipPolicy p;
+    p.extra_interest = 0.46;
+    p.enforcement = 0.92;
+    p.asn_spread = 0.25;
+    p.methods = {
+        mw("single_rst_ack_firewall", 0.40),
+        mw("keyword_firewall_rst", 0.28),
+        mw("single_rst_firewall", 0.32),
+    };
+    p.category_block_share = {
+        {Cat::kAdvertisements, 0.615}, {Cat::kBusiness, 0.059},
+        {Cat::kTechnology, 0.085},     {Cat::kAdultThemes, 0.10},
+    };
+    add({"PE", "Peru", 0.008, -5.0, 0.30, 0.18, 6, p});
+  }
+  {
+    // Uzbekistan: Iran-style post-handshake RST+ACK injection dominates.
+    CensorshipPolicy p;
+    p.extra_interest = 0.26;
+    p.enforcement = 0.92;
+    p.asn_spread = 0.10;
+    p.methods = {
+        mw("iran_rst_ack", 0.70),
+        mw("post_ack_blackhole", 0.12),
+        mw("iran_rst_ack_burst", 0.08),
+        mw("single_rst_ack_firewall", 0.10),
+    };
+    p.category_block_share = {
+        {Cat::kSocialNetworks, 0.60}, {Cat::kNewsMedia, 0.40},
+        {Cat::kAdultThemes, 0.50},    {Cat::kChat, 0.45},
+        {Cat::kStreaming, 0.25},      {Cat::kContentServers, 0.08},
+    };
+    add({"UZ", "Uzbekistan", 0.004, 5.0, 0.08, 0.30, 5, p});
+  }
+  {
+    // Cuba: mostly silent drops (state telecom monopoly).
+    CensorshipPolicy p;
+    p.extra_interest = 0.26;
+    p.enforcement = 0.90;
+    p.asn_spread = 0.05;
+    p.methods = {
+        mw("post_ack_blackhole", 0.38),
+        mw("syn_blackhole", 0.28),
+        mw("post_ack_rst", 0.14),
+        mw("post_ack_rst_burst", 0.10),
+        mw("psh_blackhole", 0.10),
+    };
+    p.category_block_share = {
+        {Cat::kNewsMedia, 0.55},   {Cat::kSocialNetworks, 0.40},
+        {Cat::kAdultThemes, 0.40}, {Cat::kChat, 0.35},
+        {Cat::kTechnology, 0.10},
+    };
+    add({"CU", "Cuba", 0.0018, -5.0, 0.04, 0.40, 2, p});
+  }
+  {
+    // Saudi Arabia.
+    CensorshipPolicy p;
+    p.extra_interest = 0.24;
+    p.enforcement = 0.92;
+    p.asn_spread = 0.12;
+    p.methods = {
+        mw("post_ack_rst", 0.22),
+        mw("post_ack_rst_burst", 0.08),
+        mw("single_rst_ack_firewall", 0.28),
+        mw("psh_blackhole", 0.20),
+        mw("syn_rst_ack", 0.22),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.85},  {Cat::kGaming, 0.12},
+        {Cat::kStreaming, 0.18},    {Cat::kNewsMedia, 0.15},
+        {Cat::kSocialNetworks, 0.10},
+    };
+    add({"SA", "Saudi Arabia", 0.008, 3.0, 0.35, 0.12, 7, p});
+  }
+  {
+    // Kazakhstan: post-handshake RST+ACK (16.5% of connections per paper).
+    CensorshipPolicy p;
+    p.extra_interest = 0.22;
+    p.enforcement = 0.90;
+    p.asn_spread = 0.18;
+    p.methods = {
+        mw("iran_rst_ack", 0.62),
+        mw("post_ack_blackhole", 0.10),
+        mw("single_rst_firewall", 0.16),
+        mw("keyword_firewall_rst", 0.12),
+    };
+    p.category_block_share = {
+        {Cat::kNewsMedia, 0.35},    {Cat::kSocialNetworks, 0.30},
+        {Cat::kAdultThemes, 0.45},  {Cat::kChat, 0.25},
+        {Cat::kHobbiesInterests, 0.10},
+    };
+    add({"KZ", "Kazakhstan", 0.005, 6.0, 0.18, 0.22, 6, p});
+  }
+  {
+    // Russia: decentralized TSPU deployment — many methods, high AS spread.
+    CensorshipPolicy p;
+    p.extra_interest = 0.20;
+    p.enforcement = 0.85;
+    p.asn_spread = 0.55;
+    p.methods = {
+        mw("psh_blackhole", 0.19),
+        mw("single_rst_firewall", 0.18),
+        mw("keyword_firewall_rst", 0.13),
+        mw("single_rst_ack_firewall", 0.13),
+        mw("repeated_rst_same_ack", 0.08),
+        mw("post_ack_rst", 0.09),
+        mw("syn_rst", 0.09),
+        mw("keyword_firewall_rst_ack", 0.11),
+    };
+    p.category_block_share = {
+        {Cat::kHobbiesInterests, 0.281}, {Cat::kBusiness, 0.029},
+        {Cat::kAdvertisements, 0.074},   {Cat::kNewsMedia, 0.30},
+        {Cat::kSocialNetworks, 0.25},    {Cat::kAdultThemes, 0.15},
+    };
+    add({"RU", "Russia", 0.030, 3.0, 0.30, 0.20, 18, p});
+  }
+  {
+    // Pakistan: decentralized, mixed drops and resets.
+    CensorshipPolicy p;
+    p.extra_interest = 0.20;
+    p.enforcement = 0.82;
+    p.asn_spread = 0.50;
+    p.methods = {
+        mw("single_rst_firewall", 0.28),
+        mw("psh_blackhole", 0.28),
+        mw("syn_blackhole", 0.18),
+        mw("keyword_firewall_rst", 0.16),
+        mw("post_ack_blackhole", 0.10),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.70},  {Cat::kSocialNetworks, 0.20},
+        {Cat::kNewsMedia, 0.18},    {Cat::kStreaming, 0.15},
+        {Cat::kChat, 0.12},
+    };
+    add({"PK", "Pakistan", 0.014, 5.0, 0.12, 0.30, 10, p});
+  }
+  {
+    // Nicaragua.
+    CensorshipPolicy p;
+    p.extra_interest = 0.19;
+    p.enforcement = 0.85;
+    p.asn_spread = 0.30;
+    p.methods = {
+        mw("single_rst_ack_firewall", 0.40),
+        mw("keyword_firewall_rst_ack", 0.30),
+        mw("post_ack_rst", 0.30),
+    };
+    p.category_block_share = {
+        {Cat::kNewsMedia, 0.30}, {Cat::kAdvertisements, 0.25},
+        {Cat::kAdultThemes, 0.25}, {Cat::kBusiness, 0.02},
+    };
+    add({"NI", "Nicaragua", 0.0012, -6.0, 0.08, 0.30, 3, p});
+  }
+  {
+    // Ukraine: commercial firewalls prominent — PSH;Data → RST+ACK (§5.1).
+    CensorshipPolicy p;
+    p.extra_interest = 0.18;
+    p.enforcement = 0.85;
+    p.asn_spread = 0.50;
+    p.methods = {
+        mw("keyword_firewall_rst_ack", 0.50),
+        mw("keyword_firewall_rst", 0.16),
+        mw("single_rst_firewall", 0.18),
+        mw("psh_blackhole", 0.16),
+    };
+    p.category_block_share = {
+        {Cat::kHobbiesInterests, 0.18}, {Cat::kSocialNetworks, 0.22},
+        {Cat::kNewsMedia, 0.20},        {Cat::kAdvertisements, 0.10},
+        {Cat::kBusiness, 0.015},
+    };
+    add({"UA", "Ukraine", 0.010, 2.0, 0.22, 0.22, 12, p});
+  }
+  {
+    // Bangladesh.
+    CensorshipPolicy p;
+    p.extra_interest = 0.18;
+    p.enforcement = 0.82;
+    p.asn_spread = 0.40;
+    p.methods = {
+        mw("single_rst_firewall", 0.35),
+        mw("psh_blackhole", 0.25),
+        mw("post_ack_blackhole", 0.20),
+        mw("keyword_firewall_rst", 0.20),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.60}, {Cat::kGaming, 0.15},
+        {Cat::kSocialNetworks, 0.12}, {Cat::kStreaming, 0.10},
+    };
+    add({"BD", "Bangladesh", 0.012, 6.0, 0.10, 0.35, 8, p});
+  }
+  {
+    // Mexico: not a classic censor; heterogeneous ISP-level blocking.
+    CensorshipPolicy p;
+    p.extra_interest = 0.17;
+    p.enforcement = 0.85;
+    p.asn_spread = 0.55;
+    p.methods = {
+        mw("single_rst_firewall", 0.36),
+        mw("keyword_firewall_rst_ack", 0.28),
+        mw("psh_blackhole", 0.22),
+        mw("single_rst_ack_firewall", 0.14),
+    };
+    p.category_block_share = {
+        {Cat::kAdvertisements, 0.126}, {Cat::kTechnology, 0.034},
+        {Cat::kBusiness, 0.029},       {Cat::kAdultThemes, 0.08},
+    };
+    add({"MX", "Mexico", 0.022, -6.0, 0.38, 0.15, 12, p});
+  }
+  {
+    // Iran: protocol filtering — drop the ClientHello (timeout) or inject
+    // RST+ACK after dropping; two mobile carriers dominate (§5.6).
+    CensorshipPolicy p;
+    p.extra_interest = 0.115;
+    p.enforcement = 0.90;
+    p.asn_spread = 0.08;
+    p.night_amp = 0.9;
+    p.weekend_factor = 0.70;  // paper: notably lower on (local) weekends
+    p.methods = {
+        mw("post_ack_blackhole", 0.38),
+        mw("iran_rst_ack", 0.24),
+        mw("iran_rst_ack_burst", 0.10),
+        mw("syn_rst", 0.10),
+        mw("syn_blackhole", 0.06),
+        mw("single_rst_ack_firewall", 0.12),
+    };
+    p.category_block_share = {
+        {Cat::kContentServers, 0.302}, {Cat::kTechnology, 0.022},
+        {Cat::kBusiness, 0.014},       {Cat::kSocialNetworks, 0.65},
+        {Cat::kAdultThemes, 0.55},     {Cat::kNewsMedia, 0.40},
+        {Cat::kStreaming, 0.35},       {Cat::kChat, 0.45},
+    };
+    add({"IR", "Iran", 0.012, 3.5, 0.12, 0.28, 8, p});
+  }
+
+  // ---- Moderate tampering ----
+  auto moderate = [&](std::string code, std::string name_, double weight, double utc,
+                      double v6, double http, int asns, double interest,
+                      std::vector<MethodWeight> methods,
+                      std::vector<std::pair<Cat, double>> cats, double spread = 0.30) {
+    CensorshipPolicy p;
+    p.extra_interest = interest;
+    p.enforcement = 0.85;
+    p.asn_spread = spread;
+    p.methods = std::move(methods);
+    p.category_block_share = std::move(cats);
+    add({std::move(code), std::move(name_), weight, utc, v6, http, asns, std::move(p)});
+  };
+
+  moderate("OM", "Oman", 0.002, 4.0, 0.15, 0.15, 3, 0.16,
+           {mw("post_ack_rst", 0.4), mw("single_rst_ack_firewall", 0.35),
+            mw("psh_blackhole", 0.25)},
+           {{Cat::kAdultThemes, 0.75}, {Cat::kStreaming, 0.15}, {Cat::kChat, 0.20}});
+  moderate("DJ", "Djibouti", 0.0008, 3.0, 0.05, 0.35, 2, 0.16,
+           {mw("syn_blackhole", 0.4), mw("post_ack_blackhole", 0.35),
+            mw("single_rst_firewall", 0.25)},
+           {{Cat::kNewsMedia, 0.35}, {Cat::kSocialNetworks, 0.25},
+            {Cat::kAdultThemes, 0.30}});
+  moderate("AZ", "Azerbaijan", 0.003, 4.0, 0.08, 0.25, 4, 0.15,
+           {mw("iran_rst_ack", 0.35), mw("post_ack_blackhole", 0.30),
+            mw("single_rst_firewall", 0.35)},
+           {{Cat::kNewsMedia, 0.40}, {Cat::kSocialNetworks, 0.20},
+            {Cat::kAdultThemes, 0.25}});
+  moderate("AE", "United Arab Emirates", 0.006, 4.0, 0.30, 0.10, 5, 0.15,
+           {mw("single_rst_ack_firewall", 0.40), mw("post_ack_rst", 0.30),
+            mw("keyword_firewall_rst_ack", 0.30)},
+           {{Cat::kAdultThemes, 0.80}, {Cat::kChat, 0.35}, {Cat::kGaming, 0.10},
+            {Cat::kStreaming, 0.12}});
+  moderate("SD", "Sudan", 0.002, 2.0, 0.04, 0.40, 3, 0.15,
+           {mw("syn_blackhole", 0.35), mw("post_ack_blackhole", 0.35),
+            mw("single_rst_firewall", 0.30)},
+           {{Cat::kNewsMedia, 0.30}, {Cat::kSocialNetworks, 0.30},
+            {Cat::kAdultThemes, 0.40}});
+  {
+    // China: the GFW — centralized, distinctive multi-RST bursts, and the
+    // zero-ACK pattern shared only with KR (§4.3).
+    CensorshipPolicy p;
+    p.extra_interest = 0.085;
+    p.enforcement = 0.96;
+    p.asn_spread = 0.06;
+    p.night_amp = 0.8;
+    p.tls_bias = 1.0;
+    p.http_bias = 0.45;  // Fig. 7b: CN ~15% TLS vs ~7% HTTP
+    p.methods = {
+        mw("gfw_mixed_burst", 0.26),
+        mw("gfw_double_rst_ack", 0.22),
+        mw("zero_ack_injector", 0.14),
+        mw("single_rst_firewall", 0.12),
+        mw("psh_blackhole", 0.08),
+        mw("gfw_syn_burst", 0.08),
+        mw("syn_blackhole", 0.06),
+        mw("keyword_firewall_rst", 0.04, AppProtocol::kHttp),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.510},   {Cat::kContentServers, 0.031},
+        {Cat::kEducation, 0.213},     {Cat::kSocialNetworks, 0.55},
+        {Cat::kNewsMedia, 0.35},      {Cat::kChat, 0.30},
+        {Cat::kStreaming, 0.30},      {Cat::kTechnology, 0.06},
+        {Cat::kLoginScreens, 0.10},
+    };
+    add({"CN", "China", 0.055, 8.0, 0.30, 0.25, 16, p});
+  }
+  moderate("BY", "Belarus", 0.004, 3.0, 0.12, 0.25, 4, 0.13,
+           {mw("single_rst_firewall", 0.35), mw("psh_blackhole", 0.30),
+            mw("post_ack_rst", 0.35)},
+           {{Cat::kNewsMedia, 0.45}, {Cat::kSocialNetworks, 0.25},
+            {Cat::kHobbiesInterests, 0.10}});
+  moderate("RW", "Rwanda", 0.001, 2.0, 0.05, 0.35, 2, 0.13,
+           {mw("syn_blackhole", 0.4), mw("single_rst_firewall", 0.6)},
+           {{Cat::kNewsMedia, 0.30}, {Cat::kAdultThemes, 0.25}});
+  moderate("EG", "Egypt", 0.012, 2.0, 0.10, 0.30, 8, 0.13,
+           {mw("psh_blackhole", 0.36), mw("syn_blackhole", 0.22),
+            mw("repeated_rst_same_ack", 0.12), mw("single_rst_firewall", 0.30)},
+           {{Cat::kNewsMedia, 0.40}, {Cat::kAdultThemes, 0.45},
+            {Cat::kSocialNetworks, 0.12}}, 0.20);
+  moderate("YE", "Yemen", 0.002, 3.0, 0.03, 0.45, 2, 0.13,
+           {mw("post_ack_blackhole", 0.45), mw("single_rst_firewall", 0.55)},
+           {{Cat::kAdultThemes, 0.55}, {Cat::kNewsMedia, 0.30}});
+  moderate("AF", "Afghanistan", 0.002, 4.5, 0.03, 0.45, 3, 0.12,
+           {mw("syn_blackhole", 0.40), mw("psh_blackhole", 0.35),
+            mw("single_rst_firewall", 0.25)},
+           {{Cat::kAdultThemes, 0.60}, {Cat::kSocialNetworks, 0.20},
+            {Cat::kStreaming, 0.15}});
+  moderate("LA", "Laos", 0.001, 7.0, 0.05, 0.40, 2, 0.12,
+           {mw("post_ack_blackhole", 0.5), mw("single_rst_firewall", 0.5)},
+           {{Cat::kNewsMedia, 0.25}, {Cat::kAdultThemes, 0.35}});
+  moderate("MM", "Myanmar", 0.003, 6.5, 0.06, 0.40, 4, 0.12,
+           {mw("syn_blackhole", 0.35), mw("post_ack_blackhole", 0.30),
+            mw("single_rst_firewall", 0.35)},
+           {{Cat::kNewsMedia, 0.45}, {Cat::kSocialNetworks, 0.40},
+            {Cat::kChat, 0.20}});
+  moderate("IQ", "Iraq", 0.004, 3.0, 0.05, 0.35, 5, 0.12,
+           {mw("psh_blackhole", 0.40), mw("single_rst_firewall", 0.35),
+            mw("keyword_firewall_rst", 0.25)},
+           {{Cat::kAdultThemes, 0.50}, {Cat::kNewsMedia, 0.20},
+            {Cat::kChat, 0.15}}, 0.40);
+  moderate("KW", "Kuwait", 0.002, 3.0, 0.20, 0.15, 3, 0.11,
+           {mw("single_rst_ack_firewall", 0.45), mw("post_ack_rst", 0.30),
+            mw("keyword_firewall_rst_ack", 0.25)},
+           {{Cat::kAdultThemes, 0.75}, {Cat::kStreaming, 0.12},
+            {Cat::kGaming, 0.08}});
+
+  // ---- Lighter tampering (right side of Fig. 4) ----
+  moderate("TR", "Turkey", 0.016, 3.0, 0.25, 0.20, 10, 0.10,
+           {mw("single_rst_firewall", 0.30), mw("psh_blackhole", 0.22),
+            mw("keyword_firewall_rst", 0.22), mw("repeated_rst_same_ack", 0.12),
+            mw("post_ack_rst", 0.14)},
+           {{Cat::kNewsMedia, 0.30}, {Cat::kSocialNetworks, 0.18},
+            {Cat::kAdultThemes, 0.35}, {Cat::kHobbiesInterests, 0.06}}, 0.40);
+  moderate("BH", "Bahrain", 0.001, 3.0, 0.12, 0.15, 2, 0.10,
+           {mw("single_rst_ack_firewall", 0.5), mw("post_ack_rst", 0.5)},
+           {{Cat::kNewsMedia, 0.35}, {Cat::kAdultThemes, 0.60}});
+  moderate("ET", "Ethiopia", 0.003, 3.0, 0.03, 0.40, 2, 0.10,
+           {mw("syn_blackhole", 0.40), mw("post_ack_blackhole", 0.35),
+            mw("single_rst_firewall", 0.25)},
+           {{Cat::kNewsMedia, 0.30}, {Cat::kSocialNetworks, 0.25}});
+  {
+    // India: large, decentralized; adult-content orders dominate (Table 2).
+    CensorshipPolicy p;
+    p.extra_interest = 0.075;
+    p.enforcement = 0.80;
+    p.asn_spread = 0.45;
+    p.methods = {
+        mw("single_rst_firewall", 0.32),
+        mw("psh_blackhole", 0.24),
+        mw("syn_blackhole", 0.12),
+        mw("keyword_firewall_rst", 0.16),
+        mw("single_rst_ack_firewall", 0.16),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.183}, {Cat::kChat, 0.034},
+        {Cat::kContentServers, 0.024}, {Cat::kSocialNetworks, 0.04},
+        {Cat::kGaming, 0.05},
+    };
+    add({"IN", "India", 0.095, 5.5, 0.55, 0.30, 20, p});
+  }
+  moderate("HN", "Honduras", 0.001, -6.0, 0.05, 0.30, 2, 0.09,
+           {mw("single_rst_firewall", 0.6), mw("keyword_firewall_rst", 0.4)},
+           {{Cat::kAdvertisements, 0.20}, {Cat::kAdultThemes, 0.15}});
+  moderate("ER", "Eritrea", 0.0005, 3.0, 0.02, 0.50, 1, 0.09,
+           {mw("syn_blackhole", 0.5), mw("post_ack_blackhole", 0.5)},
+           {{Cat::kNewsMedia, 0.35}, {Cat::kSocialNetworks, 0.25}});
+  moderate("PS", "Palestine", 0.001, 2.0, 0.05, 0.30, 2, 0.09,
+           {mw("single_rst_firewall", 0.55), mw("psh_blackhole", 0.45)},
+           {{Cat::kNewsMedia, 0.25}, {Cat::kAdultThemes, 0.30}});
+  moderate("MY", "Malaysia", 0.008, 8.0, 0.35, 0.15, 6, 0.08,
+           {mw("psh_blackhole", 0.35), mw("single_rst_firewall", 0.35),
+            mw("keyword_firewall_rst_ack", 0.30)},
+           {{Cat::kAdultThemes, 0.45}, {Cat::kGaming, 0.10},
+            {Cat::kStreaming, 0.10}}, 0.35);
+  moderate("TH", "Thailand", 0.012, 7.0, 0.35, 0.20, 8, 0.08,
+           {mw("single_rst_firewall", 0.40), mw("psh_blackhole", 0.30),
+            mw("keyword_firewall_rst", 0.30)},
+           {{Cat::kAdultThemes, 0.40}, {Cat::kNewsMedia, 0.15},
+            {Cat::kGaming, 0.08}}, 0.35);
+  {
+    // South Korea: adult-content blocking; one large ISP injects RST bursts
+    // with randomized TTLs (§4.3, §5.1).
+    CensorshipPolicy p;
+    p.extra_interest = 0.075;
+    p.enforcement = 0.90;
+    p.asn_spread = 0.30;
+    p.dominant_as_preset = "korea_random_ttl";
+    p.methods = {
+        mw("ack_guessing_injector", 0.18),
+        mw("zero_ack_injector", 0.12),
+        mw("single_rst_firewall", 0.30),
+        mw("psh_blackhole", 0.15),
+        mw("keyword_firewall_rst_ack", 0.25),
+    };
+    p.category_block_share = {
+        {Cat::kAdultThemes, 0.376},  {Cat::kGaming, 0.015},
+        {Cat::kLoginScreens, 0.305}, {Cat::kStreaming, 0.05},
+    };
+    add({"KR", "South Korea", 0.018, 9.0, 0.40, 0.10, 8, p});
+  }
+  moderate("VN", "Vietnam", 0.014, 7.0, 0.40, 0.25, 8, 0.07,
+           {mw("psh_blackhole", 0.35), mw("single_rst_firewall", 0.35),
+            mw("keyword_firewall_rst", 0.30)},
+           {{Cat::kNewsMedia, 0.25}, {Cat::kSocialNetworks, 0.12},
+            {Cat::kAdultThemes, 0.20}}, 0.40);
+  moderate("VE", "Venezuela", 0.004, -4.0, 0.10, 0.25, 4, 0.07,
+           {mw("syn_blackhole", 0.30), mw("post_ack_blackhole", 0.30),
+            mw("single_rst_firewall", 0.40)},
+           {{Cat::kNewsMedia, 0.40}, {Cat::kSocialNetworks, 0.15}}, 0.40);
+  moderate("SY", "Syria", 0.001, 2.0, 0.03, 0.40, 2, 0.06,
+           {mw("post_ack_blackhole", 0.45), mw("syn_blackhole", 0.30),
+            mw("single_rst_firewall", 0.25)},
+           {{Cat::kNewsMedia, 0.40}, {Cat::kSocialNetworks, 0.30},
+            {Cat::kChat, 0.25}});
+  moderate("KP", "North Korea", 0.0002, 9.0, 0.01, 0.60, 1, 0.04,
+           {mw("syn_blackhole", 0.7), mw("post_ack_blackhole", 0.3)},
+           {{Cat::kNewsMedia, 0.50}, {Cat::kSocialNetworks, 0.50}});
+
+  // ---- Fig. 7 comparison countries ----
+  {
+    CountrySpec lk{"LK", "Sri Lanka", 0.005, 5.5, 0.30, 0.30, 4,
+                   light_policy(0.18, 0.25)};
+    // Paper: >40% tampering on IPv4 but <25% on IPv6.
+    lk.policy.ipv6_bias = 0.45;
+    lk.policy.methods = {mw("post_ack_blackhole", 0.45), mw("iran_rst_ack", 0.30),
+                         mw("single_rst_firewall", 0.25)};
+    lk.policy.enforcement = 0.88;
+    lk.policy.category_block_share = {{Cat::kAdultThemes, 0.50},
+                                      {Cat::kSocialNetworks, 0.30},
+                                      {Cat::kNewsMedia, 0.25}};
+    add(std::move(lk));
+  }
+  {
+    CountrySpec ke{"KE", "Kenya", 0.006, 3.0, 0.25, 0.30, 4, light_policy(0.10, 0.3)};
+    // Paper: IPv6 tampering roughly double the ~25% IPv4 rate.
+    ke.policy.ipv6_bias = 2.0;
+    ke.policy.enforcement = 0.85;
+    ke.policy.methods = {mw("single_rst_firewall", 0.5),
+                         mw("keyword_firewall_rst", 0.5)};
+    ke.policy.category_block_share = {{Cat::kAdvertisements, 0.30},
+                                      {Cat::kAdultThemes, 0.25}};
+    add(std::move(ke));
+  }
+
+  // ---- Large, lightly-tampered countries (baseline traffic) ----
+  add({"US", "United States", 0.14, -6.0, 0.48, 0.08, 20, light_policy(0.016)});
+  add({"DE", "Germany", 0.035, 1.0, 0.55, 0.08, 12, light_policy(0.013)});
+  add({"GB", "United Kingdom", 0.035, 0.0, 0.40, 0.08, 12, light_policy(0.015)});
+  add({"FR", "France", 0.025, 1.0, 0.50, 0.09, 10, light_policy(0.010)});
+  add({"BR", "Brazil", 0.045, -3.0, 0.42, 0.18, 15, light_policy(0.012)});
+  add({"JP", "Japan", 0.035, 9.0, 0.45, 0.10, 12, light_policy(0.006)});
+  add({"CA", "Canada", 0.015, -5.0, 0.40, 0.08, 8, light_policy(0.009)});
+  add({"AU", "Australia", 0.012, 10.0, 0.35, 0.08, 7, light_policy(0.010)});
+  add({"IT", "Italy", 0.018, 1.0, 0.30, 0.10, 9, light_policy(0.011)});
+  add({"ES", "Spain", 0.016, 1.0, 0.35, 0.10, 8, light_policy(0.011)});
+  add({"NL", "Netherlands", 0.012, 1.0, 0.45, 0.08, 7, light_policy(0.008)});
+  add({"PL", "Poland", 0.010, 1.0, 0.30, 0.12, 7, light_policy(0.009)});
+  add({"ID", "Indonesia", 0.028, 7.0, 0.20, 0.25, 12, light_policy(0.030, 0.4)});
+  add({"NG", "Nigeria", 0.010, 1.0, 0.08, 0.30, 6, light_policy(0.020, 0.4)});
+  add({"SG", "Singapore", 0.007, 8.0, 0.40, 0.08, 5, light_policy(0.012)});
+  add({"AR", "Argentina", 0.012, -3.0, 0.35, 0.15, 8, light_policy(0.010)});
+  add({"CO", "Colombia", 0.010, -5.0, 0.30, 0.18, 6, light_policy(0.025, 0.4)});
+  add({"CL", "Chile", 0.007, -4.0, 0.30, 0.15, 5, light_policy(0.010)});
+  add({"EC", "Ecuador", 0.005, -5.0, 0.20, 0.20, 4, light_policy(0.022, 0.4)});
+  add({"GT", "Guatemala", 0.004, -6.0, 0.10, 0.25, 3, light_policy(0.020, 0.4)});
+  add({"PY", "Paraguay", 0.003, -4.0, 0.15, 0.20, 3, light_policy(0.018, 0.4)});
+  add({"PH", "Philippines", 0.012, 8.0, 0.25, 0.22, 8, light_policy(0.015)});
+  add({"ZA", "South Africa", 0.008, 2.0, 0.15, 0.18, 6, light_policy(0.010)});
+  add({"SE", "Sweden", 0.008, 1.0, 0.40, 0.08, 5, light_policy(0.008)});
+  add({"TW", "Taiwan", 0.008, 8.0, 0.40, 0.10, 6, light_policy(0.007)});
+  add({"HK", "Hong Kong", 0.007, 8.0, 0.45, 0.10, 5, light_policy(0.008)});
+  add({"IL", "Israel", 0.006, 2.0, 0.30, 0.10, 5, light_policy(0.009)});
+  add({"MA", "Morocco", 0.005, 1.0, 0.10, 0.25, 4, light_policy(0.015)});
+  add({"DZ", "Algeria", 0.005, 1.0, 0.08, 0.28, 4, light_policy(0.018)});
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<CountrySpec>& default_countries() {
+  static const std::vector<CountrySpec> kCountries = build_countries();
+  return kCountries;
+}
+
+int country_index(const std::string& code) {
+  static const std::unordered_map<std::string, int> kIndex = [] {
+    std::unordered_map<std::string, int> m;
+    const auto& countries = default_countries();
+    for (int i = 0; i < static_cast<int>(countries.size()); ++i)
+      m.emplace(countries[static_cast<std::size_t>(i)].code, i);
+    return m;
+  }();
+  const auto it = kIndex.find(code);
+  return it == kIndex.end() ? -1 : it->second;
+}
+
+}  // namespace tamper::world

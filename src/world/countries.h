@@ -1,0 +1,76 @@
+// Country specifications and per-country tampering policies.
+//
+// Each entry couples observable traffic characteristics (weight, timezone,
+// IPv6/HTTP shares) with a CensorshipPolicy describing what gets blocked
+// (category coverage), how reliably (enforcement, per-AS heterogeneity),
+// when (diurnal/weekend demand for blocked content), and with which
+// middlebox behaviors (catalog preset mix, optionally per protocol).
+//
+// The numbers are calibrated so the *shapes* of the paper's figures emerge:
+// which countries dominate which signatures (Figs. 1, 4), centralized vs
+// decentralized AS homogeneity (Fig. 5), diurnal cycles (Fig. 6), protocol
+// and IP-version disparities (Fig. 7), and category emphases (Table 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "appproto/dpi.h"
+#include "world/category.h"
+
+namespace tamper::world {
+
+/// One entry in a country's tampering-method mix.
+struct MethodWeight {
+  std::string preset;  ///< middlebox::catalog name
+  double weight = 1.0;
+  /// Restrict to one application protocol (e.g. Turkmenistan kills TLS at
+  /// the ClientHello but lets HTTP requests through before resetting).
+  appproto::AppProtocol only = appproto::AppProtocol::kUnknown;  ///< kUnknown = any
+};
+
+struct CensorshipPolicy {
+  /// Probability that a client request is drawn from the country's blocked
+  /// set (demand for blocked content), before time-of-day modulation.
+  double extra_interest = 0.0;
+  /// Probability that a request for a blocked domain is actually tampered.
+  double enforcement = 0.0;
+  /// Lognormal sigma of per-AS enforcement multipliers: ~0 for centralized
+  /// systems (CN, IR), large for decentralized ones (RU, PK, UA).
+  double asn_spread = 0.15;
+  /// Night-time amplification of blocked-content demand (drives Fig. 6's
+  /// midnight-8am spikes in match percentage).
+  double night_amp = 0.7;
+  /// Multiplier on blocked-content demand during local weekends.
+  double weekend_factor = 0.85;
+  double tls_bias = 1.0;   ///< enforcement multiplier for TLS connections
+  double http_bias = 0.40; ///< ... and for cleartext HTTP
+  double ipv6_bias = 1.0;  ///< ... and for IPv6 (Fig. 7a outliers)
+  std::vector<MethodWeight> methods;
+  /// Fraction of each category's domains on the blocklist (Table 2's
+  /// "coverage" column). Categories not listed are unblocked.
+  std::vector<std::pair<Category, double>> category_block_share;
+  /// If non-empty, the country's largest AS uses this preset exclusively
+  /// (South Korea's random-TTL ISP, §5.1).
+  std::string dominant_as_preset;
+};
+
+struct CountrySpec {
+  std::string code;  ///< ISO-3166 alpha-2
+  std::string display_name;
+  double traffic_weight = 0.001;  ///< share of global connections
+  double utc_offset = 0.0;        ///< hours from UTC (fixed; no DST)
+  double ipv6_share = 0.30;
+  double http_share = 0.15;       ///< cleartext HTTP fraction (rest TLS)
+  int asn_count = 5;
+  CensorshipPolicy policy;
+};
+
+/// The built-in world: ~55 countries covering every region in the paper's
+/// figures plus enough background traffic to make "Global" meaningful.
+[[nodiscard]] const std::vector<CountrySpec>& default_countries();
+
+/// Index of a country in default_countries() by ISO code (-1 if absent).
+[[nodiscard]] int country_index(const std::string& code);
+
+}  // namespace tamper::world

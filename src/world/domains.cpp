@@ -1,0 +1,104 @@
+#include "world/domains.h"
+
+#include <array>
+
+namespace tamper::world {
+
+namespace {
+
+constexpr std::array<std::string_view, 48> kFirstWords = {
+    "bright", "swift",  "global", "crimson", "silver", "north",  "blue",   "rapid",
+    "prime",  "vivid",  "lunar",  "solar",   "cedar",  "delta",  "echo",   "falcon",
+    "granite","harbor", "indigo", "jade",    "kite",   "lotus",  "maple",  "nova",
+    "onyx",   "pixel",  "quartz", "river",   "stone",  "tiger",  "ultra",  "velvet",
+    "willow", "xenon",  "yonder", "zephyr",  "amber",  "basalt", "coral",  "dune",
+    "ember",  "frost",  "glade",  "haven",   "iris",   "juniper","krypton","lumen",
+};
+
+constexpr std::array<std::string_view, 48> kSecondWords = {
+    "media",  "cloud", "cast",   "hub",    "press", "play",  "mart",  "zone",
+    "line",   "spot",  "gate",   "forge",  "works", "labs",  "byte",  "net",
+    "link",   "view",  "share",  "stream", "store", "board", "page",  "chat",
+    "games",  "learn", "login",  "ads",    "news",  "social","video", "shop",
+    "gov",    "health","tech",   "bank",   "mail",  "data",  "host",  "edge",
+    "point",  "wire",  "signal", "track",  "pulse", "grid",  "scope", "path",
+};
+
+constexpr std::array<std::string_view, 8> kTlds = {".com", ".net",  ".org", ".io",
+                                                   ".info", ".co",  ".site", ".app"};
+
+}  // namespace
+
+DomainUniverse::DomainUniverse(const Config& config, std::uint64_t seed)
+    : config_(config), zipf_(config.domain_count, config.zipf_exponent) {
+  common::Rng rng(seed);
+  domains_.reserve(config.domain_count);
+  rank_by_name_.reserve(config.domain_count);
+
+  // Category assignment by universe share.
+  std::vector<double> shares;
+  shares.reserve(kCategoryCount);
+  for (Category c : all_categories()) shares.push_back(universe_share(c));
+
+  for (Category c : all_categories())
+    max_multiplier_ = std::max(max_multiplier_, request_multiplier(c));
+
+  for (std::size_t rank = 0; rank < config.domain_count; ++rank) {
+    Domain d;
+    d.rank = rank;
+    d.category = all_categories()[rng.pick_weighted(shares)];
+    // Deterministic, collision-free name: word pair + rank-derived digits.
+    const std::uint64_t h = common::mix64(seed ^ (rank * 2654435761ULL));
+    std::string name;
+    name += kFirstWords[h % kFirstWords.size()];
+    name += kSecondWords[(h >> 8) % kSecondWords.size()];
+    name += std::to_string(rank);
+    name += kTlds[(h >> 16) % kTlds.size()];
+    d.name = std::move(name);
+    rank_by_name_.emplace(d.name, rank);
+    domains_.push_back(std::move(d));
+  }
+
+  total_mass_ = 0.0;
+  for (std::size_t rank = 0; rank < config.domain_count; ++rank)
+    total_mass_ += zipf_.pmf(rank) * request_multiplier(domains_[rank].category);
+}
+
+std::optional<std::size_t> DomainUniverse::rank_of(std::string_view name) const {
+  const auto it = rank_by_name_.find(std::string(name));
+  if (it == rank_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DomainUniverse::sample_request(common::Rng& rng) const {
+  // Zipf proposal, accept by category multiplier (bounded rejection).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t rank = zipf_.sample(rng);
+    const double accept =
+        request_multiplier(domains_[rank].category) / max_multiplier_;
+    if (rng.chance(accept)) return rank;
+  }
+  return zipf_.sample(rng);
+}
+
+net::IpAddress DomainUniverse::server_ipv4(std::size_t rank) const {
+  // CDN anycast pool 198.18.0.0/15 (benchmarking range: never a real host).
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(common::mix64(rank * 11400714819323198485ULL) %
+                                 config_.cdn_ipv4_pool);
+  return net::IpAddress::v4((198u << 24) | (18u << 16) | (slot & 0x1ffff));
+}
+
+net::IpAddress DomainUniverse::server_ipv6(std::size_t rank) const {
+  const std::uint64_t slot =
+      common::mix64(rank * 11400714819323198485ULL) % config_.cdn_ipv4_pool;
+  // 2001:db8:cd:<slot>::1 — documentation prefix for the simulated CDN.
+  return net::IpAddress::v6(0x20010db800cd0000ULL | (slot & 0xffff), 1);
+}
+
+double DomainUniverse::request_mass(std::size_t rank) const {
+  if (rank >= domains_.size() || total_mass_ <= 0.0) return 0.0;
+  return zipf_.pmf(rank) * request_multiplier(domains_[rank].category) / total_mass_;
+}
+
+}  // namespace tamper::world

@@ -1,0 +1,72 @@
+// The synthetic domain universe: names, categories, and request popularity.
+//
+// Stands in for the millions of zones served by the CDN. Popularity follows
+// a Zipf law over ranks, modulated per category (content servers and ad
+// networks are fetched programmatically and see disproportionate request
+// volume). Names are synthesized from word lists so substring-based
+// over-blocking (§5.5) has realistic material to match against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/ip_address.h"
+#include "world/category.h"
+
+namespace tamper::world {
+
+struct Domain {
+  std::string name;
+  Category category = Category::kBusiness;
+  /// Popularity rank; 0 is the most requested domain.
+  std::size_t rank = 0;
+};
+
+class DomainUniverse {
+ public:
+  struct Config {
+    std::size_t domain_count = 200'000;
+    double zipf_exponent = 0.95;
+    std::size_t cdn_ipv4_pool = 4096;  ///< distinct anycast service addresses
+  };
+
+  DomainUniverse(const Config& config, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return domains_.size(); }
+  [[nodiscard]] const Domain& by_rank(std::size_t rank) const { return domains_.at(rank); }
+  [[nodiscard]] std::optional<std::size_t> rank_of(std::string_view name) const;
+
+  /// Sample a domain for one client request: Zipf popularity weighted by the
+  /// category request multiplier.
+  [[nodiscard]] std::size_t sample_request(common::Rng& rng) const;
+
+  /// Uniform sample (used for scanners probing random zones).
+  [[nodiscard]] std::size_t sample_uniform(common::Rng& rng) const {
+    return rng.below(domains_.size());
+  }
+
+  /// Stable anycast service addresses for a domain (many domains share one,
+  /// as on a real CDN — which is what makes IP blocking blunt).
+  [[nodiscard]] net::IpAddress server_ipv4(std::size_t rank) const;
+  [[nodiscard]] net::IpAddress server_ipv6(std::size_t rank) const;
+
+  /// Approximate request mass of a single domain (for calibration).
+  [[nodiscard]] double request_mass(std::size_t rank) const;
+
+  [[nodiscard]] const std::vector<Domain>& all() const noexcept { return domains_; }
+
+ private:
+  Config config_;
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, std::size_t> rank_by_name_;
+  common::ZipfSampler zipf_;
+  double max_multiplier_ = 1.0;
+  double total_mass_ = 1.0;
+};
+
+}  // namespace tamper::world

@@ -1,0 +1,103 @@
+#include "world/geo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tamper::world {
+
+GeoDatabase::GeoDatabase(const std::vector<std::pair<std::string, int>>& asn_counts,
+                         std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::uint32_t next_asn = 1101;
+  std::uint32_t next_v4_block = 0;  // index into sequential /16s under 11.0.0.0/8 ff.
+
+  for (const auto& [country, count] : asn_counts) {
+    auto& list = by_country_[country];
+    for (int i = 0; i < count; ++i) {
+      AsInfo info;
+      info.asn = next_asn++;
+      info.country = country;
+      // Zipf-ish weights: the first AS in a country carries the most traffic.
+      info.weight = 1.0 / std::pow(static_cast<double>(i + 1), 1.1) *
+                    rng.uniform(0.8, 1.2);
+      info.mobile = (i % 3 == 1);  // roughly a third of ASes are cellular
+
+      // IPv4: consecutive /16s starting at 11.0.0.0 (unrouted test space).
+      const std::uint32_t v4_hi = ((11u << 8) + next_v4_block) & 0xffff;
+      const std::uint32_t v4_base = ((11u + (next_v4_block >> 8)) << 24) |
+                                    ((next_v4_block & 0xff) << 16);
+      ++next_v4_block;
+      info.prefix_v4 = net::IpPrefix(net::IpAddress::v4(v4_base), 16);
+      (void)v4_hi;
+
+      // IPv6: 2400:xxxx::/32 per AS.
+      const std::uint64_t v6_hi =
+          0x2400000000000000ULL | (static_cast<std::uint64_t>(info.asn) << 16);
+      info.prefix_v6 = net::IpPrefix(net::IpAddress::v6(v6_hi, 0), 64);
+
+      by_asn_[info.asn] = ases_.size();
+      by_v4_hi_[v4_base >> 16] = ases_.size();
+      by_v6_hi_[v6_hi] = ases_.size();
+      list.push_back(info.asn);
+      ases_.push_back(std::move(info));
+    }
+  }
+}
+
+const AsInfo& GeoDatabase::as_by_number(std::uint32_t asn) const {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) throw std::out_of_range("unknown ASN");
+  return ases_[it->second];
+}
+
+const std::vector<std::uint32_t>& GeoDatabase::country_ases(const std::string& cc) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = by_country_.find(cc);
+  return it == by_country_.end() ? kEmpty : it->second;
+}
+
+const AsInfo& GeoDatabase::sample_as(const std::string& cc, common::Rng& rng) const {
+  const auto& list = country_ases(cc);
+  if (list.empty()) throw std::out_of_range("no ASNs for country " + cc);
+  std::vector<double> weights;
+  weights.reserve(list.size());
+  for (std::uint32_t asn : list) weights.push_back(as_by_number(asn).weight);
+  return as_by_number(list[rng.pick_weighted(weights)]);
+}
+
+net::IpAddress GeoDatabase::sample_client_ip(const AsInfo& as_info, bool ipv6,
+                                             common::Rng& rng) const {
+  if (ipv6) {
+    std::uint64_t hi = 0, lo = 0;
+    const auto& bytes = as_info.prefix_v6.base().bytes();
+    for (int i = 0; i < 8; ++i) hi = (hi << 8) | bytes[static_cast<std::size_t>(i)];
+    lo = rng.next();
+    return net::IpAddress::v6(hi, lo);
+  }
+  const std::uint32_t base = as_info.prefix_v4.base().v4_value();
+  // Avoid .0 and .255 host bytes for realism.
+  const std::uint32_t host = static_cast<std::uint32_t>(rng.below(65024)) + 257;
+  return net::IpAddress::v4(base | host);
+}
+
+std::optional<std::uint32_t> GeoDatabase::lookup_asn(const net::IpAddress& addr) const {
+  if (addr.is_v4()) {
+    const auto it = by_v4_hi_.find(addr.v4_value() >> 16);
+    if (it == by_v4_hi_.end()) return std::nullopt;
+    return ases_[it->second].asn;
+  }
+  std::uint64_t hi = 0;
+  const auto& bytes = addr.bytes();
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | bytes[static_cast<std::size_t>(i)];
+  const auto it = by_v6_hi_.find(hi);
+  if (it == by_v6_hi_.end()) return std::nullopt;
+  return ases_[it->second].asn;
+}
+
+std::optional<std::string> GeoDatabase::lookup_country(const net::IpAddress& addr) const {
+  const auto asn = lookup_asn(addr);
+  if (!asn) return std::nullopt;
+  return as_by_number(*asn).country;
+}
+
+}  // namespace tamper::world

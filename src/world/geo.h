@@ -1,0 +1,62 @@
+// Synthetic geography: countries, autonomous systems, and address space.
+//
+// Stands in for the MaxMind-style attribution the paper uses to aggregate
+// results by source country and AS (§3.3, §5.1). Every country owns a set
+// of ASNs; every ASN owns one IPv4 /16 and one IPv6 /32, so attribution of
+// a sampled packet is an O(1) prefix lookup — deterministic and consistent
+// in both directions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/ip_address.h"
+
+namespace tamper::world {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string country;       ///< ISO-3166 alpha-2
+  double weight = 1.0;       ///< share of the country's client traffic
+  net::IpPrefix prefix_v4;
+  net::IpPrefix prefix_v6;
+  bool mobile = false;       ///< cellular network (Iran case study, §5.6)
+};
+
+class GeoDatabase {
+ public:
+  /// `asn_counts` maps country code -> number of ASNs to allocate.
+  GeoDatabase(const std::vector<std::pair<std::string, int>>& asn_counts,
+              std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<AsInfo>& ases() const noexcept { return ases_; }
+  [[nodiscard]] const AsInfo& as_by_number(std::uint32_t asn) const;
+  /// ASNs registered to a country, most-traffic first.
+  [[nodiscard]] const std::vector<std::uint32_t>& country_ases(const std::string& cc) const;
+
+  /// Weighted pick of one of a country's ASNs.
+  [[nodiscard]] const AsInfo& sample_as(const std::string& cc, common::Rng& rng) const;
+
+  /// Random client address within the AS's prefix.
+  [[nodiscard]] net::IpAddress sample_client_ip(const AsInfo& as_info, bool ipv6,
+                                                common::Rng& rng) const;
+
+  /// Reverse attribution; nullopt for addresses outside any allocated block
+  /// (e.g. the CDN's own ranges).
+  [[nodiscard]] std::optional<std::uint32_t> lookup_asn(const net::IpAddress& addr) const;
+  [[nodiscard]] std::optional<std::string> lookup_country(const net::IpAddress& addr) const;
+
+ private:
+  std::vector<AsInfo> ases_;
+  std::unordered_map<std::uint32_t, std::size_t> by_asn_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> by_country_;
+  std::unordered_map<std::uint32_t, std::size_t> by_v4_hi_;  ///< /16 value -> index
+  std::unordered_map<std::uint64_t, std::size_t> by_v6_hi_;  ///< top 64 bits -> index
+};
+
+}  // namespace tamper::world

@@ -1,0 +1,82 @@
+#include "world/scenarios.h"
+
+#include <cmath>
+
+namespace tamper::world {
+
+double protest_intensity(common::SimTime t, common::SimTime start,
+                         double utc_offset_hours) {
+  if (t < start) return 0.0;
+  const double days = (t - start) / common::kSecondsPerDay;
+  const double ramp = 1.0 - std::exp(-days / 2.0);
+  const double hour = common::local_hour(t, utc_offset_hours);
+  const double evening = 0.6 + 0.4 * std::exp(-std::pow(hour - 20.0, 2.0) / 18.0);
+  return ramp * evening;
+}
+
+Scenario global_january_2023(std::uint64_t seed) {
+  Scenario scenario;
+  WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  scenario.world = std::make_unique<World>(world_cfg);
+  scenario.traffic.seed = seed ^ 0xbe7c4;
+  return scenario;
+}
+
+Scenario iran_protests_2022(std::uint64_t seed) {
+  Scenario scenario;
+  WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  scenario.world = std::make_unique<World>(world_cfg);
+  World& world = *scenario.world;
+
+  const int ir = country_index("IR");
+  auto& policy = world.mutable_country(ir).policy;
+  policy.methods = {
+      {"post_ack_blackhole", 0.40, appproto::AppProtocol::kUnknown},
+      {"iran_rst_ack", 0.22, appproto::AppProtocol::kUnknown},
+      {"syn_rst", 0.16, appproto::AppProtocol::kUnknown},
+      {"iran_rst_ack_burst", 0.08, appproto::AppProtocol::kUnknown},
+      {"syn_blackhole", 0.06, appproto::AppProtocol::kUnknown},
+      {"single_rst_ack_firewall", 0.08, appproto::AppProtocol::kUnknown},
+  };
+  // The paper attributes the surge to the mobile carriers; fixed-line ASes
+  // still enforce, just less aggressively.
+  for (std::uint32_t asn : world.geo().country_ases("IR"))
+    world.set_asn_enforcement(asn, world.geo().as_by_number(asn).mobile ? 1.2 : 0.55);
+
+  TrafficConfig& traffic = scenario.traffic;
+  traffic.window_start = common::from_civil(2022, 9, 13);
+  traffic.window_end = common::from_civil(2022, 9, 30);
+  traffic.seed = seed ^ 0x12a4;
+  const common::SimTime protest = common::from_civil(2022, 9, 13, 12);
+  const double utc_offset = world.country(ir).utc_offset;
+  traffic.interest_modifier = [protest, utc_offset](const CountrySpec& spec,
+                                                    common::SimTime t, double base) {
+    if (spec.code != "IR") return base;
+    return base * (1.0 + 4.5 * protest_intensity(t, protest, utc_offset));
+  };
+  traffic.enforcement_modifier = [protest, utc_offset](const CountrySpec& spec,
+                                                       common::SimTime t, double base) {
+    if (spec.code != "IR") return base;
+    return std::min(1.0, base * (1.0 + 0.5 * protest_intensity(t, protest, utc_offset)));
+  };
+  return scenario;
+}
+
+Scenario global_unscrubbed(std::uint64_t seed) {
+  Scenario scenario = global_january_2023(seed);
+  scenario.traffic.syn_only_rate = 0.30;  // flood residue reaching the tap
+  return scenario;
+}
+
+Scenario residual_flapping(std::uint64_t seed) {
+  Scenario scenario = global_january_2023(seed);
+  scenario.traffic.seed = seed ^ 0x0f19;
+  scenario.traffic.loss_rate = 0.012;
+  scenario.traffic.residual_block_seconds = 90.0;
+  scenario.traffic.residual_probability = 0.4;
+  return scenario;
+}
+
+}  // namespace tamper::world

@@ -1,0 +1,46 @@
+// Named, ready-made scenarios — the canonical workloads behind the paper's
+// experiments, packaged so library users (and the examples/benches) build
+// them in one call instead of hand-assembling policy edits and modifiers.
+#pragma once
+
+#include <memory>
+
+#include "world/traffic.h"
+#include "world/world.h"
+
+namespace tamper::world {
+
+struct Scenario {
+  std::unique_ptr<World> world;
+  TrafficConfig traffic;
+
+  [[nodiscard]] TrafficGenerator make_generator() const {
+    return TrafficGenerator(*world, traffic);
+  }
+};
+
+/// The paper's measurement window: all countries, 2023-01-12 .. 2023-01-26,
+/// default client-population anomaly rates.
+[[nodiscard]] Scenario global_january_2023(std::uint64_t seed = 42);
+
+/// §5.6: Iran around the September 2022 protests — protest-intensity ramp on
+/// blocked-content demand and enforcement, method mix shifted toward
+/// handshake-stage blocking, enforcement concentrated on mobile carriers.
+/// Generate with `generate_at(country_index("IR"), t)` over the window.
+[[nodiscard]] Scenario iran_protests_2022(std::uint64_t seed = 77);
+
+/// §4.2 counterfactual: the same global window with upstream DDoS scrubbing
+/// disabled, so SYN-flood residue reaches the tap.
+[[nodiscard]] Scenario global_unscrubbed(std::uint64_t seed = 42);
+
+/// Appendix B workload: elevated path loss plus residual censorship, the
+/// conditions under which signature flapping (Fig. 10) is most visible.
+[[nodiscard]] Scenario residual_flapping(std::uint64_t seed = 99);
+
+/// Protest-intensity curve used by iran_protests_2022 (exposed for tests
+/// and custom scenarios): 0 before `start`, ramping toward 1 over ~2 days,
+/// with an evening emphasis in the given timezone.
+[[nodiscard]] double protest_intensity(common::SimTime t, common::SimTime start,
+                                       double utc_offset_hours);
+
+}  // namespace tamper::world

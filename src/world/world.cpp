@@ -1,0 +1,133 @@
+#include "world/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamper::world {
+
+namespace {
+/// 0..1 curve peaking at ~03:30 local (the paper's midnight-8am window).
+double night01(double local_hour) {
+  return 0.5 * (1.0 + std::cos(2.0 * 3.14159265358979323846 * (local_hour - 3.5) / 24.0));
+}
+/// Human browsing volume: peak ~19:00 local, trough ~04:00.
+double diurnal_volume(double local_hour) {
+  return 0.58 + 0.42 * std::cos(2.0 * 3.14159265358979323846 * (local_hour - 19.0) / 24.0);
+}
+}  // namespace
+
+World::World(const WorldConfig& config)
+    : config_(config), countries_(default_countries()) {
+  std::vector<std::pair<std::string, int>> asn_counts;
+  asn_counts.reserve(countries_.size());
+  for (const auto& c : countries_) asn_counts.emplace_back(c.code, c.asn_count);
+  geo_ = std::make_unique<GeoDatabase>(asn_counts, config_.seed ^ 0x9e0);
+  domains_ = std::make_unique<DomainUniverse>(config_.domains, config_.seed ^ 0xd03);
+
+  country_weights_.reserve(countries_.size());
+  for (const auto& c : countries_) country_weights_.push_back(c.traffic_weight);
+
+  // Per-AS enforcement multipliers and dominant-AS bookkeeping.
+  common::Rng rng(config_.seed ^ 0xa51);
+  for (const auto& c : countries_) {
+    const auto& ases = geo_->country_ases(c.code);
+    if (!ases.empty()) dominant_asn_[c.code] = ases.front();
+    for (std::uint32_t asn : ases) {
+      const double sigma = c.policy.asn_spread;
+      double mult = std::exp(rng.normal(0.0, sigma));
+      // Decentralized systems include ASes that barely enforce at all.
+      if (sigma > 0.35 && rng.chance(0.15)) mult *= rng.uniform(0.05, 0.35);
+      asn_multiplier_[asn] = std::clamp(mult, 0.02, 1.25);
+    }
+  }
+}
+
+bool World::is_blocked(int country_index, std::size_t domain_rank) const {
+  const auto& policy = country(country_index).policy;
+  if (policy.category_block_share.empty()) return false;
+  const Category cat = domains_->by_rank(domain_rank).category;
+  double share = 0.0;
+  for (const auto& [c, s] : policy.category_block_share) {
+    if (c == cat) {
+      share = s;
+      break;
+    }
+  }
+  if (share <= 0.0) return false;
+  // Stable per-(country, domain) coin flip realizing the coverage share.
+  const std::uint64_t h = common::mix64(
+      (static_cast<std::uint64_t>(country_index) << 40) ^ domain_rank ^ config_.seed);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < share;
+}
+
+std::size_t World::sample_blocked_domain(int country_index, common::Rng& rng) const {
+  // Popularity-weighted rejection sampling, with a uniform probe fallback
+  // for policies whose blocked mass is tiny.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const std::size_t rank = domains_->sample_request(rng);
+    if (is_blocked(country_index, rank)) return rank;
+  }
+  const std::size_t start = domains_->sample_uniform(rng);
+  for (std::size_t probe = 0; probe < domains_->size(); ++probe) {
+    const std::size_t rank = (start + probe) % domains_->size();
+    if (is_blocked(country_index, rank)) return rank;
+  }
+  return start;  // country blocks nothing: caller's enforcement check will pass on nothing
+}
+
+double World::blocked_interest(int country_index, common::SimTime t) const {
+  const CountrySpec& spec = country(country_index);
+  const auto& policy = spec.policy;
+  const double hour = common::local_hour(t, spec.utc_offset);
+  double interest = policy.extra_interest * (1.0 + policy.night_amp * night01(hour));
+  if (common::is_weekend(t, spec.utc_offset)) interest *= policy.weekend_factor;
+  return std::min(interest, 0.98);
+}
+
+double World::volume_factor(int country_index, common::SimTime t) const {
+  const CountrySpec& spec = country(country_index);
+  double factor = diurnal_volume(common::local_hour(t, spec.utc_offset));
+  if (common::is_weekend(t, spec.utc_offset)) factor *= 0.9;
+  return factor;
+}
+
+double World::asn_enforcement(std::uint32_t asn) const {
+  const auto it = asn_multiplier_.find(asn);
+  return it == asn_multiplier_.end() ? 1.0 : it->second;
+}
+
+const MethodWeight* World::pick_method(int country_index, std::uint32_t asn,
+                                       appproto::AppProtocol protocol,
+                                       common::Rng& rng) const {
+  const CountrySpec& spec = country(country_index);
+  const auto& policy = spec.policy;
+  if (policy.methods.empty()) return nullptr;
+
+  // Dominant-AS override (e.g. the Korean random-TTL ISP).
+  if (!policy.dominant_as_preset.empty()) {
+    const auto it = dominant_asn_.find(spec.code);
+    if (it != dominant_asn_.end() && it->second == asn) {
+      static thread_local MethodWeight dominant;
+      dominant = MethodWeight{policy.dominant_as_preset, 1.0, appproto::AppProtocol::kUnknown};
+      return &dominant;
+    }
+  }
+
+  std::vector<double> weights;
+  weights.reserve(policy.methods.size());
+  for (const auto& method : policy.methods) {
+    const bool applicable = method.only == appproto::AppProtocol::kUnknown ||
+                            method.only == protocol;
+    weights.push_back(applicable ? method.weight : 0.0);
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return nullptr;
+  return &policy.methods[rng.pick_weighted(weights)];
+}
+
+int World::sample_country(common::Rng& rng) const {
+  return static_cast<int>(rng.pick_weighted(country_weights_));
+}
+
+}  // namespace tamper::world

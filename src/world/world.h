@@ -1,0 +1,87 @@
+// The assembled synthetic Internet: geography + domains + policies, with
+// the per-connection policy queries the traffic generator needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "world/countries.h"
+#include "world/domains.h"
+#include "world/geo.h"
+
+namespace tamper::world {
+
+struct WorldConfig {
+  DomainUniverse::Config domains;
+  std::uint64_t seed = 0x5eed5eed5eedULL;
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config = {});
+
+  [[nodiscard]] const GeoDatabase& geo() const noexcept { return *geo_; }
+  [[nodiscard]] const DomainUniverse& domains() const noexcept { return *domains_; }
+  [[nodiscard]] const std::vector<CountrySpec>& countries() const noexcept {
+    return countries_;
+  }
+  [[nodiscard]] const CountrySpec& country(int index) const {
+    return countries_.at(static_cast<std::size_t>(index));
+  }
+  /// Scenario hook: tweak a country's policy before generating traffic
+  /// (e.g. the Iran 2022 protest timeline). World keeps its own copy of the
+  /// country table, so edits are local to this instance.
+  [[nodiscard]] CountrySpec& mutable_country(int index) {
+    return countries_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return config_.seed; }
+
+  /// Deterministic membership of a domain in a country's blocklist,
+  /// realized from the policy's per-category coverage shares.
+  [[nodiscard]] bool is_blocked(int country_index, std::size_t domain_rank) const;
+
+  /// Popularity-weighted sample from the country's blocked set.
+  [[nodiscard]] std::size_t sample_blocked_domain(int country_index,
+                                                  common::Rng& rng) const;
+
+  /// Demand for blocked content at time t: policy extra_interest modulated
+  /// by local night hours and weekends (drives the Fig. 6 diurnal cycle).
+  [[nodiscard]] double blocked_interest(int country_index, common::SimTime t) const;
+
+  /// Relative connection volume of a country at time t (human diurnal load).
+  [[nodiscard]] double volume_factor(int country_index, common::SimTime t) const;
+
+  /// Per-AS enforcement multiplier (lognormal around 1, sigma=asn_spread).
+  [[nodiscard]] double asn_enforcement(std::uint32_t asn) const;
+  /// Scenario hook: pin an AS's enforcement multiplier (e.g. concentrate
+  /// tampering on specific carriers, as in the Iran case study).
+  void set_asn_enforcement(std::uint32_t asn, double multiplier) {
+    asn_multiplier_[asn] = multiplier;
+  }
+
+  /// Pick a tampering method for a connection; respects per-protocol
+  /// restrictions and the dominant-AS override. Returns nullptr when the
+  /// policy has no applicable method.
+  [[nodiscard]] const MethodWeight* pick_method(int country_index, std::uint32_t asn,
+                                                appproto::AppProtocol protocol,
+                                                common::Rng& rng) const;
+
+  /// Weighted pick of a source country index.
+  [[nodiscard]] int sample_country(common::Rng& rng) const;
+
+ private:
+  WorldConfig config_;
+  std::vector<CountrySpec> countries_;
+  std::unique_ptr<GeoDatabase> geo_;
+  std::unique_ptr<DomainUniverse> domains_;
+  std::vector<double> country_weights_;
+  std::unordered_map<std::uint32_t, double> asn_multiplier_;
+  std::unordered_map<std::string, std::uint32_t> dominant_asn_;  ///< country -> top AS
+};
+
+}  // namespace tamper::world

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "analysis/aggregates.h"
+#include "analysis/evidence.h"
+#include "analysis/pipeline.h"
+#include "analysis/testlists.h"
+
+namespace tamper::analysis {
+namespace {
+
+using namespace net::tcpflag;
+
+const world::World& shared_world() {
+  static const world::World kWorld{
+      world::WorldConfig{.domains = {.domain_count = 20'000}, .seed = 0x90}};
+  return kWorld;
+}
+
+capture::ObservedPacket obs(std::int64_t ts, std::uint8_t flags, std::uint32_t seq,
+                            std::uint32_t ack, std::uint16_t ipid, std::uint8_t ttl,
+                            std::uint16_t payload_len = 0) {
+  capture::ObservedPacket p;
+  p.ts_sec = ts;
+  p.flags = flags;
+  p.seq = seq;
+  p.ack = ack;
+  p.ip_id = ipid;
+  p.ttl = ttl;
+  p.payload_len = payload_len;
+  return p;
+}
+
+capture::ConnectionSample tampered_sample() {
+  capture::ConnectionSample s;
+  s.ip_version = net::IpVersion::kV4;
+  s.packets = {
+      obs(1000, kSyn, 100, 0, 500, 52),
+      obs(1000, kAck, 101, 9000, 501, 52),
+      obs(1000, kPsh | kAck, 101, 9000, 502, 52, 200),
+      obs(1000, kRst, 301, 9000, 30000, 40),  // injected: far IP-ID, other TTL
+  };
+  s.observation_end_sec = 1030;
+  return s;
+}
+
+TEST(Evidence, InjectedRstShowsLargeDeltas) {
+  const auto sample = tampered_sample();
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  ASSERT_EQ(classification.signature, core::Signature::kPshRst);
+  const EvidenceDeltas deltas = evidence_deltas(sample, classification);
+  ASSERT_TRUE(deltas.max_ipid_delta.has_value());
+  EXPECT_EQ(*deltas.max_ipid_delta, 30000u - 502u);
+  ASSERT_TRUE(deltas.max_ttl_delta.has_value());
+  EXPECT_EQ(*deltas.max_ttl_delta, 12u);
+}
+
+TEST(Evidence, CleanConnectionShowsSmallDeltas) {
+  capture::ConnectionSample s;
+  s.ip_version = net::IpVersion::kV4;
+  s.packets = {
+      obs(1000, kSyn, 100, 0, 500, 52),
+      obs(1000, kAck, 101, 9000, 501, 52),
+      obs(1000, kPsh | kAck, 101, 9000, 502, 52, 200),
+      obs(1000, kFin | kAck, 301, 9500, 503, 52),
+  };
+  s.observation_end_sec = 1030;
+  const auto classification = core::SignatureClassifier{}.classify(s);
+  ASSERT_FALSE(classification.possibly_tampered);
+  const EvidenceDeltas deltas = evidence_deltas(s, classification);
+  EXPECT_EQ(*deltas.max_ipid_delta, 1u);
+  EXPECT_EQ(*deltas.max_ttl_delta, 0u);
+}
+
+TEST(Evidence, Ipv6HasNoIpIdDelta) {
+  auto sample = tampered_sample();
+  sample.ip_version = net::IpVersion::kV6;
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  const EvidenceDeltas deltas = evidence_deltas(sample, classification);
+  EXPECT_FALSE(deltas.max_ipid_delta.has_value());
+  EXPECT_TRUE(deltas.max_ttl_delta.has_value());
+}
+
+TEST(Evidence, CollectorCapsPerSignature) {
+  EvidenceCollector collector(/*per_signature_cap=*/5);
+  const auto sample = tampered_sample();
+  ConnectionRecord record;
+  record.classification = core::SignatureClassifier{}.classify(sample);
+  for (int i = 0; i < 20; ++i) collector.add(sample, record);
+  EXPECT_EQ(
+      collector.ipid_cdf(static_cast<std::size_t>(core::Signature::kPshRst)).count(), 5u);
+}
+
+TEST(Aggregates, SignatureMatrixTotals) {
+  SignatureMatrix matrix;
+  ConnectionRecord clean;
+  clean.country = "DE";
+  matrix.add(clean);
+  ConnectionRecord hit;
+  hit.country = "CN";
+  hit.classification.possibly_tampered = true;
+  hit.classification.signature = core::Signature::kPshRstRstAck;
+  hit.classification.stage = core::Stage::kPostPsh;
+  matrix.add(hit);
+  matrix.add(hit);
+  EXPECT_EQ(matrix.total_connections(), 3u);
+  EXPECT_EQ(matrix.possibly_tampered(), 2u);
+  EXPECT_EQ(matrix.matched(), 2u);
+  EXPECT_EQ(matrix.count("CN", core::Signature::kPshRstRstAck), 2u);
+  EXPECT_EQ(matrix.signature_total(core::Signature::kPshRstRstAck), 2u);
+  EXPECT_EQ(matrix.country_matches("CN"), 2u);
+  EXPECT_EQ(matrix.country_matches("DE"), 0u);
+  EXPECT_EQ(matrix.stage_possibly(core::Stage::kPostPsh), 2u);
+}
+
+TEST(Aggregates, AsnTopEightyPercent) {
+  AsnAggregator agg;
+  auto record_for = [](std::uint32_t asn, bool match) {
+    ConnectionRecord r;
+    r.country = "RU";
+    r.asn = asn;
+    if (match) {
+      r.classification.possibly_tampered = true;
+      r.classification.signature = core::Signature::kPshRst;
+    }
+    return r;
+  };
+  // AS 1: 80 connections, AS 2: 15, AS 3: 5.
+  for (int i = 0; i < 80; ++i) agg.add(record_for(1, i < 40));
+  for (int i = 0; i < 15; ++i) agg.add(record_for(2, false));
+  for (int i = 0; i < 5; ++i) agg.add(record_for(3, true));
+  const auto top = agg.top_ases("RU", 0.8);
+  ASSERT_EQ(top.size(), 1u);  // AS 1 alone carries 80%
+  EXPECT_EQ(top[0].asn, 1u);
+  EXPECT_NEAR(top[0].match_percent(), 50.0, 1e-9);
+  EXPECT_EQ(agg.country_total("RU"), 100u);
+}
+
+TEST(Aggregates, TimeSeriesBucketsByHour) {
+  TimeSeries series;
+  ConnectionRecord r;
+  r.country = "IR";
+  r.first_ts_sec = 7200 + 100;  // hour 2
+  r.classification.possibly_tampered = true;
+  r.classification.signature = core::Signature::kAckNone;
+  r.classification.stage = core::Stage::kPostAck;
+  series.add(r);
+  r.first_ts_sec = 7200 + 3599;
+  series.add(r);
+  r.first_ts_sec = 10800;  // hour 3
+  series.add(r);
+  const auto& hours = series.country_hours("IR");
+  ASSERT_EQ(hours.size(), 2u);
+  EXPECT_EQ(hours.at(2).connections, 2u);
+  EXPECT_EQ(hours.at(2).post_ack_psh_matches, 2u);
+  EXPECT_EQ(hours.at(3).connections, 1u);
+}
+
+TEST(Aggregates, VersionProtocolSplit) {
+  VersionProtocolAggregator agg;
+  ConnectionRecord r;
+  r.country = "LK";
+  r.ip_version = net::IpVersion::kV6;
+  r.protocol = appproto::AppProtocol::kTls;
+  r.classification.possibly_tampered = true;
+  r.classification.signature = core::Signature::kPshRst;
+  r.classification.stage = core::Stage::kPostPsh;
+  agg.add(r);
+  const auto& split = agg.by_country().at("LK");
+  EXPECT_EQ(split.v6_total, 1u);
+  EXPECT_EQ(split.v6_matches, 1u);
+  EXPECT_EQ(split.v4_total, 0u);
+  EXPECT_EQ(split.tls_psh_matches, 1u);
+}
+
+TEST(Aggregates, OverlapMatrixTracksPairs) {
+  OverlapMatrix overlap;
+  ConnectionRecord r;
+  r.country = "CN";
+  r.client_ip_hash = 42;
+  r.domain = "pair.example";
+  r.classification.possibly_tampered = true;
+  r.classification.signature = core::Signature::kPshRst;
+  overlap.add(r);  // first visit: recorded, no transition yet
+  EXPECT_EQ(overlap.row_total(static_cast<std::size_t>(core::Signature::kPshRst)), 0u);
+  overlap.add(r);  // second visit: diagonal transition
+  EXPECT_EQ(overlap.count(static_cast<std::size_t>(core::Signature::kPshRst),
+                          static_cast<std::size_t>(core::Signature::kPshRst)),
+            1u);
+  r.classification.signature = core::Signature::kPshRstEqRst;
+  overlap.add(r);  // third visit: off-diagonal from the FIRST state
+  EXPECT_EQ(overlap.count(static_cast<std::size_t>(core::Signature::kPshRst),
+                          static_cast<std::size_t>(core::Signature::kPshRstEqRst)),
+            1u);
+  // A different domain is a different pair.
+  r.domain = "other.example";
+  overlap.add(r);
+  EXPECT_EQ(overlap.row_total(static_cast<std::size_t>(core::Signature::kPshRstEqRst)),
+            0u);
+}
+
+TEST(TestLists, TrancoTiersAreNestedInSpirit) {
+  TestListBuilder builder(shared_world(), 0x11);
+  const TestList small = builder.tranco(200, "small");
+  const TestList large = builder.tranco(2000, "large");
+  EXPECT_EQ(small.entries.size(), 200u);
+  EXPECT_EQ(large.entries.size(), 2000u);
+  // The small tier is (noisily) head-biased, so most of it appears in large.
+  std::size_t overlap = 0;
+  for (const auto& entry : small.entries)
+    if (large.contains(entry)) ++overlap;
+  EXPECT_GT(overlap, small.entries.size() * 8 / 10);
+}
+
+TEST(TestLists, PopularityListsCoverHeadBetterThanTail) {
+  TestListBuilder builder(shared_world(), 0x12);
+  const TestList list = builder.tranco(2000, "t");
+  std::size_t head_hits = 0, tail_hits = 0;
+  for (std::size_t rank = 0; rank < 500; ++rank)
+    if (list.contains(shared_world().domains().by_rank(rank).name)) ++head_hits;
+  for (std::size_t rank = 15000; rank < 15500; ++rank)
+    if (list.contains(shared_world().domains().by_rank(rank).name)) ++tail_hits;
+  EXPECT_GT(head_hits, tail_hits * 5 + 10);
+}
+
+TEST(TestLists, CuratedListsSmallerThanPopularityTiers) {
+  TestListBuilder builder(shared_world(), 0x13);
+  const auto battery = builder.standard_battery();
+  ASSERT_EQ(battery.size(), 12u);
+  const auto& tranco_1m = battery[3];
+  const auto& citizenlab_global = battery[11];
+  EXPECT_GT(tranco_1m.entries.size(), citizenlab_global.entries.size() * 20);
+}
+
+TEST(TestLists, CoverageAuditCounts) {
+  TestList list;
+  list.name = "t";
+  list.entries = {"alpha.example", "beta.example"};
+  list.lookup.insert(list.entries.begin(), list.entries.end());
+  const Coverage coverage =
+      audit_coverage(list, {"alpha.example", "gamma.example", "beta.exampl"});
+  EXPECT_EQ(coverage.observed, 3u);
+  EXPECT_EQ(coverage.exact, 1u);
+  // "beta.exampl" is a substring of "beta.example".
+  EXPECT_EQ(coverage.substring, 2u);
+  EXPECT_NEAR(coverage.exact_pct(), 33.33, 0.1);
+  EXPECT_NEAR(coverage.substring_pct(), 66.67, 0.1);
+}
+
+TEST(TestLists, UnionDeduplicates) {
+  TestList a;
+  a.entries = {"x.example", "y.example"};
+  a.lookup.insert(a.entries.begin(), a.entries.end());
+  TestList b;
+  b.entries = {"y.example", "z.example"};
+  b.lookup.insert(b.entries.begin(), b.entries.end());
+  const TestList u = TestListBuilder::union_of("u", {&a, &b});
+  EXPECT_EQ(u.entries.size(), 3u);
+  EXPECT_TRUE(u.contains("z.example"));
+}
+
+TEST(TestLists, CitizenlabCountryOnlyContainsBlocked) {
+  TestListBuilder builder(shared_world(), 0x14);
+  const TestList list = builder.citizenlab_country("CN");
+  const int cn = world::country_index("CN");
+  ASSERT_GT(list.entries.size(), 0u);
+  std::size_t exact_entries = 0;
+  for (const auto& entry : list.entries) {
+    // Curated entries are often host variants ("www.x", "m.x"); resolve the
+    // ones that are clean eTLD+1 names and check they are genuinely blocked.
+    const auto rank = shared_world().domains().rank_of(entry);
+    if (!rank) continue;
+    ++exact_entries;
+    EXPECT_TRUE(shared_world().is_blocked(cn, *rank));
+  }
+  EXPECT_GT(exact_entries, 0u);
+  EXPECT_TRUE(builder.citizenlab_country("ZZ").entries.empty());
+}
+
+TEST(Pipeline, IngestRoutesToAllAggregators) {
+  Pipeline pipeline(shared_world());
+  world::TrafficConfig config;
+  config.seed = 0x7777;
+  world::TrafficGenerator generator(shared_world(), config);
+  pipeline.run(generator, 2000);
+  EXPECT_GE(pipeline.signatures().total_connections(), 1990u);  // minus lost-SYN flows
+  EXPECT_GT(pipeline.signatures().possibly_tampered(), 100u);
+  EXPECT_FALSE(pipeline.signatures().countries().empty());
+  EXPECT_GT(pipeline.scanner_stats().connections, 0u);
+  EXPECT_GT(
+      pipeline.evidence().ipid_cdf(analysis::EvidenceCollector::clean_bucket()).count(),
+      100u);
+}
+
+TEST(Record, AttributionFromSample) {
+  const auto& geo = shared_world().geo();
+  const auto& as_info = geo.ases().front();
+  common::Rng rng(1);
+  capture::ConnectionSample sample;
+  sample.client_ip = geo.sample_client_ip(as_info, false, rng);
+  sample.server_port = 443;
+  sample.ip_version = net::IpVersion::kV4;
+  sample.packets = {obs(1000, kSyn, 1, 0, 5, 50)};
+  sample.observation_end_sec = 1030;
+  core::SignatureClassifier classifier;
+  const ConnectionRecord record = analyze(sample, geo, classifier);
+  EXPECT_EQ(record.country, as_info.country);
+  EXPECT_EQ(record.asn, as_info.asn);
+  EXPECT_EQ(record.protocol, appproto::AppProtocol::kTls);  // port heuristic
+  EXPECT_EQ(record.first_ts_sec, 1000);
+  EXPECT_EQ(record.classification.signature, core::Signature::kSynNone);
+}
+
+}  // namespace
+}  // namespace tamper::analysis

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/checksum.h"
+
+namespace tamper::net {
+namespace {
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3: {0x0001, 0xf203, 0xf4f5, 0xf6f7}.
+  const std::array<std::uint8_t, 8> data = {0x00, 0x01, 0xf2, 0x03,
+                                            0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum_fold(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::array<std::uint8_t, 3> data = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300.
+  EXPECT_EQ(checksum_fold(data), 0x0402);
+}
+
+TEST(Checksum, EmptyBuffer) {
+  EXPECT_EQ(checksum_fold({}), 0);
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, CarryFolding) {
+  const std::array<std::uint8_t, 4> data = {0xff, 0xff, 0x00, 0x01};
+  EXPECT_EQ(checksum_fold(data), 0x0000 + 0x0001);  // ffff+0001 wraps to 0001
+}
+
+TEST(Checksum, InitialValueAccumulates) {
+  const std::array<std::uint8_t, 2> data = {0x00, 0x10};
+  EXPECT_EQ(checksum_fold(data, 0x20), 0x30);
+}
+
+TEST(TcpChecksum, ValidatesKnownV4Segment) {
+  // Hand-checked minimal TCP header between 10.0.0.1 and 10.0.0.2.
+  const IpAddress src = IpAddress::v4(10, 0, 0, 1);
+  const IpAddress dst = IpAddress::v4(10, 0, 0, 2);
+  std::array<std::uint8_t, 20> seg = {
+      0x04, 0xd2, 0x00, 0x50,              // ports 1234 -> 80
+      0x00, 0x00, 0x00, 0x01,              // seq
+      0x00, 0x00, 0x00, 0x00,              // ack
+      0x50, 0x02, 0xff, 0xff,              // offset 5, SYN, window
+      0x00, 0x00, 0x00, 0x00,              // checksum placeholder, urg
+  };
+  const std::uint16_t sum = tcp_checksum(src, dst, seg);
+  seg[16] = static_cast<std::uint8_t>(sum >> 8);
+  seg[17] = static_cast<std::uint8_t>(sum);
+  // A segment containing its own correct checksum verifies to zero.
+  EXPECT_EQ(tcp_checksum(src, dst, seg), 0);
+}
+
+TEST(TcpChecksum, V6PseudoHeader) {
+  const IpAddress src = *IpAddress::parse("2001:db8::1");
+  const IpAddress dst = *IpAddress::parse("2001:db8::2");
+  std::array<std::uint8_t, 21> seg{};
+  seg[13] = 0x10;  // ACK
+  seg[20] = 0x41;  // one payload byte
+  const std::uint16_t sum = tcp_checksum(src, dst, seg);
+  seg[16] = static_cast<std::uint8_t>(sum >> 8);
+  seg[17] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(tcp_checksum(src, dst, seg), 0);
+}
+
+TEST(TcpChecksum, SensitiveToAddressChange) {
+  std::array<std::uint8_t, 20> seg{};
+  const std::uint16_t a =
+      tcp_checksum(IpAddress::v4(1, 2, 3, 4), IpAddress::v4(5, 6, 7, 8), seg);
+  const std::uint16_t b =
+      tcp_checksum(IpAddress::v4(1, 2, 3, 5), IpAddress::v4(5, 6, 7, 8), seg);
+  EXPECT_NE(a, b);
+}
+
+TEST(TcpChecksum, SensitiveToPayloadChange) {
+  std::array<std::uint8_t, 24> seg{};
+  const IpAddress src = IpAddress::v4(1, 2, 3, 4);
+  const IpAddress dst = IpAddress::v4(5, 6, 7, 8);
+  const std::uint16_t a = tcp_checksum(src, dst, seg);
+  seg[23] = 0x01;
+  EXPECT_NE(a, tcp_checksum(src, dst, seg));
+}
+
+}  // namespace
+}  // namespace tamper::net

@@ -1,0 +1,147 @@
+// The §6 evasive censor: invisible to the tap, still censoring the client.
+#include <gtest/gtest.h>
+
+#include "appproto/tls.h"
+#include "core/classifier.h"
+#include "core/weaver.h"
+#include "middlebox/evasive.h"
+#include "tcp/session.h"
+
+namespace tamper::middlebox {
+namespace {
+
+using namespace net::tcpflag;
+
+struct EvasiveRun {
+  tcp::SessionResult result;
+  capture::ConnectionSample sample;
+  bool triggered = false;
+};
+
+EvasiveRun run_evasive(const std::string& requested, const std::string& blocked,
+                       std::uint64_t seed = 1) {
+  tcp::EndpointConfig client_cfg;
+  client_cfg.addr = net::IpAddress::v4(11, 0, 0, 2);
+  client_cfg.port = 40000;
+  client_cfg.is_client = true;
+  client_cfg.isn = 5000;
+  common::Rng payload_rng(seed);
+  appproto::ClientHelloSpec hello;
+  hello.sni = requested;
+  client_cfg.request_segments = {appproto::build_client_hello(hello, payload_rng)};
+
+  tcp::EndpointConfig server_cfg;
+  server_cfg.addr = net::IpAddress::v4(198, 18, 0, 1);
+  server_cfg.port = 443;
+  server_cfg.is_client = false;
+  server_cfg.isn = 90000;
+  server_cfg.response_size = 2500;
+
+  tcp::SessionConfig session;
+  session.start_time = 1'673'700'000.0;
+  TriggerSet triggers;
+  triggers.add_exact_domain(blocked);
+  EvasiveCensor censor(std::move(triggers), session.geometry, common::Rng(seed ^ 9));
+
+  tcp::TcpEndpoint client(client_cfg, common::Rng(seed + 1));
+  tcp::TcpEndpoint server(server_cfg, common::Rng(seed + 2));
+  client.set_peer(server_cfg.addr, server_cfg.port);
+  server.set_peer(client_cfg.addr, client_cfg.port);
+  common::Rng rng(seed + 3);
+
+  EvasiveRun run;
+  run.result = tcp::simulate_session(client, server, &censor, session, rng);
+  run.triggered = censor.triggered();
+  run.sample.client_ip = client_cfg.addr;
+  run.sample.server_ip = server_cfg.addr;
+  run.sample.client_port = client_cfg.port;
+  run.sample.server_port = server_cfg.port;
+  for (const auto& traced : run.result.server_inbound) {
+    if (run.sample.packets.size() >= 10) break;
+    run.sample.packets.push_back(capture::observe(traced.pkt));
+  }
+  run.sample.observation_end_sec = static_cast<std::int64_t>(run.result.end_time);
+  return run;
+}
+
+TEST(EvasiveCensor, InvisibleToPassiveDetection) {
+  const EvasiveRun run = run_evasive("blocked.example", "blocked.example");
+  ASSERT_TRUE(run.triggered);
+  const auto verdict = core::SignatureClassifier{}.classify(run.sample);
+  EXPECT_FALSE(verdict.possibly_tampered);
+  EXPECT_TRUE(verdict.graceful);  // the impersonated close looks perfect
+  EXPECT_FALSE(core::weaver_detect(run.sample).forged_rst_detected);
+}
+
+TEST(EvasiveCensor, ClientNeverReceivesContent) {
+  const EvasiveRun run = run_evasive("blocked.example", "blocked.example");
+  for (const auto& traced : run.result.full_trace) {
+    if (traced.dir == tcp::Direction::kServerToClient && !traced.injected) {
+      EXPECT_TRUE(traced.pkt.payload.empty());
+    }
+  }
+}
+
+TEST(EvasiveCensor, ServerSeesGracefulFinHandshake) {
+  const EvasiveRun run = run_evasive("blocked.example", "blocked.example");
+  bool fin_seen = false;
+  for (const auto& pkt : run.sample.packets)
+    if (pkt.has(kFin)) fin_seen = true;
+  EXPECT_TRUE(fin_seen);
+}
+
+TEST(EvasiveCensor, InjectedAcksMimicClientFingerprint) {
+  const EvasiveRun run = run_evasive("blocked.example", "blocked.example");
+  // All inbound packets (genuine + impersonated) share a consistent TTL and
+  // a near-contiguous IP-ID sequence — the mimicry that defeats Figs. 2-3.
+  const auto& packets = run.sample.packets;
+  ASSERT_GE(packets.size(), 4u);
+  for (const auto& pkt : packets) EXPECT_EQ(pkt.ttl, packets.front().ttl);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    const std::uint16_t delta = packets[i].ip_id - packets[i - 1].ip_id;
+    EXPECT_LE(delta, 3) << i;
+  }
+}
+
+TEST(EvasiveCensor, DoesNotTouchUnblockedDomains) {
+  const EvasiveRun run = run_evasive("innocent.example", "blocked.example");
+  EXPECT_FALSE(run.triggered);
+  // The real client completed the exchange and got the content.
+  bool content_to_client = false;
+  for (const auto& traced : run.result.full_trace) {
+    if (traced.dir == tcp::Direction::kServerToClient && !traced.pkt.payload.empty())
+      content_to_client = true;
+  }
+  EXPECT_TRUE(content_to_client);
+}
+
+TEST(WeaverOptions, MissingTimestampOptionOnRstFires) {
+  capture::ConnectionSample sample;
+  sample.ip_version = net::IpVersion::kV4;
+  auto mk = [](std::uint8_t flags, std::uint32_t seq, std::uint32_t ack, bool options,
+               std::uint16_t len = 0) {
+    capture::ObservedPacket p;
+    p.ts_sec = 1000;
+    p.flags = flags;
+    p.seq = seq;
+    p.ack = ack;
+    p.ttl = 52;
+    p.ip_id = 500;
+    p.has_tcp_options = options;
+    p.payload_len = len;
+    return p;
+  };
+  sample.packets = {mk(kSyn, 100, 0, true), mk(kAck, 101, 9000, true),
+                    mk(kPsh | kAck, 101, 9000, true, 200),
+                    mk(kRst, 301, 9000, false)};  // forged: no options
+  sample.observation_end_sec = 1030;
+  const auto verdict = core::weaver_detect(sample);
+  EXPECT_TRUE(verdict.fired("OPTIONS"));
+
+  // The genuine stack's own reset carries its options: no OPTIONS evidence.
+  sample.packets.back().has_tcp_options = true;
+  EXPECT_FALSE(core::weaver_detect(sample).fired("OPTIONS"));
+}
+
+}  // namespace
+}  // namespace tamper::middlebox

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "appproto/dpi.h"
+#include "appproto/http.h"
+#include "appproto/tls.h"
+#include "common/rng.h"
+
+namespace tamper::appproto {
+namespace {
+
+TEST(Http, BuildContainsRequestLineAndHost) {
+  HttpRequestSpec spec;
+  spec.host = "example.com";
+  spec.path = "/index.html";
+  const auto request = build_http_request(spec);
+  const std::string text(request.begin(), request.end());
+  EXPECT_EQ(text.rfind("GET /index.html HTTP/1.1\r\n", 0), 0u);
+  EXPECT_NE(text.find("Host: example.com\r\n"), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\n"), std::string::npos);
+}
+
+TEST(Http, ParseRoundTrip) {
+  HttpRequestSpec spec;
+  spec.method = "POST";
+  spec.host = "api.example.net";
+  spec.path = "/v1/submit";
+  spec.extra_headers = {{"Content-Length", "0"}};
+  const auto parsed = parse_http_request(build_http_request(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->path, "/v1/submit");
+  EXPECT_EQ(parsed->version, "HTTP/1.1");
+  EXPECT_EQ(parsed->host, "api.example.net");
+  EXPECT_EQ(parsed->headers.at("content-length"), "0");
+}
+
+TEST(Http, HeaderNamesCaseInsensitive) {
+  const std::string raw = "GET / HTTP/1.1\r\nHOST: UPPER.example\r\n\r\n";
+  const auto parsed =
+      parse_http_request({reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host, "UPPER.example");
+}
+
+TEST(Http, HeaderValueTrimmed) {
+  const std::string raw = "GET / HTTP/1.1\r\nHost:   spaced.example  \r\n\r\n";
+  const auto parsed =
+      parse_http_request({reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host, "spaced.example");
+}
+
+TEST(Http, TruncatedMidHeadersKeepsWhatItHas) {
+  const std::string raw = "GET /x HTTP/1.1\r\nHost: partial.example\r\nUser-Ag";
+  const auto parsed =
+      parse_http_request({reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host, "partial.example");
+}
+
+TEST(Http, RejectsNonHttp) {
+  const std::string raw = "NOTAMETHOD / HTTP/1.1\r\n\r\n";
+  EXPECT_FALSE(
+      parse_http_request({reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()})
+          .has_value());
+  EXPECT_FALSE(parse_http_request({}).has_value());
+}
+
+TEST(Http, RejectsRequestLineWithoutVersion) {
+  const std::string raw = "GET /\r\n\r\n";
+  EXPECT_FALSE(
+      parse_http_request({reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()})
+          .has_value());
+}
+
+TEST(Http, ExtractHost) {
+  HttpRequestSpec spec;
+  spec.host = "h.example";
+  EXPECT_EQ(extract_host(build_http_request(spec)), "h.example");
+}
+
+class HttpMethodSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HttpMethodSweep, RecognizedAndParsed) {
+  HttpRequestSpec spec;
+  spec.method = GetParam();
+  spec.host = "m.example";
+  const auto request = build_http_request(spec);
+  EXPECT_TRUE(looks_like_http_request(request));
+  const auto parsed = parse_http_request(request);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, HttpMethodSweep,
+                         ::testing::Values("GET", "POST", "HEAD", "PUT", "DELETE",
+                                           "OPTIONS", "CONNECT", "PATCH", "TRACE"));
+
+TEST(Dpi, DispatchesTls) {
+  common::Rng rng(1);
+  ClientHelloSpec spec;
+  spec.sni = "dpi.example";
+  const DpiResult result = inspect_payload(build_client_hello(spec, rng));
+  EXPECT_EQ(result.protocol, AppProtocol::kTls);
+  EXPECT_EQ(result.domain, "dpi.example");
+  EXPECT_FALSE(result.http_path.has_value());
+}
+
+TEST(Dpi, DispatchesHttp) {
+  HttpRequestSpec spec;
+  spec.host = "dpi-http.example";
+  spec.path = "/watched";
+  const DpiResult result = inspect_payload(build_http_request(spec));
+  EXPECT_EQ(result.protocol, AppProtocol::kHttp);
+  EXPECT_EQ(result.domain, "dpi-http.example");
+  EXPECT_EQ(result.http_path, "/watched");
+  EXPECT_TRUE(result.http_user_agent.has_value());
+}
+
+TEST(Dpi, UnknownPayload) {
+  const std::vector<std::uint8_t> opaque = {0x17, 0x03, 0x03, 0x00, 0x20, 0xde, 0xad};
+  const DpiResult result = inspect_payload(opaque);
+  EXPECT_EQ(result.protocol, AppProtocol::kUnknown);
+  EXPECT_FALSE(result.domain.has_value());
+  EXPECT_EQ(inspect_payload({}).protocol, AppProtocol::kUnknown);
+}
+
+}  // namespace
+}  // namespace tamper::appproto

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ip_address.h"
+
+namespace tamper::net {
+namespace {
+
+TEST(IpAddress, V4Construction) {
+  const IpAddress a = IpAddress::v4(192, 168, 1, 2);
+  EXPECT_TRUE(a.is_v4());
+  EXPECT_EQ(a.v4_value(), 0xc0a80102u);
+  EXPECT_EQ(a.to_string(), "192.168.1.2");
+}
+
+TEST(IpAddress, V4FromHostOrderValue) {
+  EXPECT_EQ(IpAddress::v4(0x01020304).to_string(), "1.2.3.4");
+}
+
+TEST(IpAddress, V6Construction) {
+  const IpAddress a = IpAddress::v6(0x20010db800000000ULL, 0x1ULL);
+  EXPECT_TRUE(a.is_v6());
+  EXPECT_EQ(a.to_string(), "2001:db8::1");
+}
+
+TEST(IpAddress, ParseV4) {
+  const auto a = IpAddress::parse("10.0.255.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.0.255.1");
+}
+
+TEST(IpAddress, ParseV4Rejections) {
+  EXPECT_FALSE(IpAddress::parse("10.0.0").has_value());
+  EXPECT_FALSE(IpAddress::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(IpAddress::parse("10.0.0.1.2").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+}
+
+TEST(IpAddress, ParseV6Forms) {
+  EXPECT_EQ(IpAddress::parse("::")->to_string(), "::");
+  EXPECT_EQ(IpAddress::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(IpAddress::parse("2001:db8::1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(IpAddress::parse("fe80::1:2:3:4")->to_string(), "fe80::1:2:3:4");
+  EXPECT_EQ(IpAddress::parse("1:2:3:4:5:6:7:8")->to_string(), "1:2:3:4:5:6:7:8");
+}
+
+TEST(IpAddress, ParseV6Rejections) {
+  EXPECT_FALSE(IpAddress::parse("1:2:3").has_value());
+  EXPECT_FALSE(IpAddress::parse("::1::2").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IpAddress::parse("gggg::1").has_value());
+}
+
+TEST(IpAddress, Rfc5952CompressesLongestZeroRun) {
+  // Two zero runs (len 2 and len 3): the longer one is compressed.
+  EXPECT_EQ(IpAddress::parse("2001:0:0:1:0:0:0:1")->to_string(), "2001:0:0:1::1");
+  // A single zero group is not compressed.
+  EXPECT_EQ(IpAddress::parse("2001:db8:0:1:1:1:1:1")->to_string(),
+            "2001:db8:0:1:1:1:1:1");
+}
+
+TEST(IpAddress, OrderingAndEquality) {
+  const IpAddress a = IpAddress::v4(1, 2, 3, 4);
+  const IpAddress b = IpAddress::v4(1, 2, 3, 5);
+  EXPECT_EQ(a, IpAddress::v4(1, 2, 3, 4));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(IpAddress, HashSpreads) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) hashes.insert(IpAddress::v4(i).hash());
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(IpAddress, V4AndV6WithSameBytesDiffer) {
+  // IPv4-mapped bytes interpreted as v6 must not compare equal to the v4.
+  const IpAddress v4 = IpAddress::v4(1, 2, 3, 4);
+  const IpAddress v6 = IpAddress::v6(v4.bytes());
+  EXPECT_NE(v4, v6);
+  EXPECT_NE(v4.hash(), v6.hash());
+}
+
+TEST(IpPrefix, ContainsV4) {
+  const auto prefix = IpPrefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("10.1.255.255")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("10.2.0.0")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("2001:db8::1")));
+}
+
+TEST(IpPrefix, ContainsNonByteAlignedLength) {
+  const auto prefix = IpPrefix::parse("192.168.0.0/13");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("192.175.0.1")));   // within /13
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("192.176.0.1")));  // outside
+}
+
+TEST(IpPrefix, ContainsV6) {
+  const auto prefix = IpPrefix::parse("2400:1::/32");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("2400:1:ffff::9")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("2400:2::9")));
+}
+
+TEST(IpPrefix, ZeroLengthMatchesEverythingOfFamily) {
+  const IpPrefix prefix(IpAddress::v4(0), 0);
+  EXPECT_TRUE(prefix.contains(IpAddress::v4(255, 255, 255, 255)));
+  EXPECT_FALSE(prefix.contains(*IpAddress::parse("::1")));
+}
+
+TEST(IpPrefix, FullLengthIsExactMatch) {
+  const IpPrefix prefix(IpAddress::v4(1, 2, 3, 4), 32);
+  EXPECT_TRUE(prefix.contains(IpAddress::v4(1, 2, 3, 4)));
+  EXPECT_FALSE(prefix.contains(IpAddress::v4(1, 2, 3, 5)));
+}
+
+TEST(IpPrefix, ParseRejections) {
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(IpPrefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(IpPrefix::parse("junk/8").has_value());
+}
+
+TEST(IpPrefix, ToStringRoundTrip) {
+  EXPECT_EQ(IpPrefix::parse("10.0.0.0/8")->to_string(), "10.0.0.0/8");
+  EXPECT_EQ(IpPrefix::parse("2001:db8::/32")->to_string(), "2001:db8::/32");
+}
+
+// Round-trip sweep for textual parsing/formatting.
+class IpRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IpRoundTrip, ParseFormatFixpoint) {
+  const auto addr = IpAddress::parse(GetParam());
+  ASSERT_TRUE(addr.has_value()) << GetParam();
+  EXPECT_EQ(addr->to_string(), GetParam());
+  // Formatting then parsing again is the identity.
+  EXPECT_EQ(IpAddress::parse(addr->to_string()), addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, IpRoundTrip,
+                         ::testing::Values("0.0.0.0", "255.255.255.255", "11.0.0.1",
+                                           "198.18.0.42", "::", "::1", "2001:db8::1",
+                                           "2400:44d::ffff", "1:2:3:4:5:6:7:8",
+                                           "fe80::a:b:c:d"));
+
+}  // namespace
+}  // namespace tamper::net

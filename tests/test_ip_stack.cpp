@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tcp/ip_stack_model.h"
+
+namespace tamper::tcp {
+namespace {
+
+net::Packet v4_packet() {
+  return net::make_tcp_packet(net::IpAddress::v4(11, 0, 0, 2), 1234,
+                              net::IpAddress::v4(198, 18, 0, 1), 443,
+                              net::tcpflag::kAck, 1, 1);
+}
+
+TEST(IpStackModel, ZeroStrategy) {
+  IpStackModel stack = IpStackModel::zero_ipid();
+  common::Rng rng(1);
+  stack.start_connection(rng);
+  net::Packet pkt = v4_packet();
+  stack.stamp(pkt, rng);
+  EXPECT_EQ(pkt.ip.ip_id, 0);
+  EXPECT_EQ(pkt.ip.ttl, 64);
+}
+
+TEST(IpStackModel, PerConnectionCounterIncrements) {
+  IpStackModel stack = IpStackModel::linux_like();
+  common::Rng rng(2);
+  stack.start_connection(rng);
+  net::Packet a = v4_packet(), b = v4_packet(), c = v4_packet();
+  stack.stamp(a, rng);
+  stack.stamp(b, rng);
+  stack.stamp(c, rng);
+  EXPECT_EQ(static_cast<std::uint16_t>(a.ip.ip_id + 1), b.ip.ip_id);
+  EXPECT_EQ(static_cast<std::uint16_t>(b.ip.ip_id + 1), c.ip.ip_id);
+}
+
+TEST(IpStackModel, PerConnectionCounterRestartsEachConnection) {
+  IpStackModel stack = IpStackModel::linux_like();
+  common::Rng rng(3);
+  stack.start_connection(rng);
+  net::Packet a = v4_packet();
+  stack.stamp(a, rng);
+  stack.start_connection(rng);  // new connection: new random start
+  net::Packet b = v4_packet();
+  stack.stamp(b, rng);
+  EXPECT_NE(static_cast<std::uint16_t>(a.ip.ip_id + 1), b.ip.ip_id);
+}
+
+TEST(IpStackModel, GlobalCounterPersistsAcrossConnections) {
+  IpStackModel stack = IpStackModel::windows_like();
+  common::Rng rng(4);
+  stack.start_connection(rng);
+  net::Packet a = v4_packet();
+  stack.stamp(a, rng);
+  stack.start_connection(rng);
+  net::Packet b = v4_packet();
+  stack.stamp(b, rng);
+  EXPECT_EQ(static_cast<std::uint16_t>(a.ip.ip_id + 1), b.ip.ip_id);
+  EXPECT_EQ(a.ip.ttl, 128);
+}
+
+TEST(IpStackModel, FixedStrategy) {
+  IpStackModel stack = IpStackModel::zmap();
+  common::Rng rng(5);
+  stack.start_connection(rng);
+  net::Packet a = v4_packet(), b = v4_packet();
+  stack.stamp(a, rng);
+  stack.stamp(b, rng);
+  EXPECT_EQ(a.ip.ip_id, 54321);
+  EXPECT_EQ(b.ip.ip_id, 54321);
+  EXPECT_EQ(a.ip.ttl, 255);
+  EXPECT_TRUE(stack.config().minimal_syn_options);
+}
+
+TEST(IpStackModel, CopyTriggerStrategy) {
+  IpStackModel::Config config;
+  config.ipid = IpIdStrategy::kCopyTrigger;
+  IpStackModel stack(config);
+  common::Rng rng(6);
+  net::Packet trigger = v4_packet();
+  trigger.ip.ip_id = 7777;
+  net::Packet forged = v4_packet();
+  stack.stamp(forged, rng, &trigger);
+  EXPECT_EQ(forged.ip.ip_id, 7777);
+}
+
+TEST(IpStackModel, RandomPerPacketVaries) {
+  IpStackModel::Config config;
+  config.ipid = IpIdStrategy::kRandomPerPacket;
+  IpStackModel stack(config);
+  common::Rng rng(7);
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 20; ++i) {
+    net::Packet pkt = v4_packet();
+    stack.stamp(pkt, rng);
+    seen.insert(pkt.ip.ip_id);
+  }
+  EXPECT_GT(seen.size(), 15u);
+}
+
+TEST(IpStackModel, RandomTtlInRange) {
+  IpStackModel::Config config;
+  config.random_ttl = true;
+  IpStackModel stack(config);
+  common::Rng rng(8);
+  std::set<int> ttls;
+  for (int i = 0; i < 50; ++i) {
+    net::Packet pkt = v4_packet();
+    stack.stamp(pkt, rng);
+    ASSERT_GE(pkt.ip.ttl, 16);
+    ttls.insert(pkt.ip.ttl);
+  }
+  EXPECT_GT(ttls.size(), 20u);  // genuinely random, not constant
+}
+
+TEST(IpStackModel, Ipv6NeverStampsIpId) {
+  IpStackModel stack = IpStackModel::windows_like();
+  common::Rng rng(9);
+  stack.start_connection(rng);
+  net::Packet pkt = net::make_tcp_packet(*net::IpAddress::parse("2400:44d::2"), 1234,
+                                         *net::IpAddress::parse("2001:db8:cd::1"), 443,
+                                         net::tcpflag::kAck, 1, 1);
+  stack.stamp(pkt, rng);
+  EXPECT_EQ(pkt.ip.ip_id, 0);
+  EXPECT_EQ(pkt.ip.ttl, 128);  // hop limit still applies
+}
+
+}  // namespace
+}  // namespace tamper::tcp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/pcap.h"
+
+namespace tamper::net {
+namespace {
+
+Packet make_packet(double ts, std::uint32_t seq) {
+  Packet pkt = make_tcp_packet(IpAddress::v4(11, 0, 0, 1), 4000,
+                               IpAddress::v4(198, 18, 0, 1), 443, tcpflag::kAck, seq, 1);
+  pkt.timestamp = ts;
+  return pkt;
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::ostringstream out;
+  PcapWriter writer(out);
+  for (int i = 0; i < 5; ++i) writer.write(make_packet(1000.5 + i, 100 + i));
+  EXPECT_EQ(writer.packets_written(), 5u);
+
+  std::istringstream in(out.str());
+  PcapReader reader(in);
+  EXPECT_EQ(reader.linktype(), kLinktypeRaw);
+  for (int i = 0; i < 5; ++i) {
+    const auto pkt = reader.next();
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->tcp.seq, 100u + i);
+    EXPECT_NEAR(pkt->timestamp, 1000.5 + i, 1e-5);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.frames_read(), 5u);
+  EXPECT_EQ(reader.frames_skipped(), 0u);
+}
+
+TEST(Pcap, GlobalHeaderLayout) {
+  std::ostringstream out;
+  PcapWriter writer(out, kLinktypeRaw, 1234);
+  const std::string blob = out.str();
+  ASSERT_EQ(blob.size(), 24u);
+  // Little-endian magic 0xa1b2c3d4.
+  EXPECT_EQ(static_cast<unsigned char>(blob[0]), 0xd4);
+  EXPECT_EQ(static_cast<unsigned char>(blob[3]), 0xa1);
+  // snaplen at offset 16.
+  EXPECT_EQ(static_cast<unsigned char>(blob[16]), 1234 & 0xff);
+  // linktype at offset 20.
+  EXPECT_EQ(static_cast<unsigned char>(blob[20]), kLinktypeRaw);
+}
+
+TEST(Pcap, ReadsBigEndianFiles) {
+  // Build a byte-swapped capture by hand: header + one raw IP frame.
+  std::ostringstream out;
+  PcapWriter writer(out);
+  writer.write(make_packet(7.0, 42));
+  std::string blob = out.str();
+  // Swap every 32-bit field of the global header and the record header.
+  auto swap32at = [&](std::size_t off) {
+    std::swap(blob[off], blob[off + 3]);
+    std::swap(blob[off + 1], blob[off + 2]);
+  };
+  for (std::size_t off : {0u}) swap32at(off);                       // magic
+  std::swap(blob[4], blob[5]);                                      // version major
+  std::swap(blob[6], blob[7]);                                      // version minor
+  // Full header is {magic, v, zone, sigfigs, snaplen, linktype}: swap words 2..5.
+  for (std::size_t off : {8u, 12u, 16u, 20u}) swap32at(off);
+  for (std::size_t off : {24u, 28u, 32u, 36u}) swap32at(off);       // record header
+
+  std::istringstream in(blob);
+  PcapReader reader(in);
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->tcp.seq, 42u);
+}
+
+TEST(Pcap, NanosecondMagicSupported) {
+  std::ostringstream out;
+  PcapWriter writer(out);
+  writer.write(make_packet(3.000000500, 1));
+  std::string blob = out.str();
+  // Rewrite magic to the nanosecond variant and scale the subsecond field.
+  blob[0] = '\x4d';
+  blob[1] = '\x3c';
+  blob[2] = '\xb2';
+  blob[3] = '\xa1';
+  std::istringstream in(blob);
+  PcapReader reader(in);
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  // Micros field now interpreted as nanos: timestamp shrinks, stays near 3 s.
+  EXPECT_NEAR(pkt->timestamp, 3.0, 0.001);
+}
+
+TEST(Pcap, EthernetLinktypeStripsMacHeader) {
+  std::ostringstream out;
+  PcapWriter writer(out, kLinktypeEthernet);
+  const Packet pkt = make_packet(1.0, 7);
+  auto ip = serialize(pkt);
+  std::vector<std::uint8_t> frame(14, 0);
+  frame[12] = 0x08;  // ethertype IPv4
+  frame[13] = 0x00;
+  frame.insert(frame.end(), ip.begin(), ip.end());
+  writer.write_raw(1.0, frame);
+
+  std::istringstream in(out.str());
+  PcapReader reader(in);
+  const auto parsed = reader.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tcp.seq, 7u);
+}
+
+TEST(Pcap, SkipsNonIpEthernetFrames) {
+  std::ostringstream out;
+  PcapWriter writer(out, kLinktypeEthernet);
+  std::vector<std::uint8_t> arp(40, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;  // ethertype ARP
+  writer.write_raw(1.0, arp);
+
+  std::istringstream in(out.str());
+  PcapReader reader(in);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.frames_skipped(), 1u);
+}
+
+TEST(Pcap, BadMagicThrows) {
+  std::istringstream in(std::string("\x00\x01\x02\x03junkjunkjunkjunkjunk", 24));
+  EXPECT_THROW(PcapReader reader(in), std::runtime_error);
+}
+
+TEST(Pcap, EmptyStreamThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(PcapReader reader(in), std::runtime_error);
+}
+
+TEST(Pcap, TruncatedRecordEndsIteration) {
+  std::ostringstream out;
+  PcapWriter writer(out);
+  writer.write(make_packet(1.0, 1));
+  std::string blob = out.str();
+  blob.resize(blob.size() - 5);  // cut into the frame body
+  std::istringstream in(blob);
+  PcapReader reader(in);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcap, FileHelpersRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tamper_test.pcap";
+  std::vector<Packet> packets = {make_packet(10.0, 1), make_packet(10.1, 2)};
+  write_pcap_file(path, packets);
+  const auto loaded = read_pcap_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].tcp.seq, 2u);
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(read_pcap_file("/nonexistent/zzz.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tamper::net

@@ -1,0 +1,187 @@
+// Property-based tests: invariants that must hold for arbitrary inputs,
+// swept across seeds with TEST_P.
+#include <gtest/gtest.h>
+
+#include "analysis/evidence.h"
+#include "capture/sampler.h"
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "core/weaver.h"
+#include "world/traffic.h"
+
+namespace tamper {
+namespace {
+
+using namespace net::tcpflag;
+
+// ---- Classifier total robustness: random packet soup never crashes and
+// ---- always yields internally consistent verdicts.
+
+class ClassifierSoup : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassifierSoup, InvariantsHoldOnArbitraryInput) {
+  common::Rng rng(GetParam());
+  core::SignatureClassifier classifier;
+  for (int trial = 0; trial < 400; ++trial) {
+    capture::ConnectionSample sample;
+    sample.ip_version = rng.chance(0.3) ? net::IpVersion::kV6 : net::IpVersion::kV4;
+    const std::size_t count = rng.below(11);
+    const std::int64_t base_ts = 1'000'000 + static_cast<std::int64_t>(rng.below(1000));
+    for (std::size_t i = 0; i < count; ++i) {
+      capture::ObservedPacket pkt;
+      pkt.ts_sec = base_ts + static_cast<std::int64_t>(rng.below(12));
+      pkt.flags = static_cast<std::uint8_t>(rng.below(256));
+      pkt.seq = static_cast<std::uint32_t>(rng.next());
+      pkt.ack = rng.chance(0.2) ? 0 : static_cast<std::uint32_t>(rng.next());
+      pkt.payload_len = static_cast<std::uint16_t>(rng.below(1500));
+      pkt.ttl = static_cast<std::uint8_t>(rng.below(256));
+      pkt.ip_id = static_cast<std::uint16_t>(rng.below(65536));
+      sample.packets.push_back(pkt);
+    }
+    sample.observation_end_sec = base_ts + static_cast<std::int64_t>(rng.below(60));
+
+    const core::Classification c = classifier.classify(sample);
+    // Invariant 1: a signature implies possibly-tampered.
+    if (c.signature) {
+      ASSERT_TRUE(c.possibly_tampered);
+    }
+    // Invariant 2: the signature's stage equals the reported stage.
+    if (c.signature) {
+      ASSERT_EQ(core::stage_of(*c.signature), c.stage);
+    }
+    // Invariant 3: the ∅ signatures imply an empty tear-down set, and any
+    // RST-bearing signature implies a non-empty one.
+    if (c.signature == core::Signature::kSynNone ||
+        c.signature == core::Signature::kAckNone ||
+        c.signature == core::Signature::kPshNone) {
+      ASSERT_EQ(c.rst_count + c.rst_ack_count, 0u);
+    } else if (c.signature) {
+      ASSERT_GT(c.rst_count + c.rst_ack_count, 0u);
+    }
+    // Invariant 4: empty samples are clean.
+    if (sample.packets.empty()) {
+      ASSERT_FALSE(c.possibly_tampered);
+    }
+    // Invariant 5: evidence extraction never throws on the same input.
+    (void)analysis::evidence_deltas(sample, c);
+    (void)core::weaver_detect(sample);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierSoup, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- Duplicate-log robustness: duplicating any non-RST packet of a real
+// ---- capture never changes the verdict (retransmission collapse).
+
+class DuplicationInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DuplicationInvariance, VerdictStable) {
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = GetParam() * 7 + 3;
+  world::TrafficGenerator generator(world, traffic);
+  core::SignatureClassifier classifier;
+  common::Rng rng(GetParam());
+  int checked = 0;
+  generator.generate(400, [&](world::LabeledConnection&& conn) {
+    if (conn.sample.packets.empty() || conn.sample.packets.size() >= 10) return;
+    const auto reference = classifier.classify(conn.sample).signature;
+    auto duplicated = conn.sample;
+    const std::size_t pick = rng.below(duplicated.packets.size());
+    if (duplicated.packets[pick].is_rst()) return;  // RST bursts are meaningful
+    duplicated.packets.push_back(duplicated.packets[pick]);
+    ASSERT_EQ(classifier.classify(duplicated).signature, reference) << checked;
+    ++checked;
+  });
+  EXPECT_GT(checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuplicationInvariance,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+// ---- Session invariants across random scenario seeds.
+
+class SessionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionProperties, TapObeysPhysics) {
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = GetParam() * 13 + 1;
+  traffic.keep_raw_inbound = true;
+  world::TrafficGenerator generator(world, traffic);
+  generator.generate(300, [&](world::LabeledConnection&& conn) {
+    // Timestamps are monotone at the tap (FIFO path).
+    for (std::size_t i = 1; i < conn.raw_inbound.size(); ++i)
+      ASSERT_GE(conn.raw_inbound[i].timestamp, conn.raw_inbound[i - 1].timestamp);
+    for (const auto& pkt : conn.raw_inbound) {
+      ASSERT_GE(pkt.ip.ttl, 1);  // TTL never hits zero in delivery
+      ASSERT_EQ(pkt.dst.version(), conn.sample.server_ip.version());
+    }
+    // The first observed packet of a flow is the client's SYN.
+    if (!conn.sample.packets.empty()) {
+      ASSERT_TRUE(conn.sample.packets.front().has(kSyn));
+    }
+    // Quantized timestamps never precede the wire timestamps' second.
+    if (!conn.raw_inbound.empty() && !conn.sample.packets.empty()) {
+      ASSERT_LE(conn.sample.packets.front().ts_sec,
+                static_cast<std::int64_t>(conn.raw_inbound.front().timestamp));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionProperties, ::testing::Range<std::uint64_t>(1, 5));
+
+// ---- Determinism: the whole pipeline is a pure function of its seeds.
+
+TEST(Determinism, EndToEndBitExactAcrossRuns) {
+  auto run = [] {
+    world::WorldConfig world_cfg;
+    world_cfg.seed = 777;
+    world::World world(world_cfg);
+    world::TrafficConfig traffic;
+    traffic.seed = 888;
+    world::TrafficGenerator generator(world, traffic);
+    core::SignatureClassifier classifier;
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    generator.generate(2000, [&](world::LabeledConnection&& conn) {
+      const auto c = classifier.classify(conn.sample);
+      hash ^= common::mix64((c.signature ? 1 + static_cast<std::uint64_t>(*c.signature)
+                                         : 0) ^
+                            (conn.sample.packets.size() << 8) ^
+                            common::fnv1a(conn.truth.country));
+      hash *= 0x100000001b3ULL;
+    });
+    return hash;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---- Sampler salt independence: different salts sample different flows.
+
+TEST(SamplerSalt, ChangesSampledSet) {
+  capture::ConnectionSampler::Config a_cfg;
+  a_cfg.sample_one_in = 4;
+  a_cfg.hash_salt = 1;
+  capture::ConnectionSampler::Config b_cfg = a_cfg;
+  b_cfg.hash_salt = 2;
+  capture::ConnectionSampler a(a_cfg), b(b_cfg);
+  common::Rng rng(5);
+  int differs = 0;
+  for (int i = 0; i < 4000; ++i) {
+    net::Packet syn = net::make_tcp_packet(
+        net::IpAddress::v4(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.below(60000) + 1024),
+        net::IpAddress::v4(198, 18, 0, 1), 443, kSyn, 1, 0);
+    const auto before_a = a.stats().connections_sampled;
+    const auto before_b = b.stats().connections_sampled;
+    a.on_packet(syn, 1.0);
+    b.on_packet(syn, 1.0);
+    if ((a.stats().connections_sampled != before_a) !=
+        (b.stats().connections_sampled != before_b))
+      ++differs;
+  }
+  EXPECT_GT(differs, 500);  // decisions are salt-dependent per flow
+}
+
+}  // namespace
+}  // namespace tamper

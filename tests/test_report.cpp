@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/injector.h"
+#include "analysis/report.h"
+#include "common/json.h"
+#include "world/traffic.h"
+
+namespace tamper {
+namespace {
+
+using namespace net::tcpflag;
+
+// ---- JsonWriter ----
+
+TEST(Json, ObjectAndArrayShapes) {
+  std::ostringstream out;
+  common::JsonWriter json(out, /*pretty=*/false);
+  json.begin_object();
+  json.kv("name", "value");
+  json.kv("count", std::uint64_t{3});
+  json.kv("ratio", 0.5);
+  json.kv("flag", true);
+  json.key("list");
+  json.begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.end_array();
+  json.key("nothing").null();
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            R"({"name":"value","count":3,"ratio":0.5,"flag":true,"list":[1,2],"nothing":null})");
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream out;
+  common::JsonWriter json(out, false);
+  json.begin_array();
+  json.value("quote\" slash\\ nl\n tab\t ctrl\x01");
+  json.end_array();
+  EXPECT_EQ(out.str(), "[\"quote\\\" slash\\\\ nl\\n tab\\t ctrl\\u0001\"]");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  common::JsonWriter json(out, false);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(Json, EmptyContainers) {
+  std::ostringstream out;
+  common::JsonWriter json(out, false);
+  json.begin_object();
+  json.key("a");
+  json.begin_array();
+  json.end_array();
+  json.key("o");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(out.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(Json, PrettyPrintingIndents) {
+  std::ostringstream out;
+  common::JsonWriter json(out, true);
+  json.begin_object();
+  json.kv("k", std::uint64_t{1});
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"k\": 1\n}");
+}
+
+// ---- Radar report ----
+
+TEST(RadarReport, ValidShapeAndAggregatesOnly) {
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 0x3e9;
+  world::TrafficGenerator generator(world, traffic);
+  analysis::Pipeline pipeline(world);
+  pipeline.run(generator, 4000);
+
+  std::ostringstream out;
+  analysis::ReportOptions options;
+  options.min_country_connections = 100;
+  analysis::write_radar_report(out, pipeline, options);
+  const std::string report = out.str();
+
+  EXPECT_NE(report.find("\"schema\": \"tamper-radar/1\""), std::string::npos);
+  EXPECT_NE(report.find("\"global\""), std::string::npos);
+  EXPECT_NE(report.find("\"signatures\""), std::string::npos);
+  EXPECT_NE(report.find("\"countries\""), std::string::npos);
+  EXPECT_NE(report.find("SYNACK->NONE"), std::string::npos);
+  // Privacy posture: no client addresses and no domain names leak.
+  // (Client space is 11.0.0.0/8; a dotted-quad string would betray it.)
+  for (const char* leak : {"\"11.", "client_ip", ".com\"", ".net\"", ".org\""})
+    EXPECT_EQ(report.find(leak), std::string::npos) << leak;
+  // Braces balance (cheap well-formedness check).
+  EXPECT_EQ(std::count(report.begin(), report.end(), '{'),
+            std::count(report.begin(), report.end(), '}'));
+  EXPECT_EQ(std::count(report.begin(), report.end(), '['),
+            std::count(report.begin(), report.end(), ']'));
+}
+
+TEST(RadarReport, AggregationFloorSuppressesSmallCountries) {
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 0x3ea;
+  world::TrafficGenerator generator(world, traffic);
+  analysis::Pipeline pipeline(world);
+  pipeline.run(generator, 1500);
+
+  std::ostringstream strict;
+  analysis::ReportOptions high_floor;
+  high_floor.min_country_connections = 1'000'000;
+  high_floor.include_timeseries = false;
+  analysis::write_radar_report(strict, pipeline, high_floor);
+  EXPECT_NE(strict.str().find("\"countries\": []"), std::string::npos);
+}
+
+// ---- Injector distance ----
+
+capture::ObservedPacket obs(std::uint8_t flags, std::uint8_t ttl, std::int64_t ts = 1000) {
+  capture::ObservedPacket p;
+  p.flags = flags;
+  p.ttl = ttl;
+  p.seq = flags == kSyn ? 100 : 101;
+  p.ts_sec = ts;
+  return p;
+}
+
+TEST(InjectorDistance, EstimatesFromTtlConstants) {
+  capture::ConnectionSample sample;
+  // Client: initial TTL 64, 14 hops away -> arrives with 50.
+  // Injector: initial TTL 64, 6 hops from the server -> RST arrives with 58.
+  sample.packets = {obs(kSyn, 50), obs(kAck, 50), obs(kRst, 58)};
+  sample.observation_end_sec = 1030;
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  ASSERT_TRUE(classification.possibly_tampered);
+  const auto distance = analysis::estimate_injector_distance(sample, classification);
+  ASSERT_TRUE(distance.has_value());
+  EXPECT_EQ(distance->client_hops, 14);
+  EXPECT_EQ(distance->injector_hops, 6);
+  EXPECT_NEAR(distance->relative_position(), 6.0 / 14.0, 1e-9);
+}
+
+TEST(InjectorDistance, HandlesDifferentInitialConstants) {
+  capture::ConnectionSample sample;
+  // Windows client (128) 20 hops out; injector stack at 255, 9 hops out.
+  sample.packets = {obs(kSyn, 108), obs(kAck, 108), obs(kRst | kAck, 246)};
+  sample.observation_end_sec = 1030;
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  const auto distance = analysis::estimate_injector_distance(sample, classification);
+  ASSERT_TRUE(distance.has_value());
+  EXPECT_EQ(distance->client_hops, 20);
+  EXPECT_EQ(distance->injector_hops, 9);
+}
+
+TEST(InjectorDistance, RejectsImplausibleTtls) {
+  capture::ConnectionSample sample;
+  // TTL 160 is >31 below the next constant (255): randomized injector.
+  sample.packets = {obs(kSyn, 50), obs(kAck, 50), obs(kRst, 160)};
+  sample.observation_end_sec = 1030;
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  EXPECT_FALSE(analysis::estimate_injector_distance(sample, classification).has_value());
+}
+
+TEST(InjectorDistance, NoTeardownNoEstimate) {
+  capture::ConnectionSample sample;
+  sample.packets = {obs(kSyn, 50)};
+  sample.observation_end_sec = 1030;
+  const auto classification = core::SignatureClassifier{}.classify(sample);
+  ASSERT_TRUE(classification.possibly_tampered);  // SYN -> nothing
+  EXPECT_FALSE(analysis::estimate_injector_distance(sample, classification).has_value());
+}
+
+TEST(InjectorDistance, HopsFromInitialTtlHelper) {
+  EXPECT_EQ(analysis::hops_from_initial_ttl(64), 0);
+  EXPECT_EQ(analysis::hops_from_initial_ttl(50), 14);
+  EXPECT_EQ(analysis::hops_from_initial_ttl(120), 8);
+  EXPECT_EQ(analysis::hops_from_initial_ttl(250), 5);
+  EXPECT_EQ(analysis::hops_from_initial_ttl(30), 2);   // 32-based
+  EXPECT_FALSE(analysis::hops_from_initial_ttl(180).has_value());
+}
+
+TEST(InjectorDistance, OnSimulatedCensoredTraffic) {
+  // Middlebox sits at hop 5 of 14 from the client, i.e. 9 hops from the
+  // server vs the client's 14: relative position ~0.64.
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 0x1d7;
+  world::TrafficGenerator generator(world, traffic);
+  core::SignatureClassifier classifier;
+  int estimates = 0;
+  double positions = 0.0;
+  generator.generate(6000, [&](world::LabeledConnection&& conn) {
+    if (!conn.truth.tampered) return;
+    const auto classification = classifier.classify(conn.sample);
+    const auto distance = analysis::estimate_injector_distance(conn.sample, classification);
+    if (!distance) return;
+    ++estimates;
+    positions += distance->relative_position();
+  });
+  ASSERT_GT(estimates, 50);
+  const double mean_position = positions / estimates;
+  EXPECT_GT(mean_position, 0.3);  // mid-path, not at the server
+  EXPECT_LT(mean_position, 1.1);
+}
+
+}  // namespace
+}  // namespace tamper

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace tamper::common {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(42);
+  const std::uint64_t first = a.next();
+  (void)a.next();
+  a.reseed(42);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsAlwaysInRange) {
+  Rng rng(9);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(29);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.15);  // (1-p)/p = 3
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, PoissonMeanLargeLambda) {
+  Rng rng(37);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.5);
+}
+
+TEST(Rng, PickWeightedFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 50000.0, 0.6, 0.02);
+}
+
+TEST(Rng, PickWeightedAllZeroFallsBackToFirst) {
+  Rng rng(43);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.pick_weighted(weights), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(55);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next(), child2.next());
+  // Forking does not perturb the parent's stream.
+  Rng parent2(55);
+  (void)parent2.next();
+  (void)parent.next();  // align
+  Rng parent3(55);
+  (void)parent3.fork(99);
+  EXPECT_EQ(parent3.next(), Rng(55).next());
+}
+
+TEST(Rng, ForkByNameIsDeterministic) {
+  Rng a(1), b(1);
+  EXPECT_EQ(a.fork("geo").next(), b.fork("geo").next());
+  EXPECT_NE(a.fork("geo").next(), b.fork("domains").next());
+}
+
+TEST(Fnv1a, KnownValues) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.0);
+  double total = 0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfMonotonicallyDecreasing) {
+  ZipfSampler zipf(100, 0.9);
+  for (std::size_t i = 1; i < zipf.size(); ++i) EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1));
+}
+
+TEST(ZipfSampler, SampleMatchesPmf) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(3);
+  std::array<int, 50> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), zipf.pmf(0), 0.01);
+  EXPECT_NEAR(counts[10] / static_cast<double>(n), zipf.pmf(10), 0.005);
+}
+
+// Property sweep: below(n) stays unbiased across a range of moduli.
+class RngBelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowSweep, MeanIsCentered) {
+  Rng rng(GetParam() * 7919 + 1);
+  const std::uint64_t n = GetParam();
+  double sum = 0;
+  const int iters = 20000;
+  for (int i = 0; i < iters; ++i) sum += static_cast<double>(rng.below(n));
+  const double expected = static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(sum / iters, expected, std::max(1.0, expected * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RngBelowSweep,
+                         ::testing::Values(2, 3, 7, 10, 100, 1000, 65536, 1000000));
+
+}  // namespace
+}  // namespace tamper::common

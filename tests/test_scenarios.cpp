@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "analysis/changes.h"
+#include "analysis/pipeline.h"
+#include "capture/anonymize.h"
+#include "core/classifier.h"
+#include "world/scenarios.h"
+
+namespace tamper {
+namespace {
+
+// ---- Named scenarios ----
+
+TEST(Scenarios, GlobalJanuary2023Window) {
+  const auto scenario = world::global_january_2023(1);
+  EXPECT_EQ(scenario.traffic.window_start, common::from_civil(2023, 1, 12));
+  EXPECT_EQ(scenario.traffic.window_end, common::from_civil(2023, 1, 26));
+  auto generator = scenario.make_generator();
+  const auto conn = generator.generate_one();
+  EXPECT_FALSE(conn.truth.country.empty());
+}
+
+TEST(Scenarios, ProtestIntensityShape) {
+  const common::SimTime start = common::from_civil(2022, 9, 13, 12);
+  EXPECT_EQ(world::protest_intensity(start - 3600.0, start, 3.5), 0.0);
+  const double day1 = world::protest_intensity(start + 1 * 86400.0, start, 3.5);
+  const double day7 = world::protest_intensity(start + 7 * 86400.0, start, 3.5);
+  EXPECT_GT(day1, 0.1);
+  EXPECT_GT(day7, day1);  // ramps upward
+  EXPECT_LE(day7, 1.0);
+  // Evening emphasis: 20:00 local beats 08:00 local on the same day
+  // (UTC+3:30, so 16:30 UTC and 04:30 UTC respectively).
+  const double evening =
+      world::protest_intensity(common::from_civil(2022, 9, 16, 16, 30), start, 3.5);
+  const double morning =
+      world::protest_intensity(common::from_civil(2022, 9, 16, 4, 30), start, 3.5);
+  EXPECT_GT(evening, morning);
+}
+
+TEST(Scenarios, IranProtestRaisesTamperingOverBaseline) {
+  const auto protest = world::iran_protests_2022(3);
+  const auto baseline = world::global_january_2023(3);
+  const int ir = world::country_index("IR");
+  auto protest_gen = protest.make_generator();
+  auto baseline_gen = baseline.make_generator();
+  int protest_tampered = 0, baseline_tampered = 0;
+  const int n = 1200;
+  for (int i = 0; i < n; ++i) {
+    if (protest_gen
+            .generate_at(ir, common::from_civil(2022, 9, 25) + i * 7.0)
+            .truth.tampered)
+      ++protest_tampered;
+    if (baseline_gen
+            .generate_at(ir, common::from_civil(2023, 1, 20) + i * 7.0)
+            .truth.tampered)
+      ++baseline_tampered;
+  }
+  EXPECT_GT(protest_tampered, baseline_tampered * 3 / 2);
+}
+
+TEST(Scenarios, UnscrubbedInflatesSynOnly) {
+  EXPECT_GT(world::global_unscrubbed(1).traffic.syn_only_rate,
+            world::global_january_2023(1).traffic.syn_only_rate * 3);
+}
+
+TEST(Scenarios, ResidualFlappingEnablesResidualState) {
+  const auto scenario = world::residual_flapping(1);
+  EXPECT_GT(scenario.traffic.residual_block_seconds, 0.0);
+  EXPECT_GT(scenario.traffic.loss_rate,
+            world::global_january_2023(1).traffic.loss_rate);
+}
+
+// ---- Change detection ----
+
+analysis::TimeSeries series_with_shift(double base_rate, double recent_rate,
+                                       int hours = 168, int recent_hours = 48,
+                                       std::uint64_t per_hour = 400) {
+  analysis::TimeSeries series;
+  common::Rng rng(7);
+  for (int h = 0; h < hours; ++h) {
+    const double rate = h >= hours - recent_hours ? recent_rate : base_rate;
+    for (std::uint64_t i = 0; i < per_hour; ++i) {
+      analysis::ConnectionRecord record;
+      record.country = "IR";
+      record.first_ts_sec = static_cast<std::int64_t>(h) * 3600 + 10;
+      if (rng.chance(rate)) {
+        record.classification.possibly_tampered = true;
+        record.classification.signature = core::Signature::kAckNone;
+        record.classification.stage = core::Stage::kPostAck;
+      }
+      series.add(record);
+    }
+  }
+  return series;
+}
+
+TEST(ChangeDetector, FlagsSurge) {
+  const auto series = series_with_shift(0.05, 0.25);
+  const auto events = analysis::detect_changes(series);
+  ASSERT_FALSE(events.empty());
+  const auto& top = events.front();
+  EXPECT_EQ(top.country, "IR");
+  EXPECT_EQ(top.signature, core::Signature::kAckNone);
+  EXPECT_TRUE(top.is_surge());
+  EXPECT_GT(top.z_score, 4.0);
+  EXPECT_GT(top.fold_change(), 3.0);
+  EXPECT_NEAR(top.baseline_pct, 5.0, 1.5);
+  EXPECT_NEAR(top.recent_pct, 25.0, 3.0);
+}
+
+TEST(ChangeDetector, FlagsDrop) {
+  const auto series = series_with_shift(0.25, 0.05);
+  const auto events = analysis::detect_changes(series);
+  ASSERT_FALSE(events.empty());
+  EXPECT_FALSE(events.front().is_surge());
+  EXPECT_LT(events.front().z_score, -4.0);
+}
+
+TEST(ChangeDetector, QuietSeriesYieldsNothing) {
+  const auto series = series_with_shift(0.10, 0.10);
+  EXPECT_TRUE(analysis::detect_changes(series).empty());
+}
+
+TEST(ChangeDetector, MinConnectionsGuard) {
+  const auto series = series_with_shift(0.05, 0.40, 168, 48, /*per_hour=*/2);
+  analysis::ChangeDetectorConfig config;
+  config.min_connections = 10'000;
+  EXPECT_TRUE(analysis::detect_changes(series, config).empty());
+}
+
+TEST(ChangeDetector, TrivialShiftSuppressed) {
+  // Statistically detectable but operationally tiny: 0.0% -> 0.3%.
+  const auto series = series_with_shift(0.000, 0.003, 168, 48, 20'000);
+  analysis::ChangeDetectorConfig config;
+  config.min_abs_shift_pct = 0.5;
+  EXPECT_TRUE(analysis::detect_changes(series, config).empty());
+}
+
+// ---- Anonymization ----
+
+TEST(Anonymize, TruncatesV4ToPrefix) {
+  capture::AnonymizeConfig config;
+  config.v4_prefix_bits = 24;
+  const auto addr = net::IpAddress::v4(11, 22, 33, 44);
+  EXPECT_EQ(capture::anonymize_address(addr, config).to_string(), "11.22.33.0");
+}
+
+TEST(Anonymize, TruncatesV6ToPrefix) {
+  capture::AnonymizeConfig config;
+  config.v6_prefix_bits = 48;
+  const auto addr = *net::IpAddress::parse("2400:44d:1234:5678::9");
+  EXPECT_EQ(capture::anonymize_address(addr, config).to_string(), "2400:44d:1234::");
+}
+
+TEST(Anonymize, PseudonymsAreStableKeyedAndPrefixPreserving) {
+  capture::AnonymizeConfig config;
+  config.pseudonymize = true;
+  config.key = 0x5ec2e7;
+  const auto a1 = net::IpAddress::v4(11, 22, 33, 44);
+  const auto a2 = net::IpAddress::v4(11, 22, 33, 99);   // same /24
+  const auto b = net::IpAddress::v4(11, 22, 34, 44);    // different /24
+  const auto pa1 = capture::anonymize_address(a1, config);
+  EXPECT_EQ(pa1, capture::anonymize_address(a1, config));  // deterministic
+  EXPECT_EQ(pa1, capture::anonymize_address(a2, config));  // host bits gone
+  EXPECT_NE(pa1, capture::anonymize_address(b, config));   // prefixes distinct
+  EXPECT_NE(pa1, a1);                                      // not the original
+  capture::AnonymizeConfig other_key = config;
+  other_key.key = 0x999;
+  EXPECT_NE(pa1, capture::anonymize_address(a1, other_key));
+}
+
+TEST(Anonymize, VerdictPreservedPayloadGone) {
+  // A tampered sample must classify identically after anonymization.
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 0xa0a;
+  world::TrafficGenerator generator(world, traffic);
+  core::SignatureClassifier classifier;
+  int compared = 0;
+  generator.generate(600, [&](world::LabeledConnection&& conn) {
+    if (conn.sample.packets.empty()) return;
+    const auto before = classifier.classify(conn.sample);
+    capture::AnonymizeConfig config;
+    config.key = 42;
+    capture::anonymize(conn.sample, config);
+    const auto after = classifier.classify(conn.sample);
+    ASSERT_EQ(before.signature, after.signature);
+    ASSERT_EQ(before.possibly_tampered, after.possibly_tampered);
+    ASSERT_EQ(conn.sample.first_data_payload(), nullptr);  // payloads stripped
+    ++compared;
+  });
+  EXPECT_GT(compared, 500);
+}
+
+TEST(Anonymize, PortScramblingKeyed) {
+  capture::ConnectionSample sample;
+  sample.client_ip = net::IpAddress::v4(11, 0, 0, 1);
+  sample.client_port = 44321;
+  capture::AnonymizeConfig config;
+  config.key = 7;
+  capture::anonymize(sample, config);
+  EXPECT_NE(sample.client_port, 44321);
+  capture::ConnectionSample again;
+  again.client_ip = net::IpAddress::v4(11, 0, 0, 1);
+  again.client_port = 44321;
+  capture::anonymize(again, config);
+  EXPECT_EQ(sample.client_port, again.client_port);  // deterministic per key
+}
+
+}  // namespace
+}  // namespace tamper

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "tcp/session.h"
+
+namespace tamper::tcp {
+namespace {
+
+using namespace net::tcpflag;
+
+struct SessionFixture {
+  EndpointConfig client_cfg;
+  EndpointConfig server_cfg;
+
+  SessionFixture() {
+    client_cfg.addr = net::IpAddress::v4(11, 0, 0, 2);
+    client_cfg.port = 40000;
+    client_cfg.is_client = true;
+    client_cfg.isn = 5000;
+    client_cfg.request_segments = {{'G', 'E', 'T', ' ', '/'}};
+    server_cfg.addr = net::IpAddress::v4(198, 18, 0, 1);
+    server_cfg.port = 443;
+    server_cfg.is_client = false;
+    server_cfg.isn = 90000;
+    server_cfg.response_size = 2000;
+  }
+
+  SessionResult run(PathHook* hook = nullptr, SessionConfig config = {}) {
+    TcpEndpoint client(client_cfg, common::Rng(1));
+    TcpEndpoint server(server_cfg, common::Rng(2));
+    client.set_peer(server_cfg.addr, server_cfg.port);
+    server.set_peer(client_cfg.addr, client_cfg.port);
+    common::Rng rng(3);
+    return simulate_session(client, server, hook, config, rng);
+  }
+};
+
+TEST(Session, CleanExchangeCompletesGracefully) {
+  SessionFixture fixture;
+  const SessionResult result = fixture.run();
+  ASSERT_GE(result.server_inbound.size(), 4u);
+  // Inbound at server: SYN, ACK, PSH+ACK(request), ACK(s), FIN+ACK.
+  EXPECT_EQ(result.server_inbound[0].pkt.tcp.flags, kSyn);
+  EXPECT_EQ(result.server_inbound[1].pkt.tcp.flags, kAck);
+  EXPECT_EQ(result.server_inbound[2].pkt.tcp.flags, kPsh | kAck);
+  bool fin_seen = false;
+  for (const auto& traced : result.server_inbound)
+    if (traced.pkt.tcp.has(kFin)) fin_seen = true;
+  EXPECT_TRUE(fin_seen);
+  EXPECT_EQ(result.packets_dropped_by_hook, 0u);
+}
+
+TEST(Session, InboundTimestampsMonotone) {
+  SessionFixture fixture;
+  const SessionResult result = fixture.run();
+  for (std::size_t i = 1; i < result.server_inbound.size(); ++i)
+    EXPECT_GE(result.server_inbound[i].pkt.timestamp,
+              result.server_inbound[i - 1].pkt.timestamp);
+}
+
+TEST(Session, TtlDecrementedByPathHops) {
+  SessionFixture fixture;
+  SessionConfig config;
+  config.geometry.total_hops = 13;
+  const SessionResult result = fixture.run(nullptr, config);
+  // Client stack default initial TTL is 64.
+  EXPECT_EQ(result.server_inbound[0].pkt.ip.ttl, 64 - 13);
+}
+
+TEST(Session, StartTimeShiftsAllTimestamps) {
+  SessionFixture fixture;
+  SessionConfig config;
+  config.start_time = 1'700'000'000.0;
+  const SessionResult result = fixture.run(nullptr, config);
+  for (const auto& traced : result.server_inbound)
+    EXPECT_GE(traced.pkt.timestamp, config.start_time);
+  EXPECT_EQ(result.end_time, config.start_time + config.time_budget);
+}
+
+TEST(Session, TotalLossProducesNothingDelivered) {
+  SessionFixture fixture;
+  SessionConfig config;
+  config.loss_rate = 1.0;
+  const SessionResult result = fixture.run(nullptr, config);
+  EXPECT_TRUE(result.server_inbound.empty());
+  EXPECT_GT(result.packets_lost, 0u);
+}
+
+/// Hook that drops every client data packet (a crude in-path censor).
+class DropClientData : public PathHook {
+ public:
+  PathDecision on_transit(Direction dir, const net::Packet& pkt,
+                          common::SimTime) override {
+    PathDecision decision;
+    if (dir == Direction::kClientToServer && !pkt.payload.empty()) decision.drop = true;
+    return decision;
+  }
+};
+
+TEST(Session, HookCanDropPackets) {
+  SessionFixture fixture;
+  DropClientData hook;
+  const SessionResult result = fixture.run(&hook);
+  EXPECT_GT(result.packets_dropped_by_hook, 0u);
+  for (const auto& traced : result.server_inbound)
+    EXPECT_TRUE(traced.pkt.payload.empty());  // no data ever arrives
+}
+
+/// Hook that injects one spoofed RST toward the server on the first client
+/// data packet, pre-stamped with a distinctive TTL.
+class InjectRstOnData : public PathHook {
+ public:
+  PathDecision on_transit(Direction dir, const net::Packet& pkt,
+                          common::SimTime) override {
+    PathDecision decision;
+    if (fired_ || dir != Direction::kClientToServer || pkt.payload.empty())
+      return decision;
+    fired_ = true;
+    net::Packet rst = net::make_tcp_packet(pkt.src, pkt.tcp.src_port, pkt.dst,
+                                           pkt.tcp.dst_port, kRst,
+                                           pkt.tcp.seq + static_cast<std::uint32_t>(
+                                                             pkt.payload.size()),
+                                           0);
+    rst.ip.ttl = 33;  // arrival TTL (hook contract)
+    decision.injections.push_back({std::move(rst), Direction::kClientToServer, 0.0005});
+    return decision;
+  }
+
+ private:
+  bool fired_ = false;
+};
+
+TEST(Session, HookInjectionReachesServerWithGroundTruthFlag) {
+  SessionFixture fixture;
+  InjectRstOnData hook;
+  const SessionResult result = fixture.run(&hook);
+  bool saw_injected_rst = false;
+  for (const auto& traced : result.server_inbound) {
+    if (traced.injected) {
+      saw_injected_rst = true;
+      EXPECT_TRUE(traced.pkt.tcp.is_rst());
+      EXPECT_EQ(traced.pkt.ip.ttl, 33);  // delivered with the pre-set arrival TTL
+    }
+  }
+  EXPECT_TRUE(saw_injected_rst);
+}
+
+TEST(Session, InjectedRstKillsServerResponse) {
+  SessionFixture fixture;
+  InjectRstOnData hook;
+  const SessionResult result = fixture.run(&hook);
+  // After the RST the server is dead: no FIN handshake happens.
+  for (const auto& traced : result.server_inbound)
+    EXPECT_FALSE(traced.pkt.tcp.has(kFin));
+}
+
+TEST(Session, HookSeesMidPathTtl) {
+  SessionFixture fixture;
+  SessionConfig config;
+  config.geometry.total_hops = 14;
+  config.geometry.middlebox_hop = 4;
+
+  class TtlProbe : public PathHook {
+   public:
+    PathDecision on_transit(Direction dir, const net::Packet& pkt,
+                            common::SimTime) override {
+      if (dir == Direction::kClientToServer && pkt.tcp.is_syn() && first_ttl == 0)
+        first_ttl = pkt.ip.ttl;
+      return {};
+    }
+    std::uint8_t first_ttl = 0;
+  } probe;
+
+  (void)fixture.run(&probe, config);
+  EXPECT_EQ(probe.first_ttl, 64 - 4);
+}
+
+TEST(Session, GeometryHelpers) {
+  PathGeometry geometry{.total_hops = 14, .middlebox_hop = 5};
+  EXPECT_EQ(geometry.hops_to_server(), 9);
+  EXPECT_EQ(geometry.hops_to_client(), 5);
+}
+
+}  // namespace
+}  // namespace tamper::tcp

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scanner.h"
+#include "core/signature.h"
+
+namespace tamper::core {
+namespace {
+
+TEST(Signature, CountIsNineteen) {
+  EXPECT_EQ(all_signatures().size(), 19u);
+  EXPECT_EQ(kSignatureCount, 19u);
+}
+
+TEST(Signature, AllNamesUniqueBothSchemes) {
+  std::set<std::string_view> pretty, ascii;
+  for (Signature sig : all_signatures()) {
+    EXPECT_TRUE(pretty.insert(name(sig)).second) << name(sig);
+    EXPECT_TRUE(ascii.insert(ascii_name(sig)).second) << ascii_name(sig);
+  }
+}
+
+TEST(Signature, StageCountsMatchTable1) {
+  int per_stage[5] = {};
+  for (Signature sig : all_signatures())
+    ++per_stage[static_cast<std::size_t>(stage_of(sig))];
+  EXPECT_EQ(per_stage[static_cast<std::size_t>(Stage::kPostSyn)], 4);
+  EXPECT_EQ(per_stage[static_cast<std::size_t>(Stage::kPostAck)], 5);
+  EXPECT_EQ(per_stage[static_cast<std::size_t>(Stage::kPostPsh)], 8);
+  EXPECT_EQ(per_stage[static_cast<std::size_t>(Stage::kPostData)], 2);
+  EXPECT_EQ(per_stage[static_cast<std::size_t>(Stage::kOther)], 0);
+}
+
+TEST(Signature, NameRoundTripsThroughLookup) {
+  for (Signature sig : all_signatures()) {
+    EXPECT_EQ(signature_from_name(name(sig)), sig);
+    EXPECT_EQ(signature_from_name(ascii_name(sig)), sig);
+  }
+  EXPECT_FALSE(signature_from_name("not a signature").has_value());
+}
+
+TEST(Signature, PaperNames) {
+  EXPECT_EQ(name(Signature::kSynNone), "SYN → ∅");
+  EXPECT_EQ(name(Signature::kPshRstRst0), "PSH → RST;RST₀");
+  EXPECT_EQ(name(Signature::kDataRstAck), "PSH;Data → RST+ACK");
+  EXPECT_EQ(name(Stage::kPostSyn), "Post-SYN");
+}
+
+TEST(Signature, PostAckOrPshPredicate) {
+  EXPECT_FALSE(is_post_ack_or_psh(Signature::kSynRst));
+  EXPECT_TRUE(is_post_ack_or_psh(Signature::kAckNone));
+  EXPECT_TRUE(is_post_ack_or_psh(Signature::kPshRstNeqRst));
+  EXPECT_FALSE(is_post_ack_or_psh(Signature::kDataRst));
+}
+
+capture::ConnectionSample scanner_sample(bool options, std::uint8_t ttl,
+                                         std::uint16_t ip_id) {
+  capture::ConnectionSample sample;
+  sample.ip_version = net::IpVersion::kV4;
+  capture::ObservedPacket syn;
+  syn.flags = net::tcpflag::kSyn;
+  syn.has_tcp_options = options;
+  syn.ttl = ttl;
+  syn.ip_id = ip_id;
+  capture::ObservedPacket rst;
+  rst.flags = net::tcpflag::kRst;
+  rst.ttl = ttl;
+  rst.ip_id = ip_id;
+  sample.packets = {syn, rst};
+  return sample;
+}
+
+TEST(Scanner, ZmapFingerprintDetected) {
+  const auto indicators = scanner_indicators(scanner_sample(true, 243, kZmapIpId));
+  EXPECT_TRUE(indicators.zmap_ipid);
+  EXPECT_TRUE(indicators.high_ttl);
+  EXPECT_TRUE(indicators.fixed_nonzero_ipid);
+  EXPECT_TRUE(indicators.likely_zmap());
+  EXPECT_TRUE(indicators.likely_scanner());
+}
+
+TEST(Scanner, NormalClientNotFlagged) {
+  const auto indicators = scanner_indicators(scanner_sample(true, 52, 1234));
+  EXPECT_FALSE(indicators.zmap_ipid);
+  EXPECT_FALSE(indicators.high_ttl);
+  EXPECT_FALSE(indicators.likely_zmap());
+}
+
+TEST(Scanner, OptionlessSynIsScannerIndicator) {
+  const auto indicators = scanner_indicators(scanner_sample(false, 52, 1234));
+  EXPECT_TRUE(indicators.no_tcp_options);
+  EXPECT_TRUE(indicators.likely_scanner());
+}
+
+TEST(Scanner, VaryingIpIdNotFixed) {
+  auto sample = scanner_sample(true, 52, 100);
+  sample.packets[1].ip_id = 101;
+  EXPECT_FALSE(scanner_indicators(sample).fixed_nonzero_ipid);
+}
+
+TEST(Scanner, Ipv6HasNoFixedIpIdSignal) {
+  auto sample = scanner_sample(true, 243, kZmapIpId);
+  sample.ip_version = net::IpVersion::kV6;
+  EXPECT_FALSE(scanner_indicators(sample).fixed_nonzero_ipid);
+}
+
+TEST(Scanner, EmptySampleIsNeutral) {
+  capture::ConnectionSample sample;
+  const auto indicators = scanner_indicators(sample);
+  EXPECT_FALSE(indicators.likely_scanner());
+  EXPECT_FALSE(indicators.likely_zmap());
+}
+
+}  // namespace
+}  // namespace tamper::core

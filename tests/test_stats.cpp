@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace tamper::common {
+namespace {
+
+TEST(RunningMoments, MatchesClosedForm) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningMoments, EmptyAndSingle) {
+  RunningMoments m;
+  EXPECT_EQ(m.variance(), 0.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(EmpiricalCdf, CdfAndQuantiles) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.cdf(50), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(100), 1.0);
+  EXPECT_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_EQ(cdf.min(), 1.0);
+  EXPECT_EQ(cdf.max(), 100.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInsertOrder) {
+  EmpiricalCdf cdf;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.5), 0.4);
+}
+
+TEST(EmpiricalCdf, EmptyThrowsOnQuantile) {
+  EmpiricalCdf cdf;
+  EXPECT_EQ(cdf.cdf(1.0), 0.0);
+  EXPECT_THROW((void)cdf.quantile(0.5), std::out_of_range);
+  EXPECT_THROW((void)cdf.min(), std::out_of_range);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 57; ++i) cdf.add(i * i % 23);
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps into bin 0
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 5u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Regression, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const Regression r = linear_regression(x, y);
+  EXPECT_NEAR(r.slope, 2.0, 1e-12);
+  EXPECT_NEAR(r.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(r.r2, 1.0, 1e-12);
+  EXPECT_EQ(r.n, 5u);
+}
+
+TEST(Regression, DegenerateInputs) {
+  EXPECT_EQ(linear_regression({}, {}).n, 0u);
+  EXPECT_EQ(linear_regression({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (no x variance) yields slope 0 rather than NaN.
+  const Regression r = linear_regression({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(r.slope, 0.0);
+}
+
+TEST(LabelCounter, CountsAndFractions) {
+  LabelCounter c;
+  c.add("a", 3);
+  c.add("b");
+  c.add("a");
+  EXPECT_EQ(c.get("a"), 4u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_DOUBLE_EQ(c.fraction("a"), 0.8);
+}
+
+TEST(LabelCounter, TopOrderingWithTies) {
+  LabelCounter c;
+  c.add("z", 2);
+  c.add("a", 2);
+  c.add("m", 5);
+  const auto top = c.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "m");
+  EXPECT_EQ(top[1].first, "a");  // tie broken lexicographically
+}
+
+TEST(Percent, DivideByZeroGuard) {
+  EXPECT_EQ(percent(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+}  // namespace
+}  // namespace tamper::common

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace tamper::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"A", "Long header"});
+  table.add_row({"wide value", "x"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| A          | Long header |"), std::string::npos);
+  EXPECT_NE(text.find("| wide value | x           |"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream out;
+  table.print(out);  // must not crash; missing cells render empty
+  EXPECT_NE(out.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable table({"name", "value"});
+  table.add_row({"has,comma", "has\"quote"});
+  table.add_row({"plain", "multi\nline"});
+  std::ostringstream out;
+  table.print_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("plain,"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::pct(12.345), "12.3%");
+  EXPECT_EQ(TextTable::pct(12.345, 2), "12.35%");
+  EXPECT_EQ(TextTable::num(std::nan(""), 2), "n/a");
+  EXPECT_EQ(TextTable::pct(std::nan("")), "n/a");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream out;
+  print_banner(out, "Table 1");
+  EXPECT_NE(out.str().find("Table 1"), std::string::npos);
+  EXPECT_NE(out.str().find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tamper::common

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "appproto/tls.h"
+#include "common/rng.h"
+
+namespace tamper::appproto {
+namespace {
+
+std::vector<std::uint8_t> hello_for(const std::string& sni, common::Rng& rng) {
+  ClientHelloSpec spec;
+  spec.sni = sni;
+  return build_client_hello(spec, rng);
+}
+
+TEST(Tls, LooksLikeClientHello) {
+  common::Rng rng(1);
+  const auto hello = hello_for("example.com", rng);
+  EXPECT_TRUE(looks_like_client_hello(hello));
+  EXPECT_FALSE(looks_like_client_hello({}));
+  const std::vector<std::uint8_t> http = {'G', 'E', 'T', ' ', '/', ' '};
+  EXPECT_FALSE(looks_like_client_hello(http));
+}
+
+TEST(Tls, RecordLayerShape) {
+  common::Rng rng(2);
+  const auto hello = hello_for("example.com", rng);
+  EXPECT_EQ(hello[0], 22);    // handshake
+  EXPECT_EQ(hello[1], 0x03);  // record version major
+  EXPECT_EQ(hello[5], 1);     // client_hello
+  const std::size_t record_len = (hello[3] << 8) | hello[4];
+  EXPECT_EQ(record_len + 5, hello.size());
+}
+
+TEST(Tls, SniRoundTrip) {
+  common::Rng rng(3);
+  const auto hello = hello_for("blocked-site.example.org", rng);
+  EXPECT_EQ(extract_sni(hello), "blocked-site.example.org");
+}
+
+TEST(Tls, ParseFullFields) {
+  common::Rng rng(4);
+  ClientHelloSpec spec;
+  spec.sni = "a.test";
+  spec.alpn = {"h2", "http/1.1"};
+  const auto hello = build_client_hello(spec, rng);
+  const auto parsed = parse_client_hello(hello);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->legacy_version, 0x0303);
+  EXPECT_EQ(parsed->sni, "a.test");
+  ASSERT_EQ(parsed->alpn.size(), 2u);
+  EXPECT_EQ(parsed->alpn[0], "h2");
+  EXPECT_TRUE(parsed->offers_tls13);
+  EXPECT_EQ(parsed->cipher_suite_count, 8u);
+}
+
+TEST(Tls, OmitsSniWhenEmpty) {
+  common::Rng rng(5);
+  ClientHelloSpec spec;
+  spec.sni.clear();
+  const auto hello = build_client_hello(spec, rng);
+  const auto parsed = parse_client_hello(hello);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->sni.has_value());
+  EXPECT_FALSE(extract_sni(hello).has_value());
+}
+
+TEST(Tls, Tls12OnlyOffer) {
+  common::Rng rng(6);
+  ClientHelloSpec spec;
+  spec.sni = "x.test";
+  spec.offer_tls13 = false;
+  const auto parsed = parse_client_hello(build_client_hello(spec, rng));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->offers_tls13);
+}
+
+TEST(Tls, TruncatedAfterSniStillYieldsSni) {
+  common::Rng rng(7);
+  ClientHelloSpec spec;
+  spec.sni = "cut-off.example";
+  auto hello = build_client_hello(spec, rng);
+  // The SNI extension is emitted first; cutting off the tail (ALPN etc.)
+  // mimics a ClientHello split across MSS-sized packets.
+  hello.resize(hello.size() - 40);
+  const auto parsed = parse_client_hello(hello, /*allow_truncated=*/true);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sni, "cut-off.example");
+}
+
+TEST(Tls, TruncationRejectedWhenStrict) {
+  common::Rng rng(8);
+  auto hello = hello_for("strict.example", rng);
+  hello.resize(hello.size() - 40);
+  EXPECT_FALSE(parse_client_hello(hello, /*allow_truncated=*/false).has_value());
+}
+
+TEST(Tls, GarbageRejected) {
+  std::vector<std::uint8_t> garbage(64, 0xab);
+  EXPECT_FALSE(parse_client_hello(garbage).has_value());
+  garbage[0] = 22;  // right content type, broken internals
+  garbage[1] = 0x03;
+  garbage[2] = 0x01;
+  garbage[5] = 99;  // not a client_hello
+  EXPECT_FALSE(parse_client_hello(garbage).has_value());
+}
+
+TEST(Tls, DeterministicGivenRngSeed) {
+  common::Rng a(9), b(9);
+  EXPECT_EQ(hello_for("same.example", a), hello_for("same.example", b));
+}
+
+class TlsSniSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TlsSniSweep, RoundTrips) {
+  common::Rng rng(common::fnv1a(GetParam()));
+  EXPECT_EQ(extract_sni(hello_for(GetParam(), rng)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, TlsSniSweep,
+    ::testing::Values("a.io", "with-dash.example.com", "xn--bcher-kva.example",
+                      "very.long.subdomain.chain.of.names.example.org",
+                      "brightmedia42.com", "wn.com"));
+
+}  // namespace
+}  // namespace tamper::appproto

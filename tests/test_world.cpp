@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "world/world.h"
+
+namespace tamper::world {
+namespace {
+
+const World& shared_world() {
+  static const World kWorld{WorldConfig{.domains = {.domain_count = 20'000},
+                                        .seed = 0xabcd}};
+  return kWorld;
+}
+
+TEST(Countries, TableSanity) {
+  const auto& countries = default_countries();
+  EXPECT_GE(countries.size(), 50u);
+  std::set<std::string> codes;
+  for (const auto& c : countries) {
+    EXPECT_EQ(c.code.size(), 2u) << c.code;
+    EXPECT_TRUE(codes.insert(c.code).second) << "duplicate " << c.code;
+    EXPECT_GT(c.traffic_weight, 0.0);
+    EXPECT_GE(c.asn_count, 1);
+    EXPECT_GE(c.ipv6_share, 0.0);
+    EXPECT_LE(c.ipv6_share, 1.0);
+    EXPECT_GE(c.http_share, 0.0);
+    EXPECT_LE(c.http_share, 1.0);
+    for (const auto& method : c.policy.methods) EXPECT_GT(method.weight, 0.0);
+    for (const auto& [cat, share] : c.policy.category_block_share) {
+      EXPECT_GT(share, 0.0);
+      EXPECT_LE(share, 1.0);
+    }
+  }
+}
+
+TEST(Countries, PaperRegionsPresent) {
+  for (const char* cc : {"TM", "PE", "UZ", "CU", "SA", "KZ", "RU", "PK", "UA", "IR",
+                         "CN", "KR", "IN", "MX", "US", "GB", "DE", "LK", "KE"}) {
+    EXPECT_GE(country_index(cc), 0) << cc;
+  }
+  EXPECT_EQ(country_index("ZZ"), -1);
+}
+
+TEST(Geo, EveryAsHasConsistentAttribution) {
+  const auto& geo = shared_world().geo();
+  common::Rng rng(1);
+  for (const auto& as_info : geo.ases()) {
+    // Sampled client addresses attribute back to the same AS and country.
+    for (bool v6 : {false, true}) {
+      const net::IpAddress addr = geo.sample_client_ip(as_info, v6, rng);
+      EXPECT_EQ(addr.is_v6(), v6);
+      EXPECT_EQ(geo.lookup_asn(addr), as_info.asn);
+      EXPECT_EQ(geo.lookup_country(addr), as_info.country);
+    }
+  }
+}
+
+TEST(Geo, UnallocatedAddressUnattributed) {
+  const auto& geo = shared_world().geo();
+  EXPECT_FALSE(geo.lookup_asn(net::IpAddress::v4(8, 8, 8, 8)).has_value());
+  EXPECT_FALSE(geo.lookup_country(*net::IpAddress::parse("2001:4860::1")).has_value());
+}
+
+TEST(Geo, CountryAsesOrderedByTraffic) {
+  const auto& geo = shared_world().geo();
+  const auto& ases = geo.country_ases("US");
+  ASSERT_GE(ases.size(), 2u);
+  EXPECT_GE(geo.as_by_number(ases[0]).weight, geo.as_by_number(ases[1]).weight * 0.5);
+}
+
+TEST(Geo, SampleAsFollowsWeights) {
+  const auto& geo = shared_world().geo();
+  common::Rng rng(2);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[geo.sample_as("RU", rng).asn];
+  // The heaviest AS should dominate any single light one.
+  const auto& ases = geo.country_ases("RU");
+  EXPECT_GT(counts[ases.front()], counts[ases.back()]);
+}
+
+TEST(Geo, UnknownCountryThrows) {
+  const auto& geo = shared_world().geo();
+  EXPECT_TRUE(geo.country_ases("ZZ").empty());
+  common::Rng rng(3);
+  EXPECT_THROW((void)geo.sample_as("ZZ", rng), std::out_of_range);
+  EXPECT_THROW((void)geo.as_by_number(1), std::out_of_range);
+}
+
+TEST(Domains, DeterministicAndIndexed) {
+  const DomainUniverse::Config config{.domain_count = 5'000};
+  const DomainUniverse a(config, 42), b(config, 42);
+  EXPECT_EQ(a.by_rank(100).name, b.by_rank(100).name);
+  EXPECT_EQ(a.by_rank(100).category, b.by_rank(100).category);
+  EXPECT_EQ(a.rank_of(a.by_rank(4999).name), 4999u);
+  EXPECT_FALSE(a.rank_of("no-such-domain.example").has_value());
+}
+
+TEST(Domains, NamesAreUniqueAndPlausible) {
+  const DomainUniverse universe({.domain_count = 3'000}, 7);
+  std::set<std::string> names;
+  for (const auto& d : universe.all()) {
+    EXPECT_TRUE(names.insert(d.name).second) << d.name;
+    EXPECT_NE(d.name.find('.'), std::string::npos);
+  }
+}
+
+TEST(Domains, RequestSamplingPrefersHead) {
+  const DomainUniverse universe({.domain_count = 10'000}, 7);
+  common::Rng rng(9);
+  std::uint64_t head = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t rank = universe.sample_request(rng);
+    (rank < 1000 ? head : tail) += 1;
+  }
+  EXPECT_GT(head, tail);
+}
+
+TEST(Domains, ServerAddressesStableAndInCdnRange) {
+  const auto& domains = shared_world().domains();
+  EXPECT_EQ(domains.server_ipv4(42), domains.server_ipv4(42));
+  const std::uint32_t v4 = domains.server_ipv4(42).v4_value();
+  EXPECT_EQ(v4 >> 24, 198u);
+  EXPECT_TRUE(domains.server_ipv6(42).is_v6());
+}
+
+TEST(World, BlockedSetMatchesConfiguredShares) {
+  const World& world = shared_world();
+  const int cn = country_index("CN");
+  ASSERT_GE(cn, 0);
+  // Measure realized coverage of Adult Themes in CN (configured 0.51).
+  std::uint64_t adult = 0, blocked = 0;
+  for (std::size_t rank = 0; rank < world.domains().size(); ++rank) {
+    if (world.domains().by_rank(rank).category != Category::kAdultThemes) continue;
+    ++adult;
+    if (world.is_blocked(cn, rank)) ++blocked;
+  }
+  ASSERT_GT(adult, 100u);
+  EXPECT_NEAR(static_cast<double>(blocked) / static_cast<double>(adult), 0.51, 0.05);
+}
+
+TEST(World, BlockedMembershipIsStable) {
+  const World& world = shared_world();
+  const int ir = country_index("IR");
+  for (std::size_t rank = 0; rank < 500; ++rank)
+    EXPECT_EQ(world.is_blocked(ir, rank), world.is_blocked(ir, rank));
+}
+
+TEST(World, SampleBlockedDomainReturnsBlocked) {
+  const World& world = shared_world();
+  const int cn = country_index("CN");
+  common::Rng rng(11);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(world.is_blocked(cn, world.sample_blocked_domain(cn, rng)));
+}
+
+TEST(World, BlockedInterestPeaksAtNight) {
+  const World& world = shared_world();
+  const int cn = country_index("CN");
+  // CN is UTC+8: local 03:30 is 19:30 UTC; local 15:30 is 07:30 UTC.
+  const common::SimTime night = common::from_civil(2023, 1, 17, 19, 30, 0);
+  const common::SimTime day = common::from_civil(2023, 1, 17, 7, 30, 0);
+  EXPECT_GT(world.blocked_interest(cn, night), world.blocked_interest(cn, day));
+}
+
+TEST(World, WeekendReducesInterest) {
+  const World& world = shared_world();
+  const int de = country_index("DE");
+  // Same local hour, Saturday vs Tuesday.
+  const common::SimTime saturday = common::from_civil(2023, 1, 14, 12, 0, 0);
+  const common::SimTime tuesday = common::from_civil(2023, 1, 17, 12, 0, 0);
+  EXPECT_LT(world.blocked_interest(de, saturday), world.blocked_interest(de, tuesday));
+}
+
+TEST(World, VolumePeaksInEvening) {
+  const World& world = shared_world();
+  const int us = country_index("US");  // UTC-6
+  const common::SimTime evening = common::from_civil(2023, 1, 17, 1, 0, 0);  // 19:00 local
+  const common::SimTime night = common::from_civil(2023, 1, 17, 10, 0, 0);   // 04:00 local
+  EXPECT_GT(world.volume_factor(us, evening), world.volume_factor(us, night));
+}
+
+TEST(World, PickMethodHonorsProtocolRestriction) {
+  const World& world = shared_world();
+  const int tm = country_index("TM");
+  const std::uint32_t asn = world.geo().country_ases("TM").front();
+  common::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const MethodWeight* tls = world.pick_method(tm, asn, appproto::AppProtocol::kTls, rng);
+    ASSERT_NE(tls, nullptr);
+    EXPECT_NE(tls->preset, "single_rst_firewall");  // HTTP-only in TM
+    const MethodWeight* http =
+        world.pick_method(tm, asn, appproto::AppProtocol::kHttp, rng);
+    ASSERT_NE(http, nullptr);
+    EXPECT_NE(http->preset, "post_ack_rst");  // TLS-only in TM
+  }
+}
+
+TEST(World, DominantAsOverrideForKorea) {
+  const World& world = shared_world();
+  const int kr = country_index("KR");
+  const std::uint32_t dominant = world.geo().country_ases("KR").front();
+  common::Rng rng(14);
+  const MethodWeight* method =
+      world.pick_method(kr, dominant, appproto::AppProtocol::kTls, rng);
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(method->preset, "korea_random_ttl");
+  // Other KR ASes draw from the normal mix.
+  const std::uint32_t other = world.geo().country_ases("KR").back();
+  bool saw_non_dominant = false;
+  for (int i = 0; i < 50; ++i) {
+    const MethodWeight* m = world.pick_method(kr, other, appproto::AppProtocol::kTls, rng);
+    if (m != nullptr && m->preset != "korea_random_ttl") saw_non_dominant = true;
+  }
+  EXPECT_TRUE(saw_non_dominant);
+}
+
+TEST(World, AsnEnforcementSpreadTracksCentralization) {
+  const World& world = shared_world();
+  auto spread = [&](const char* cc) {
+    common::RunningMoments moments;
+    for (std::uint32_t asn : world.geo().country_ases(cc))
+      moments.add(world.asn_enforcement(asn));
+    return moments.stddev();
+  };
+  EXPECT_LT(spread("CN"), spread("RU"));  // centralized vs decentralized
+}
+
+TEST(World, SampleCountryFollowsWeights) {
+  const World& world = shared_world();
+  common::Rng rng(15);
+  std::map<int, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[world.sample_country(rng)];
+  EXPECT_GT(counts[country_index("US")], counts[country_index("TM")]);
+  EXPECT_GT(counts[country_index("IN")], counts[country_index("CU")]);
+}
+
+TEST(Category, MetadataComplete) {
+  double total_share = 0.0;
+  for (Category c : all_categories()) {
+    EXPECT_FALSE(name(c).empty());
+    EXPECT_GT(universe_share(c), 0.0);
+    EXPECT_GT(request_multiplier(c), 0.0);
+    total_share += universe_share(c);
+  }
+  EXPECT_NEAR(total_share, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace tamper::world

@@ -1,0 +1,282 @@
+// tamperscope — command-line front end to libtamper.
+//
+//   tamperscope signatures
+//       Print the Table 1 signature taxonomy.
+//
+//   tamperscope classify <capture.pcap> [--json] [--port N]
+//       Assemble flows from a pcap of server-side inbound packets and
+//       classify each against the tampering signatures.
+//
+//   tamperscope simulate [--connections N] [--seed S] [--json report.json]
+//                        [--pcap tampered.pcap]
+//       Run the synthetic global scenario, print the per-country summary,
+//       optionally export a Radar-style JSON report and a pcap of sampled
+//       tampered connections.
+//
+//   tamperscope testlists [--region CC] [--connections N]
+//       Audit test-list coverage of passively observed tampered domains.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "analysis/report.h"
+#include "analysis/testlists.h"
+#include "capture/sampler.h"
+#include "common/json.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/classifier.h"
+#include "net/pcap.h"
+#include "world/traffic.h"
+
+using namespace tamper;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return options.contains(name);
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[name] = argv[++i];
+      } else {
+        args.options[name] = "true";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int cmd_signatures() {
+  common::TextTable table({"Signature", "ASCII name", "Stage", "Description"});
+  const std::map<core::Signature, std::string> descriptions = {
+      {core::Signature::kSynNone, "no packets after a single SYN"},
+      {core::Signature::kSynRst, "one or more RSTs after a single SYN"},
+      {core::Signature::kSynRstAck, "one or more RST+ACKs after the SYN"},
+      {core::Signature::kSynRstRstAck, "RST and RST+ACK after a single SYN"},
+      {core::Signature::kAckNone, "nothing after the handshake completes"},
+      {core::Signature::kAckRst, "exactly one RST after SYN and ACK"},
+      {core::Signature::kAckRstRst, "more than one RST after SYN and ACK"},
+      {core::Signature::kAckRstAck, "exactly one RST+ACK after SYN and ACK"},
+      {core::Signature::kAckRstAckRstAck, "more than one RST+ACK after SYN and ACK"},
+      {core::Signature::kPshNone, "nothing after the first data packet"},
+      {core::Signature::kPshRst, "exactly one RST"},
+      {core::Signature::kPshRstAck, "exactly one RST+ACK"},
+      {core::Signature::kPshRstRstAck, "at least one RST and one RST+ACK"},
+      {core::Signature::kPshRstAckRstAck, "at least two RST+ACKs"},
+      {core::Signature::kPshRstEqRst, ">1 RST, same ACK numbers"},
+      {core::Signature::kPshRstNeqRst, ">1 RST, differing ACK numbers"},
+      {core::Signature::kPshRstRst0, ">1 RST, one ACK number is zero"},
+      {core::Signature::kDataRst, "RSTs not immediately after first data"},
+      {core::Signature::kDataRstAck, "RST+ACKs not immediately after first data"},
+  };
+  for (core::Signature sig : core::all_signatures()) {
+    table.add_row({std::string(core::name(sig)), std::string(core::ascii_name(sig)),
+                   std::string(core::name(core::stage_of(sig))),
+                   descriptions.at(sig)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: tamperscope classify <capture.pcap> [--json]\n";
+    return 2;
+  }
+  std::ifstream in(args.positional[0], std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << args.positional[0] << '\n';
+    return 1;
+  }
+  capture::ConnectionSampler::Config config;
+  config.sample_one_in = 1;
+  capture::ConnectionSampler sampler(config);
+  net::PcapReader reader(in);
+  double last_ts = 0.0;
+  while (auto pkt = reader.next()) {
+    last_ts = pkt->timestamp;
+    sampler.on_packet(*pkt, pkt->timestamp);
+  }
+  const auto samples = sampler.flush_all(last_ts + 60.0);
+
+  core::SignatureClassifier classifier;
+  if (args.has("json")) {
+    common::JsonWriter json(std::cout);
+    json.begin_array();
+    for (const auto& sample : samples) {
+      const auto verdict = classifier.classify(sample);
+      json.begin_object();
+      json.kv("client", sample.client_ip.to_string() + ":" +
+                            std::to_string(sample.client_port));
+      json.kv("server", sample.server_ip.to_string() + ":" +
+                            std::to_string(sample.server_port));
+      json.kv("packets", static_cast<std::uint64_t>(sample.packets.size()));
+      json.kv("possibly_tampered", verdict.possibly_tampered);
+      if (verdict.signature)
+        json.kv("signature", core::ascii_name(*verdict.signature));
+      else
+        json.key("signature").null();
+      json.kv("stage", core::name(verdict.stage));
+      json.end_object();
+    }
+    json.end_array();
+    std::cout << '\n';
+    return 0;
+  }
+
+  common::LabelCounter verdicts;
+  for (const auto& sample : samples) {
+    const auto verdict = classifier.classify(sample);
+    verdicts.add(verdict.signature
+                     ? std::string(core::name(*verdict.signature))
+                     : (verdict.possibly_tampered ? "(possibly tampered, unmatched)"
+                                                  : "Not Tampering"));
+  }
+  std::cout << "frames: " << reader.frames_read() << ", flows: " << samples.size()
+            << "\n\n";
+  common::TextTable table({"Verdict", "Flows"});
+  for (const auto& [label, count] : verdicts.top(32))
+    table.add_row({label, common::TextTable::num(count)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::uint64_t connections = args.get_u64("connections", 100'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  world::World world(world_cfg);
+  world::TrafficConfig traffic;
+  traffic.seed = seed ^ 0x51;
+  analysis::Pipeline pipeline(world);
+
+  std::ofstream pcap_out;
+  std::unique_ptr<net::PcapWriter> pcap;
+  if (args.has("pcap")) {
+    pcap_out.open(args.get("pcap"), std::ios::binary);
+    if (!pcap_out) {
+      std::cerr << "cannot open " << args.get("pcap") << " for writing\n";
+      return 1;
+    }
+    pcap = std::make_unique<net::PcapWriter>(pcap_out);
+    traffic.keep_raw_inbound = true;
+  }
+  world::TrafficGenerator generator(world, traffic);
+
+  generator.generate(connections, [&](world::LabeledConnection&& conn) {
+    pipeline.ingest(conn.sample);
+    if (pcap && conn.truth.tampered) {
+      for (const auto& pkt : conn.raw_inbound) pcap->write(pkt);
+    }
+  });
+
+  const auto& matrix = pipeline.signatures();
+  std::cout << "connections:       " << matrix.total_connections() << '\n'
+            << "possibly tampered: "
+            << common::TextTable::pct(
+                   common::percent(matrix.possibly_tampered(), matrix.total_connections()))
+            << '\n'
+            << "signature matches: "
+            << common::TextTable::pct(
+                   common::percent(matrix.matched(), matrix.total_connections()))
+            << "\n\n";
+  common::TextTable table({"Country", "Connections", "Match %"});
+  for (const auto& cc : matrix.countries()) {
+    if (cc == "??" || matrix.country_connections(cc) < 500) continue;
+    table.add_row({cc, common::TextTable::num(matrix.country_connections(cc)),
+                   common::TextTable::pct(common::percent(
+                       matrix.country_matches(cc), matrix.country_connections(cc)))});
+  }
+  table.print(std::cout);
+
+  if (args.has("json")) {
+    std::ofstream json_out(args.get("json"));
+    if (!json_out) {
+      std::cerr << "cannot open " << args.get("json") << " for writing\n";
+      return 1;
+    }
+    analysis::write_radar_report(json_out, pipeline);
+    std::cout << "\nJSON report written to " << args.get("json") << '\n';
+  }
+  if (pcap) {
+    std::cout << "tampered-connection pcap written to " << args.get("pcap") << " ("
+              << pcap->packets_written() << " packets)\n";
+  }
+  return 0;
+}
+
+int cmd_testlists(const Args& args) {
+  const std::string region = args.get("region", "CN");
+  const std::uint64_t connections = args.get_u64("connections", 150'000);
+
+  world::World world;
+  world::TrafficConfig traffic;
+  traffic.seed = 0x7e57;
+  world::TrafficGenerator generator(world, traffic);
+  analysis::Pipeline pipeline(world);
+  pipeline.run(generator, connections);
+
+  const std::uint64_t threshold = std::max<std::uint64_t>(2, connections / 150'000);
+  const auto observed = pipeline.categories().tampered_domains(region, threshold);
+  std::cout << "region " << region << ": " << observed.size()
+            << " passively observed tampered domains\n\n";
+  if (observed.empty()) return 0;
+
+  analysis::TestListBuilder builder(world, 0x5eed);
+  common::TextTable table({"List", "#Entries", "Exact", "Substring"});
+  for (const auto& list : builder.standard_battery()) {
+    const analysis::Coverage c = analysis::audit_coverage(list, observed);
+    table.add_row({list.name, common::TextTable::num(std::uint64_t{list.entries.size()}),
+                   common::TextTable::pct(c.exact_pct()),
+                   common::TextTable::pct(c.substring_pct())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  const Args args = parse_args(argc, argv);
+  if (command == "signatures") return cmd_signatures();
+  if (command == "classify") return cmd_classify(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "testlists") return cmd_testlists(args);
+  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists> [options]\n"
+               "  signatures                         print the Table 1 taxonomy\n"
+               "  classify <pcap> [--json]           classify flows from a capture\n"
+               "  simulate [--connections N] [--seed S] [--json out.json] [--pcap out.pcap]\n"
+               "  testlists [--region CC] [--connections N]\n";
+  return command.empty() ? 2 : 1;
+}
