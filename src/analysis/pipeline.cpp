@@ -11,26 +11,34 @@ Pipeline::Pipeline(const world::World& world, core::ClassifierConfig classifier_
         return world.domains().by_rank(*rank).category;
       }) {}
 
-void Pipeline::ingest(const capture::ConnectionSample& sample) {
+void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
   // A flow with no packets was never actually observed at the tap (e.g. the
   // SYN itself was lost upstream).
-  if (sample.packets.empty()) return;
-  const ConnectionRecord record = analyze(sample, world_.geo(), classifier_);
-  matrix_.add(record);
-  asns_.add(record);
-  timeseries_.add(record);
-  version_protocol_.add(record);
-  categories_.add(record);
-  overlap_.add(record);
-  evidence_.add(sample, record);
+  if (sample.packets.empty()) {
+    ++degraded_.empty_samples;
+    return;
+  }
+  try {
+    const ConnectionRecord record = analyze(sample, world_.geo(), classifier_);
+    matrix_.add(record);
+    asns_.add(record);
+    timeseries_.add(record);
+    version_protocol_.add(record);
+    categories_.add(record);
+    overlap_.add(record);
+    evidence_.add(sample, record);
 
-  ++scanner_.connections;
-  const core::ScannerIndicators indicators = core::scanner_indicators(sample);
-  if (indicators.no_tcp_options) ++scanner_.no_tcp_options;
-  if (indicators.high_ttl) ++scanner_.high_ttl;
-  if (record.classification.signature == core::Signature::kSynRst) {
-    ++scanner_.syn_rst_matches;
-    if (indicators.likely_zmap()) ++scanner_.syn_rst_zmap;
+    ++scanner_.connections;
+    const core::ScannerIndicators indicators = core::scanner_indicators(sample);
+    if (indicators.no_tcp_options) ++scanner_.no_tcp_options;
+    if (indicators.high_ttl) ++scanner_.high_ttl;
+    if (record.classification.signature == core::Signature::kSynRst) {
+      ++scanner_.syn_rst_matches;
+      if (indicators.likely_zmap()) ++scanner_.syn_rst_zmap;
+    }
+  } catch (...) {
+    // One hostile sample must not take down the service; count and move on.
+    ++degraded_.ingest_errors;
   }
 }
 

@@ -9,20 +9,42 @@
 #include "analysis/aggregates.h"
 #include "analysis/evidence.h"
 #include "analysis/record.h"
+#include "capture/sampler.h"
 #include "core/classifier.h"
 #include "core/scanner.h"
+#include "net/pcap.h"
 #include "world/traffic.h"
 #include "world/world.h"
 
 namespace tamper::analysis {
+
+/// Degraded-input accounting: everything the ingest path dropped, clamped
+/// or force-closed instead of crashing on. Exported by analysis::report so
+/// operational skew from hostile/corrupt input is visible next to the
+/// aggregates it may have biased.
+struct DegradedStats {
+  std::uint64_t empty_samples = 0;        ///< flows with zero logged packets
+  std::uint64_t ingest_errors = 0;        ///< exceptions swallowed by ingest()
+  std::uint64_t malformed_packets = 0;    ///< sampler: hostile/garbage packets
+  std::uint64_t overload_evicted = 0;     ///< sampler: flows closed at max_flows
+  std::uint64_t unparseable_frames = 0;   ///< reader: non-IP / parse failures
+  std::uint64_t oversize_frames = 0;      ///< reader: hostile incl_len skipped
+  std::uint64_t truncated_frames = 0;     ///< reader: short records
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return empty_samples + ingest_errors + malformed_packets + overload_evicted +
+           unparseable_frames + oversize_frames + truncated_frames;
+  }
+};
 
 class Pipeline {
  public:
   explicit Pipeline(const world::World& world,
                     core::ClassifierConfig classifier_config = {});
 
-  /// Classify + attribute one sample and update all aggregators.
-  void ingest(const capture::ConnectionSample& sample);
+  /// Classify + attribute one sample and update all aggregators. Never
+  /// throws: degraded input is counted (see degraded()) and dropped.
+  void ingest(const capture::ConnectionSample& sample) noexcept;
 
   /// Convenience: run `connections` of generated traffic through the
   /// pipeline (ground truth is dropped on the floor — validation tests use
@@ -52,6 +74,19 @@ class Pipeline {
     return classifier_;
   }
 
+  /// Degraded-input accounting. Capture-side counters arrive via the
+  /// record_* helpers (call once, after draining the source).
+  [[nodiscard]] const DegradedStats& degraded() const noexcept { return degraded_; }
+  void record_reader_stats(const net::PcapReader::Stats& s) noexcept {
+    degraded_.unparseable_frames += s.skipped_unparseable;
+    degraded_.oversize_frames += s.skipped_oversize;
+    degraded_.truncated_frames += s.skipped_truncated;
+  }
+  void record_sampler_stats(const capture::ConnectionSampler::Stats& s) noexcept {
+    degraded_.malformed_packets += s.packets_malformed;
+    degraded_.overload_evicted += s.flows_evicted_overload;
+  }
+
  private:
   const world::World& world_;
   core::SignatureClassifier classifier_;
@@ -63,6 +98,7 @@ class Pipeline {
   OverlapMatrix overlap_;
   EvidenceCollector evidence_;
   ScannerStats scanner_;
+  DegradedStats degraded_;
 };
 
 }  // namespace tamper::analysis

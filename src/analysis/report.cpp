@@ -38,6 +38,22 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
   json.end_object();
   json.end_object();
 
+  // Degraded-input accounting: how much hostile/corrupt input the ingest
+  // path dropped or force-closed — without this, aggregate consumers cannot
+  // tell a quiet day from a day where half the tap was garbage.
+  const DegradedStats& degraded = pipeline.degraded();
+  json.key("degraded_input");
+  json.begin_object();
+  json.kv("empty_samples", degraded.empty_samples);
+  json.kv("ingest_errors", degraded.ingest_errors);
+  json.kv("malformed_packets", degraded.malformed_packets);
+  json.kv("overload_evicted_flows", degraded.overload_evicted);
+  json.kv("unparseable_frames", degraded.unparseable_frames);
+  json.kv("oversize_frames", degraded.oversize_frames);
+  json.kv("truncated_frames", degraded.truncated_frames);
+  json.kv("total", degraded.total());
+  json.end_object();
+
   // Per-signature global totals with country composition.
   json.key("signatures");
   json.begin_array();

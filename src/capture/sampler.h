@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,13 @@ class ConnectionSampler {
     std::size_t max_packets = 10;         ///< paper: first 10 packets
     bool keep_payloads = true;
     double flow_idle_timeout = 30.0;      ///< idle eviction horizon
+    /// Hard bound on concurrently tracked flows; 0 = unbounded. When full,
+    /// a new sampled flow evicts the oldest *embryonic* (single bare-SYN)
+    /// flow first — the shape a SYN flood leaves behind — falling back to
+    /// the least recently active flow. Evicted flows are closed out and
+    /// surface through drain_idle()/flush_all(), so overload degrades
+    /// coverage instead of exhausting memory.
+    std::size_t max_flows = 1 << 20;
     std::uint64_t hash_salt = 0x7a3d90c1b2e4f586ULL;
     /// DDoS scrubbing executed *before* sampling; return true to discard.
     std::function<bool(const net::Packet&)> scrub;
@@ -47,8 +55,16 @@ class ConnectionSampler {
     std::uint64_t packets_scrubbed = 0;
     std::uint64_t connections_seen = 0;
     std::uint64_t connections_sampled = 0;
+    /// Hostile/garbage input dropped before flow lookup (port 0, self-
+    /// addressed 4-tuples, ambiguous SYN+FIN / SYN+RST flag combos).
+    std::uint64_t packets_malformed = 0;
+    /// Flows force-closed because the table hit Config::max_flows.
+    std::uint64_t flows_evicted_overload = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Currently tracked flows (bounded by Config::max_flows when set).
+  [[nodiscard]] std::size_t open_flows() const noexcept { return flows_.size(); }
 
  private:
   struct FlowKey {
@@ -69,13 +85,24 @@ class ConnectionSampler {
     ConnectionSample sample;
     common::SimTime last_seen = 0.0;
     bool full = false;
+    bool embryonic = true;  ///< has seen only its opening SYN so far
+    std::list<FlowKey>::iterator lru_it;
   };
 
   [[nodiscard]] bool should_sample(const FlowKey& key) const noexcept;
+  [[nodiscard]] bool is_malformed(const net::Packet& pkt) const noexcept;
+  /// Make room for one more flow; closes the victim into evicted_.
+  void evict_for_overload(common::SimTime now);
+  void unlink(FlowState& flow);
 
   Config config_;
   Stats stats_;
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
+  // Recency order (front = coldest), embryonic flows tracked separately so
+  // a SYN flood cannibalises itself before touching established flows.
+  std::list<FlowKey> embryonic_lru_;
+  std::list<FlowKey> established_lru_;
+  std::vector<ConnectionSample> evicted_;  ///< overload-closed, pending drain
 };
 
 }  // namespace tamper::capture

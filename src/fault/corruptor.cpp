@@ -1,0 +1,104 @@
+#include "fault/corruptor.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tamper::fault {
+
+namespace {
+
+constexpr std::size_t kGlobalHeaderSize = 24;
+constexpr std::size_t kRecordHeaderSize = 16;
+
+std::uint32_t get_u32le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) | (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+void put_u32le(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::vector<std::size_t> PcapCorruptor::record_offsets(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::size_t> offsets;
+  if (bytes.size() < kGlobalHeaderSize || get_u32le(bytes, 0) != 0xa1b2c3d4u)
+    return offsets;
+  std::size_t pos = kGlobalHeaderSize;
+  while (pos + kRecordHeaderSize <= bytes.size()) {
+    const std::uint32_t caplen = get_u32le(bytes, pos + 8);
+    if (caplen > bytes.size() || pos + kRecordHeaderSize + caplen > bytes.size()) break;
+    offsets.push_back(pos);
+    pos += kRecordHeaderSize + caplen;
+  }
+  return offsets;
+}
+
+std::vector<std::uint8_t> PcapCorruptor::corrupt(std::vector<std::uint8_t> bytes) {
+  for (std::size_t m = 0; m < config_.mutations && !bytes.empty(); ++m) {
+    const std::array<double, 5> weights{
+        config_.weight_truncate_global_header, config_.weight_truncate_tail,
+        config_.weight_absurd_length, config_.weight_flip_bytes,
+        config_.weight_insert_garbage};
+    switch (rng_.pick_weighted(weights)) {
+      case 0: {  // cut into (or entirely drop) the 24-byte global header
+        bytes.resize(rng_.below(std::min(bytes.size(), kGlobalHeaderSize)));
+        ++summary_.global_header_truncations;
+        break;
+      }
+      case 1: {  // shear off the tail, usually mid-record
+        const std::size_t keep = kGlobalHeaderSize < bytes.size()
+                                     ? kGlobalHeaderSize +
+                                           rng_.below(bytes.size() - kGlobalHeaderSize)
+                                     : rng_.below(bytes.size());
+        bytes.resize(keep);
+        ++summary_.tail_truncations;
+        break;
+      }
+      case 2: {  // rewrite a record's incl_len to an attacker value
+        const auto offsets = record_offsets(bytes);
+        if (offsets.empty()) break;
+        const std::size_t rec = offsets[rng_.below(offsets.size())];
+        // Mix absurd (multi-GB) and merely-oversize lengths so both the
+        // allocation cap and the resync path get exercised.
+        const std::uint32_t hostile =
+            rng_.chance(0.5) ? 0xffffffffu - static_cast<std::uint32_t>(rng_.below(1 << 20))
+                             : (1u << 20) + static_cast<std::uint32_t>(rng_.below(1u << 27));
+        put_u32le(bytes, rec + 8, hostile);
+        ++summary_.absurd_lengths;
+        break;
+      }
+      case 3: {  // flip a handful of bytes anywhere in the file
+        const std::size_t flips = 1 + rng_.below(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+          const std::size_t off = rng_.below(bytes.size());
+          bytes[off] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+        }
+        ++summary_.byte_flips;
+        break;
+      }
+      default: {  // splice a garbage block mid-file
+        const std::size_t len = 16 + rng_.below(512);
+        std::vector<std::uint8_t> garbage(len);
+        for (auto& g : garbage) g = static_cast<std::uint8_t>(rng_.below(256));
+        const std::size_t at =
+            bytes.size() > kGlobalHeaderSize
+                ? kGlobalHeaderSize + rng_.below(bytes.size() - kGlobalHeaderSize)
+                : bytes.size();
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at), garbage.begin(),
+                     garbage.end());
+        ++summary_.garbage_insertions;
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tamper::fault

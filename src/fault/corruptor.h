@@ -1,0 +1,62 @@
+// Deterministic byte-level pcap corruptor — the file-format half of the
+// fault-injection harness. Given the bytes of a pcap savefile, it applies a
+// seeded sequence of the corruptions hostile or broken producers emit:
+// truncated global/record headers, absurd incl_len fields, flipped bytes,
+// and garbage blocks spliced mid-file. Consumers (net::PcapReader in
+// lenient mode) must survive every output without crashing or ballooning
+// memory; tests/test_faults.cpp runs seeded campaigns asserting exactly
+// that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamper::fault {
+
+class PcapCorruptor {
+ public:
+  struct Config {
+    /// Number of corruption operations applied per corrupt() call.
+    std::size_t mutations = 4;
+    /// Relative weights of each operation (see Summary for the list).
+    double weight_truncate_global_header = 1.0;
+    double weight_truncate_tail = 3.0;
+    double weight_absurd_length = 4.0;
+    double weight_flip_bytes = 6.0;
+    double weight_insert_garbage = 4.0;
+  };
+
+  /// What a corrupt() call actually did (accumulates across calls).
+  struct Summary {
+    std::uint64_t global_header_truncations = 0;
+    std::uint64_t tail_truncations = 0;
+    std::uint64_t absurd_lengths = 0;  ///< incl_len rewritten to a hostile value
+    std::uint64_t byte_flips = 0;
+    std::uint64_t garbage_insertions = 0;
+  };
+
+  explicit PcapCorruptor(std::uint64_t seed) : PcapCorruptor(seed, Config()) {}
+  PcapCorruptor(std::uint64_t seed, Config config)
+      : config_(config), rng_(common::mix64(seed ^ 0xc0221f7ed0c0de5eULL)) {}
+
+  /// Return a corrupted copy of `bytes`. The input must be a little-endian
+  /// microsecond pcap (what net::PcapWriter emits); other inputs only
+  /// receive the structure-free corruptions (flips, truncation, garbage).
+  [[nodiscard]] std::vector<std::uint8_t> corrupt(std::vector<std::uint8_t> bytes);
+
+  [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+
+ private:
+  /// Byte offsets of each 16-byte record header in `bytes`, walked from the
+  /// declared lengths; stops at the first inconsistency.
+  [[nodiscard]] static std::vector<std::size_t> record_offsets(
+      const std::vector<std::uint8_t>& bytes);
+
+  Config config_;
+  common::Rng rng_;
+  Summary summary_;
+};
+
+}  // namespace tamper::fault

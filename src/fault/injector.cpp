@@ -1,0 +1,124 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace tamper::fault {
+
+namespace {
+
+std::uint64_t flow_hash(const net::IpAddress& client, std::uint16_t client_port,
+                        const net::IpAddress& server, std::uint16_t server_port) {
+  return common::mix64(client.hash() ^ common::mix64(server.hash()) ^
+                       (static_cast<std::uint64_t>(client_port) << 16 | server_port));
+}
+
+/// Offset of the TCP header inside a raw IP frame, or 0 if unknown.
+std::size_t tcp_offset(const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 20) return 0;
+  const std::uint8_t version = frame[0] >> 4;
+  if (version == 4) return static_cast<std::size_t>(frame[0] & 0x0f) * 4;
+  if (version == 6) return 40;
+  return 0;
+}
+
+}  // namespace
+
+bool FaultInjector::flow_is_faulted(const net::IpAddress& client, std::uint16_t client_port,
+                                    const net::IpAddress& server,
+                                    std::uint16_t server_port) const noexcept {
+  if (config_.flow_fault_fraction <= 0.0) return false;
+  const std::uint64_t h =
+      common::mix64(flow_hash(client, client_port, server, server_port) ^ seed_);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < config_.flow_fault_fraction;
+}
+
+void FaultInjector::emit_flood_burst(const net::Packet& trigger,
+                                     std::vector<TimedFrame>& out) {
+  for (std::size_t i = 0; i < config_.flood_burst_size; ++i) {
+    // CGNAT space (100.64.0.0/10): never collides with the flows under test.
+    const auto src =
+        net::IpAddress::v4(0x64400000u | static_cast<std::uint32_t>(rng_.below(1u << 22)));
+    net::Packet syn = net::make_tcp_packet(
+        src, static_cast<std::uint16_t>(1024 + rng_.below(60000)), trigger.dst,
+        trigger.tcp.dst_port, net::tcpflag::kSyn,
+        static_cast<std::uint32_t>(rng_.next()), 0);
+    syn.timestamp = trigger.timestamp;
+    syn.ip.ttl = static_cast<std::uint8_t>(32 + rng_.below(200));
+    out.push_back({syn.timestamp, net::serialize(syn)});
+    ++stats_.flood_syns;
+    ++stats_.frames_emitted;
+  }
+}
+
+std::vector<TimedFrame> FaultInjector::run(const std::vector<net::Packet>& stream) {
+  std::vector<TimedFrame> out;
+  out.reserve(stream.size());
+  for (const net::Packet& pkt : stream) {
+    if (pkt.tcp.is_syn() && config_.flood_burst_probability > 0.0 &&
+        rng_.chance(config_.flood_burst_probability))
+      emit_flood_burst(pkt, out);
+
+    TimedFrame frame{pkt.timestamp, net::serialize(pkt)};
+    if (flow_is_faulted(pkt.src, pkt.tcp.src_port, pkt.dst, pkt.tcp.dst_port)) {
+      if (rng_.chance(config_.frame_truncation) && frame.bytes.size() > 1) {
+        frame.bytes.resize(1 + rng_.below(frame.bytes.size() - 1));
+        ++stats_.frames_truncated;
+      }
+      if (rng_.chance(config_.byte_flip) && !frame.bytes.empty()) {
+        const std::size_t flips = 1 + rng_.below(4);
+        for (std::size_t i = 0; i < flips; ++i)
+          frame.bytes[rng_.below(frame.bytes.size())] ^=
+              static_cast<std::uint8_t>(1 + rng_.below(255));
+        ++stats_.bytes_flipped;
+      }
+      if (rng_.chance(config_.garbage_tcp_options)) {
+        // Claim a TCP header longer than the segment and plant an option
+        // whose length byte runs past the block — net::parse() must reject
+        // both without reading out of bounds.
+        const std::size_t l4 = tcp_offset(frame.bytes);
+        if (l4 >= 20 && frame.bytes.size() >= l4 + 20) {
+          frame.bytes[l4 + 12] = 0xf0;  // data offset = 60 bytes
+          if (frame.bytes.size() >= l4 + 22) {
+            frame.bytes[l4 + 20] = 0xfd;  // unknown option kind
+            frame.bytes[l4 + 21] = 0xff;  // hostile length
+          }
+          ++stats_.options_garbled;
+        }
+      }
+      if (rng_.chance(config_.timestamp_regression)) {
+        frame.timestamp = std::max(0.0, frame.timestamp - rng_.uniform(1.0, 30.0));
+        ++stats_.timestamp_regressions;
+      }
+      if (rng_.chance(config_.duplicate_segment)) {
+        out.push_back(frame);
+        ++stats_.duplicates;
+        ++stats_.frames_emitted;
+      }
+    }
+    out.push_back(std::move(frame));
+    ++stats_.frames_emitted;
+  }
+  return out;
+}
+
+std::vector<net::Packet> make_syn_flood(std::uint64_t seed, std::size_t count,
+                                        const net::IpAddress& server,
+                                        std::uint16_t server_port,
+                                        common::SimTime start_time,
+                                        double packets_per_second) {
+  common::Rng rng(common::mix64(seed ^ 0x5f100d5eedf100dULL));
+  std::vector<net::Packet> flood;
+  flood.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src =
+        net::IpAddress::v4(0x64400000u | static_cast<std::uint32_t>(rng.below(1u << 22)));
+    net::Packet syn = net::make_tcp_packet(
+        src, static_cast<std::uint16_t>(1024 + rng.below(60000)), server, server_port,
+        net::tcpflag::kSyn, static_cast<std::uint32_t>(rng.next()), 0);
+    syn.timestamp = start_time + static_cast<double>(i) / packets_per_second;
+    flood.push_back(std::move(syn));
+  }
+  return flood;
+}
+
+}  // namespace tamper::fault

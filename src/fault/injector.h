@@ -1,0 +1,91 @@
+// Deterministic packet-stream fault injector — the wire half of the
+// fault-injection harness. Takes a clean stream of parsed packets and
+// emits serialized frames with seeded hostile mutations applied: frame
+// truncation, duplicated segments, timestamp regressions, garbage TCP
+// option lengths, flipped bytes, and SYN-flood bursts aimed at the
+// sampler's flow table.
+//
+// Faults that mutate frames are applied only to flows selected by a
+// stateless seeded hash, so tests can ask `flow_is_faulted()` and assert
+// that every *untouched* flow classifies exactly as in a no-fault run.
+// SYN-flood bursts are inserted immediately before real SYNs (never
+// between a flow's own packets) using addresses from 100.64.0.0/10, so
+// they stress the flow table without colliding with real flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "net/packet.h"
+
+namespace tamper::fault {
+
+/// A serialized frame with its capture timestamp — ready for
+/// net::PcapWriter::write_raw() or direct parsing.
+struct TimedFrame {
+  common::SimTime timestamp = 0.0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    /// Fraction of flows selected (by seeded hash) for frame mutations.
+    double flow_fault_fraction = 0.3;
+    // Per-frame fault probabilities, applied to faulted flows only.
+    double frame_truncation = 0.25;
+    double byte_flip = 0.25;
+    double garbage_tcp_options = 0.2;
+    double duplicate_segment = 0.2;
+    double timestamp_regression = 0.2;
+    /// Probability that a SYN-flood burst precedes a real opening SYN.
+    double flood_burst_probability = 0.0;
+    std::size_t flood_burst_size = 64;
+  };
+
+  struct Stats {
+    std::uint64_t frames_emitted = 0;
+    std::uint64_t frames_truncated = 0;
+    std::uint64_t bytes_flipped = 0;
+    std::uint64_t options_garbled = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t timestamp_regressions = 0;
+    std::uint64_t flood_syns = 0;
+  };
+
+  explicit FaultInjector(std::uint64_t seed) : FaultInjector(seed, Config()) {}
+  FaultInjector(std::uint64_t seed, Config config)
+      : config_(config), seed_(seed), rng_(common::mix64(seed ^ 0xfa017ec7edbadf00ULL)) {}
+
+  /// Serialize the stream, injecting faults. Call once per campaign.
+  [[nodiscard]] std::vector<TimedFrame> run(const std::vector<net::Packet>& stream);
+
+  /// Whether frame mutations target this flow (stateless; same answer
+  /// before and after run()).
+  [[nodiscard]] bool flow_is_faulted(const net::IpAddress& client, std::uint16_t client_port,
+                                     const net::IpAddress& server,
+                                     std::uint16_t server_port) const noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void emit_flood_burst(const net::Packet& trigger, std::vector<TimedFrame>& out);
+
+  Config config_;
+  std::uint64_t seed_;
+  common::Rng rng_;
+  Stats stats_;
+};
+
+/// Standalone SYN-flood generator: `count` bare SYNs from distinct
+/// 100.64.0.0/10 sources toward one server — for aiming directly at a
+/// ConnectionSampler's flow table without going through pcap bytes.
+[[nodiscard]] std::vector<net::Packet> make_syn_flood(std::uint64_t seed, std::size_t count,
+                                                      const net::IpAddress& server,
+                                                      std::uint16_t server_port,
+                                                      common::SimTime start_time,
+                                                      double packets_per_second = 10000.0);
+
+}  // namespace tamper::fault

@@ -71,8 +71,12 @@ void encode_options(std::vector<std::uint8_t>& out, const std::vector<TcpOption>
 }
 
 bool decode_options(std::span<const std::uint8_t> block, std::vector<TcpOption>& out) {
+  // A TCP options block is at most 40 bytes, so no well-formed segment
+  // carries more options than this; anything past it is hostile garbage.
+  constexpr std::size_t kMaxOptions = 64;
   std::size_t i = 0;
   while (i < block.size()) {
+    if (out.size() >= kMaxOptions) return false;
     const std::uint8_t kind = block[i];
     if (kind == 0) break;  // End of option list
     if (kind == 1) {
@@ -81,6 +85,9 @@ bool decode_options(std::span<const std::uint8_t> block, std::vector<TcpOption>&
       continue;
     }
     if (i + 1 >= block.size()) return false;
+    // The attacker controls this length byte: every use below must stay
+    // inside `block`, and a length under the 2-byte kind+len preamble
+    // would loop forever.
     const std::uint8_t len = block[i + 1];
     if (len < 2 || i + len > block.size()) return false;
     TcpOption o;

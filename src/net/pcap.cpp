@@ -1,5 +1,6 @@
 #include "net/pcap.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <fstream>
@@ -68,9 +69,17 @@ void PcapWriter::write_raw(common::SimTime timestamp, std::span<const std::uint8
   ++count_;
 }
 
-PcapReader::PcapReader(std::istream& in) : in_(in) {
+PcapReader::PcapReader(std::istream& in, PcapReadMode mode) : in_(in), mode_(mode) {
+  const auto fail = [this](const char* what) {
+    if (mode_ == PcapReadMode::kStrict) throw std::runtime_error(what);
+    error_ = what;
+    exhausted_ = true;
+  };
   std::uint32_t magic = 0;
-  if (!read_u32(in_, false, magic)) throw std::runtime_error("pcap: empty stream");
+  if (!read_u32(in_, false, magic)) {
+    fail("pcap: empty stream");
+    return;
+  }
   if (magic == kMagicMicros) {
     swap_ = false;
     nanos_ = false;
@@ -84,52 +93,136 @@ PcapReader::PcapReader(std::istream& in) : in_(in) {
     swap_ = true;
     nanos_ = true;
   } else {
-    throw std::runtime_error("pcap: bad magic number");
+    fail("pcap: bad magic number");
+    return;
   }
   std::uint32_t tmp = 0;
   read_u32(in_, swap_, tmp);  // version
   read_u32(in_, swap_, tmp);  // thiszone
   read_u32(in_, swap_, tmp);  // sigfigs
-  read_u32(in_, swap_, tmp);  // snaplen
-  if (!read_u32(in_, swap_, linktype_)) throw std::runtime_error("pcap: truncated header");
+  read_u32(in_, swap_, snaplen_);
+  if (!read_u32(in_, swap_, linktype_)) fail("pcap: truncated header");
+}
+
+std::uint32_t PcapReader::record_cap() const noexcept {
+  // Honour the header's snaplen, but never trust it past the hard cap and
+  // never let a lying-small (or zero) snaplen reject ordinary frames.
+  return std::min(kMaxRecordBytes, std::max(snaplen_, 65535u));
+}
+
+bool PcapReader::plausible_record(const unsigned char* hdr) const noexcept {
+  const auto u32 = [&](std::size_t off) {
+    std::uint32_t v = static_cast<std::uint32_t>(hdr[off]) |
+                      (static_cast<std::uint32_t>(hdr[off + 1]) << 8) |
+                      (static_cast<std::uint32_t>(hdr[off + 2]) << 16) |
+                      (static_cast<std::uint32_t>(hdr[off + 3]) << 24);
+    return swap_ ? swap32(v) : v;
+  };
+  const std::uint32_t secs = u32(0);
+  const std::uint32_t caplen = u32(8);
+  const std::uint32_t origlen = u32(12);
+  if (caplen == 0 || caplen > record_cap()) return false;
+  if (origlen < caplen || origlen > kMaxRecordBytes) return false;
+  if (have_good_secs_) {
+    // Timestamps near the last good record: ±1 year of drift allowed.
+    constexpr std::uint32_t kYear = 365u * 86400u;
+    const std::uint32_t lo = last_good_secs_ > kYear ? last_good_secs_ - kYear : 0;
+    if (secs < lo || secs > last_good_secs_ + kYear) return false;
+  }
+  return true;
+}
+
+bool PcapReader::resync() {
+  // The stream is positioned just past a corrupt 16-byte record header.
+  // Scan forward for the next offset whose bytes look like a record header
+  // whose *following* record header (or EOF) is also plausible.
+  in_.clear();
+  const std::streampos scan_start = in_.tellg();
+  if (scan_start == std::streampos(-1)) {
+    exhausted_ = true;
+    ++stats_.resync_failures;
+    return false;
+  }
+  std::vector<unsigned char> window(kResyncWindowBytes);
+  in_.read(reinterpret_cast<char*>(window.data()),
+           static_cast<std::streamsize>(window.size()));
+  const std::size_t got = static_cast<std::size_t>(in_.gcount());
+  if (got >= 16) {
+    for (std::size_t off = 0; off + 16 <= got; ++off) {
+      if (!plausible_record(window.data() + off)) continue;
+      const auto u32 = [&](std::size_t o) {
+        std::uint32_t v = static_cast<std::uint32_t>(window[off + o]) |
+                          (static_cast<std::uint32_t>(window[off + o + 1]) << 8) |
+                          (static_cast<std::uint32_t>(window[off + o + 2]) << 16) |
+                          (static_cast<std::uint32_t>(window[off + o + 3]) << 24);
+        return swap_ ? swap32(v) : v;
+      };
+      const std::size_t next_hdr = off + 16 + u32(8);
+      // Confirm with the following record when it is inside the window;
+      // a record running past the window (or to EOF) is accepted as-is.
+      if (next_hdr + 16 <= got && !plausible_record(window.data() + next_hdr)) continue;
+      in_.clear();
+      in_.seekg(scan_start + static_cast<std::streamoff>(off));
+      ++stats_.resyncs;
+      return true;
+    }
+  }
+  exhausted_ = true;
+  ++stats_.resync_failures;
+  return false;
 }
 
 std::optional<Packet> PcapReader::next() {
-  while (true) {
+  while (!exhausted_) {
     std::uint32_t secs = 0, subsecs = 0, caplen = 0, origlen = 0;
     if (!read_u32(in_, swap_, secs)) return std::nullopt;
     if (!read_u32(in_, swap_, subsecs) || !read_u32(in_, swap_, caplen) ||
-        !read_u32(in_, swap_, origlen))
+        !read_u32(in_, swap_, origlen)) {
+      ++stats_.skipped_truncated;  // partial trailing record header
       return std::nullopt;
-    if (caplen > (1u << 26)) throw std::runtime_error("pcap: implausible record length");
+    }
+    if (caplen > record_cap()) {
+      // Hostile incl_len: never allocate it. Strict treats the file as
+      // corrupt; lenient skips and hunts for the next record boundary.
+      if (mode_ == PcapReadMode::kStrict)
+        throw std::runtime_error("pcap: implausible record length");
+      ++stats_.skipped_oversize;
+      if (!resync()) return std::nullopt;
+      continue;
+    }
     std::vector<std::uint8_t> frame(caplen);
     if (!in_.read(reinterpret_cast<char*>(frame.data()),
-                  static_cast<std::streamsize>(caplen)))
+                  static_cast<std::streamsize>(caplen))) {
+      ++stats_.skipped_truncated;
       return std::nullopt;
-    ++frames_;
+    }
+    ++stats_.frames_read;
     const double ts = static_cast<double>(secs) +
                       static_cast<double>(subsecs) * (nanos_ ? 1e-9 : 1e-6);
 
     std::span<const std::uint8_t> ip_bytes{frame};
     if (linktype_ == kLinktypeEthernet) {
       if (frame.size() < 14) {
-        ++skipped_;
+        ++stats_.skipped_unparseable;
         continue;
       }
       const std::uint16_t ethertype = static_cast<std::uint16_t>((frame[12] << 8) | frame[13]);
       if (ethertype != 0x0800 && ethertype != 0x86dd) {
-        ++skipped_;
+        ++stats_.skipped_unparseable;
         continue;
       }
       ip_bytes = ip_bytes.subspan(14);
     }
     auto parsed = parse(ip_bytes, ts);
     if (!parsed) {
-      ++skipped_;
+      ++stats_.skipped_unparseable;
       continue;
     }
+    have_good_secs_ = true;
+    last_good_secs_ = secs;
     return std::move(parsed->packet);
   }
+  return std::nullopt;
 }
 
 void write_pcap_file(const std::string& path, const std::vector<Packet>& packets) {

@@ -176,6 +176,104 @@ TEST(Sampler, UnsampledFlowPacketsIgnored) {
   EXPECT_TRUE(sampler.flush_all(10.0).empty());
 }
 
+TEST(Sampler, EvictionExactlyAtIdleTimeout) {
+  ConnectionSampler::Config config = sample_everything();
+  config.flow_idle_timeout = 5.0;
+  ConnectionSampler sampler(config);
+  sampler.on_packet(packet(net::IpAddress::v4(11, 0, 0, 2), 40000, kSyn, 0, 1.0), 1.0);
+  // Just under the horizon: idle for 4.999 s, stays.
+  EXPECT_TRUE(sampler.drain_idle(5.999).empty());
+  // Exactly at the horizon: `now - last_seen >= timeout` evicts.
+  auto drained = sampler.drain_idle(6.0);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].observation_end_sec, 6);
+  EXPECT_EQ(sampler.open_flows(), 0u);
+}
+
+TEST(Sampler, FourTupleReuseAfterEvictionOpensFreshFlow) {
+  ConnectionSampler::Config config = sample_everything();
+  config.flow_idle_timeout = 5.0;
+  ConnectionSampler sampler(config);
+  const auto client = net::IpAddress::v4(11, 0, 0, 2);
+  sampler.on_packet(packet(client, 40000, kSyn, 100, 1.0), 1.0);
+  sampler.on_packet(packet(client, 40000, kAck, 101, 1.5), 1.5);
+  ASSERT_EQ(sampler.drain_idle(40.0).size(), 1u);
+  // Same 4-tuple returns: the new SYN opens a brand-new flow rather than
+  // resurrecting the evicted one's state.
+  sampler.on_packet(packet(client, 40000, kSyn, 900, 41.0), 41.0);
+  EXPECT_EQ(sampler.stats().connections_seen, 2u);
+  auto samples = sampler.flush_all(50.0);
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples[0].packets.size(), 1u);
+  EXPECT_EQ(samples[0].packets[0].seq, 900u);
+}
+
+TEST(Sampler, OverloadEvictsOldestEmbryonicFirst) {
+  ConnectionSampler::Config config = sample_everything();
+  config.max_flows = 4;
+  config.flow_idle_timeout = 1e9;
+  ConnectionSampler sampler(config);
+  const auto established_a = net::IpAddress::v4(11, 0, 0, 2);
+  const auto established_b = net::IpAddress::v4(11, 0, 0, 3);
+  sampler.on_packet(packet(established_a, 40000, kSyn, 0, 1.0), 1.0);
+  sampler.on_packet(packet(established_a, 40000, kAck, 1, 1.1), 1.1);
+  sampler.on_packet(packet(established_b, 40000, kSyn, 0, 2.0), 2.0);
+  sampler.on_packet(packet(established_b, 40000, kAck, 1, 2.1), 2.1);
+  // Two embryonic flows fill the table; the fifth flow forces an eviction.
+  sampler.on_packet(packet(net::IpAddress::v4(11, 0, 0, 4), 40000, kSyn, 0, 3.0), 3.0);
+  sampler.on_packet(packet(net::IpAddress::v4(11, 0, 0, 5), 40000, kSyn, 0, 4.0), 4.0);
+  EXPECT_EQ(sampler.open_flows(), 4u);
+  sampler.on_packet(packet(net::IpAddress::v4(11, 0, 0, 6), 40000, kSyn, 0, 5.0), 5.0);
+  EXPECT_EQ(sampler.open_flows(), 4u);
+  EXPECT_EQ(sampler.stats().flows_evicted_overload, 1u);
+  // The victim was the oldest *embryonic* flow (11.0.0.4), not an
+  // established one; it surfaces through drain_idle() despite not being
+  // idle, closed out at the eviction time.
+  auto drained = sampler.drain_idle(5.5);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].client_ip, net::IpAddress::v4(11, 0, 0, 4));
+  EXPECT_EQ(drained[0].observation_end_sec, 5);
+  auto rest = sampler.flush_all(10.0);
+  ASSERT_EQ(rest.size(), 4u);
+  for (const auto& sample : rest) {
+    EXPECT_NE(sample.client_ip, net::IpAddress::v4(11, 0, 0, 4));
+  }
+}
+
+TEST(Sampler, EstablishedFlowsEvictedOnlyWithoutEmbryonicCandidates) {
+  ConnectionSampler::Config config = sample_everything();
+  config.max_flows = 2;
+  config.flow_idle_timeout = 1e9;
+  ConnectionSampler sampler(config);
+  for (int i = 0; i < 2; ++i) {
+    const auto client = net::IpAddress::v4(11, 0, 1, static_cast<std::uint8_t>(i));
+    sampler.on_packet(packet(client, 40000, kSyn, 0, 1.0 + i), 1.0 + i);
+    sampler.on_packet(packet(client, 40000, kAck, 1, 1.5 + i), 1.5 + i);
+  }
+  // All tracked flows are established: the LRU established flow goes.
+  sampler.on_packet(packet(net::IpAddress::v4(11, 0, 2, 1), 40000, kSyn, 0, 9.0), 9.0);
+  EXPECT_EQ(sampler.stats().flows_evicted_overload, 1u);
+  auto drained = sampler.drain_idle(9.5);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].client_ip, net::IpAddress::v4(11, 0, 1, 0));
+}
+
+TEST(Sampler, MalformedPacketsCountedAndDropped) {
+  ConnectionSampler sampler(sample_everything());
+  const auto client = net::IpAddress::v4(11, 0, 0, 2);
+  auto port_zero = packet(client, 40000, kSyn, 0, 1.0);
+  port_zero.tcp.src_port = 0;
+  sampler.on_packet(port_zero, 1.0);
+  sampler.on_packet(packet(client, 40000, kSyn | kFin, 0, 1.0), 1.0);
+  sampler.on_packet(packet(client, 40000, kSyn | kRst, 0, 1.0), 1.0);
+  auto land = packet(client, 443, kSyn, 0, 1.0);
+  land.dst = client;  // self-addressed 4-tuple
+  sampler.on_packet(land, 1.0);
+  EXPECT_EQ(sampler.stats().packets_malformed, 4u);
+  EXPECT_EQ(sampler.stats().connections_seen, 0u);
+  EXPECT_EQ(sampler.open_flows(), 0u);
+}
+
 TEST(ConnectionSample, FirstDataPayloadFindsRequest) {
   ConnectionSample sample;
   ObservedPacket syn;

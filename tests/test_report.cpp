@@ -93,6 +93,7 @@ TEST(RadarReport, ValidShapeAndAggregatesOnly) {
 
   EXPECT_NE(report.find("\"schema\": \"tamper-radar/1\""), std::string::npos);
   EXPECT_NE(report.find("\"global\""), std::string::npos);
+  EXPECT_NE(report.find("\"degraded_input\""), std::string::npos);
   EXPECT_NE(report.find("\"signatures\""), std::string::npos);
   EXPECT_NE(report.find("\"countries\""), std::string::npos);
   EXPECT_NE(report.find("SYNACK->NONE"), std::string::npos);

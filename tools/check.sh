@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build everything with ASan+UBSan and run the full test
+# suite, including the hostile-input fault campaigns (tests/test_faults.cpp).
+# Intended for CI and for local use before merging ingest-path changes:
+#
+#   tools/check.sh                  # full suite under ASan+UBSan
+#   tools/check.sh -R Fault         # just the fault-injection campaigns
+#
+# Extra arguments are forwarded to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DTAMPER_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTAMPER_BUILD_BENCH=OFF \
+  -DTAMPER_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+echo "sanitizer check passed"

@@ -15,6 +15,7 @@
 //
 //   tamperscope testlists [--region CC] [--connections N]
 //       Audit test-list coverage of passively observed tampered domains.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -108,24 +109,58 @@ int cmd_signatures() {
 
 int cmd_classify(const Args& args) {
   if (args.positional.empty()) {
-    std::cerr << "usage: tamperscope classify <capture.pcap> [--json]\n";
+    std::cerr << "usage: tamperscope classify <capture.pcap> [--json] [--strict|--lenient]\n";
+    return 2;
+  }
+  if (args.has("strict") && args.has("lenient")) {
+    std::cerr << "classify: --strict and --lenient are mutually exclusive\n";
     return 2;
   }
   std::ifstream in(args.positional[0], std::ios::binary);
   if (!in) {
-    std::cerr << "cannot open " << args.positional[0] << '\n';
+    std::cerr << "error: cannot open " << args.positional[0] << '\n';
     return 1;
   }
+  // Lenient by default: a capture from a hostile tap should degrade, not
+  // die. --strict turns any corruption into a hard failure.
+  const bool strict = args.has("strict");
   capture::ConnectionSampler::Config config;
   config.sample_one_in = 1;
   capture::ConnectionSampler sampler(config);
-  net::PcapReader reader(in);
+  net::PcapReader reader(in, strict ? net::PcapReadMode::kStrict
+                                    : net::PcapReadMode::kLenient);
+  if (!reader.ok()) {
+    std::cerr << "error: " << args.positional[0] << ": " << reader.error() << '\n';
+    return 1;
+  }
   double last_ts = 0.0;
   while (auto pkt = reader.next()) {
-    last_ts = pkt->timestamp;
+    last_ts = std::max(last_ts, pkt->timestamp);  // hostile clocks can regress
     sampler.on_packet(*pkt, pkt->timestamp);
   }
   const auto samples = sampler.flush_all(last_ts + 60.0);
+
+  const net::PcapReader::Stats& rs = reader.stats();
+  const capture::ConnectionSampler::Stats& ss = sampler.stats();
+  const std::uint64_t degraded = reader.frames_skipped() + ss.packets_malformed +
+                                 ss.flows_evicted_overload + rs.resync_failures;
+  if (degraded > 0) {
+    // One summary line, always on stderr, so scripted users see skew.
+    std::cerr << "degraded input: " << rs.skipped_oversize << " oversize, "
+              << rs.skipped_truncated << " truncated, " << rs.skipped_unparseable
+              << " unparseable frames skipped; " << rs.resyncs << " resyncs ("
+              << rs.resync_failures << " failed); " << ss.packets_malformed
+              << " malformed packets; " << ss.flows_evicted_overload
+              << " flows overload-evicted\n";
+    if (strict) {
+      std::cerr << "error: corrupt capture (strict mode)\n";
+      return 1;
+    }
+  }
+  if (rs.frames_read == 0) {
+    std::cerr << "error: " << args.positional[0] << ": no parseable frames in capture\n";
+    return 1;
+  }
 
   core::SignatureClassifier classifier;
   if (args.has("json")) {
@@ -269,13 +304,22 @@ int cmd_testlists(const Args& args) {
 int main(int argc, char** argv) {
   const std::string command = argc > 1 ? argv[1] : "";
   const Args args = parse_args(argc, argv);
-  if (command == "signatures") return cmd_signatures();
-  if (command == "classify") return cmd_classify(args);
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "testlists") return cmd_testlists(args);
+  try {
+    if (command == "signatures") return cmd_signatures();
+    if (command == "classify") return cmd_classify(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "testlists") return cmd_testlists(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
   std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists> [options]\n"
                "  signatures                         print the Table 1 taxonomy\n"
-               "  classify <pcap> [--json]           classify flows from a capture\n"
+               "  classify <pcap> [--json] [--strict|--lenient]\n"
+               "                                     classify flows from a capture\n"
+               "                                     (lenient default: skip corrupt records,\n"
+               "                                     print a degraded-input summary; strict:\n"
+               "                                     exit 1 on any corruption)\n"
                "  simulate [--connections N] [--seed S] [--json out.json] [--pcap out.pcap]\n"
                "  testlists [--region CC] [--connections N]\n";
   return command.empty() ? 2 : 1;
