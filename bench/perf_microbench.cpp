@@ -5,12 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "analysis/evidence.h"
 #include "appproto/http.h"
 #include "appproto/tls.h"
 #include "capture/sampler.h"
+#include "common/bounded_queue.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
 #include "world/traffic.h"
@@ -166,6 +168,57 @@ void BM_PcapRoundtrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_PcapRoundtrip);
+
+// The service queue sits on the hot path between capture and analysis, so
+// its per-item cost under producer contention is a first-class number.
+// Arg = producer thread count; one consumer drains throughout.
+void BM_BoundedQueueThroughput(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::BoundedQueue<std::uint64_t> queue(1024, common::QueuePolicy::kBlock);
+    constexpr std::uint64_t kPerProducer = 20'000;
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&queue, p] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i)
+          queue.push(static_cast<std::uint64_t>(p) << 32 | i);
+      });
+    }
+    std::uint64_t sum = 0;
+    std::uint64_t remaining = kPerProducer * static_cast<std::uint64_t>(producers);
+    while (remaining > 0) {
+      if (auto item = queue.pop_wait(std::chrono::milliseconds(100))) {
+        sum += *item;
+        --remaining;
+      }
+    }
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(kPerProducer) * producers);
+  }
+}
+BENCHMARK(BM_BoundedQueueThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Shed-policy overload: a queue far too small for the offered load, with
+// half the items marked low-value. Measures push-side cost when every push
+// beyond capacity must select and evict a victim.
+void BM_BoundedQueueShedOverload(benchmark::State& state) {
+  common::BoundedQueue<std::uint64_t> queue(
+      64, common::QueuePolicy::kShed, [](const std::uint64_t& v) { return (v & 1) == 0; });
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    queue.push(i++);
+    if ((i & 0xff) == 0)  // occasional consumer keeps the deque churning
+      while (queue.try_pop()) {
+      }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedQueueShedOverload);
 
 }  // namespace
 

@@ -6,6 +6,44 @@
 
 namespace tamper::analysis {
 
+namespace {
+
+// Checkpoint serialization writes map-like state in sorted key order, so a
+// snapshot is a pure function of the aggregate counts: save -> restore ->
+// save is byte-identical even for unordered containers (the golden-file
+// test in tests/test_service.cpp pins this).
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void write_domain_counts(common::BinWriter& w,
+                         const std::unordered_map<std::string, std::uint64_t>& m) {
+  w.u64(m.size());
+  for (const auto& domain : sorted_keys(m)) {
+    w.str(domain);
+    w.u64(m.at(domain));
+  }
+}
+
+void read_domain_counts(common::BinReader& r,
+                        std::unordered_map<std::string, std::uint64_t>& m) {
+  const std::uint64_t n = r.u64();
+  // Element count is validated by the per-element reads (BinUnderrun on a
+  // short payload); only the pre-reservation is clamped against hostile n.
+  m.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string domain = r.str();
+    m[std::move(domain)] = r.u64();
+  }
+}
+
+}  // namespace
+
 // ---- SignatureMatrix ----
 
 void SignatureMatrix::add(const ConnectionRecord& record) {
@@ -53,6 +91,41 @@ std::uint64_t SignatureMatrix::stage_matched(core::Stage stage) const {
   return stage_matched_[static_cast<std::size_t>(stage)];
 }
 
+void SignatureMatrix::snapshot(common::BinWriter& w) const {
+  w.u64(total_);
+  w.u64(possibly_);
+  w.u64(matched_);
+  for (std::uint64_t v : signature_totals_) w.u64(v);
+  for (std::uint64_t v : stage_possibly_) w.u64(v);
+  for (std::uint64_t v : stage_matched_) w.u64(v);
+  w.u64(rows_.size());
+  for (const auto& [cc, row] : rows_) {
+    w.str(cc);
+    w.u64(row.connections);
+    w.u64(row.matches);
+    for (std::uint64_t v : row.by_signature) w.u64(v);
+  }
+}
+
+void SignatureMatrix::restore(common::BinReader& r) {
+  *this = SignatureMatrix();
+  total_ = r.u64();
+  possibly_ = r.u64();
+  matched_ = r.u64();
+  for (std::uint64_t& v : signature_totals_) v = r.u64();
+  for (std::uint64_t& v : stage_possibly_) v = r.u64();
+  for (std::uint64_t& v : stage_matched_) v = r.u64();
+  const std::uint64_t rows = r.u64();
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::string cc = r.str();
+    CountryRow row;
+    row.connections = r.u64();
+    row.matches = r.u64();
+    for (std::uint64_t& v : row.by_signature) v = r.u64();
+    rows_.emplace(std::move(cc), row);
+  }
+}
+
 std::vector<std::string> SignatureMatrix::countries() const {
   std::vector<std::string> out;
   out.reserve(rows_.size());
@@ -96,6 +169,36 @@ std::uint64_t AsnAggregator::country_total(const std::string& cc) const {
   return total;
 }
 
+void AsnAggregator::snapshot(common::BinWriter& w) const {
+  w.u64(by_country_.size());
+  for (const auto& [cc, ases] : by_country_) {
+    w.str(cc);
+    w.u64(ases.size());
+    for (const auto& [asn, stats] : ases) {
+      w.u32(asn);
+      w.u64(stats.connections);
+      w.u64(stats.matches);
+    }
+  }
+}
+
+void AsnAggregator::restore(common::BinReader& r) {
+  by_country_.clear();
+  const std::uint64_t countries = r.u64();
+  for (std::uint64_t i = 0; i < countries; ++i) {
+    std::string cc = r.str();
+    auto& ases = by_country_[std::move(cc)];
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t j = 0; j < count; ++j) {
+      AsnStats stats;
+      stats.asn = r.u32();
+      stats.connections = r.u64();
+      stats.matches = r.u64();
+      ases.emplace(stats.asn, stats);
+    }
+  }
+}
+
 // ---- TimeSeries ----
 
 void TimeSeries::add(const ConnectionRecord& record) {
@@ -123,6 +226,38 @@ std::vector<std::string> TimeSeries::countries() const {
   return out;
 }
 
+void TimeSeries::snapshot(common::BinWriter& w) const {
+  w.u64(series_.size());
+  for (const auto& [cc, hours] : series_) {
+    w.str(cc);
+    w.u64(hours.size());
+    for (const auto& [hour, bucket] : hours) {
+      w.i64(hour);
+      w.u64(bucket.connections);
+      w.u64(bucket.post_ack_psh_matches);
+      for (std::uint64_t v : bucket.by_signature) w.u64(v);
+    }
+  }
+}
+
+void TimeSeries::restore(common::BinReader& r) {
+  series_.clear();
+  const std::uint64_t countries = r.u64();
+  for (std::uint64_t i = 0; i < countries; ++i) {
+    std::string cc = r.str();
+    auto& hours = series_[std::move(cc)];
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t j = 0; j < count; ++j) {
+      const std::int64_t hour = r.i64();
+      HourBucket bucket;
+      bucket.connections = r.u64();
+      bucket.post_ack_psh_matches = r.u64();
+      for (std::uint64_t& v : bucket.by_signature) v = r.u64();
+      hours.emplace(hour, bucket);
+    }
+  }
+}
+
 // ---- VersionProtocolAggregator ----
 
 void VersionProtocolAggregator::add(const ConnectionRecord& record) {
@@ -144,6 +279,38 @@ void VersionProtocolAggregator::add(const ConnectionRecord& record) {
   } else if (record.protocol == appproto::AppProtocol::kHttp) {
     ++split.http_total;
     if (post_psh) ++split.http_psh_matches;
+  }
+}
+
+void VersionProtocolAggregator::snapshot(common::BinWriter& w) const {
+  w.u64(by_country_.size());
+  for (const auto& [cc, split] : by_country_) {
+    w.str(cc);
+    w.u64(split.v4_total);
+    w.u64(split.v4_matches);
+    w.u64(split.v6_total);
+    w.u64(split.v6_matches);
+    w.u64(split.tls_total);
+    w.u64(split.tls_psh_matches);
+    w.u64(split.http_total);
+    w.u64(split.http_psh_matches);
+  }
+}
+
+void VersionProtocolAggregator::restore(common::BinReader& r) {
+  by_country_.clear();
+  const std::uint64_t countries = r.u64();
+  for (std::uint64_t i = 0; i < countries; ++i) {
+    std::string cc = r.str();
+    Split& split = by_country_[std::move(cc)];
+    split.v4_total = r.u64();
+    split.v4_matches = r.u64();
+    split.v6_total = r.u64();
+    split.v6_matches = r.u64();
+    split.tls_total = r.u64();
+    split.tls_psh_matches = r.u64();
+    split.http_total = r.u64();
+    split.http_psh_matches = r.u64();
   }
 }
 
@@ -202,6 +369,26 @@ std::vector<std::string> CategoryAggregator::countries() const {
   return out;
 }
 
+void CategoryAggregator::snapshot(common::BinWriter& w) const {
+  w.u64(by_country_.size());
+  for (const auto& [cc, data] : by_country_) {
+    w.str(cc);
+    write_domain_counts(w, data.tampered_by_domain);
+    write_domain_counts(w, data.seen_by_domain);
+  }
+}
+
+void CategoryAggregator::restore(common::BinReader& r) {
+  by_country_.clear();  // lookup_ is config, not state: keep it
+  const std::uint64_t countries = r.u64();
+  for (std::uint64_t i = 0; i < countries; ++i) {
+    std::string cc = r.str();
+    CountryData& data = by_country_[std::move(cc)];
+    read_domain_counts(r, data.tampered_by_domain);
+    read_domain_counts(r, data.seen_by_domain);
+  }
+}
+
 // ---- OverlapMatrix ----
 
 void OverlapMatrix::add(const ConnectionRecord& record) {
@@ -212,6 +399,29 @@ void OverlapMatrix::add(const ConnectionRecord& record) {
   const auto [it, inserted] = first_state_.try_emplace(key, state);
   if (inserted) return;                 // first observation of this pair
   matrix_[it->second][state] += 1;      // (first, next) transition
+}
+
+void OverlapMatrix::snapshot(common::BinWriter& w) const {
+  w.u64(first_state_.size());
+  for (const std::uint64_t key : sorted_keys(first_state_)) {
+    w.u64(key);
+    w.u64(first_state_.at(key));
+  }
+  for (const auto& row : matrix_)
+    for (std::uint64_t v : row) w.u64(v);
+}
+
+void OverlapMatrix::restore(common::BinReader& r) {
+  first_state_.clear();
+  const std::uint64_t pairs = r.u64();
+  first_state_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(pairs, 1u << 20)));
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const std::uint64_t key = r.u64();
+    // States index matrix_ rows; clamp so no payload can yield OOB writes.
+    first_state_[key] = static_cast<std::size_t>(std::min<std::uint64_t>(r.u64(), kStates - 1));
+  }
+  for (auto& row : matrix_)
+    for (std::uint64_t& v : row) v = r.u64();
 }
 
 std::uint64_t OverlapMatrix::row_total(std::size_t first_state) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/record.h"
+#include "common/binio.h"
 #include "core/signature.h"
 #include "world/category.h"
 
@@ -39,6 +40,9 @@ class SignatureMatrix {
   [[nodiscard]] std::uint64_t stage_matched(core::Stage stage) const;
 
   [[nodiscard]] std::vector<std::string> countries() const;
+
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
 
  private:
   struct CountryRow {
@@ -76,6 +80,9 @@ class AsnAggregator {
                                                double traffic_share = 0.8) const;
   [[nodiscard]] std::uint64_t country_total(const std::string& cc) const;
 
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
+
  private:
   std::map<std::string, std::map<std::uint32_t, AsnStats>> by_country_;
 };
@@ -100,6 +107,9 @@ class TimeSeries {
       const std::string& cc) const;
   [[nodiscard]] std::vector<std::string> countries() const;
 
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
+
  private:
   std::map<std::string, std::map<std::int64_t, HourBucket>> series_;
 };
@@ -118,6 +128,9 @@ class VersionProtocolAggregator {
   [[nodiscard]] const std::map<std::string, Split>& by_country() const noexcept {
     return by_country_;
   }
+
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
 
  private:
   std::map<std::string, Split> by_country_;
@@ -152,6 +165,11 @@ class CategoryAggregator {
       const std::string& cc, std::uint64_t domain_threshold = 100) const;
   [[nodiscard]] std::vector<std::string> countries() const;
 
+  /// Serializes the per-domain maps only; the category lookup is config,
+  /// re-injected by whoever constructs the restoring aggregator.
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
+
  private:
   struct CountryData {
     std::unordered_map<std::string, std::uint64_t> tampered_by_domain;
@@ -176,6 +194,9 @@ class OverlapMatrix {
   [[nodiscard]] static std::size_t state_of(const core::Classification& c) noexcept {
     return c.signature ? static_cast<std::size_t>(*c.signature) : kStates - 1;
   }
+
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
 
  private:
   std::unordered_map<std::uint64_t, std::size_t> first_state_;  ///< pair-hash -> state

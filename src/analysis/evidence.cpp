@@ -1,6 +1,8 @@
 #include "analysis/evidence.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 namespace tamper::analysis {
 
@@ -66,6 +68,36 @@ void EvidenceCollector::add(const capture::ConnectionSample& sample,
   const EvidenceDeltas deltas = evidence_deltas(sample, c);
   if (deltas.max_ipid_delta) ipid_[bucket].add(static_cast<double>(*deltas.max_ipid_delta));
   if (deltas.max_ttl_delta) ttl_[bucket].add(static_cast<double>(*deltas.max_ttl_delta));
+}
+
+namespace {
+
+void write_cdf(common::BinWriter& w, const common::EmpiricalCdf& cdf) {
+  const auto samples = cdf.sorted_samples();
+  w.u64(samples.size());
+  for (double v : samples) w.f64(v);
+}
+
+void read_cdf(common::BinReader& r, common::EmpiricalCdf& cdf) {
+  const std::uint64_t n = r.u64();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+  for (std::uint64_t i = 0; i < n; ++i) samples.push_back(r.f64());
+  cdf.assign(std::move(samples));
+}
+
+}  // namespace
+
+void EvidenceCollector::snapshot(common::BinWriter& w) const {
+  w.u64(cap_);
+  for (const auto& cdf : ipid_) write_cdf(w, cdf);
+  for (const auto& cdf : ttl_) write_cdf(w, cdf);
+}
+
+void EvidenceCollector::restore(common::BinReader& r) {
+  cap_ = static_cast<std::size_t>(r.u64());
+  for (auto& cdf : ipid_) read_cdf(r, cdf);
+  for (auto& cdf : ttl_) read_cdf(r, cdf);
 }
 
 }  // namespace tamper::analysis

@@ -15,6 +15,7 @@
 
 #include "analysis/record.h"
 #include "capture/sample.h"
+#include "common/binio.h"
 #include "common/stats.h"
 #include "core/classifier.h"
 #include "core/signature.h"
@@ -51,6 +52,9 @@ class EvidenceCollector {
     return ttl_[bucket];
   }
   [[nodiscard]] static std::size_t clean_bucket() noexcept { return kBuckets - 1; }
+
+  void snapshot(common::BinWriter& w) const;
+  void restore(common::BinReader& r);
 
  private:
   std::size_t cap_;

@@ -47,4 +47,62 @@ void Pipeline::run(world::TrafficGenerator& generator, std::size_t connections) 
                      [this](world::LabeledConnection&& conn) { ingest(conn.sample); });
 }
 
+void Pipeline::snapshot(common::BinWriter& w) const {
+  w.u64(degraded_.empty_samples);
+  w.u64(degraded_.ingest_errors);
+  w.u64(degraded_.malformed_packets);
+  w.u64(degraded_.overload_evicted);
+  w.u64(degraded_.unparseable_frames);
+  w.u64(degraded_.oversize_frames);
+  w.u64(degraded_.truncated_frames);
+  w.u64(degraded_.queue_shed_embryonic);
+  w.u64(degraded_.queue_shed_other);
+
+  w.u64(scanner_.connections);
+  w.u64(scanner_.no_tcp_options);
+  w.u64(scanner_.high_ttl);
+  w.u64(scanner_.syn_rst_matches);
+  w.u64(scanner_.syn_rst_zmap);
+
+  matrix_.snapshot(w);
+  asns_.snapshot(w);
+  timeseries_.snapshot(w);
+  version_protocol_.snapshot(w);
+  categories_.snapshot(w);
+  overlap_.snapshot(w);
+  evidence_.snapshot(w);
+}
+
+void Pipeline::restore(common::BinReader& r) {
+  degraded_.empty_samples = r.u64();
+  degraded_.ingest_errors = r.u64();
+  degraded_.malformed_packets = r.u64();
+  degraded_.overload_evicted = r.u64();
+  degraded_.unparseable_frames = r.u64();
+  degraded_.oversize_frames = r.u64();
+  degraded_.truncated_frames = r.u64();
+  degraded_.queue_shed_embryonic = r.u64();
+  degraded_.queue_shed_other = r.u64();
+
+  scanner_.connections = r.u64();
+  scanner_.no_tcp_options = r.u64();
+  scanner_.high_ttl = r.u64();
+  scanner_.syn_rst_matches = r.u64();
+  scanner_.syn_rst_zmap = r.u64();
+
+  matrix_.restore(r);
+  asns_.restore(r);
+  timeseries_.restore(r);
+  version_protocol_.restore(r);
+  categories_.restore(r);
+  overlap_.restore(r);
+  evidence_.restore(r);
+
+  // A restored process reads fresh sources whose cumulative counters start
+  // at zero again; the delta baselines must follow.
+  last_reader_ = {};
+  last_sampler_ = {};
+  last_queue_ = {};
+}
+
 }  // namespace tamper::analysis

@@ -10,6 +10,8 @@
 #include "analysis/evidence.h"
 #include "analysis/record.h"
 #include "capture/sampler.h"
+#include "common/binio.h"
+#include "common/bounded_queue.h"
 #include "core/classifier.h"
 #include "core/scanner.h"
 #include "net/pcap.h"
@@ -30,10 +32,13 @@ struct DegradedStats {
   std::uint64_t unparseable_frames = 0;   ///< reader: non-IP / parse failures
   std::uint64_t oversize_frames = 0;      ///< reader: hostile incl_len skipped
   std::uint64_t truncated_frames = 0;     ///< reader: short records
+  std::uint64_t queue_shed_embryonic = 0; ///< service: backpressure shed (embryonic)
+  std::uint64_t queue_shed_other = 0;     ///< service: backpressure shed (forced)
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return empty_samples + ingest_errors + malformed_packets + overload_evicted +
-           unparseable_frames + oversize_frames + truncated_frames;
+           unparseable_frames + oversize_frames + truncated_frames +
+           queue_shed_embryonic + queue_shed_other;
   }
 };
 
@@ -75,19 +80,41 @@ class Pipeline {
   }
 
   /// Degraded-input accounting. Capture-side counters arrive via the
-  /// record_* helpers (call once, after draining the source).
+  /// record_* helpers. The source Stats are cumulative, so each helper is
+  /// idempotent: it remembers the last snapshot and adds only the delta —
+  /// safe to call periodically from a long-running service. A counter that
+  /// moves backwards means a fresh source; its full value is re-added.
   [[nodiscard]] const DegradedStats& degraded() const noexcept { return degraded_; }
   void record_reader_stats(const net::PcapReader::Stats& s) noexcept {
-    degraded_.unparseable_frames += s.skipped_unparseable;
-    degraded_.oversize_frames += s.skipped_oversize;
-    degraded_.truncated_frames += s.skipped_truncated;
+    degraded_.unparseable_frames += delta(s.skipped_unparseable, last_reader_.skipped_unparseable);
+    degraded_.oversize_frames += delta(s.skipped_oversize, last_reader_.skipped_oversize);
+    degraded_.truncated_frames += delta(s.skipped_truncated, last_reader_.skipped_truncated);
+    last_reader_ = s;
   }
   void record_sampler_stats(const capture::ConnectionSampler::Stats& s) noexcept {
-    degraded_.malformed_packets += s.packets_malformed;
-    degraded_.overload_evicted += s.flows_evicted_overload;
+    degraded_.malformed_packets += delta(s.packets_malformed, last_sampler_.packets_malformed);
+    degraded_.overload_evicted +=
+        delta(s.flows_evicted_overload, last_sampler_.flows_evicted_overload);
+    last_sampler_ = s;
+  }
+  void record_queue_stats(const common::BoundedQueueStats& s) noexcept {
+    degraded_.queue_shed_embryonic += delta(s.shed_low_value, last_queue_.shed_low_value);
+    degraded_.queue_shed_other += delta(s.shed_other, last_queue_.shed_other);
+    last_queue_ = s;
   }
 
+  /// Serialize every aggregator plus the degraded/scanner accounting into a
+  /// checkpoint payload (see service::Checkpoint for the file envelope).
+  void snapshot(common::BinWriter& w) const;
+  /// Replace all aggregator state from a payload written by snapshot().
+  /// The last-source snapshots reset: a restored process has fresh sources.
+  /// Throws common::BinUnderrun on truncated payloads.
+  void restore(common::BinReader& r);
+
  private:
+  [[nodiscard]] static std::uint64_t delta(std::uint64_t cur, std::uint64_t prev) noexcept {
+    return cur >= prev ? cur - prev : cur;
+  }
   const world::World& world_;
   core::SignatureClassifier classifier_;
   SignatureMatrix matrix_;
@@ -99,6 +126,9 @@ class Pipeline {
   EvidenceCollector evidence_;
   ScannerStats scanner_;
   DegradedStats degraded_;
+  net::PcapReader::Stats last_reader_;
+  capture::ConnectionSampler::Stats last_sampler_;
+  common::BoundedQueueStats last_queue_;
 };
 
 }  // namespace tamper::analysis

@@ -51,6 +51,8 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
   json.kv("unparseable_frames", degraded.unparseable_frames);
   json.kv("oversize_frames", degraded.oversize_frames);
   json.kv("truncated_frames", degraded.truncated_frames);
+  json.kv("queue_shed_embryonic", degraded.queue_shed_embryonic);
+  json.kv("queue_shed_other", degraded.queue_shed_other);
   json.kv("total", degraded.total());
   json.end_object();
 

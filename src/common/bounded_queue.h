@@ -1,0 +1,154 @@
+// Bounded MPSC queue with an explicit backpressure contract.
+//
+// The streaming service puts this between capture (producers) and analysis
+// (one worker): a load spike must translate into either producer blocking
+// or accounted shedding — never unbounded memory. Two policies:
+//
+//   * kBlock — push() waits for space (or for close()).
+//   * kShed  — push() never waits. When full it sheds one item, preferring
+//     queued items the `shed_first` predicate marks as low-value (the
+//     service marks embryonic single-SYN samples, the shape a flood leaves
+//     behind) so real connections survive overload. Every shed is counted
+//     and the service folds the counts into DegradedStats.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tamper::common {
+
+enum class QueuePolicy : std::uint8_t {
+  kBlock,  ///< push blocks until space is available
+  kShed,   ///< push sheds (low-value-first) instead of blocking
+};
+
+/// Cumulative queue counters (namespace-scope so non-template consumers —
+/// Pipeline::record_queue_stats — can take them without the element type).
+struct BoundedQueueStats {
+  std::uint64_t pushed = 0;            ///< items accepted into the queue
+  std::uint64_t popped = 0;
+  std::uint64_t shed_low_value = 0;    ///< sheds chosen by shed_first
+  std::uint64_t shed_other = 0;        ///< sheds with no low-value candidate
+  std::uint64_t push_waits = 0;        ///< kBlock: pushes that had to wait
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_low_value + shed_other;
+  }
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  using Stats = BoundedQueueStats;
+
+  BoundedQueue(std::size_t capacity, QueuePolicy policy,
+               std::function<bool(const T&)> shed_first = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        policy_(policy),
+        shed_first_(std::move(shed_first)) {}
+
+  /// Returns false only when the queue is closed (item not enqueued).
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    if (policy_ == QueuePolicy::kBlock) {
+      if (items_.size() >= capacity_ && !closed_) ++stats_.push_waits;
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+    } else if (items_.size() >= capacity_) {
+      if (closed_) return false;
+      shed_one(std::move(item));
+      not_empty_.notify_one();
+      return true;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Wait up to `timeout` for an item; empty optional on timeout or when
+  /// the queue is closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_wait(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() { return pop_wait(std::chrono::seconds(0)); }
+
+  /// Reject future pushes and wake all waiters; queued items stay poppable.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  /// Called with the lock held and the queue full: make room for `incoming`
+  /// by shedding the lowest-value item (queued low-value first, then the
+  /// incoming item if it is itself low-value, then the oldest queued item).
+  void shed_one(T incoming) {
+    if (shed_first_) {
+      for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (shed_first_(*it)) {
+          items_.erase(it);
+          ++stats_.shed_low_value;
+          items_.push_back(std::move(incoming));
+          ++stats_.pushed;
+          return;
+        }
+      }
+      if (shed_first_(incoming)) {
+        ++stats_.shed_low_value;  // incoming itself is the low-value victim
+        return;
+      }
+    }
+    items_.pop_front();
+    ++stats_.shed_other;
+    items_.push_back(std::move(incoming));
+    ++stats_.pushed;
+  }
+
+  const std::size_t capacity_;
+  const QueuePolicy policy_;
+  const std::function<bool(const T&)> shed_first_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace tamper::common

@@ -42,6 +42,11 @@ std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t points) c
   return out;
 }
 
+std::vector<double> EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
 double EmpiricalCdf::min() const {
   if (samples_.empty()) throw std::out_of_range("EmpiricalCdf::min on empty set");
   ensure_sorted();

@@ -50,6 +50,14 @@ class EmpiricalCdf {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
+  /// Samples in ascending order — for serialization; order is not semantic.
+  [[nodiscard]] std::vector<double> sorted_samples() const;
+  /// Replace contents (restore path; pair of sorted_samples()).
+  void assign(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+  }
+
  private:
   void ensure_sorted() const;
   mutable std::vector<double> samples_;

@@ -1,0 +1,48 @@
+#include "fault/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tamper::fault {
+
+void ChaosSchedule::ingest_tick(std::uint64_t tick) {
+  if (crash_at(tick)) {
+    ++stats_.crashes_injected;
+    throw InjectedCrash{};
+  }
+  if (stall_at(tick)) {
+    ++stats_.stalls_injected;
+    std::this_thread::sleep_for(std::chrono::duration<double>(config_.stall_seconds));
+  }
+}
+
+bool ChaosSchedule::sink_should_fail() {
+  if (sink_outage_remaining_ > 0) {
+    --sink_outage_remaining_;
+    ++stats_.sink_failures_injected;
+    return true;
+  }
+  if (sink_rng_.uniform() < config_.sink_failure_probability) {
+    sink_outage_remaining_ = config_.sink_outage_length > 0 ? config_.sink_outage_length - 1 : 0;
+    ++stats_.sink_failures_injected;
+    return true;
+  }
+  return false;
+}
+
+bool ChaosSchedule::checkpoint_should_fail() {
+  if (sink_rng_.uniform() < config_.checkpoint_failure_probability) {
+    ++stats_.checkpoint_failures_injected;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> truncated_prefix(const std::vector<std::uint8_t>& bytes,
+                                           std::size_t keep) {
+  if (keep > bytes.size()) keep = bytes.size();
+  return std::vector<std::uint8_t>(bytes.begin(),
+                                   bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace tamper::fault

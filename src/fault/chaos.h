@@ -1,0 +1,87 @@
+// Seeded runtime-fault schedule — the third leg of the fault harness.
+//
+// PcapCorruptor attacks bytes, FaultInjector attacks packet streams; a
+// ChaosSchedule attacks the *runtime* of the streaming service: worker
+// crashes and stalls at seeded ticks, sink delivery outages, and
+// checkpoint-write failures (the ENOSPC model). Per-tick decisions are a
+// stateless hash of (seed, tick), so the schedule is identical across
+// stage restarts and reproducible from the seed alone. Sink outages are
+// stateful runs: one trigger fails the next `sink_outage_length`
+// deliveries, modelling an endpoint that goes down and comes back.
+//
+// Checkpoint truncation-at-every-offset campaigns use truncated_prefix()
+// directly; see tests/test_service.cpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamper::fault {
+
+/// The exception a chaos ingest hook throws to kill a worker stage.
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash() : std::runtime_error("chaos: injected stage crash") {}
+};
+
+class ChaosSchedule {
+ public:
+  struct Config {
+    double crash_probability = 0.0;   ///< per tick: worker stage crash
+    double stall_probability = 0.0;   ///< per tick: worker stage stall
+    double stall_seconds = 0.05;      ///< how long an injected stall sleeps
+    double sink_failure_probability = 0.0;  ///< per delivery: outage starts
+    int sink_outage_length = 3;             ///< deliveries failed per outage
+    double checkpoint_failure_probability = 0.0;  ///< per save: write fails
+  };
+
+  ChaosSchedule(std::uint64_t seed, Config config)
+      : config_(config), seed_(seed), sink_rng_(common::mix64(seed ^ 0xc4405ced01eULL)) {}
+
+  /// Deterministic per-tick decisions (stateless in tick).
+  [[nodiscard]] bool crash_at(std::uint64_t tick) const noexcept {
+    return tick_roll(tick, 0x0c4a54ULL) < config_.crash_probability;
+  }
+  [[nodiscard]] bool stall_at(std::uint64_t tick) const noexcept {
+    return !crash_at(tick) && tick_roll(tick, 0x57a11ULL) < config_.stall_probability;
+  }
+
+  /// Ingest hook body: throws InjectedCrash or sleeps per the schedule.
+  /// Wire as `cfg.ingest_hook = [&](std::uint64_t t) { chaos.ingest_tick(t); }`.
+  void ingest_tick(std::uint64_t tick);
+
+  /// Per-delivery sink fault (stateful outage runs).
+  [[nodiscard]] bool sink_should_fail();
+
+  /// Per-save checkpoint write fault.
+  [[nodiscard]] bool checkpoint_should_fail();
+
+  struct Stats {
+    std::uint64_t crashes_injected = 0;
+    std::uint64_t stalls_injected = 0;
+    std::uint64_t sink_failures_injected = 0;
+    std::uint64_t checkpoint_failures_injected = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] double tick_roll(std::uint64_t tick, std::uint64_t salt) const noexcept {
+    const std::uint64_t h = common::mix64(seed_ ^ common::mix64(tick ^ salt));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  Config config_;
+  std::uint64_t seed_;
+  common::Rng sink_rng_;
+  int sink_outage_remaining_ = 0;
+  Stats stats_;
+};
+
+/// The first `keep` bytes of a serialized artifact — the checkpoint
+/// truncation fault (kill mid-write without the atomic-rename protection).
+[[nodiscard]] std::vector<std::uint8_t> truncated_prefix(
+    const std::vector<std::uint8_t>& bytes, std::size_t keep);
+
+}  // namespace tamper::fault

@@ -1,0 +1,62 @@
+// Versioned, checksummed checkpoints of all pipeline aggregate state.
+//
+// The streaming service survives kill -9 by periodically persisting every
+// aggregator (via analysis::Pipeline::snapshot) into a small envelope:
+//
+//   magic   "TSCKPT01"                    (8 bytes)
+//   version u32                           (kVersion)
+//   size    u64                           (payload byte count)
+//   payload                               (BinWriter stream)
+//   checksum u64                          (FNV-1a over payload)
+//
+// Files are written snapshot-to-temp + fsync + atomic rename, so a crash
+// mid-write leaves the previous checkpoint intact. Loading refuses — with
+// an error message, never a crash or partial state — anything truncated,
+// bit-flipped, version-skewed, or short; tests/test_service.cpp proves the
+// refusal for truncation at every byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+
+namespace tamper::service {
+
+inline constexpr char kCheckpointMagic[8] = {'T', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct CheckpointMeta {
+  std::uint64_t samples_ingested = 0;  ///< pipeline position at snapshot time
+  std::uint64_t sequence = 0;          ///< monotone checkpoint counter
+};
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;  ///< human-readable refusal reason when !ok
+  CheckpointMeta meta;
+};
+
+/// Serialize meta + pipeline into a complete checkpoint image (envelope
+/// included). Pure function of the aggregate state: byte-stable across
+/// save -> restore -> save.
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(const analysis::Pipeline& pipeline,
+                                                          const CheckpointMeta& meta);
+
+/// Validate an image and restore it into `pipeline`. On refusal (!ok) the
+/// pipeline may be partially written — restore into a pipeline you are
+/// willing to discard (the service always decodes into a fresh one).
+LoadResult decode_checkpoint(const std::vector<std::uint8_t>& bytes,
+                             analysis::Pipeline& pipeline);
+
+/// Atomically persist a checkpoint: write <path>.tmp, fsync, rename.
+/// Returns an empty string on success, else the failure reason.
+std::string save_checkpoint(const std::string& path, const analysis::Pipeline& pipeline,
+                            const CheckpointMeta& meta);
+
+/// Read + decode a checkpoint file. A missing file is a refusal whose
+/// error starts with "no checkpoint".
+LoadResult load_checkpoint(const std::string& path, analysis::Pipeline& pipeline);
+
+}  // namespace tamper::service

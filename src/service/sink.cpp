@@ -1,0 +1,150 @@
+#include "service/sink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+namespace tamper::service {
+
+namespace fs = std::filesystem;
+
+bool FileSink::deliver(const std::string& payload) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << payload;
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+ReportEmitter::ReportEmitter(Sink& sink, RetryPolicy policy, std::string spool_dir,
+                             std::uint64_t seed, std::function<void(double)> sleep_fn)
+    : sink_(sink),
+      policy_(policy),
+      spool_dir_(std::move(spool_dir)),
+      rng_(common::mix64(seed ^ 0x5e11ba0cf0f5ULL)),
+      sleep_fn_(std::move(sleep_fn)) {
+  if (!sleep_fn_) {
+    sleep_fn_ = [](double seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    };
+  }
+  if (!spool_dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(spool_dir_, ec);
+    // Resume the sequence past any reports spooled by a previous process so
+    // replay order stays oldest-first across restarts.
+    for (const std::string& name : spool_files()) {
+      const auto digits = name.find_last_of('-');
+      if (digits != std::string::npos)
+        spool_seq_ = std::max<std::uint64_t>(
+            spool_seq_, std::strtoull(name.c_str() + digits + 1, nullptr, 10) + 1);
+    }
+  }
+}
+
+bool ReportEmitter::emit(const std::string& payload) {
+  ++stats_.reports;
+  if (try_deliver(payload)) {
+    ++stats_.delivered;
+    replay_spool();
+    return true;
+  }
+  spool(payload);
+  return false;
+}
+
+bool ReportEmitter::try_deliver(const std::string& payload) {
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleep_fn_(backoff_delay(attempt));
+    }
+    ++stats_.attempts;
+    try {
+      if (sink_.deliver(payload)) return true;
+    } catch (...) {
+      // A throwing sink is just a failing sink.
+    }
+  }
+  return false;
+}
+
+double ReportEmitter::backoff_delay(int attempt) {
+  double delay = policy_.initial_backoff_s;
+  for (int i = 1; i < attempt; ++i) delay *= policy_.backoff_multiplier;
+  delay = std::min(delay, policy_.max_backoff_s);
+  const double jitter = policy_.jitter_fraction * delay;
+  return std::max(0.0, delay + rng_.uniform(-jitter, jitter));
+}
+
+void ReportEmitter::spool(const std::string& payload) {
+  if (spool_dir_.empty()) {
+    ++stats_.lost;
+    return;
+  }
+  char name[32];
+  std::snprintf(name, sizeof name, "report-%012llu",
+                static_cast<unsigned long long>(spool_seq_++));
+  const fs::path path = fs::path(spool_dir_) / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << payload).flush()) {
+    ++stats_.lost;
+    return;
+  }
+  ++stats_.spooled;
+}
+
+void ReportEmitter::replay_spool() {
+  if (spool_dir_.empty()) return;
+  for (const std::string& name : spool_files()) {
+    const fs::path path = fs::path(spool_dir_) / name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::string payload((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    // One direct attempt per spooled report — the spool is already the
+    // fallback, so a failure just leaves the file for the next replay.
+    ++stats_.attempts;
+    bool ok = false;
+    try {
+      ok = sink_.deliver(payload);
+    } catch (...) {
+    }
+    if (!ok) return;
+    ++stats_.delivered;
+    ++stats_.spool_replayed;
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+}
+
+std::size_t ReportEmitter::spool_depth() const { return spool_files().size(); }
+
+std::vector<std::string> ReportEmitter::spool_files() const {
+  std::vector<std::string> names;
+  if (spool_dir_.empty()) return names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(spool_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("report-", 0) == 0) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace tamper::service

@@ -1,0 +1,118 @@
+// Report delivery with a degradation contract for a failing sink.
+//
+// The service emits aggregate JSON reports through a Sink. Real sinks fail
+// transiently (full disks, flapping endpoints), so ReportEmitter wraps one
+// with bounded retries, exponential backoff with seeded jitter, and a
+// disk-spool fallback: a report that exhausts its retries is persisted to
+// the spool directory and replayed — oldest first — after the next
+// successful delivery (including across process restarts). A report is
+// therefore either delivered, spooled, or counted as lost; never silently
+// dropped and never able to wedge the pipeline forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamper::service {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Deliver one serialized report. False (or a throw) means failure.
+  virtual bool deliver(const std::string& payload) = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Rewrites one file per delivery via temp + atomic rename (the Radar-style
+/// "latest aggregate snapshot" shape).
+class FileSink final : public Sink {
+ public:
+  explicit FileSink(std::string path) : path_(std::move(path)) {}
+  bool deliver(const std::string& payload) override;
+  [[nodiscard]] std::string describe() const override { return "file:" + path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Failure-injectable in-memory sink for tests and chaos campaigns: every
+/// delivery first consults `fail_next` (when set); accepted payloads are
+/// retained for assertions.
+class MemorySink final : public Sink {
+ public:
+  std::function<bool()> fail_next;  ///< return true to fail this delivery
+
+  bool deliver(const std::string& payload) override {
+    ++attempts_;
+    if (fail_next && fail_next()) return false;
+    delivered_.push_back(payload);
+    return true;
+  }
+  [[nodiscard]] std::string describe() const override { return "memory"; }
+  [[nodiscard]] const std::vector<std::string>& delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  std::vector<std::string> delivered_;
+  std::uint64_t attempts_ = 0;
+};
+
+struct RetryPolicy {
+  int max_attempts = 4;             ///< per report, before spooling
+  double initial_backoff_s = 0.02;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
+  double jitter_fraction = 0.25;    ///< uniform +/- fraction of the delay
+};
+
+class ReportEmitter {
+ public:
+  struct Stats {
+    std::uint64_t reports = 0;         ///< emit() calls
+    std::uint64_t delivered = 0;       ///< reports the sink accepted (incl. replays)
+    std::uint64_t attempts = 0;        ///< individual deliver() calls
+    std::uint64_t retries = 0;         ///< attempts beyond the first, per report
+    std::uint64_t spooled = 0;         ///< reports parked on disk
+    std::uint64_t spool_replayed = 0;  ///< spooled reports later delivered
+    std::uint64_t lost = 0;            ///< spool write itself failed
+  };
+
+  /// `spool_dir` is created if missing; pass empty to disable spooling
+  /// (exhausted reports then count as lost). `sleep_fn` is the backoff
+  /// clock — tests inject a recorder to keep campaigns instant.
+  ReportEmitter(Sink& sink, RetryPolicy policy, std::string spool_dir, std::uint64_t seed,
+                std::function<void(double)> sleep_fn = {});
+
+  /// Deliver with retry/backoff; on exhaustion spool. True iff the report
+  /// itself was delivered now.
+  bool emit(const std::string& payload);
+
+  /// Attempt delivery of any spooled reports (oldest first); stops at the
+  /// first failure. Called automatically after each successful delivery.
+  void replay_spool();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t spool_depth() const;
+
+ private:
+  [[nodiscard]] bool try_deliver(const std::string& payload);
+  [[nodiscard]] double backoff_delay(int attempt);
+  void spool(const std::string& payload);
+  [[nodiscard]] std::vector<std::string> spool_files() const;
+
+  Sink& sink_;
+  RetryPolicy policy_;
+  std::string spool_dir_;
+  common::Rng rng_;
+  std::function<void(double)> sleep_fn_;
+  std::uint64_t spool_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tamper::service

@@ -1,0 +1,240 @@
+#include "service/supervisor.h"
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace tamper::service {
+
+namespace {
+
+/// Thrown into the worker loop when the watchdog wants a stalled stage
+/// recycled; distinguished from a genuine crash so the crash counter stays
+/// honest.
+struct StageRestartRequested {};
+
+[[nodiscard]] bool sample_is_embryonic(const capture::ConnectionSample& s) noexcept {
+  return s.packets.size() <= 1;  // single bare SYN: the shape floods leave
+}
+
+}  // namespace
+
+SupervisedService::SupervisedService(const world::World& world, ServiceConfig config,
+                                     ReportEmitter* emitter)
+    : world_(world),
+      config_(std::move(config)),
+      emitter_(emitter),
+      pipeline_(std::make_unique<analysis::Pipeline>(world)),
+      queue_(config_.queue_capacity, config_.queue_policy, sample_is_embryonic) {}
+
+SupervisedService::~SupervisedService() {
+  if (running_.load()) kill();
+}
+
+bool SupervisedService::start(Resume resume) {
+  if (running_.load()) {
+    error_ = "service already running";
+    return false;
+  }
+  if (!config_.checkpoint_path.empty() && resume != Resume::kFresh) {
+    const LoadResult result = load_checkpoint(config_.checkpoint_path, *pipeline_);
+    if (result.ok) {
+      restored_ = true;
+      restored_samples_ = result.meta.samples_ingested;
+      ingested_.store(result.meta.samples_ingested);
+      checkpoint_seq_ = result.meta.sequence + 1;
+    } else {
+      // A failed restore may have partially written the pipeline: discard it.
+      pipeline_ = std::make_unique<analysis::Pipeline>(world_);
+      const bool missing = result.error.rfind("no checkpoint", 0) == 0;
+      if (resume == Resume::kRequire || !missing) {
+        error_ = result.error;
+        return false;
+      }
+    }
+  }
+  draining_.store(false);
+  abort_.store(false);
+  terminal_ = false;
+  worker_state_ = WorkerState::kRunning;
+  running_.store(true);
+  spawn_worker();
+  watchdog_ = std::thread(&SupervisedService::watchdog_main, this);
+  return true;
+}
+
+bool SupervisedService::submit(capture::ConnectionSample sample) {
+  if (!running_.load() || failed_.load()) return false;
+  return queue_.push(std::move(sample));
+}
+
+void SupervisedService::spawn_worker() {
+  worker_ = std::thread(&SupervisedService::worker_main, this);
+}
+
+void SupervisedService::worker_main() {
+  WorkerState exit_state = WorkerState::kDrained;
+  try {
+    while (!abort_.load()) {
+      const std::uint64_t tick = hook_tick_.fetch_add(1);
+      // The hook fires before the pop so an injected crash never loses a
+      // sample — the queue still holds it for the restarted stage.
+      if (config_.ingest_hook) config_.ingest_hook(tick);
+      if (restart_requested_.exchange(false)) throw StageRestartRequested{};
+      auto item = queue_.pop_wait(config_.pop_timeout);
+      heartbeat_.fetch_add(1);
+      if (abort_.load()) {
+        exit_state = WorkerState::kAborted;
+        break;
+      }
+      if (!item) {
+        if (queue_.closed()) break;  // closed + empty: fully drained
+        continue;
+      }
+      pipeline_->ingest(*item);
+      const std::uint64_t n = ingested_.fetch_add(1) + 1;
+      if (!config_.checkpoint_path.empty() && config_.checkpoint_every_samples != 0 &&
+          n % config_.checkpoint_every_samples == 0)
+        write_checkpoint();
+      if (emitter_ != nullptr && config_.report_every_samples != 0 &&
+          n % config_.report_every_samples == 0)
+        emit_report();
+    }
+    if (abort_.load()) exit_state = WorkerState::kAborted;
+  } catch (const StageRestartRequested&) {
+    exit_state = WorkerState::kCrashed;
+  } catch (...) {
+    worker_crashes_.fetch_add(1);
+    exit_state = WorkerState::kCrashed;
+  }
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    worker_state_ = exit_state;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void SupervisedService::watchdog_main() {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t last_heartbeat = heartbeat_.load();
+  Clock::time_point last_progress = Clock::now();
+
+  std::unique_lock lock(lifecycle_mu_);
+  while (true) {
+    lifecycle_cv_.wait_for(lock, config_.watchdog_poll);
+    if (worker_state_ == WorkerState::kCrashed) {
+      lock.unlock();
+      worker_.join();
+      lock.lock();
+      const bool budget_left =
+          worker_restarts_.load() < static_cast<std::uint64_t>(config_.max_worker_restarts);
+      if (abort_.load() || !budget_left) {
+        if (!abort_.load()) {
+          failed_.store(true);
+          error_ = "worker restart budget exhausted after " +
+                   std::to_string(worker_restarts_.load()) + " restarts";
+          queue_.close();  // unblock producers; submit() now refuses
+        }
+        terminal_ = true;
+        break;
+      }
+      worker_restarts_.fetch_add(1);
+      worker_state_ = WorkerState::kRunning;
+      spawn_worker();
+      last_heartbeat = heartbeat_.load();
+      last_progress = Clock::now();
+      continue;
+    }
+    if (worker_state_ == WorkerState::kDrained || worker_state_ == WorkerState::kAborted) {
+      terminal_ = true;
+      break;
+    }
+    const std::uint64_t heartbeat = heartbeat_.load();
+    if (heartbeat != last_heartbeat) {
+      last_heartbeat = heartbeat;
+      last_progress = Clock::now();
+    } else if (queue_.size() > 0 && Clock::now() - last_progress > config_.stall_timeout) {
+      // The stage is wedged with work pending. We cannot safely terminate
+      // a running thread, so request a self-restart: the worker throws on
+      // its next live instruction and comes back through the crash path.
+      stalls_detected_.fetch_add(1);
+      restart_requested_.store(true);
+      last_progress = Clock::now();
+    }
+  }
+  lock.unlock();
+  lifecycle_cv_.notify_all();
+}
+
+void SupervisedService::write_checkpoint() {
+  pipeline_->record_queue_stats(queue_.stats());
+  if (config_.checkpoint_fault_hook && config_.checkpoint_fault_hook()) {
+    checkpoint_failures_.fetch_add(1);
+    return;
+  }
+  CheckpointMeta meta;
+  meta.samples_ingested = ingested_.load();
+  meta.sequence = checkpoint_seq_;
+  const std::string err = save_checkpoint(config_.checkpoint_path, *pipeline_, meta);
+  if (err.empty()) {
+    checkpoints_written_.fetch_add(1);
+    ++checkpoint_seq_;
+  } else {
+    checkpoint_failures_.fetch_add(1);
+  }
+}
+
+void SupervisedService::emit_report() {
+  pipeline_->record_queue_stats(queue_.stats());
+  std::ostringstream out;
+  analysis::write_radar_report(out, *pipeline_);
+  emitter_->emit(out.str());
+  reports_emitted_.fetch_add(1);
+}
+
+RunSummary SupervisedService::stop() { return finish(/*persist=*/true); }
+
+RunSummary SupervisedService::kill() { return finish(/*persist=*/false); }
+
+RunSummary SupervisedService::finish(bool persist) {
+  if (running_.load()) {
+    if (persist) {
+      draining_.store(true);
+    } else {
+      abort_.store(true);
+    }
+    queue_.close();
+    {
+      std::unique_lock lock(lifecycle_mu_);
+      lifecycle_cv_.wait(lock, [&] { return terminal_; });
+    }
+    if (watchdog_.joinable()) watchdog_.join();
+    if (worker_.joinable()) worker_.join();
+    running_.store(false);
+    if (persist) {
+      pipeline_->record_queue_stats(queue_.stats());
+      if (!config_.checkpoint_path.empty()) write_checkpoint();
+      if (emitter_ != nullptr) emit_report();
+    }
+  }
+  return summarize();
+}
+
+RunSummary SupervisedService::summarize() {
+  RunSummary s;
+  s.ingested = ingested_.load();
+  s.checkpoints_written = checkpoints_written_.load();
+  s.checkpoint_failures = checkpoint_failures_.load();
+  s.reports_emitted = reports_emitted_.load();
+  s.worker_crashes = worker_crashes_.load();
+  s.worker_restarts = worker_restarts_.load();
+  s.stalls_detected = stalls_detected_.load();
+  s.queue = queue_.stats();
+  s.restored = restored_;
+  s.restored_samples = restored_samples_;
+  s.failed = failed_.load();
+  s.failure = error_;
+  return s;
+}
+
+}  // namespace tamper::service

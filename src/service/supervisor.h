@@ -1,0 +1,177 @@
+// Supervised streaming service: runs analysis::Pipeline as a long-lived
+// worker behind a bounded sample queue, under a watchdog.
+//
+// Topology (one process):
+//
+//   producers --submit()--> BoundedQueue --pop--> worker stage
+//                                                   | ingest -> Pipeline
+//                                                   | periodic checkpoint
+//                                                   | periodic report emit
+//                                       watchdog: heartbeat / stall / crash
+//
+// Contract with hostile runtime conditions:
+//   * Load spikes   — the queue blocks producers or sheds embryonic-first;
+//     every shed lands in DegradedStats (queue_shed_*).
+//   * Stage crashes — a throwing ingest hook (chaos) or any internal error
+//     is caught at the worker top level; the watchdog joins the dead thread
+//     and restarts the stage while the restart budget lasts. Samples are
+//     never lost to a crash: the hook runs before the pop.
+//   * Stalls        — a frozen worker (heartbeat not advancing while work
+//     is queued) is detected by the watchdog, counted, and restarted
+//     through the same budget.
+//   * kill -9       — at most one checkpoint interval of aggregates is
+//     lost; restart with the same checkpoint path resumes mid-stream.
+//   * Sink outages  — reports retry with backoff + jitter, then spool to
+//     disk and replay later (see service::ReportEmitter).
+//
+// Shutdown: stop() closes the queue, drains it, writes a final checkpoint
+// and emits a final report. kill() abandons in place (the kill -9 model,
+// for chaos tests) — threads are joined but no state is persisted.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "analysis/pipeline.h"
+#include "capture/sample.h"
+#include "common/bounded_queue.h"
+#include "service/checkpoint.h"
+#include "service/sink.h"
+#include "world/world.h"
+
+namespace tamper::service {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 4096;
+  common::QueuePolicy queue_policy = common::QueuePolicy::kBlock;
+
+  /// Checkpoint every N ingested samples (0 disables periodic checkpoints;
+  /// the final checkpoint on stop() still happens when a path is set).
+  std::uint64_t checkpoint_every_samples = 5000;
+  std::string checkpoint_path;  ///< empty disables checkpointing entirely
+
+  /// Emit a report every N ingested samples (0 = only the final report).
+  std::uint64_t report_every_samples = 0;
+
+  int max_worker_restarts = 8;
+  std::chrono::milliseconds watchdog_poll{10};
+  std::chrono::milliseconds stall_timeout{2000};
+  std::chrono::milliseconds pop_timeout{20};
+
+  /// Chaos hook, called with the sample index before each pop+ingest; may
+  /// throw (stage crash) or sleep (stall). Tests wire fault::ChaosSchedule
+  /// in here; production leaves it empty.
+  std::function<void(std::uint64_t)> ingest_hook;
+  /// Chaos hook consulted before each checkpoint save; return true to fail
+  /// the write (the ENOSPC model). Failures are counted, never fatal.
+  std::function<bool()> checkpoint_fault_hook;
+};
+
+struct RunSummary {
+  std::uint64_t ingested = 0;            ///< includes samples restored from checkpoint
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t reports_emitted = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_restarts = 0;
+  std::uint64_t stalls_detected = 0;
+  common::BoundedQueueStats queue;
+  bool restored = false;                 ///< start() resumed from a checkpoint
+  std::uint64_t restored_samples = 0;
+  bool failed = false;                   ///< restart budget exhausted
+  std::string failure;
+};
+
+class SupervisedService {
+ public:
+  enum class Resume : std::uint8_t {
+    kResumeOrFresh,  ///< resume a valid checkpoint; fresh if none; REFUSE corrupt
+    kFresh,          ///< ignore any existing checkpoint
+    kRequire,        ///< refuse to start without a valid checkpoint
+  };
+
+  /// `emitter` may be null (no report emission). The world must outlive
+  /// the service (the pipeline holds a reference).
+  SupervisedService(const world::World& world, ServiceConfig config,
+                    ReportEmitter* emitter);
+  ~SupervisedService();
+
+  SupervisedService(const SupervisedService&) = delete;
+  SupervisedService& operator=(const SupervisedService&) = delete;
+
+  /// Restore (per `resume`) and launch worker + watchdog. False on refusal
+  /// (see error()); the service then never started and holds fresh state.
+  [[nodiscard]] bool start(Resume resume = Resume::kResumeOrFresh);
+
+  /// Enqueue one sample. Blocks or sheds per the queue policy; false once
+  /// the service is stopping or failed.
+  bool submit(capture::ConnectionSample sample);
+
+  /// Graceful shutdown: drain queue -> final checkpoint -> final report.
+  RunSummary stop();
+
+  /// Abandon in place without draining or persisting — the in-process
+  /// stand-in for kill -9 in chaos tests.
+  RunSummary kill();
+
+  /// True while worker + watchdog are live.
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  /// Restart-budget exhaustion (the queue is closed once this trips).
+  [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Only meaningful once the service is no longer running.
+  [[nodiscard]] const analysis::Pipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  enum class WorkerState : std::uint8_t { kIdle, kRunning, kCrashed, kDrained, kAborted };
+
+  void worker_main();
+  void watchdog_main();
+  void spawn_worker();
+  void write_checkpoint();
+  void emit_report();
+  RunSummary finish(bool persist);
+  [[nodiscard]] RunSummary summarize();
+
+  const world::World& world_;
+  ServiceConfig config_;
+  ReportEmitter* emitter_;
+  std::unique_ptr<analysis::Pipeline> pipeline_;
+  common::BoundedQueue<capture::ConnectionSample> queue_;
+
+  std::thread worker_;
+  std::thread watchdog_;
+  std::mutex lifecycle_mu_;              ///< guards worker_ handle + state transitions
+  std::condition_variable lifecycle_cv_;
+  WorkerState worker_state_ = WorkerState::kIdle;
+  bool terminal_ = false;                ///< watchdog finished supervising
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> restart_requested_{false};
+  std::atomic<std::uint64_t> hook_tick_{0};
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  std::atomic<std::uint64_t> reports_emitted_{0};
+  std::atomic<std::uint64_t> worker_crashes_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> stalls_detected_{0};
+  std::uint64_t checkpoint_seq_ = 0;
+  bool restored_ = false;
+  std::uint64_t restored_samples_ = 0;
+  std::string error_;
+};
+
+}  // namespace tamper::service

@@ -15,7 +15,18 @@
 //
 //   tamperscope testlists [--region CC] [--connections N]
 //       Audit test-list coverage of passively observed tampered domains.
+//
+//   tamperscope watch [--connections N] [--seed S] [--checkpoint FILE]
+//                     [--fresh] [--report out.json] [--spool DIR]
+//                     [--queue N] [--shed] [--checkpoint-every N]
+//                     [--report-every N]
+//       Run the analysis pipeline as a supervised streaming service:
+//       bounded ingest queue, periodic checkpoints (resume with the same
+//       --checkpoint path), report sink with retry + spool. SIGINT/SIGTERM
+//       drain the queue, write a final checkpoint, and emit a final report.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,11 +43,26 @@
 #include "common/table.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
+#include "service/supervisor.h"
 #include "world/traffic.h"
 
 using namespace tamper;
 
 namespace {
+
+// Async-signal-safe flag: handlers only store the signal number; command
+// loops poll it and shut down cleanly (classify still prints its degraded
+// summary, watch drains + checkpoints). Exit code is the shell convention
+// 128 + signal.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_signal(int sig) { g_signal = sig; }
+
+void install_signal_handlers() {
+  g_signal = 0;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -133,12 +159,23 @@ int cmd_classify(const Args& args) {
     std::cerr << "error: " << args.positional[0] << ": " << reader.error() << '\n';
     return 1;
   }
+  install_signal_handlers();
   double last_ts = 0.0;
+  bool interrupted = false;
   while (auto pkt = reader.next()) {
+    if (g_signal != 0) {
+      // Stop reading but keep going: classify what we have, report the
+      // degradation honestly, then exit with the conventional signal code.
+      interrupted = true;
+      break;
+    }
     last_ts = std::max(last_ts, pkt->timestamp);  // hostile clocks can regress
     sampler.on_packet(*pkt, pkt->timestamp);
   }
   const auto samples = sampler.flush_all(last_ts + 60.0);
+  if (interrupted)
+    std::cerr << "interrupted by signal " << static_cast<int>(g_signal)
+              << ": classifying the " << samples.size() << " flows read so far\n";
 
   const net::PcapReader::Stats& rs = reader.stats();
   const capture::ConnectionSampler::Stats& ss = sampler.stats();
@@ -184,7 +221,7 @@ int cmd_classify(const Args& args) {
     }
     json.end_array();
     std::cout << '\n';
-    return 0;
+    return interrupted ? 128 + static_cast<int>(g_signal) : 0;
   }
 
   common::LabelCounter verdicts;
@@ -201,7 +238,7 @@ int cmd_classify(const Args& args) {
   for (const auto& [label, count] : verdicts.top(32))
     table.add_row({label, common::TextTable::num(count)});
   table.print(std::cout);
-  return 0;
+  return interrupted ? 128 + static_cast<int>(g_signal) : 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -299,6 +336,75 @@ int cmd_testlists(const Args& args) {
   return 0;
 }
 
+int cmd_watch(const Args& args) {
+  const std::uint64_t connections = args.get_u64("connections", 200'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string report_path = args.get("report", "tamperscope-report.json");
+
+  service::ServiceConfig cfg;
+  cfg.checkpoint_path = args.get("checkpoint");
+  cfg.checkpoint_every_samples = args.get_u64("checkpoint-every", 5000);
+  cfg.report_every_samples = args.get_u64("report-every", 0);
+  cfg.queue_capacity = args.get_u64("queue", 4096);
+  cfg.queue_policy = args.has("shed") ? common::QueuePolicy::kShed
+                                      : common::QueuePolicy::kBlock;
+
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  world::World world(world_cfg);
+  world::TrafficConfig traffic;
+  traffic.seed = seed ^ 0x51;
+  world::TrafficGenerator generator(world, traffic);
+
+  service::FileSink sink(report_path);
+  service::ReportEmitter emitter(sink, service::RetryPolicy{}, args.get("spool"),
+                                 seed ^ 0x3e9d);
+  service::SupervisedService svc(world, cfg, &emitter);
+
+  const auto resume = args.has("fresh") ? service::SupervisedService::Resume::kFresh
+                                        : service::SupervisedService::Resume::kResumeOrFresh;
+  if (!svc.start(resume)) {
+    // A corrupt checkpoint is refused, never silently discarded: state loss
+    // must be an explicit operator decision (--fresh).
+    std::cerr << "error: " << svc.error() << "\n"
+              << "hint: pass --fresh to discard the checkpoint and start over\n";
+    return 1;
+  }
+
+  install_signal_handlers();
+  std::uint64_t submitted = 0;
+  generator.generate(connections, [&](world::LabeledConnection&& conn) {
+    if (g_signal != 0 || svc.failed()) return;
+    if (svc.submit(std::move(conn.sample))) ++submitted;
+  });
+
+  const bool interrupted = g_signal != 0;
+  if (interrupted)
+    std::cerr << "signal " << static_cast<int>(g_signal)
+              << ": draining queue, writing final checkpoint + report\n";
+  const service::RunSummary s = svc.stop();
+
+  std::cout << "ingested:      " << s.ingested
+            << (s.restored ? " (" + std::to_string(s.restored_samples) + " restored from checkpoint)"
+                           : std::string())
+            << '\n'
+            << "submitted:     " << submitted << '\n'
+            << "checkpoints:   " << s.checkpoints_written << " written, "
+            << s.checkpoint_failures << " failed\n"
+            << "reports:       " << s.reports_emitted << " emitted -> " << sink.describe()
+            << '\n'
+            << "queue:         " << s.queue.pushed << " pushed, " << s.queue.shed_total()
+            << " shed (" << s.queue.shed_low_value << " embryonic), " << s.queue.push_waits
+            << " producer waits\n"
+            << "supervision:   " << s.worker_crashes << " crashes, " << s.worker_restarts
+            << " restarts, " << s.stalls_detected << " stalls\n";
+  if (s.failed) {
+    std::cerr << "error: " << s.failure << '\n';
+    return 1;
+  }
+  return interrupted ? 128 + static_cast<int>(g_signal) : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,11 +415,12 @@ int main(int argc, char** argv) {
     if (command == "classify") return cmd_classify(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "testlists") return cmd_testlists(args);
+    if (command == "watch") return cmd_watch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists> [options]\n"
+  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch> [options]\n"
                "  signatures                         print the Table 1 taxonomy\n"
                "  classify <pcap> [--json] [--strict|--lenient]\n"
                "                                     classify flows from a capture\n"
@@ -321,6 +428,12 @@ int main(int argc, char** argv) {
                "                                     print a degraded-input summary; strict:\n"
                "                                     exit 1 on any corruption)\n"
                "  simulate [--connections N] [--seed S] [--json out.json] [--pcap out.pcap]\n"
-               "  testlists [--region CC] [--connections N]\n";
+               "  testlists [--region CC] [--connections N]\n"
+               "  watch [--connections N] [--seed S] [--checkpoint FILE] [--fresh]\n"
+               "        [--report out.json] [--spool DIR] [--queue N] [--shed]\n"
+               "        [--checkpoint-every N] [--report-every N]\n"
+               "                                     run the pipeline as a supervised\n"
+               "                                     streaming service; SIGINT/SIGTERM drain,\n"
+               "                                     checkpoint, and emit a final report\n";
   return command.empty() ? 2 : 1;
 }
