@@ -11,10 +11,12 @@ Pipeline::Pipeline(const world::World& world, core::ClassifierConfig classifier_
         return world.domains().by_rank(*rank).category;
       }) {}
 
+// tamperlint: nothrow-path
 void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
   // A flow with no packets was never actually observed at the tap (e.g. the
   // SYN itself was lost upstream).
   if (sample.packets.empty()) {
+    common::MutexLock lock(stats_mu_);
     ++degraded_.empty_samples;
     return;
   }
@@ -38,6 +40,7 @@ void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
     }
   } catch (...) {
     // One hostile sample must not take down the service; count and move on.
+    common::MutexLock lock(stats_mu_);
     ++degraded_.ingest_errors;
   }
 }
@@ -48,15 +51,18 @@ void Pipeline::run(world::TrafficGenerator& generator, std::size_t connections) 
 }
 
 void Pipeline::snapshot(common::BinWriter& w) const {
-  w.u64(degraded_.empty_samples);
-  w.u64(degraded_.ingest_errors);
-  w.u64(degraded_.malformed_packets);
-  w.u64(degraded_.overload_evicted);
-  w.u64(degraded_.unparseable_frames);
-  w.u64(degraded_.oversize_frames);
-  w.u64(degraded_.truncated_frames);
-  w.u64(degraded_.queue_shed_embryonic);
-  w.u64(degraded_.queue_shed_other);
+  {
+    common::MutexLock lock(stats_mu_);
+    w.u64(degraded_.empty_samples);
+    w.u64(degraded_.ingest_errors);
+    w.u64(degraded_.malformed_packets);
+    w.u64(degraded_.overload_evicted);
+    w.u64(degraded_.unparseable_frames);
+    w.u64(degraded_.oversize_frames);
+    w.u64(degraded_.truncated_frames);
+    w.u64(degraded_.queue_shed_embryonic);
+    w.u64(degraded_.queue_shed_other);
+  }
 
   w.u64(scanner_.connections);
   w.u64(scanner_.no_tcp_options);
@@ -74,15 +80,18 @@ void Pipeline::snapshot(common::BinWriter& w) const {
 }
 
 void Pipeline::restore(common::BinReader& r) {
-  degraded_.empty_samples = r.u64();
-  degraded_.ingest_errors = r.u64();
-  degraded_.malformed_packets = r.u64();
-  degraded_.overload_evicted = r.u64();
-  degraded_.unparseable_frames = r.u64();
-  degraded_.oversize_frames = r.u64();
-  degraded_.truncated_frames = r.u64();
-  degraded_.queue_shed_embryonic = r.u64();
-  degraded_.queue_shed_other = r.u64();
+  {
+    common::MutexLock lock(stats_mu_);
+    degraded_.empty_samples = r.u64();
+    degraded_.ingest_errors = r.u64();
+    degraded_.malformed_packets = r.u64();
+    degraded_.overload_evicted = r.u64();
+    degraded_.unparseable_frames = r.u64();
+    degraded_.oversize_frames = r.u64();
+    degraded_.truncated_frames = r.u64();
+    degraded_.queue_shed_embryonic = r.u64();
+    degraded_.queue_shed_other = r.u64();
+  }
 
   scanner_.connections = r.u64();
   scanner_.no_tcp_options = r.u64();
@@ -100,9 +109,12 @@ void Pipeline::restore(common::BinReader& r) {
 
   // A restored process reads fresh sources whose cumulative counters start
   // at zero again; the delta baselines must follow.
-  last_reader_ = {};
-  last_sampler_ = {};
-  last_queue_ = {};
+  {
+    common::MutexLock lock(stats_mu_);
+    last_reader_ = {};
+    last_sampler_ = {};
+    last_queue_ = {};
+  }
 }
 
 }  // namespace tamper::analysis

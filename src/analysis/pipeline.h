@@ -12,6 +12,8 @@
 #include "capture/sampler.h"
 #include "common/binio.h"
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/classifier.h"
 #include "core/scanner.h"
 #include "net/pcap.h"
@@ -84,20 +86,34 @@ class Pipeline {
   /// idempotent: it remembers the last snapshot and adds only the delta —
   /// safe to call periodically from a long-running service. A counter that
   /// moves backwards means a fresh source; its full value is re-added.
-  [[nodiscard]] const DegradedStats& degraded() const noexcept { return degraded_; }
-  void record_reader_stats(const net::PcapReader::Stats& s) noexcept {
+  ///
+  /// Unlike the aggregators (worker-thread-owned until the run ends), the
+  /// degraded counters are behind a mutex so a monitoring thread can read
+  /// them while the worker is mid-ingest; degraded() returns a consistent
+  /// copy.
+  [[nodiscard]] DegradedStats degraded() const noexcept TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
+    return degraded_;
+  }
+  void record_reader_stats(const net::PcapReader::Stats& s) noexcept
+      TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
     degraded_.unparseable_frames += delta(s.skipped_unparseable, last_reader_.skipped_unparseable);
     degraded_.oversize_frames += delta(s.skipped_oversize, last_reader_.skipped_oversize);
     degraded_.truncated_frames += delta(s.skipped_truncated, last_reader_.skipped_truncated);
     last_reader_ = s;
   }
-  void record_sampler_stats(const capture::ConnectionSampler::Stats& s) noexcept {
+  void record_sampler_stats(const capture::ConnectionSampler::Stats& s) noexcept
+      TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
     degraded_.malformed_packets += delta(s.packets_malformed, last_sampler_.packets_malformed);
     degraded_.overload_evicted +=
         delta(s.flows_evicted_overload, last_sampler_.flows_evicted_overload);
     last_sampler_ = s;
   }
-  void record_queue_stats(const common::BoundedQueueStats& s) noexcept {
+  void record_queue_stats(const common::BoundedQueueStats& s) noexcept
+      TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
     degraded_.queue_shed_embryonic += delta(s.shed_low_value, last_queue_.shed_low_value);
     degraded_.queue_shed_other += delta(s.shed_other, last_queue_.shed_other);
     last_queue_ = s;
@@ -125,10 +141,11 @@ class Pipeline {
   OverlapMatrix overlap_;
   EvidenceCollector evidence_;
   ScannerStats scanner_;
-  DegradedStats degraded_;
-  net::PcapReader::Stats last_reader_;
-  capture::ConnectionSampler::Stats last_sampler_;
-  common::BoundedQueueStats last_queue_;
+  mutable common::Mutex stats_mu_;  ///< guards degraded accounting only
+  DegradedStats degraded_ TAMPER_GUARDED_BY(stats_mu_);
+  net::PcapReader::Stats last_reader_ TAMPER_GUARDED_BY(stats_mu_);
+  capture::ConnectionSampler::Stats last_sampler_ TAMPER_GUARDED_BY(stats_mu_);
+  common::BoundedQueueStats last_queue_ TAMPER_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace tamper::analysis

@@ -41,7 +41,7 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
   // Degraded-input accounting: how much hostile/corrupt input the ingest
   // path dropped or force-closed — without this, aggregate consumers cannot
   // tell a quiet day from a day where half the tap was garbage.
-  const DegradedStats& degraded = pipeline.degraded();
+  const DegradedStats degraded = pipeline.degraded();
   json.key("degraded_input");
   json.begin_object();
   json.kv("empty_samples", degraded.empty_samples);

@@ -10,6 +10,10 @@
 //     service marks embryonic single-SYN samples, the shape a flood leaves
 //     behind) so real connections survive overload. Every shed is counted
 //     and the service folds the counts into DegradedStats.
+//
+// Locking: one Mutex guards all mutable state; the capability annotations
+// below make that discipline compile-time checked under Clang
+// -Wthread-safety (see common/thread_annotations.h).
 #pragma once
 
 #include <chrono>
@@ -17,9 +21,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tamper::common {
 
@@ -53,11 +59,11 @@ class BoundedQueue {
         shed_first_(std::move(shed_first)) {}
 
   /// Returns false only when the queue is closed (item not enqueued).
-  bool push(T item) {
-    std::unique_lock lock(mu_);
+  bool push(T item) TAMPER_EXCLUDES(mu_) {
+    UniqueLock lock(mu_);
     if (policy_ == QueuePolicy::kBlock) {
       if (items_.size() >= capacity_ && !closed_) ++stats_.push_waits;
-      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
       if (closed_) return false;
     } else if (items_.size() >= capacity_) {
       if (closed_) return false;
@@ -75,9 +81,13 @@ class BoundedQueue {
   /// Wait up to `timeout` for an item; empty optional on timeout or when
   /// the queue is closed and drained.
   template <typename Rep, typename Period>
-  std::optional<T> pop_wait(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop_wait(std::chrono::duration<Rep, Period> timeout)
+      TAMPER_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -90,26 +100,26 @@ class BoundedQueue {
   std::optional<T> try_pop() { return pop_wait(std::chrono::seconds(0)); }
 
   /// Reject future pushes and wake all waiters; queued items stay poppable.
-  void close() {
+  void close() TAMPER_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool closed() const TAMPER_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const TAMPER_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] Stats stats() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] Stats stats() const TAMPER_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -117,7 +127,7 @@ class BoundedQueue {
   /// Called with the lock held and the queue full: make room for `incoming`
   /// by shedding the lowest-value item (queued low-value first, then the
   /// incoming item if it is itself low-value, then the oldest queued item).
-  void shed_one(T incoming) {
+  void shed_one(T incoming) TAMPER_REQUIRES(mu_) {
     if (shed_first_) {
       for (auto it = items_.begin(); it != items_.end(); ++it) {
         if (shed_first_(*it)) {
@@ -143,12 +153,12 @@ class BoundedQueue {
   const QueuePolicy policy_;
   const std::function<bool(const T&)> shed_first_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  Stats stats_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_ TAMPER_GUARDED_BY(mu_);
+  Stats stats_ TAMPER_GUARDED_BY(mu_);
+  bool closed_ TAMPER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tamper::common

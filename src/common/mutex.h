@@ -1,0 +1,78 @@
+// Annotated locking primitives for Clang thread-safety analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes, so code
+// using them is invisible to -Wthread-safety: every GUARDED_BY access would
+// be (or worse, would never be) flagged. Concurrent code in this repo uses
+// these thin wrappers instead — identical codegen, but the analysis can see
+// every acquire and release. Condition waits use std::condition_variable_any
+// with UniqueLock; waits are written as explicit `while (!pred) cv.wait(l)`
+// loops rather than predicate lambdas, because a lambda body is analyzed as
+// a separate unannotated function and would spuriously trip the analysis.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace tamper::common {
+
+/// std::mutex with capability annotations. Satisfies Lockable, so the std
+/// RAII helpers still work — but prefer MutexLock/UniqueLock, which are the
+/// annotated forms the analysis understands.
+class TAMPER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TAMPER_ACQUIRE() { mu_.lock(); }
+  void unlock() TAMPER_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TAMPER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard: holds the mutex for its whole scope.
+class TAMPER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TAMPER_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TAMPER_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::unique_lock: relockable, usable with
+/// std::condition_variable_any (which needs lock()/unlock()).
+class TAMPER_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) TAMPER_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() TAMPER_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() TAMPER_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() TAMPER_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+}  // namespace tamper::common

@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis capability macros (no-ops elsewhere).
+//
+// These turn the repo's locking conventions into compile-time contracts:
+// a member annotated TAMPER_GUARDED_BY(mu_) cannot be touched without
+// holding mu_, and a function annotated TAMPER_REQUIRES(mu_) cannot be
+// called without it. The analysis only understands annotated lock types,
+// so concurrent code uses common::Mutex / common::MutexLock /
+// common::UniqueLock (see common/mutex.h) instead of the std primitives.
+//
+// Enforced as -Werror=thread-safety by the `lint` CI job (Clang build with
+// -DTAMPER_THREAD_SAFETY=ON); GCC builds compile the macros away.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TAMPER_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TAMPER_THREAD_ANNOTATION
+#define TAMPER_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define TAMPER_CAPABILITY(name) TAMPER_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define TAMPER_SCOPED_CAPABILITY TAMPER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be accessed while holding `mu`.
+#define TAMPER_GUARDED_BY(mu) TAMPER_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointer member whose *pointee* is protected by `mu`.
+#define TAMPER_PT_GUARDED_BY(mu) TAMPER_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function that must be called with the listed capabilities held.
+#define TAMPER_REQUIRES(...) \
+  TAMPER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the listed capabilities NOT held.
+#define TAMPER_EXCLUDES(...) TAMPER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (and does not release it).
+#define TAMPER_ACQUIRE(...) \
+  TAMPER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define TAMPER_RELEASE(...) \
+  TAMPER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define TAMPER_TRY_ACQUIRE(result, ...) \
+  TAMPER_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis).
+#define TAMPER_ASSERT_CAPABILITY(...) \
+  TAMPER_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Function returning a reference to the capability protecting its result.
+#define TAMPER_RETURN_CAPABILITY(mu) TAMPER_THREAD_ANNOTATION(lock_returned(mu))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the locking is correct but inexpressible.
+#define TAMPER_NO_THREAD_SAFETY_ANALYSIS \
+  TAMPER_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,534 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+namespace tamper::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/// Blank out the contents of string/char literals and (unless
+/// `keep_comments`) comments, preserving line structure. Token rules run on
+/// the everything-stripped form so they never fire on prose or test strings;
+/// the directive scanner runs on the comments-kept form, because directives
+/// live in comments but must not fire on string literals that merely mention
+/// the directive syntax.
+[[nodiscard]] std::string strip_literals(std::string_view src, bool keep_comments) {
+  std::string out(src.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw } state = State::kCode;
+  std::string raw_delim;  // raw-string closing delimiter: ")delim\""
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          if (keep_comments) out[i] = c;
+          state = State::kLine;
+        } else if (c == '/' && next == '*') {
+          if (keep_comments) {
+            out[i] = c;
+            out[i + 1] = next;
+          }
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim = ")";
+          raw_delim.append(src.substr(i + 2, p - (i + 2)));
+          raw_delim.push_back('"');
+          out[i] = 'R';
+          if (i + 1 < src.size()) out[i + 1] = '"';
+          i += 1;
+          state = State::kRaw;
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          out[i] = '\'';
+          state = State::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kLine:
+        if (keep_comments && c != '\n') out[i] = c;
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlock:
+        if (keep_comments && c != '\n') out[i] = c;
+        if (c == '*' && next == '/') {
+          if (keep_comments && i + 1 < src.size()) out[i + 1] = next;
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < src.size() && src[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Position of `word` in `line` at identifier boundaries, or npos.
+[[nodiscard]] std::size_t find_word(std::string_view line, std::string_view word,
+                                    std::size_t from = 0) {
+  while (from < line.size()) {
+    const std::size_t pos = line.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] bool path_contains(const std::string& path, std::string_view fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+[[nodiscard]] bool is_header(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+[[nodiscard]] bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+[[nodiscard]] std::string trimmed(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+constexpr std::string_view kAllowDirective = "tamperlint-allow(";
+constexpr std::string_view kNothrowMarker = "tamperlint: nothrow-path";
+
+[[nodiscard]] bool known_rule(std::string_view id) {
+  return id.size() == 2 && id[0] == 'R' && id[1] >= '1' && id[1] <= '5';
+}
+
+/// Per-line suppression state parsed from the raw text.
+struct Directives {
+  /// suppressed[line] holds rule ids suppressed on that 0-based line.
+  std::vector<std::vector<std::string>> suppressed;
+  std::vector<Finding> malformed;  ///< R0 findings
+};
+
+[[nodiscard]] Directives parse_directives(const std::string& path,
+                                          const std::vector<std::string>& commented,
+                                          const std::vector<std::string>& stripped) {
+  Directives d;
+  d.suppressed.resize(commented.size() + 1);
+  for (std::size_t i = 0; i < commented.size(); ++i) {
+    const std::size_t at = commented[i].find(kAllowDirective);
+    if (at == std::string::npos) continue;
+    const std::size_t id_begin = at + kAllowDirective.size();
+    const std::size_t close = commented[i].find(')', id_begin);
+    const std::string id =
+        close == std::string::npos ? "" : commented[i].substr(id_begin, close - id_begin);
+    std::string reason;
+    if (close != std::string::npos) {
+      const std::size_t colon = commented[i].find(':', close);
+      if (colon != std::string::npos) reason = trimmed(commented[i].substr(colon + 1));
+    }
+    if (!known_rule(id) || reason.empty()) {
+      d.malformed.push_back(
+          {"R0", path, static_cast<int>(i + 1),
+           "malformed suppression (want `// tamperlint-allow(R1..R5): reason`); "
+           "it suppresses nothing"});
+      continue;
+    }
+    d.suppressed[i].push_back(id);
+    // A directive alone on its line covers the next line instead.
+    if (trimmed(stripped[i]).empty() && i + 1 < d.suppressed.size())
+      d.suppressed[i + 1].push_back(id);
+  }
+  return d;
+}
+
+/// 0-based inclusive line ranges of functions marked nothrow-path.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> nothrow_regions(
+    const std::vector<std::string>& commented, const std::vector<std::string>& stripped) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (std::size_t i = 0; i < commented.size(); ++i) {
+    if (commented[i].find(kNothrowMarker) == std::string::npos) continue;
+    // Find the function's opening brace, then walk to its close.
+    int depth = 0;
+    bool open_seen = false;
+    std::size_t begin = i;
+    for (std::size_t j = i; j < stripped.size(); ++j) {
+      for (const char c : stripped[j]) {
+        if (c == '{') {
+          if (!open_seen) begin = j;
+          open_seen = true;
+          ++depth;
+        } else if (c == '}') {
+          if (open_seen && --depth == 0) {
+            regions.emplace_back(begin, j);
+            j = stripped.size();  // break outer
+            break;
+          }
+        }
+      }
+      if (open_seen && depth == 0) break;
+    }
+  }
+  return regions;
+}
+
+struct FileLinter {
+  const std::string& path;
+  const Config& config;
+  const std::vector<std::string>& commented;
+  const std::vector<std::string>& stripped;
+  const Directives& directives;
+  std::vector<Finding>& out;
+
+  [[nodiscard]] bool rule_enabled(std::string_view id) const {
+    if (config.rules.empty()) return true;
+    return std::find(config.rules.begin(), config.rules.end(), id) != config.rules.end();
+  }
+
+  void report(std::string_view rule, std::size_t line0, std::string message) const {
+    const auto& sup = directives.suppressed[line0];
+    if (std::find(sup.begin(), sup.end(), rule) != sup.end()) return;
+    out.push_back({std::string(rule), path, static_cast<int>(line0 + 1), std::move(message)});
+  }
+
+  // R1 — determinism: no ambient time or randomness.
+  void rule_determinism() const {
+    for (const auto& fragment : config.determinism_allowlist)
+      if (path_contains(path, fragment)) return;
+    static constexpr std::string_view kBanned[] = {
+        "rand",        "srand",     "random_device", "system_clock",
+        "gettimeofday", "localtime", "gmtime",        "mktime",
+        "clock_gettime", "std::time",
+    };
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      const std::string& line = stripped[i];
+      for (const auto token : kBanned) {
+        if (find_word(line, token) == std::string_view::npos) continue;
+        report("R1", i,
+               "nondeterminism: `" + std::string(token) +
+                   "` outside common/sim_clock and common/rng; derive time from "
+                   "SimClock and randomness from a seeded Rng");
+        break;  // one R1 finding per line is enough
+      }
+      // Bare C `time(...)` call (std::time is caught above; member access
+      // like `.time(` is someone else's accessor, not the libc call).
+      std::size_t pos = 0;
+      while ((pos = find_word(line, "time", pos)) != std::string_view::npos) {
+        const char before = pos > 0 ? line[pos - 1] : '\0';
+        std::size_t after = pos + 4;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after < line.size() && line[after] == '(' && before != '.' &&
+            before != ':' && before != '>') {
+          report("R1", i,
+                 "nondeterminism: wall-clock `time()` call; use the simulated "
+                 "clock (common/sim_clock)");
+          break;
+        }
+        pos += 4;
+      }
+    }
+  }
+
+  // R2 — ordered emission: no unordered containers in emission files.
+  void rule_ordered_emission() const {
+    const bool emission =
+        std::any_of(config.emission_paths.begin(), config.emission_paths.end(),
+                    [&](const std::string& f) { return path_contains(path, f); });
+    if (!emission) return;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      for (const std::string_view token : {"unordered_map", "unordered_set"}) {
+        if (find_word(stripped[i], token) == std::string_view::npos) continue;
+        report("R2", i,
+               "report/JSON emission path touches " + std::string(token) +
+                   "; iteration order leaks into output — emit from std::map or "
+                   "sorted keys");
+        break;
+      }
+    }
+  }
+
+  // R3 — nothrow-path functions must not contain throwing ops.
+  void rule_nothrow_path() const {
+    for (const auto& [begin, end] : nothrow_regions(commented, stripped)) {
+      for (std::size_t i = begin; i <= end && i < stripped.size(); ++i) {
+        const std::string& line = stripped[i];
+        if (find_word(line, "throw") != std::string_view::npos)
+          report("R3", i, "throw inside a nothrow-path function; count the failure "
+                          "into DegradedStats and drop the sample instead");
+        if (line.find(".at(") != std::string::npos ||
+            line.find("->at(") != std::string::npos)
+          report("R3", i, "throwing accessor .at() inside a nothrow-path function; "
+                          "use find()/bounds-checked access");
+        if (line.find("std::sto") != std::string::npos)
+          report("R3", i, "throwing conversion std::sto* inside a nothrow-path "
+                          "function; use std::from_chars");
+      }
+    }
+  }
+
+  // R4 — checked narrowing in the wire-parsing layer.
+  void rule_checked_narrowing() const {
+    if (!path_contains(path, config.net_path)) return;
+    static constexpr std::string_view kNarrow[] = {
+        "std::uint8_t",  "std::uint16_t", "std::int8_t",  "std::int16_t",
+        "uint8_t",       "uint16_t",      "int8_t",       "int16_t",
+        "unsigned char", "signed char",   "unsigned short", "short", "char",
+    };
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      const std::string& line = stripped[i];
+      for (std::size_t pos = 0; pos < line.size(); ++pos) {
+        if (line[pos] != '(') continue;
+        std::size_t p = pos + 1;
+        while (p < line.size() && line[p] == ' ') ++p;
+        for (const auto type : kNarrow) {
+          if (line.compare(p, type.size(), type) != 0) continue;
+          std::size_t q = p + type.size();
+          if (q < line.size() && ident_char(line[q])) break;  // longer identifier
+          while (q < line.size() && line[q] == ' ') ++q;
+          if (q >= line.size() || line[q] != ')') break;  // not `(type)`
+          ++q;
+          while (q < line.size() && line[q] == ' ') ++q;
+          if (q >= line.size()) break;
+          const char f = line[q];
+          const bool cast_like = ident_char(f) || f == '(' || f == '~' || f == '-';
+          // sizeof(T)/alignof(T) parenthesize a type, not a cast.
+          std::size_t w = pos;
+          while (w > 0 && line[w - 1] == ' ') --w;
+          std::size_t ws = w;
+          while (ws > 0 && ident_char(line[ws - 1])) --ws;
+          const std::string word_before = line.substr(ws, w - ws);
+          if (cast_like && word_before != "sizeof" && word_before != "alignof") {
+            report("R4", i,
+                   "C-style narrowing cast in net parser; use static_cast with "
+                   "explicit masking or a binio checked read");
+          }
+          break;
+        }
+      }
+      const std::size_t rc = find_word(line, "reinterpret_cast");
+      if (rc != std::string_view::npos) {
+        const std::size_t args = line.find('<', rc);
+        const std::string target =
+            args == std::string::npos
+                ? ""
+                : trimmed(line.substr(args + 1, line.find('>', args) - args - 1));
+        if (target != "char*" && target != "const char*" && target != "char *" &&
+            target != "const char *") {
+          report("R4", i,
+                 "reinterpret_cast in net parser (only the char* stream-I/O "
+                 "bridge is sanctioned); parse through binio instead");
+        }
+      }
+    }
+  }
+
+  // R5 — header hygiene.
+  void rule_header_hygiene(std::string_view content) const {
+    if (!is_header(path)) return;
+    if (content.find("#pragma once") == std::string_view::npos)
+      report("R5", 0, "header is missing #pragma once");
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      const std::size_t pos = find_word(stripped[i], "using");
+      if (pos == std::string_view::npos) continue;
+      if (find_word(stripped[i], "namespace", pos) != std::string_view::npos)
+        report("R5", i, "`using namespace` in a header leaks into every includer");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string path, std::string_view content,
+                                 const Config& config) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  const std::vector<std::string> stripped =
+      split_lines(strip_literals(content, /*keep_comments=*/false));
+  const std::vector<std::string> commented =
+      split_lines(strip_literals(content, /*keep_comments=*/true));
+  const Directives directives = parse_directives(path, commented, stripped);
+
+  std::vector<Finding> out;
+  FileLinter linter{path, config, commented, stripped, directives, out};
+  if (linter.rule_enabled("R0"))
+    out.insert(out.end(), directives.malformed.begin(), directives.malformed.end());
+  if (linter.rule_enabled("R1")) linter.rule_determinism();
+  if (linter.rule_enabled("R2")) linter.rule_ordered_emission();
+  if (linter.rule_enabled("R3")) linter.rule_nothrow_path();
+  if (linter.rule_enabled("R4")) linter.rule_checked_narrowing();
+  if (linter.rule_enabled("R5")) linter.rule_header_hygiene(content);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Config& config, std::vector<std::string>& errors) {
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        errors.push_back(p + ": " + ec.message());
+        continue;
+      }
+      for (auto end = fs::recursive_directory_iterator(); it != end; ++it) {
+        const std::string name = it->path().filename().string();
+        if (it->is_directory()) {
+          const bool excluded =
+              name.rfind("build", 0) == 0 ||
+              std::find(config.exclude_dirs.begin(), config.exclude_dirs.end(), name) !=
+                  config.exclude_dirs.end();
+          if (excluded) it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && is_source_file(it->path()))
+          files.push_back(it->path().string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      errors.push_back(p + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      errors.push_back(file + ": unreadable");
+      continue;
+    }
+    const std::string content((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    auto file_findings = lint_source(file, content, config);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string format_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& f : findings)
+    out << f.path << ':' << f.line << ": " << f.rule << ": " << f.message << '\n';
+  return out.str();
+}
+
+namespace {
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+}  // namespace
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "  {\"rule\": ";
+    json_escape(out, f.rule);
+    out << ", \"path\": ";
+    json_escape(out, f.path);
+    out << ", \"line\": " << f.line << ", \"message\": ";
+    json_escape(out, f.message);
+    out << '}' << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string rule_catalog() {
+  return
+      "R0  directive hygiene — malformed tamperlint-allow comments\n"
+      "R1  determinism      — no wall-clock/ambient randomness outside "
+      "common/sim_clock, common/rng\n"
+      "R2  ordered emission — no unordered containers in report/JSON emission "
+      "files\n"
+      "R3  nothrow path     — no throw/.at()/std::sto* in `// tamperlint: "
+      "nothrow-path` functions\n"
+      "R4  checked narrowing— no C-style narrowing casts or reinterpret_cast "
+      "in src/net/\n"
+      "R5  header hygiene   — #pragma once required; `using namespace` "
+      "forbidden in headers\n";
+}
+
+}  // namespace tamper::lint

@@ -1,0 +1,88 @@
+// tamperlint — repo-specific static checks for libtamper's contracts.
+//
+// A deliberately small token/line-level linter (no libclang): each rule
+// encodes an invariant the paper's reproducibility or the service's
+// robustness depends on, with a per-site suppression syntax so exceptions
+// are always visible and justified in the diff:
+//
+//   R1  determinism  — no wall-clock or ambient randomness (time(),
+//       std::rand, random_device, chrono::system_clock) outside the
+//       sanctioned sources (common/sim_clock, common/rng). All randomness
+//       flows from seeds; all time flows from the simulated clock.
+//   R2  ordered emission — report/JSON emission files must not touch
+//       unordered containers; iteration order would leak into the output
+//       and break byte-stable reports.
+//   R3  nothrow path — functions marked `// tamperlint: nothrow-path`
+//       must not contain throw statements or the classic throwing ops
+//       (.at(), std::sto*); the ingest contract is "count and drop",
+//       never propagate.
+//   R4  checked narrowing — src/net/ parsers must not use C-style
+//       narrowing casts or reinterpret_cast (except the char* stream-I/O
+//       bridge); narrowing goes through static_cast or binio helpers,
+//       where it is explicit and greppable.
+//   R5  header hygiene — headers use #pragma once and never
+//       `using namespace`.
+//
+// Suppression:  // tamperlint-allow(R3): <non-empty reason>
+// on the offending line, or alone on the line directly above it. A
+// malformed directive (missing reason, unknown rule) is itself reported
+// as R0 and suppresses nothing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamper::lint {
+
+struct Finding {
+  std::string rule;     ///< "R0".."R5"
+  std::string path;     ///< as given (normalized to forward slashes)
+  int line = 0;         ///< 1-based
+  std::string message;
+};
+
+struct Config {
+  /// R1: path fragments whose files may use ambient time/randomness (the
+  /// sanctioned sources of both).
+  std::vector<std::string> determinism_allowlist = {
+      "src/common/sim_clock",
+      "src/common/rng",
+  };
+  /// R2: path fragments of report/JSON emission files.
+  std::vector<std::string> emission_paths = {
+      "src/analysis/report.",
+      "src/common/json.",
+      "src/common/table.",
+      "tools/tamperscope",
+  };
+  /// R4: path fragment of the wire-parsing layer.
+  std::string net_path = "src/net/";
+  /// Rules to run; empty means all.
+  std::vector<std::string> rules;
+  /// Directory names skipped during tree walks ("build*" is always
+  /// skipped).
+  std::vector<std::string> exclude_dirs = {".git", "lint_fixtures"};
+};
+
+/// Lint one in-memory source file. `path` decides which rules apply.
+[[nodiscard]] std::vector<Finding> lint_source(std::string path,
+                                               std::string_view content,
+                                               const Config& config);
+
+/// Lint files and/or directory trees (recursing, skipping excluded dirs).
+/// Unreadable paths append to `errors`.
+[[nodiscard]] std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                              const Config& config,
+                                              std::vector<std::string>& errors);
+
+/// Human-readable one-line-per-finding form (with suppression hint).
+[[nodiscard]] std::string format_text(const std::vector<Finding>& findings);
+
+/// Machine-readable form: a JSON array of finding objects.
+[[nodiscard]] std::string format_json(const std::vector<Finding>& findings);
+
+/// The rule catalog (id + one-line summary), for --list-rules.
+[[nodiscard]] std::string rule_catalog();
+
+}  // namespace tamper::lint

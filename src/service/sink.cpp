@@ -48,6 +48,7 @@ ReportEmitter::ReportEmitter(Sink& sink, RetryPolicy policy, std::string spool_d
     fs::create_directories(spool_dir_, ec);
     // Resume the sequence past any reports spooled by a previous process so
     // replay order stays oldest-first across restarts.
+    common::MutexLock lock(mu_);
     for (const std::string& name : spool_files()) {
       const auto digits = name.find_last_of('-');
       if (digits != std::string::npos)
@@ -58,9 +59,15 @@ ReportEmitter::ReportEmitter(Sink& sink, RetryPolicy policy, std::string spool_d
 }
 
 bool ReportEmitter::emit(const std::string& payload) {
-  ++stats_.reports;
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.reports;
+  }
   if (try_deliver(payload)) {
-    ++stats_.delivered;
+    {
+      common::MutexLock lock(mu_);
+      ++stats_.delivered;
+    }
     replay_spool();
     return true;
   }
@@ -71,10 +78,16 @@ bool ReportEmitter::emit(const std::string& payload) {
 bool ReportEmitter::try_deliver(const std::string& payload) {
   for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.retries;
-      sleep_fn_(backoff_delay(attempt));
+      {
+        common::MutexLock lock(mu_);
+        ++stats_.retries;
+      }
+      sleep_fn_(backoff_delay(attempt));  // backoff happens outside the lock
     }
-    ++stats_.attempts;
+    {
+      common::MutexLock lock(mu_);
+      ++stats_.attempts;
+    }
     try {
       if (sink_.deliver(payload)) return true;
     } catch (...) {
@@ -94,14 +107,21 @@ double ReportEmitter::backoff_delay(int attempt) {
 
 void ReportEmitter::spool(const std::string& payload) {
   if (spool_dir_.empty()) {
+    common::MutexLock lock(mu_);
     ++stats_.lost;
     return;
   }
+  std::uint64_t seq = 0;
+  {
+    common::MutexLock lock(mu_);
+    seq = spool_seq_++;
+  }
   char name[32];
   std::snprintf(name, sizeof name, "report-%012llu",
-                static_cast<unsigned long long>(spool_seq_++));
+                static_cast<unsigned long long>(seq));
   const fs::path path = fs::path(spool_dir_) / name;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  common::MutexLock lock(mu_);
   if (!out || !(out << payload).flush()) {
     ++stats_.lost;
     return;
@@ -119,15 +139,21 @@ void ReportEmitter::replay_spool() {
     in.close();
     // One direct attempt per spooled report — the spool is already the
     // fallback, so a failure just leaves the file for the next replay.
-    ++stats_.attempts;
+    {
+      common::MutexLock lock(mu_);
+      ++stats_.attempts;
+    }
     bool ok = false;
     try {
       ok = sink_.deliver(payload);
     } catch (...) {
     }
     if (!ok) return;
-    ++stats_.delivered;
-    ++stats_.spool_replayed;
+    {
+      common::MutexLock lock(mu_);
+      ++stats_.delivered;
+      ++stats_.spool_replayed;
+    }
     std::error_code ec;
     fs::remove(path, ec);
   }

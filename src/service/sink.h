@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace tamper::service {
 
@@ -71,6 +73,10 @@ struct RetryPolicy {
   double jitter_fraction = 0.25;    ///< uniform +/- fraction of the delay
 };
 
+/// Threading contract: emit()/replay_spool() belong to ONE caller thread at
+/// a time (the service worker). stats() and spool_depth() may be called
+/// from any thread — e.g. a monitoring loop watching delivery health while
+/// the worker is mid-retry — so the counters live behind a mutex.
 class ReportEmitter {
  public:
   struct Stats {
@@ -97,7 +103,11 @@ class ReportEmitter {
   /// first failure. Called automatically after each successful delivery.
   void replay_spool();
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot of the delivery counters (copy: safe off-thread).
+  [[nodiscard]] Stats stats() const TAMPER_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return stats_;
+  }
   [[nodiscard]] std::size_t spool_depth() const;
 
  private:
@@ -109,10 +119,12 @@ class ReportEmitter {
   Sink& sink_;
   RetryPolicy policy_;
   std::string spool_dir_;
-  common::Rng rng_;
+  common::Rng rng_;  ///< emitter-thread only (jitter for backoff_delay)
   std::function<void(double)> sleep_fn_;
-  std::uint64_t spool_seq_ = 0;
-  Stats stats_;
+  mutable common::Mutex mu_;  ///< guards the observable counters only; the
+                              ///< sink itself is never called under it
+  std::uint64_t spool_seq_ TAMPER_GUARDED_BY(mu_) = 0;
+  Stats stats_ TAMPER_GUARDED_BY(mu_);
 };
 
 }  // namespace tamper::service

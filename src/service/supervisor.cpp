@@ -33,6 +33,7 @@ SupervisedService::~SupervisedService() {
 
 bool SupervisedService::start(Resume resume) {
   if (running_.load()) {
+    common::MutexLock lock(lifecycle_mu_);
     error_ = "service already running";
     return false;
   }
@@ -48,6 +49,7 @@ bool SupervisedService::start(Resume resume) {
       pipeline_ = std::make_unique<analysis::Pipeline>(world_);
       const bool missing = result.error.rfind("no checkpoint", 0) == 0;
       if (resume == Resume::kRequire || !missing) {
+        common::MutexLock lock(lifecycle_mu_);
         error_ = result.error;
         return false;
       }
@@ -55,10 +57,13 @@ bool SupervisedService::start(Resume resume) {
   }
   draining_.store(false);
   abort_.store(false);
-  terminal_ = false;
-  worker_state_ = WorkerState::kRunning;
+  {
+    common::MutexLock lock(lifecycle_mu_);
+    terminal_ = false;
+    worker_state_ = WorkerState::kRunning;
+    spawn_worker();
+  }
   running_.store(true);
-  spawn_worker();
   watchdog_ = std::thread(&SupervisedService::watchdog_main, this);
   return true;
 }
@@ -108,7 +113,7 @@ void SupervisedService::worker_main() {
     exit_state = WorkerState::kCrashed;
   }
   {
-    std::lock_guard lock(lifecycle_mu_);
+    common::MutexLock lock(lifecycle_mu_);
     worker_state_ = exit_state;
   }
   lifecycle_cv_.notify_all();
@@ -119,7 +124,7 @@ void SupervisedService::watchdog_main() {
   std::uint64_t last_heartbeat = heartbeat_.load();
   Clock::time_point last_progress = Clock::now();
 
-  std::unique_lock lock(lifecycle_mu_);
+  common::UniqueLock lock(lifecycle_mu_);
   while (true) {
     lifecycle_cv_.wait_for(lock, config_.watchdog_poll);
     if (worker_state_ == WorkerState::kCrashed) {
@@ -197,6 +202,10 @@ RunSummary SupervisedService::stop() { return finish(/*persist=*/true); }
 RunSummary SupervisedService::kill() { return finish(/*persist=*/false); }
 
 RunSummary SupervisedService::finish(bool persist) {
+  // Two threads racing stop() against kill() (or a destructor) must not
+  // both join the watchdog; the first caller does the teardown, the rest
+  // wait here and fall through to summarize().
+  common::MutexLock finishing(finish_mu_);
   if (running_.load()) {
     if (persist) {
       draining_.store(true);
@@ -205,8 +214,8 @@ RunSummary SupervisedService::finish(bool persist) {
     }
     queue_.close();
     {
-      std::unique_lock lock(lifecycle_mu_);
-      lifecycle_cv_.wait(lock, [&] { return terminal_; });
+      common::UniqueLock lock(lifecycle_mu_);
+      while (!terminal_) lifecycle_cv_.wait(lock);
     }
     if (watchdog_.joinable()) watchdog_.join();
     if (worker_.joinable()) worker_.join();
@@ -233,7 +242,10 @@ RunSummary SupervisedService::summarize() {
   s.restored = restored_;
   s.restored_samples = restored_samples_;
   s.failed = failed_.load();
-  s.failure = error_;
+  {
+    common::MutexLock lock(lifecycle_mu_);
+    s.failure = error_;
+  }
   return s;
 }
 

@@ -35,13 +35,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "analysis/pipeline.h"
 #include "capture/sample.h"
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "service/checkpoint.h"
 #include "service/sink.h"
 #include "world/world.h"
@@ -125,7 +126,12 @@ class SupervisedService {
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
   /// Restart-budget exhaustion (the queue is closed once this trips).
   [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
-  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Last refusal/failure message. Safe to call while the watchdog is
+  /// still live, hence the copy under the lifecycle lock.
+  [[nodiscard]] std::string error() const TAMPER_EXCLUDES(lifecycle_mu_) {
+    common::MutexLock lock(lifecycle_mu_);
+    return error_;
+  }
 
   /// Only meaningful once the service is no longer running.
   [[nodiscard]] const analysis::Pipeline& pipeline() const { return *pipeline_; }
@@ -135,11 +141,11 @@ class SupervisedService {
 
   void worker_main();
   void watchdog_main();
-  void spawn_worker();
+  void spawn_worker() TAMPER_REQUIRES(lifecycle_mu_);
   void write_checkpoint();
   void emit_report();
   RunSummary finish(bool persist);
-  [[nodiscard]] RunSummary summarize();
+  [[nodiscard]] RunSummary summarize() TAMPER_EXCLUDES(lifecycle_mu_);
 
   const world::World& world_;
   ServiceConfig config_;
@@ -147,12 +153,17 @@ class SupervisedService {
   std::unique_ptr<analysis::Pipeline> pipeline_;
   common::BoundedQueue<capture::ConnectionSample> queue_;
 
+  // The worker handle is owned by whichever thread most recently observed
+  // its exit: the watchdog (join + respawn on crash) or finish() (final
+  // join after the watchdog has itself terminated). Both accesses are
+  // sequenced by the watchdog's lifetime, not by lifecycle_mu_.
   std::thread worker_;
   std::thread watchdog_;
-  std::mutex lifecycle_mu_;              ///< guards worker_ handle + state transitions
-  std::condition_variable lifecycle_cv_;
-  WorkerState worker_state_ = WorkerState::kIdle;
-  bool terminal_ = false;                ///< watchdog finished supervising
+  common::Mutex finish_mu_;              ///< serializes concurrent stop()/kill()
+  mutable common::Mutex lifecycle_mu_;   ///< guards supervision state below
+  std::condition_variable_any lifecycle_cv_;
+  WorkerState worker_state_ TAMPER_GUARDED_BY(lifecycle_mu_) = WorkerState::kIdle;
+  bool terminal_ TAMPER_GUARDED_BY(lifecycle_mu_) = false;  ///< watchdog done
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
@@ -168,10 +179,14 @@ class SupervisedService {
   std::atomic<std::uint64_t> worker_crashes_{0};
   std::atomic<std::uint64_t> worker_restarts_{0};
   std::atomic<std::uint64_t> stalls_detected_{0};
+  // checkpoint_seq_ is only touched by the thread currently driving the
+  // pipeline: start() before spawning, then the worker, then finish()
+  // after the final join. Each handoff is a thread create/join, so the
+  // accesses are ordered without a lock.
   std::uint64_t checkpoint_seq_ = 0;
-  bool restored_ = false;
-  std::uint64_t restored_samples_ = 0;
-  std::string error_;
+  bool restored_ = false;                ///< written by start() pre-spawn only
+  std::uint64_t restored_samples_ = 0;   ///< written by start() pre-spawn only
+  std::string error_ TAMPER_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace tamper::service

@@ -1,0 +1,9 @@
+// Fixture: malformed directives are themselves findings (R0) and do not
+// suppress anything.
+#include <random>
+
+int bad_seed() {
+  // tamperlint-allow(R1)
+  std::random_device rd;  // still flagged: directive has no reason
+  return static_cast<int>(rd());  // tamperlint-allow(R9): unknown rule id
+}

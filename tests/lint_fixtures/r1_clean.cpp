@@ -1,0 +1,19 @@
+// Fixture: deterministic code — seeded rng, simulated clock, and prose
+// mentions of banned tokens inside strings/comments must not fire.
+#include <cstdint>
+#include <string>
+
+// The words rand, system_clock, and time() in this comment are fine.
+const std::string kNote = "wall-clock time() and std::rand are banned here";
+
+std::uint64_t next(std::uint64_t state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  return state ^ (state << 17);
+}
+
+struct Sample {
+  double time = 0.0;
+};
+
+double sample_time(const Sample& s) { return s.time; }  // member, not ::time()

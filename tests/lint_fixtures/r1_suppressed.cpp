@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences R1 at exactly one site.
+#include <random>
+
+std::uint64_t entropy_seed() {
+  // tamperlint-allow(R1): operator-requested fresh seed; recorded in the run manifest
+  std::random_device rd;
+  return rd();  // still flagged: the directive covers only the line above
+}

@@ -1,0 +1,16 @@
+// Fixture: R1 must fire on ambient time and randomness.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double jitter() {
+  std::random_device rd;                                    // R1
+  return static_cast<double>(rd()) / 1e9;
+}
+
+long now_unix() {
+  const auto tp = std::chrono::system_clock::now();         // R1
+  return std::chrono::system_clock::to_time_t(tp);          // R1
+}
+
+int roll() { return std::rand() % 6; }                      // R1

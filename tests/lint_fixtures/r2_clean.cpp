@@ -1,0 +1,8 @@
+// Fixture: ordered emission — std::map iteration is deterministic.
+#include <map>
+#include <ostream>
+#include <string>
+
+void emit(std::ostream& out, const std::map<std::string, int>& counts) {
+  for (const auto& [key, value] : counts) out << key << value;
+}

@@ -1,0 +1,9 @@
+// Fixture: R2 must fire when an emission file iterates unordered storage.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void emit(std::ostream& out,
+          const std::unordered_map<std::string, int>& counts) {  // R2
+  for (const auto& [key, value] : counts) out << key << value;
+}

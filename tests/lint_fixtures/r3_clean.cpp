@@ -1,0 +1,19 @@
+// Fixture: a nothrow-path function using the count-and-drop idiom.
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct Stats {
+  std::uint64_t missing = 0;
+};
+
+// tamperlint: nothrow-path
+int ingest(const std::map<std::string, int>& m, const std::string& key,
+           Stats& stats) noexcept {
+  const auto it = m.find(key);
+  if (it == m.end()) {
+    ++stats.missing;
+    return 0;
+  }
+  return it->second;
+}

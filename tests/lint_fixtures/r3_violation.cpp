@@ -1,0 +1,15 @@
+// Fixture: R3 must fire on throwing ops inside a marked function, and
+// must NOT fire on identical ops outside the marked region.
+#include <map>
+#include <stdexcept>
+#include <string>
+
+// tamperlint: nothrow-path
+int ingest(const std::map<std::string, int>& m, const std::string& key) {
+  if (m.empty()) throw std::runtime_error("empty");  // R3
+  return m.at(key);                                  // R3
+}
+
+int unmarked(const std::map<std::string, int>& m, const std::string& key) {
+  return m.at(key);  // fine: not a nothrow-path function
+}

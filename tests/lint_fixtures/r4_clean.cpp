@@ -1,0 +1,15 @@
+// Fixture: sanctioned narrowing — explicit static_cast with masking, the
+// char* stream bridge, and sizeof on a parenthesized type.
+#include <cstdint>
+#include <istream>
+
+std::uint16_t parse_length(long raw) {
+  return static_cast<std::uint16_t>(raw & 0xffff);
+}
+
+bool read_block(std::istream& in, std::uint32_t& word) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(&word), sizeof(std::uint32_t)));
+}
+
+constexpr std::size_t kShortSize = sizeof(short);

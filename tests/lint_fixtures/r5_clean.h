@@ -1,0 +1,12 @@
+// Fixture: hygienic header — #pragma once, scoped using-declaration only.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+using std::string;  // using-declaration is fine; using namespace is not
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: header with no include guard and a namespace dump.
+#include <string>
+
+using namespace std;  // R5
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,179 @@
+// Fixture-backed tests for tamperlint (src/lint): every rule must fire on
+// its violation fixture, stay quiet on its clean fixture, and honor
+// well-formed suppressions. Fixtures live in tests/lint_fixtures/ and are
+// fed through lint_source() under synthetic paths, so the path-scoped rules
+// (R2 emission files, R4 net parsers) are exercised no matter where the
+// fixture tree sits on disk.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace {
+
+using tamper::lint::Config;
+using tamper::lint::Finding;
+using tamper::lint::lint_source;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintR1, FiresOnAmbientTimeAndRandomness) {
+  const auto findings =
+      lint_source("src/analysis/pipeline.cpp", fixture("r1_violation.cpp"), {});
+  EXPECT_GE(count_rule(findings, "R1"), 3);
+}
+
+TEST(LintR1, SuppressionCoversExactlyOneLine) {
+  const auto findings =
+      lint_source("src/service/supervisor.cpp", fixture("r1_suppressed.cpp"), {});
+  // `std::random_device rd;` is suppressed; the bare `rd()` call line has
+  // no banned token, so the file yields no R1 at the suppressed site —
+  // and no R0, because the directive is well-formed.
+  EXPECT_EQ(count_rule(findings, "R1"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR1, QuietOnDeterministicCode) {
+  const auto findings =
+      lint_source("src/analysis/signature.cpp", fixture("r1_clean.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R1"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR1, AllowlistedSourcesMayUseAmbientEntropy) {
+  const auto findings =
+      lint_source("src/common/rng.cpp", fixture("r1_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R1"), 0);
+}
+
+TEST(LintR2, FiresOnUnorderedContainersInEmissionFiles) {
+  const auto findings =
+      lint_source("src/analysis/report.cpp", fixture("r2_violation.cpp"), {});
+  EXPECT_GE(count_rule(findings, "R2"), 1);
+}
+
+TEST(LintR2, OnlyAppliesToEmissionPaths) {
+  // The same unordered_map is fine in a non-emission file (flow tables
+  // want O(1) lookups; they just must not drive output order).
+  const auto findings =
+      lint_source("src/tcp/session.cpp", fixture("r2_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R2"), 0);
+}
+
+TEST(LintR2, QuietOnOrderedEmission) {
+  const auto findings =
+      lint_source("src/analysis/report.cpp", fixture("r2_clean.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R2"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR3, FiresInsideMarkedFunctionOnly) {
+  const auto findings =
+      lint_source("src/analysis/pipeline.cpp", fixture("r3_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R3"), 2) << tamper::lint::format_text(findings);
+  // Both findings must sit inside the marked function (lines 8-11), not in
+  // unmarked() further down.
+  for (const auto& f : findings) {
+    if (f.rule == "R3") {
+      EXPECT_LE(f.line, 11) << f.message;
+    }
+  }
+}
+
+TEST(LintR3, QuietOnCountAndDrop) {
+  const auto findings =
+      lint_source("src/analysis/pipeline.cpp", fixture("r3_clean.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R3"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR4, FiresOnNarrowingAndTypePunningInNet) {
+  const auto findings =
+      lint_source("src/net/packet.cpp", fixture("r4_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R4"), 2) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR4, OnlyAppliesToNetSources) {
+  const auto findings =
+      lint_source("src/analysis/report.cpp", fixture("r4_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R4"), 0);
+}
+
+TEST(LintR4, SanctionsStaticCastAndCharBridge) {
+  const auto findings =
+      lint_source("src/net/pcap.cpp", fixture("r4_clean.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R4"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR5, FiresOnGuardlessHeaderWithNamespaceDump) {
+  const auto findings =
+      lint_source("src/common/util.h", fixture("r5_violation.h"), {});
+  EXPECT_EQ(count_rule(findings, "R5"), 2) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR5, QuietOnHygienicHeader) {
+  const auto findings =
+      lint_source("src/common/util.h", fixture("r5_clean.h"), {});
+  EXPECT_EQ(count_rule(findings, "R5"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR5, SourcesAreExemptFromHeaderRules) {
+  const auto findings =
+      lint_source("tests/test_util.cpp", fixture("r5_violation.h"), {});
+  EXPECT_EQ(count_rule(findings, "R5"), 0);
+}
+
+TEST(LintR0, MalformedDirectivesAreFindingsAndSuppressNothing) {
+  const auto findings =
+      lint_source("src/analysis/pipeline.cpp", fixture("r0_malformed.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R0"), 2) << tamper::lint::format_text(findings);
+  EXPECT_GE(count_rule(findings, "R1"), 1)
+      << "a reasonless directive must not suppress";
+}
+
+TEST(LintConfig, RuleFilterRestrictsOutput) {
+  Config only_r5;
+  only_r5.rules = {"R5"};
+  const auto findings =
+      lint_source("src/net/packet.h", fixture("r5_violation.h"), only_r5);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "R5") << f.message;
+  EXPECT_EQ(count_rule(findings, "R5"), 2);
+}
+
+TEST(LintStripper, IgnoresCommentsStringsAndRawStrings) {
+  const std::string src = R"__(
+// std::rand in a comment
+const char* a = "system_clock inside a string";
+const char* b = R"x(random_device in a raw string)x";
+/* gettimeofday in a block comment */
+)__";
+  const auto findings = lint_source("src/analysis/x.cpp", src, {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+TEST(LintOutput, DeterministicAndMachineReadable) {
+  const auto a =
+      lint_source("src/net/packet.cpp", fixture("r4_violation.cpp"), {});
+  const auto b =
+      lint_source("src/net/packet.cpp", fixture("r4_violation.cpp"), {});
+  EXPECT_EQ(tamper::lint::format_text(a), tamper::lint::format_text(b));
+  const std::string json = tamper::lint::format_json(a);
+  EXPECT_NE(json.find("\"rule\": \"R4\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": "), std::string::npos);
+}
+
+}  // namespace

@@ -108,6 +108,31 @@ TEST(RadarReport, ValidShapeAndAggregatesOnly) {
             std::count(report.begin(), report.end(), ']'));
 }
 
+// Reproducibility gate: two independent runs from the same seed must
+// serialize to byte-identical reports. This is what tamperlint rule R2
+// protects — any unordered-container iteration leaking into emission
+// would show up here as a flaky byte diff.
+TEST(RadarReport, ByteStableAcrossIdenticalRuns) {
+  auto render = [] {
+    world::World world;
+    world::TrafficConfig traffic;
+    traffic.seed = 0x5eed;
+    world::TrafficGenerator generator(world, traffic);
+    analysis::Pipeline pipeline(world);
+    pipeline.run(generator, 3000);
+    std::ostringstream out;
+    analysis::ReportOptions options;
+    options.min_country_connections = 50;
+    options.include_timeseries = true;
+    analysis::write_radar_report(out, pipeline, options);
+    return out.str();
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
 TEST(RadarReport, AggregationFloorSuppressesSmallCountries) {
   world::World world;
   world::TrafficConfig traffic;

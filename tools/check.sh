@@ -1,26 +1,71 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build everything with ASan+UBSan and run the full test
-# suite, including the hostile-input fault campaigns (tests/test_faults.cpp).
-# Intended for CI and for local use before merging ingest-path changes:
+# Multi-sanitizer gate: build everything under the selected sanitizer and
+# run the full test suite, including the hostile-input fault campaigns
+# (tests/test_faults.cpp) and the service chaos campaigns
+# (tests/test_service.cpp). Intended for CI and for local use before
+# merging ingest-path or concurrency changes:
 #
-#   tools/check.sh                  # full suite under ASan+UBSan
-#   tools/check.sh -R Fault         # just the fault-injection campaigns
+#   tools/check.sh                         # ASan+UBSan (default)
+#   tools/check.sh --sanitizer=thread      # TSan (data-race gate)
+#   tools/check.sh --sanitizer=all         # both, sequentially
+#   tools/check.sh --sanitizer=thread -R Service   # subset of tests
 #
-# Extra arguments are forwarded to ctest.
+# Extra arguments are forwarded to ctest. Build trees are kept per
+# sanitizer (build-sanitize-<mode>) so switching modes never causes a full
+# rebuild of the other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-sanitize}
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
+SANITIZER=address
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --sanitizer=*) SANITIZER="${arg#--sanitizer=}" ;;
+    --help|-h)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
 
-cmake -B "$BUILD_DIR" -S . \
-  -DTAMPER_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTAMPER_BUILD_BENCH=OFF \
-  -DTAMPER_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$JOBS"
+run_mode() {
+  local mode="$1"
+  shift
+  local build_dir=${BUILD_DIR:-build-sanitize-$mode}
+  echo "== sanitizer gate: $mode (build dir: $build_dir) =="
+  cmake -B "$build_dir" -S . \
+    -DTAMPER_SANITIZE="$mode" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTAMPER_BUILD_BENCH=OFF \
+    -DTAMPER_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j "$JOBS"
 
-export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}
-export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
-echo "sanitizer check passed"
+  case "$mode" in
+    address)
+      export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}
+      export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+      ;;
+    thread)
+      # second_deadlock_stack gives both sides of lock-order reports.
+      export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
+      ;;
+  esac
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" "$@"
+  echo "== sanitizer gate passed: $mode =="
+}
+
+case "$SANITIZER" in
+  address|thread)
+    run_mode "$SANITIZER" "${ARGS[@]+"${ARGS[@]}"}"
+    ;;
+  all)
+    run_mode address "${ARGS[@]+"${ARGS[@]}"}"
+    run_mode thread "${ARGS[@]+"${ARGS[@]}"}"
+    ;;
+  *)
+    echo "error: unknown --sanitizer=$SANITIZER (expected address, thread, or all)" >&2
+    exit 2
+    ;;
+esac

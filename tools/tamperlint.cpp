@@ -1,0 +1,92 @@
+// tamperlint — run the repo's contract lint (see src/lint/lint.h for the
+// rule catalog). Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: tamperlint [options] [path...]
+
+Runs libtamper's contract lint over C++ sources. Paths may be files or
+directories (recursed; build*/, .git/, lint_fixtures/ skipped). With no
+paths, lints src tools tests bench examples under --root.
+
+options:
+  --root=DIR        repository root to resolve default paths against (default .)
+  --format=FMT      text (default) or json
+  --rules=R1,R3     run only the listed rules (default: all)
+  --list-rules      print the rule catalog and exit
+  -h, --help        this help
+)";
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tamper::lint::Config config;
+  std::string root = ".";
+  std::string format = "text";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) { return arg.substr(std::strlen(flag)); };
+    if (arg.rfind("--root=", 0) == 0) {
+      root = value("--root=");
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value("--format=");
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      config.rules = split_csv(value("--rules="));
+    } else if (arg == "--list-rules") {
+      std::cout << tamper::lint::rule_catalog();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "tamperlint: unknown option " << arg << '\n' << kUsage;
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::cerr << "tamperlint: --format must be text or json\n";
+    return 2;
+  }
+  if (paths.empty())
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"})
+      paths.push_back(root + "/" + dir);
+
+  std::vector<std::string> errors;
+  const auto findings = tamper::lint::lint_paths(paths, config, errors);
+
+  if (format == "json") {
+    std::cout << tamper::lint::format_json(findings);
+  } else {
+    std::cout << tamper::lint::format_text(findings);
+    if (!findings.empty())
+      std::cout << findings.size()
+                << " finding(s). Suppress a deliberate exception with "
+                   "`// tamperlint-allow(RN): reason`.\n";
+  }
+  for (const auto& err : errors) std::cerr << "tamperlint: " << err << '\n';
+
+  if (!errors.empty()) return 2;
+  return findings.empty() ? 0 : 1;
+}
