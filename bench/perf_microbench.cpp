@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "analysis/evidence.h"
+#include "analysis/pipeline.h"
 #include "appproto/http.h"
 #include "appproto/tls.h"
 #include "capture/sampler.h"
 #include "common/bounded_queue.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "world/traffic.h"
 
 using namespace tamper;
@@ -168,6 +171,64 @@ void BM_PcapRoundtrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_PcapRoundtrip);
+
+/// Shared world for whole-pipeline benches (the pipeline only borrows it).
+const world::World& bench_world() {
+  static const world::World kWorld;
+  return kWorld;
+}
+
+// Instrumentation overhead contract (DESIGN.md §9): metrics-only
+// instrumentation — what a default `tamperscope watch` run carries — must
+// stay within ~2% of the bare pipeline on the classify hot path (one
+// relaxed fetch_add per sample, latency histogram sampled 1-in-64). The
+// Traced variant adds the opt-in --trace-out span recording (two clock
+// reads plus a ring-buffer append per stage) and is expected to cost
+// noticeably more; it is benched so that cost stays a measured, documented
+// number rather than a surprise. Compare with
+// --benchmark_filter=PipelineIngest.
+void BM_PipelineIngestBare(benchmark::State& state) {
+  const auto& samples = corpus();
+  analysis::Pipeline pipeline(bench_world());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pipeline.ingest(samples[i]);
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineIngestBare);
+
+void BM_PipelineIngestMetrics(benchmark::State& state) {
+  const auto& samples = corpus();
+  // The registry is declared before the pipeline: it must outlive it
+  // (~Pipeline detaches its registry collector).
+  obs::Registry registry;
+  analysis::Pipeline pipeline(bench_world());
+  pipeline.set_obs(&registry);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pipeline.ingest(samples[i]);
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineIngestMetrics);
+
+void BM_PipelineIngestTraced(benchmark::State& state) {
+  const auto& samples = corpus();
+  obs::Registry registry;
+  obs::Tracer tracer(obs::monotonic_clock());
+  analysis::Pipeline pipeline(bench_world());
+  pipeline.set_obs(&registry, &tracer);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pipeline.ingest(samples[i]);
+    i = (i + 1) % samples.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineIngestTraced);
 
 // The service queue sits on the hot path between capture and analysis, so
 // its per-item cost under producer contention is a first-class number.

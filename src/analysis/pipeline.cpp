@@ -11,8 +11,56 @@ Pipeline::Pipeline(const world::World& world, core::ClassifierConfig classifier_
         return world.domains().by_rank(*rank).category;
       }) {}
 
+Pipeline::~Pipeline() {
+  if (obs_metrics_ != nullptr) obs_metrics_->remove_collector(obs_collector_);
+}
+
+void Pipeline::set_obs(obs::Registry* metrics, obs::Tracer* tracer,
+                       const obs::Clock* clock) {
+  if (obs_metrics_ != nullptr) obs_metrics_->remove_collector(obs_collector_);
+  obs_metrics_ = metrics;
+  tracer_ = tracer;
+  obs_clock_ = clock != nullptr ? clock : &obs::monotonic_clock();
+  obs_samples_ = nullptr;
+  obs_classify_seconds_ = nullptr;
+  if (metrics == nullptr) return;
+
+  obs_samples_ = &metrics->counter("tamper_pipeline_samples_total",
+                                   "Samples presented to Pipeline::ingest");
+  obs_classify_seconds_ = &metrics->histogram(
+      "tamper_pipeline_classify_seconds",
+      "Classify+aggregate latency per sample, sampled 1 in 64",
+      obs::duration_buckets());
+  auto& degraded_family = metrics->counter_family(
+      "tamper_pipeline_degraded_total",
+      "Degraded-input events by cause (mirrors DegradedStats)", {"cause"});
+  struct CauseMirror {
+    obs::Counter* counter;
+    std::uint64_t DegradedStats::* field;
+  };
+  const std::vector<CauseMirror> mirrors = {
+      {&degraded_family.with({"empty_samples"}), &DegradedStats::empty_samples},
+      {&degraded_family.with({"ingest_errors"}), &DegradedStats::ingest_errors},
+      {&degraded_family.with({"malformed_packets"}), &DegradedStats::malformed_packets},
+      {&degraded_family.with({"overload_evicted"}), &DegradedStats::overload_evicted},
+      {&degraded_family.with({"unparseable_frames"}), &DegradedStats::unparseable_frames},
+      {&degraded_family.with({"oversize_frames"}), &DegradedStats::oversize_frames},
+      {&degraded_family.with({"truncated_frames"}), &DegradedStats::truncated_frames},
+      {&degraded_family.with({"queue_shed_embryonic"}),
+       &DegradedStats::queue_shed_embryonic},
+      {&degraded_family.with({"queue_shed_other"}), &DegradedStats::queue_shed_other},
+  };
+  obs_collector_ = metrics->add_collector([this, mirrors] {
+    const DegradedStats d = degraded();
+    for (const CauseMirror& m : mirrors) m.counter->increment_to(d.*m.field);
+  });
+}
+
 // tamperlint: nothrow-path
 void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
+  obs::Tracer::Span ingest_span(tracer_, obs::stage::kIngest, obs::stage::kCategory);
+  std::uint64_t seq = 0;
+  if (obs_samples_ != nullptr) seq = obs_samples_->add();
   // A flow with no packets was never actually observed at the tap (e.g. the
   // SYN itself was lost upstream).
   if (sample.packets.empty()) {
@@ -20,8 +68,17 @@ void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
     ++degraded_.empty_samples;
     return;
   }
+  // Sampled latency probe: 1 in 64 keeps the steady-state cost of the
+  // instrumentation to two relaxed fetch_adds per sample.
+  const bool timed = obs_classify_seconds_ != nullptr && (seq & 63) == 1;
+  const std::uint64_t t0 = timed ? obs_clock_->now_ns() : 0;
   try {
+    obs::Tracer::Span classify_span(tracer_, obs::stage::kClassify,
+                                    obs::stage::kCategory);
     const ConnectionRecord record = analyze(sample, world_.geo(), classifier_);
+    classify_span.finish();
+    obs::Tracer::Span aggregate_span(tracer_, obs::stage::kAggregate,
+                                     obs::stage::kCategory);
     matrix_.add(record);
     asns_.add(record);
     timeseries_.add(record);
@@ -43,6 +100,9 @@ void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
     common::MutexLock lock(stats_mu_);
     ++degraded_.ingest_errors;
   }
+  if (timed)
+    obs_classify_seconds_->observe(
+        static_cast<double>(obs_clock_->now_ns() - t0) * 1e-9);
 }
 
 void Pipeline::run(world::TrafficGenerator& generator, std::size_t connections) {

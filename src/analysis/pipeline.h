@@ -17,6 +17,9 @@
 #include "core/classifier.h"
 #include "core/scanner.h"
 #include "net/pcap.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "world/traffic.h"
 #include "world/world.h"
 
@@ -48,6 +51,16 @@ class Pipeline {
  public:
   explicit Pipeline(const world::World& world,
                     core::ClassifierConfig classifier_config = {});
+  ~Pipeline();
+
+  /// Attach observability. The registry gains the tamper_pipeline_* metric
+  /// families (see DESIGN.md §9) plus a collector that mirrors the
+  /// DegradedStats counters at every snapshot; the tracer (optional)
+  /// receives ingest/classify/aggregate spans per sample. The classify
+  /// duration histogram is sampled 1-in-64 so the hot path stays a couple
+  /// of relaxed fetch_adds. All three must outlive the pipeline.
+  void set_obs(obs::Registry* metrics, obs::Tracer* tracer = nullptr,
+               const obs::Clock* clock = nullptr);
 
   /// Classify + attribute one sample and update all aggregators. Never
   /// throws: degraded input is counted (see degraded()) and dropped.
@@ -141,6 +154,15 @@ class Pipeline {
   OverlapMatrix overlap_;
   EvidenceCollector evidence_;
   ScannerStats scanner_;
+  // Observability handles (null until set_obs). The counter/histogram
+  // pointers are stable registry handles; sampling state is worker-thread
+  // only, like the aggregators.
+  obs::Registry* obs_metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  const obs::Clock* obs_clock_ = nullptr;
+  obs::Counter* obs_samples_ = nullptr;
+  obs::Histogram* obs_classify_seconds_ = nullptr;
+  obs::Registry::CollectorId obs_collector_ = 0;
   mutable common::Mutex stats_mu_;  ///< guards degraded accounting only
   DegradedStats degraded_ TAMPER_GUARDED_BY(stats_mu_);
   net::PcapReader::Stats last_reader_ TAMPER_GUARDED_BY(stats_mu_);

@@ -22,8 +22,12 @@ namespace fs = std::filesystem;
 /// the everything-stripped form so they never fire on prose or test strings;
 /// the directive scanner runs on the comments-kept form, because directives
 /// live in comments but must not fire on string literals that merely mention
-/// the directive syntax.
-[[nodiscard]] std::string strip_literals(std::string_view src, bool keep_comments) {
+/// the directive syntax. `keep_strings` preserves string-literal contents
+/// instead (R6 reads metric names out of them); all three forms are
+/// position-aligned with the source, so structure found in one form can be
+/// read out of another.
+[[nodiscard]] std::string strip_literals(std::string_view src, bool keep_comments,
+                                         bool keep_strings = false) {
   std::string out(src.size(), ' ');
   enum class State { kCode, kLine, kBlock, kString, kChar, kRaw } state = State::kCode;
   std::string raw_delim;  // raw-string closing delimiter: ")delim\""
@@ -78,11 +82,17 @@ namespace fs = std::filesystem;
         break;
       case State::kString:
         if (c == '\\') {
+          if (keep_strings) {
+            out[i] = c;
+            if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = src[i + 1];
+          }
           ++i;
           if (i < src.size() && src[i] == '\n') out[i] = '\n';
         } else if (c == '"') {
           out[i] = '"';
           state = State::kCode;
+        } else if (keep_strings && c != '\n') {
+          out[i] = c;
         }
         break;
       case State::kChar:
@@ -158,7 +168,7 @@ constexpr std::string_view kAllowDirective = "tamperlint-allow(";
 constexpr std::string_view kNothrowMarker = "tamperlint: nothrow-path";
 
 [[nodiscard]] bool known_rule(std::string_view id) {
-  return id.size() == 2 && id[0] == 'R' && id[1] >= '1' && id[1] <= '5';
+  return id.size() == 2 && id[0] == 'R' && id[1] >= '1' && id[1] <= '6';
 }
 
 /// Per-line suppression state parsed from the raw text.
@@ -188,7 +198,7 @@ struct Directives {
     if (!known_rule(id) || reason.empty()) {
       d.malformed.push_back(
           {"R0", path, static_cast<int>(i + 1),
-           "malformed suppression (want `// tamperlint-allow(R1..R5): reason`); "
+           "malformed suppression (want `// tamperlint-allow(R1..R6): reason`); "
            "it suppresses nothing"});
       continue;
     }
@@ -380,6 +390,106 @@ struct FileLinter {
     }
   }
 
+  // R6 — metric hygiene: metric and label names snake_case; each family
+  // registered at most once per file (register once, share the handle).
+  //
+  // Registration sites are calls like `reg.counter("name", ...)` or
+  // `metrics->histogram_family("name", "help", {"label"}, ...)`. Structure
+  // (call tokens, quotes, parens) is found in the fully-stripped form, where
+  // literal contents are blanked so the quote after an opening `"` is always
+  // the close; the names themselves are read out of the position-aligned
+  // strings-kept form. Names passed as variables cannot be checked and are
+  // skipped.
+  void rule_metric_hygiene(std::string_view stripped_text,
+                           std::string_view strings_text) const {
+    static constexpr std::string_view kCalls[] = {
+        "counter(",        "gauge(",        "histogram(",
+        "counter_family(", "gauge_family(", "histogram_family("};
+    const auto line0_of = [&](std::size_t pos) {
+      return static_cast<std::size_t>(std::count(
+          stripped_text.begin(),
+          stripped_text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    };
+    const auto snake = [](std::string_view s) {
+      if (s.empty() || s[0] < 'a' || s[0] > 'z') return false;
+      return std::all_of(s.begin(), s.end(), [](char ch) {
+        return (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch == '_';
+      });
+    };
+
+    struct Hit {
+      std::size_t pos;  ///< just past the call's `(` in the stripped text
+      bool family;
+    };
+    std::vector<Hit> hits;
+    for (const std::string_view token : kCalls) {
+      std::size_t from = 0, p = 0;
+      while ((p = stripped_text.find(token, from)) != std::string_view::npos) {
+        from = p + 1;
+        if (p == 0) continue;
+        const char before = stripped_text[p - 1];  // `.counter(` or `->counter(`
+        if (before != '.' && before != '>') continue;
+        hits.push_back({p + token.size(), token.find("_family") != std::string_view::npos});
+      }
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const Hit& a, const Hit& b) { return a.pos < b.pos; });
+
+    std::vector<std::pair<std::string, std::size_t>> seen;  // name -> first line0
+    for (const Hit& hit : hits) {
+      std::size_t p = hit.pos;
+      while (p < stripped_text.size() &&
+             std::isspace(static_cast<unsigned char>(stripped_text[p])) != 0)
+        ++p;
+      if (p >= stripped_text.size() || stripped_text[p] != '"') continue;
+      const std::size_t close = stripped_text.find('"', p + 1);
+      if (close == std::string_view::npos) continue;
+      const std::string name(strings_text.substr(p + 1, close - p - 1));
+      const std::size_t line0 = line0_of(p);
+      if (!snake(name))
+        report("R6", line0,
+               "metric name \"" + name +
+                   "\" is not snake_case ([a-z][a-z0-9_]*); Prometheus exposition "
+                   "and the JSON snapshot require stable lowercase names");
+      const auto prior = std::find_if(seen.begin(), seen.end(),
+                                      [&](const auto& e) { return e.first == name; });
+      if (prior == seen.end()) {
+        seen.emplace_back(name, line0);
+      } else if (prior->second != line0) {
+        report("R6", line0,
+               "metric family \"" + name + "\" registered more than once in this "
+                   "file (first at line " + std::to_string(prior->second + 1) +
+                   "); register once and share the handle");
+      }
+      if (!hit.family) continue;
+      // Label keys are the string literals inside the call's brace list
+      // (histogram bounds are numeric braces and contribute none).
+      int paren = 1, brace = 0;
+      std::size_t q = close + 1;
+      while (q < stripped_text.size() && paren > 0) {
+        const char c = stripped_text[q];
+        if (c == '"') {
+          const std::size_t lit_close = stripped_text.find('"', q + 1);
+          if (lit_close == std::string_view::npos) break;
+          if (brace > 0) {
+            const std::string key(strings_text.substr(q + 1, lit_close - q - 1));
+            if (!snake(key))
+              report("R6", line0_of(q),
+                     "label key \"" + key +
+                         "\" is not snake_case ([a-z][a-z0-9_]*)");
+          }
+          q = lit_close + 1;
+          continue;
+        }
+        if (c == '(') ++paren;
+        else if (c == ')') --paren;
+        else if (c == '{') ++brace;
+        else if (c == '}') --brace;
+        ++q;
+      }
+    }
+  }
+
   // R5 — header hygiene.
   void rule_header_hygiene(std::string_view content) const {
     if (!is_header(path)) return;
@@ -399,8 +509,8 @@ struct FileLinter {
 std::vector<Finding> lint_source(std::string path, std::string_view content,
                                  const Config& config) {
   std::replace(path.begin(), path.end(), '\\', '/');
-  const std::vector<std::string> stripped =
-      split_lines(strip_literals(content, /*keep_comments=*/false));
+  const std::string stripped_text = strip_literals(content, /*keep_comments=*/false);
+  const std::vector<std::string> stripped = split_lines(stripped_text);
   const std::vector<std::string> commented =
       split_lines(strip_literals(content, /*keep_comments=*/true));
   const Directives directives = parse_directives(path, commented, stripped);
@@ -414,6 +524,10 @@ std::vector<Finding> lint_source(std::string path, std::string_view content,
   if (linter.rule_enabled("R3")) linter.rule_nothrow_path();
   if (linter.rule_enabled("R4")) linter.rule_checked_narrowing();
   if (linter.rule_enabled("R5")) linter.rule_header_hygiene(content);
+  if (linter.rule_enabled("R6"))
+    linter.rule_metric_hygiene(
+        stripped_text,
+        strip_literals(content, /*keep_comments=*/false, /*keep_strings=*/true));
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
@@ -528,7 +642,9 @@ std::string rule_catalog() {
       "R4  checked narrowing— no C-style narrowing casts or reinterpret_cast "
       "in src/net/\n"
       "R5  header hygiene   — #pragma once required; `using namespace` "
-      "forbidden in headers\n";
+      "forbidden in headers\n"
+      "R6  metric hygiene   — metric/label names snake_case; each metric "
+      "family registered once per file\n";
 }
 
 }  // namespace tamper::lint

@@ -22,6 +22,11 @@
 //       where it is explicit and greppable.
 //   R5  header hygiene — headers use #pragma once and never
 //       `using namespace`.
+//   R6  metric hygiene — metric and label names passed to the obs
+//       registry (counter/gauge/histogram and their _family forms) are
+//       snake_case, and each family is registered at most once per file;
+//       duplicated registration means two call sites disagree about help
+//       text or buckets sooner or later — register once, share the handle.
 //
 // Suppression:  // tamperlint-allow(R3): <non-empty reason>
 // on the offending line, or alone on the line directly above it. A
@@ -36,7 +41,7 @@
 namespace tamper::lint {
 
 struct Finding {
-  std::string rule;     ///< "R0".."R5"
+  std::string rule;     ///< "R0".."R6"
   std::string path;     ///< as given (normalized to forward slashes)
   int line = 0;         ///< 1-based
   std::string message;
@@ -54,6 +59,10 @@ struct Config {
       "src/analysis/report.",
       "src/common/json.",
       "src/common/table.",
+      "src/obs/log.",
+      "src/obs/metrics.",
+      "src/obs/trace.",
+      "src/obs/validate.",
       "tools/tamperscope",
   };
   /// R4: path fragment of the wire-parsing layer.

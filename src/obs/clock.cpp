@@ -1,0 +1,10 @@
+#include "obs/clock.h"
+
+namespace tamper::obs {
+
+const Clock& monotonic_clock() {
+  static const MonotonicClock kClock;
+  return kClock;
+}
+
+}  // namespace tamper::obs

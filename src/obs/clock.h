@@ -1,0 +1,70 @@
+// Observability clock seam.
+//
+// Every timestamp the observability layer emits — trace-event spans, log
+// lines, duration histograms, heartbeat-age gauges — flows through this
+// interface instead of an ambient clock call. Production wires
+// MonotonicClock (std::chrono::steady_clock relative to process start, so
+// the numbers are small and monotone); tests wire ManualClock, advanced by
+// hand, which keeps metric snapshots and trace files byte-stable across
+// identically-seeded runs and keeps the layer compliant with lint rule R1
+// (no ambient wall-clock outside sanctioned sources — steady_clock measures
+// elapsed time, never calendar time, and only this seam may read it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tamper::obs {
+
+/// Monotone nanosecond clock. Implementations must be safe to call from
+/// any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary fixed origin (monotone, never wall time).
+  [[nodiscard]] virtual std::uint64_t now_ns() const noexcept = 0;
+  /// Convenience: the same instant in seconds.
+  [[nodiscard]] double now_seconds() const noexcept {
+    return static_cast<double>(now_ns()) * 1e-9;
+  }
+};
+
+/// Production clock: steady_clock, rebased to the instant this object was
+/// constructed so emitted timestamps start near zero.
+class MonotonicClock final : public Clock {
+ public:
+  MonotonicClock() : origin_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Test clock: starts at zero, advances only when told to. Thread-safe so a
+/// worker thread can read while the test driver advances.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    return ns_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta) noexcept {
+    ns_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void advance_seconds(double s) noexcept {
+    advance_ns(static_cast<std::uint64_t>(s * 1e9));
+  }
+  void set_ns(std::uint64_t ns) noexcept { ns_.store(ns, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+/// Process-wide default production clock (lazily constructed, never freed).
+[[nodiscard]] const Clock& monotonic_clock();
+
+}  // namespace tamper::obs

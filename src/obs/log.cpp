@@ -1,0 +1,77 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace tamper::obs {
+
+std::string_view name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool parse_log_level(std::string_view text, LogLevel* out) noexcept {
+  if (text == "debug") *out = LogLevel::kDebug;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "warn") *out = LogLevel::kWarn;
+  else if (text == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// Fixed-width upper-case tag so text lines column-align.
+const char* text_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  const std::uint64_t ts_ns = clock_->now_ns();
+
+  common::MutexLock lock(mu_);
+  if (format_ == Format::kText) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[%13.6f] ",
+                  static_cast<double>(ts_ns) * 1e-9);
+    out_ << stamp << text_tag(level) << ' ' << component << ": " << message;
+    for (const LogField& f : fields) out_ << ' ' << f.key << '=' << f.value;
+    out_ << '\n';
+  } else {
+    common::JsonWriter json(out_, /*pretty=*/false);
+    json.begin_object();
+    json.kv("ts_ns", ts_ns);
+    json.kv("level", name(level));
+    json.kv("component", component);
+    json.kv("msg", message);
+    if (fields.size() > 0) {
+      json.key("fields");
+      json.begin_object();
+      for (const LogField& f : fields) json.kv(f.key, std::string_view(f.value));
+      json.end_object();
+    }
+    json.end_object();
+    out_ << '\n';
+  }
+  out_.flush();
+}
+
+}  // namespace tamper::obs

@@ -1,0 +1,84 @@
+// Leveled structured logger.
+//
+// Replaces the ad-hoc `std::cerr <<` prints in service/ and the CLI with
+// one sink that carries a level, a component tag, and optional key=value
+// fields. Two formats over the same call sites:
+//
+//   text:  [     1.250000] WARN  supervisor: worker stalled restarts=2
+//   json:  {"ts_ns":1250000000,"level":"warn","component":"supervisor",
+//           "msg":"worker stalled","fields":{"restarts":"2"}}
+//
+// Timestamps come from the obs::Clock seam (monotone, relative to process
+// start) — not wall time, keeping the layer inside lint rule R1 and log
+// output byte-stable under a ManualClock. A mutex serializes whole lines so
+// concurrent threads never interleave. Field values are preformatted
+// strings; callers stringify numbers at the call site, which keeps this
+// header small and the call sites explicit.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+
+namespace tamper::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+[[nodiscard]] std::string_view name(LogLevel level) noexcept;
+/// "debug"/"info"/"warn"/"error" → level; false on anything else.
+[[nodiscard]] bool parse_log_level(std::string_view text, LogLevel* out) noexcept;
+
+struct LogField {
+  std::string_view key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  enum class Format : std::uint8_t { kText, kJson };
+
+  explicit Logger(std::ostream& out, LogLevel min_level = LogLevel::kInfo,
+                  Format format = Format::kText,
+                  const Clock* clock = &monotonic_clock())
+      : out_(out), min_level_(min_level), format_(format), clock_(clock) {}
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= min_level_;
+  }
+  [[nodiscard]] LogLevel min_level() const noexcept { return min_level_; }
+  [[nodiscard]] Format format() const noexcept { return format_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message,
+           std::initializer_list<LogField> fields = {}) TAMPER_EXCLUDES(mu_);
+
+  void debug(std::string_view component, std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kDebug, component, message, fields);
+  }
+  void info(std::string_view component, std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kInfo, component, message, fields);
+  }
+  void warn(std::string_view component, std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kWarn, component, message, fields);
+  }
+  void error(std::string_view component, std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kError, component, message, fields);
+  }
+
+ private:
+  std::ostream& out_;
+  const LogLevel min_level_;
+  const Format format_;
+  const Clock* clock_;
+  common::Mutex mu_;  ///< serializes whole lines
+};
+
+}  // namespace tamper::obs

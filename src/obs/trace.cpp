@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace tamper::obs {
+
+Tracer::Tracer(const Clock& clock, Config config)
+    : clock_(&clock), capacity_(config.capacity == 0 ? 1 : config.capacity) {
+  common::MutexLock lock(mu_);
+  ring_.resize(capacity_);
+}
+
+void Tracer::record(const char* name, const char* cat, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint32_t tid) noexcept {
+  const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  common::MutexLock lock(mu_);
+  ring_[next_] = TraceEvent{name, cat, start_ns, dur, tid};
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_)
+    ++count_;
+  else
+    ++dropped_;
+}
+
+std::size_t Tracer::size() const {
+  common::MutexLock lock(mu_);
+  return count_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  common::MutexLock lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  common::MutexLock lock(mu_);
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "[\n";
+  {
+    common::MutexLock lock(mu_);
+    // Oldest-first: when the ring has wrapped the oldest event sits at
+    // next_, otherwise at 0.
+    const std::size_t first = count_ == capacity_ ? next_ : 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      const TraceEvent& ev = ring_[(first + i) % capacity_];
+      char line[256];
+      // Span names/categories are static identifiers (stage::k*), never
+      // user data, so no JSON string escaping is needed here.
+      std::snprintf(line, sizeof line,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                    ",\"pid\":1,\"tid\":%u}",
+                    ev.name, ev.cat, ev.ts_ns / 1000, ev.dur_ns / 1000,
+                    ev.tid);
+      out << line;
+      if (i + 1 < count_) out << ',';
+      out << '\n';
+    }
+  }
+  out << "]\n";
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+}  // namespace tamper::obs

@@ -1,0 +1,116 @@
+// Ring-buffered per-stage span tracing.
+//
+// Each pipeline stage (ingest → sample → classify → aggregate → checkpoint
+// → emit) records complete spans ("ph":"X") into a fixed-capacity ring that
+// is pre-allocated at construction — recording never allocates, so it is
+// safe inside Pipeline::ingest's nothrow path. When the ring is full the
+// oldest events are overwritten and counted in dropped(); a bounded trace
+// of the most recent activity is what an operator wants from a long-running
+// watch anyway.
+//
+// Span names and categories are `const char*` and must point at static
+// storage (string literals / the stage:: constants below): the ring stores
+// the pointers verbatim.
+//
+// Emission is the Chrome trace-event JSON array format — one event per
+// line, closed with a `]` terminator — loadable in Perfetto or
+// chrome://tracing. Timestamps come from the obs::Clock seam in integer
+// microseconds, so a ManualClock makes whole trace files byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+
+namespace tamper::obs {
+
+/// Canonical stage names so instrumentation sites and tests agree.
+namespace stage {
+inline constexpr const char* kIngest = "ingest";
+inline constexpr const char* kSample = "sample";
+inline constexpr const char* kClassify = "classify";
+inline constexpr const char* kAggregate = "aggregate";
+inline constexpr const char* kCheckpoint = "checkpoint";
+inline constexpr const char* kEmit = "emit";
+inline constexpr const char* kCategory = "pipeline";
+}  // namespace stage
+
+/// One complete span. POD so the ring is a flat pre-allocated vector.
+struct TraceEvent {
+  const char* name = "";  ///< static storage only
+  const char* cat = "";   ///< static storage only
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  struct Config {
+    std::size_t capacity = 4096;  ///< events kept; older ones are dropped
+  };
+
+  explicit Tracer(const Clock& clock) : Tracer(clock, Config{}) {}
+  Tracer(const Clock& clock, Config config);
+
+  /// Record a complete span [start_ns, end_ns). Never allocates, never
+  /// throws; drops the oldest event when the ring is full.
+  void record(const char* name, const char* cat, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint32_t tid = 0) noexcept
+      TAMPER_EXCLUDES(mu_);
+
+  /// RAII span: stamps the start on construction, records on destruction
+  /// (or explicit finish()). A null tracer makes every operation a no-op,
+  /// so call sites can hold `Tracer*` without branching.
+  class Span {
+   public:
+    Span(Tracer* tracer, const char* name, const char* cat,
+         std::uint32_t tid = 0) noexcept
+        : tracer_(tracer), name_(name), cat_(cat), tid_(tid) {
+      if (tracer_ != nullptr) start_ns_ = tracer_->clock().now_ns();
+    }
+    ~Span() { finish(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void finish() noexcept {
+      if (tracer_ == nullptr) return;
+      tracer_->record(name_, cat_, start_ns_, tracer_->clock().now_ns(), tid_);
+      tracer_ = nullptr;
+    }
+
+   private:
+    Tracer* tracer_;
+    const char* name_;
+    const char* cat_;
+    std::uint64_t start_ns_ = 0;
+    std::uint32_t tid_;
+  };
+
+  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const TAMPER_EXCLUDES(mu_);
+  /// Events lost to ring wrap-around since construction / clear().
+  [[nodiscard]] std::uint64_t dropped() const TAMPER_EXCLUDES(mu_);
+  void clear() TAMPER_EXCLUDES(mu_);
+
+  /// Chrome trace-event JSON: `[`, one event object per line, `]`.
+  void write_chrome_json(std::ostream& out) const TAMPER_EXCLUDES(mu_);
+  [[nodiscard]] std::string chrome_json() const TAMPER_EXCLUDES(mu_);
+
+ private:
+  const Clock* clock_;
+  const std::size_t capacity_;
+  mutable common::Mutex mu_;
+  std::vector<TraceEvent> ring_ TAMPER_GUARDED_BY(mu_);  ///< pre-allocated
+  std::size_t next_ TAMPER_GUARDED_BY(mu_) = 0;          ///< next write slot
+  std::size_t count_ TAMPER_GUARDED_BY(mu_) = 0;         ///< filled slots
+  std::uint64_t dropped_ TAMPER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tamper::obs

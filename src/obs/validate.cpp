@@ -1,0 +1,240 @@
+#include "obs/validate.h"
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tamper::obs {
+
+namespace {
+
+struct LineCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+
+  bool next(std::string_view* line) {
+    if (pos >= text.size()) return false;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      *line = text.substr(pos);
+      pos = text.size();
+    } else {
+      *line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    ++line_no;
+    return true;
+  }
+};
+
+Validation fail(std::size_t line, std::string error) {
+  Validation v;
+  v.ok = false;
+  v.line = line;
+  v.error = std::move(error);
+  return v;
+}
+
+bool parse_sample_value(std::string_view v) {
+  if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
+  if (v.empty()) return false;
+  const std::string buf(v);
+  char* end = nullptr;
+  std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+/// Parses `{k="v",...}` starting at text[pos] == '{'. On success advances
+/// pos past the closing brace and appends the pairs. Handles \\ \" \n
+/// escapes inside values.
+bool parse_label_block(std::string_view text, std::size_t* pos,
+                       std::vector<std::pair<std::string, std::string>>* out) {
+  std::size_t i = *pos + 1;  // past '{'
+  while (i < text.size() && text[i] != '}') {
+    std::size_t key_start = i;
+    while (i < text.size() && text[i] != '=') ++i;
+    if (i >= text.size()) return false;
+    const std::string key(text.substr(key_start, i - key_start));
+    if (!valid_metric_name(key)) return false;
+    ++i;  // '='
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;  // '"'
+    std::string value;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') {
+        if (i + 1 >= text.size()) return false;
+        const char esc = text[i + 1];
+        if (esc == '\\') value += '\\';
+        else if (esc == '"') value += '"';
+        else if (esc == 'n') value += '\n';
+        else return false;
+        i += 2;
+      } else {
+        value += text[i++];
+      }
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing '"'
+    out->emplace_back(key, value);
+    if (i < text.size() && text[i] == ',') ++i;
+  }
+  if (i >= text.size()) return false;
+  *pos = i + 1;  // past '}'
+  return true;
+}
+
+}  // namespace
+
+Validation validate_prometheus_text(std::string_view text) {
+  Validation result;
+  LineCursor cursor{text};
+  std::map<std::string, std::string> family_type;  // name → counter/gauge/histogram
+  std::string last_declared;  // ordering check
+  // Histogram cumulative-monotonicity: the last _bucket line's series
+  // identity (base name + labels minus `le`) and cumulative value.
+  std::string last_bucket_series;
+  double last_bucket_value = 0.0;
+
+  std::string_view line;
+  while (cursor.next(&line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // "# HELP name text" / "# TYPE name kind" / other comments.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos)
+          return fail(cursor.line_no, "malformed TYPE line");
+        const std::string fname(rest.substr(0, sp));
+        const std::string kind(rest.substr(sp + 1));
+        if (!valid_metric_name(fname))
+          return fail(cursor.line_no, "family name not snake_case: " + fname);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram")
+          return fail(cursor.line_no, "unknown metric type: " + kind);
+        if (family_type.count(fname) != 0)
+          return fail(cursor.line_no, "family declared twice: " + fname);
+        if (!last_declared.empty() && fname <= last_declared)
+          return fail(cursor.line_no,
+                      "families out of order: " + fname + " after " + last_declared);
+        last_declared = fname;
+        family_type.emplace(fname, kind);
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string fname(sp == std::string_view::npos ? rest
+                                                             : rest.substr(0, sp));
+        if (!valid_metric_name(fname))
+          return fail(cursor.line_no, "HELP for invalid name: " + fname);
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    std::string sample_name(line.substr(0, pos));
+    if (!valid_metric_name(sample_name))
+      return fail(cursor.line_no, "sample name not snake_case: " + sample_name);
+
+    // Resolve the owning family: exact match, or histogram suffix.
+    std::string base = sample_name;
+    bool is_bucket = false;
+    auto it = family_type.find(base);
+    if (it == family_type.end()) {
+      for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+        if (base.size() > suffix.size() &&
+            std::string_view(base).substr(base.size() - suffix.size()) == suffix) {
+          std::string stripped = base.substr(0, base.size() - suffix.size());
+          auto hit = family_type.find(stripped);
+          if (hit != family_type.end() && hit->second == "histogram") {
+            it = hit;
+            is_bucket = suffix == "_bucket";
+            base = std::move(stripped);
+            break;
+          }
+        }
+      }
+    }
+    if (it == family_type.end())
+      return fail(cursor.line_no, "sample without TYPE declaration: " + sample_name);
+    if (it->second == "histogram" && base == sample_name)
+      return fail(cursor.line_no,
+                  "bare histogram sample (want _bucket/_sum/_count): " + sample_name);
+
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (pos < line.size() && line[pos] == '{') {
+      if (!parse_label_block(line, &pos, &labels))
+        return fail(cursor.line_no, "malformed label block");
+    }
+    if (pos >= line.size() || line[pos] != ' ')
+      return fail(cursor.line_no, "missing sample value");
+    const std::string_view value = line.substr(pos + 1);
+    if (!parse_sample_value(value))
+      return fail(cursor.line_no, "unparseable sample value: " + std::string(value));
+
+    if (is_bucket) {
+      std::string le;
+      std::string series = base;
+      for (const auto& [k, v] : labels) {
+        if (k == "le") le = v;
+        else series += "|" + k + "=" + v;
+      }
+      if (le.empty())
+        return fail(cursor.line_no, "_bucket sample without le label");
+      const double bucket_value = std::strtod(std::string(value).c_str(), nullptr);
+      if (series == last_bucket_series && bucket_value < last_bucket_value)
+        return fail(cursor.line_no,
+                    "histogram cumulative bucket counts decreased in " + base);
+      last_bucket_series = std::move(series);
+      last_bucket_value = bucket_value;
+    } else {
+      last_bucket_series.clear();
+    }
+    ++result.samples;
+  }
+  result.families = family_type.size();
+  return result;
+}
+
+Validation validate_chrome_trace(std::string_view text) {
+  Validation result;
+  LineCursor cursor{text};
+  std::string_view line;
+  if (!cursor.next(&line) || line != "[")
+    return fail(cursor.line_no, "trace must open with a '[' line");
+
+  bool closed = false;
+  bool prev_had_comma = false;
+  bool any_event = false;
+  while (cursor.next(&line)) {
+    if (line == "]") {
+      if (any_event && prev_had_comma)
+        return fail(cursor.line_no, "trailing comma before ']' terminator");
+      closed = true;
+      break;
+    }
+    std::string_view body = line;
+    prev_had_comma = !body.empty() && body.back() == ',';
+    if (prev_had_comma) body.remove_suffix(1);
+    if (body.size() < 2 || body.front() != '{' || body.back() != '}')
+      return fail(cursor.line_no, "event line is not a one-line JSON object");
+    for (const std::string_view key :
+         {"\"name\":", "\"cat\":", "\"ph\":\"X\"", "\"ts\":", "\"dur\":",
+          "\"pid\":", "\"tid\":"}) {
+      if (body.find(key) == std::string_view::npos)
+        return fail(cursor.line_no,
+                    "event missing required key " + std::string(key));
+    }
+    any_event = true;
+    ++result.samples;
+  }
+  if (!closed) return fail(cursor.line_no, "missing ']' terminator line");
+  if (cursor.next(&line) && !line.empty())
+    return fail(cursor.line_no, "content after ']' terminator");
+  return result;
+}
+
+}  // namespace tamper::obs

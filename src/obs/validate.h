@@ -1,0 +1,37 @@
+// Validators for the two observability output formats.
+//
+// These are deliberately small, dependency-free parsers — the "tiny parser
+// check" the CI obs smoke job runs over real `tamperscope watch` output,
+// also exercised directly by tests/test_obs.cpp. They check structure, not
+// semantics: a passing file is syntactically loadable by Prometheus /
+// Perfetto and obeys this repo's ordering contract (families sorted by
+// name), but no particular metric values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tamper::obs {
+
+struct Validation {
+  bool ok = true;
+  std::string error;        ///< first problem found, empty when ok
+  std::size_t line = 0;     ///< 1-based line of the problem (0 when ok)
+  std::size_t samples = 0;  ///< sample lines (prometheus) / events (trace)
+  std::size_t families = 0; ///< TYPE-declared families (prometheus only)
+};
+
+/// Prometheus text exposition v0.0.4: every sample belongs to a family
+/// declared by a preceding # TYPE line; names are snake_case; label blocks
+/// are well-formed; histogram series expose _bucket/_sum/_count with
+/// non-decreasing cumulative bucket counts; families appear in strictly
+/// ascending name order (the registry's byte-stability contract).
+[[nodiscard]] Validation validate_prometheus_text(std::string_view text);
+
+/// Chrome trace-event JSON as Tracer emits it: a `[` line, zero or more
+/// one-per-line complete-span objects with name/cat/ph/ts/dur/pid/tid keys
+/// and correct comma placement, closed by a `]` terminator line.
+[[nodiscard]] Validation validate_chrome_trace(std::string_view text);
+
+}  // namespace tamper::obs

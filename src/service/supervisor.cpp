@@ -25,10 +25,122 @@ SupervisedService::SupervisedService(const world::World& world, ServiceConfig co
       config_(std::move(config)),
       emitter_(emitter),
       pipeline_(std::make_unique<analysis::Pipeline>(world)),
-      queue_(config_.queue_capacity, config_.queue_policy, sample_is_embryonic) {}
+      queue_(config_.queue_capacity, config_.queue_policy, sample_is_embryonic) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  clock_ = config_.clock != nullptr ? config_.clock : &obs::monotonic_clock();
+  pipeline_->set_obs(metrics_, config_.tracer, clock_);
+  register_metrics();
+}
 
 SupervisedService::~SupervisedService() {
   if (running_.load()) kill();
+  metrics_->remove_collector(collector_);
+  // Detach the pipeline's collector now: members destruct in reverse
+  // declaration order, so owned_metrics_ dies before pipeline_ and the
+  // pipeline destructor must not touch the registry then.
+  pipeline_->set_obs(nullptr);
+}
+
+void SupervisedService::register_metrics() {
+  obs::Registry& m = *metrics_;
+  ingested_c_ = &m.counter(
+      "tamper_ingest_samples_total",
+      "Samples ingested by the worker (includes checkpoint-restored samples)");
+  checkpoints_written_c_ =
+      &m.counter("tamper_checkpoint_writes_total", "Checkpoints written successfully");
+  checkpoint_failures_c_ = &m.counter(
+      "tamper_checkpoint_failures_total",
+      "Checkpoint writes that failed (fault hook or I/O error)");
+  reports_emitted_c_ =
+      &m.counter("tamper_reports_emitted_total", "Radar reports handed to the emitter");
+  worker_crashes_c_ = &m.counter("tamper_worker_crashes_total",
+                                 "Worker stage crashes caught by the supervisor");
+  worker_restarts_c_ = &m.counter("tamper_worker_restarts_total",
+                                  "Worker stage restarts (crash or stall recycle)");
+  stalls_detected_c_ =
+      &m.counter("tamper_worker_stalls_total", "Worker stalls detected by the watchdog");
+  checkpoint_save_seconds_ = &m.histogram(
+      "tamper_checkpoint_save_seconds", "Checkpoint save duration",
+      obs::duration_buckets());
+  checkpoint_restore_seconds_ = &m.histogram(
+      "tamper_checkpoint_restore_seconds", "Checkpoint restore duration at start()",
+      obs::duration_buckets());
+
+  // Gauges and mirrors whose truth lives in the queue / emitter / heartbeat:
+  // refreshed by this collector at every snapshot.
+  obs::Gauge* heartbeat_age =
+      &m.gauge("tamper_supervisor_heartbeat_age_seconds",
+               "Seconds since the worker last made progress");
+  obs::Gauge* queue_depth = &m.gauge("tamper_queue_depth", "Samples currently queued");
+  obs::Gauge* queue_capacity =
+      &m.gauge("tamper_queue_capacity", "Bounded ingest queue capacity");
+  obs::Counter* q_pushed =
+      &m.counter("tamper_queue_pushed_total", "Samples accepted into the queue");
+  obs::Counter* q_popped =
+      &m.counter("tamper_queue_popped_total", "Samples popped by the worker");
+  obs::Counter* q_waits = &m.counter("tamper_queue_push_waits_total",
+                                     "Producer pushes that had to wait (kBlock)");
+  auto& shed_family = m.counter_family(
+      "tamper_queue_shed_total", "Samples shed under backpressure", {"reason"});
+  obs::Counter* shed_embryonic = &shed_family.with({"embryonic"});
+  obs::Counter* shed_forced = &shed_family.with({"forced"});
+
+  obs::Counter* e_reports = nullptr;
+  obs::Counter* e_delivered = nullptr;
+  obs::Counter* e_attempts = nullptr;
+  obs::Counter* e_retries = nullptr;
+  obs::Counter* e_spooled = nullptr;
+  obs::Counter* e_replayed = nullptr;
+  obs::Counter* e_lost = nullptr;
+  obs::Gauge* e_spool_depth = nullptr;
+  if (emitter_ != nullptr) {
+    e_reports = &m.counter("tamper_emitter_reports_total", "Reports submitted to emit()");
+    e_delivered = &m.counter("tamper_emitter_delivered_total",
+                             "Reports the sink accepted (including spool replays)");
+    e_attempts =
+        &m.counter("tamper_emitter_attempts_total", "Individual sink deliver() calls");
+    e_retries = &m.counter("tamper_emitter_retries_total",
+                           "Delivery attempts beyond the first, per report");
+    e_spooled = &m.counter("tamper_emitter_spooled_total", "Reports parked on disk");
+    e_replayed = &m.counter("tamper_emitter_spool_replayed_total",
+                            "Spooled reports later delivered");
+    e_lost = &m.counter("tamper_emitter_lost_total",
+                        "Reports lost (spool write itself failed)");
+    e_spool_depth =
+        &m.gauge("tamper_emitter_spool_depth", "Spooled reports awaiting replay");
+  }
+
+  collector_ = m.add_collector([=, this] {
+    const common::BoundedQueueStats qs = queue_.stats();
+    q_pushed->increment_to(qs.pushed);
+    q_popped->increment_to(qs.popped);
+    q_waits->increment_to(qs.push_waits);
+    shed_embryonic->increment_to(qs.shed_low_value);
+    shed_forced->increment_to(qs.shed_other);
+    queue_depth->set(static_cast<double>(queue_.size()));
+    queue_capacity->set(static_cast<double>(config_.queue_capacity));
+    const std::uint64_t beat_ns = last_beat_ns_.load();
+    const std::uint64_t now_ns = clock_->now_ns();
+    heartbeat_age->set(beat_ns == 0 || now_ns < beat_ns
+                           ? 0.0
+                           : static_cast<double>(now_ns - beat_ns) * 1e-9);
+    if (emitter_ != nullptr) {
+      const ReportEmitter::Stats es = emitter_->stats();
+      e_reports->increment_to(es.reports);
+      e_delivered->increment_to(es.delivered);
+      e_attempts->increment_to(es.attempts);
+      e_retries->increment_to(es.retries);
+      e_spooled->increment_to(es.spooled);
+      e_replayed->increment_to(es.spool_replayed);
+      e_lost->increment_to(es.lost);
+      e_spool_depth->set(static_cast<double>(emitter_->spool_depth()));
+    }
+  });
 }
 
 bool SupervisedService::start(Resume resume) {
@@ -37,18 +149,38 @@ bool SupervisedService::start(Resume resume) {
     error_ = "service already running";
     return false;
   }
+  // Counter bases: a registry can outlive or be shared across services, so
+  // every RunSummary figure (and the checkpoint/report cadence) is a delta
+  // against the values at start. Captured before the restore below so the
+  // restored samples count into this run, as they always have.
+  base_.ingested = ingested_c_->value();
+  base_.checkpoints_written = checkpoints_written_c_->value();
+  base_.checkpoint_failures = checkpoint_failures_c_->value();
+  base_.reports_emitted = reports_emitted_c_->value();
+  base_.worker_crashes = worker_crashes_c_->value();
+  base_.worker_restarts = worker_restarts_c_->value();
+  base_.stalls_detected = stalls_detected_c_->value();
   if (!config_.checkpoint_path.empty() && resume != Resume::kFresh) {
+    const std::uint64_t t0 = clock_->now_ns();
     const LoadResult result = load_checkpoint(config_.checkpoint_path, *pipeline_);
     if (result.ok) {
+      checkpoint_restore_seconds_->observe(
+          static_cast<double>(clock_->now_ns() - t0) * 1e-9);
       restored_ = true;
       restored_samples_ = result.meta.samples_ingested;
-      ingested_.store(result.meta.samples_ingested);
+      ingested_c_->add(result.meta.samples_ingested);
       checkpoint_seq_ = result.meta.sequence + 1;
+      log(obs::LogLevel::kInfo, "resumed from checkpoint",
+          {{"samples", std::to_string(result.meta.samples_ingested)},
+           {"sequence", std::to_string(result.meta.sequence)}});
     } else {
       // A failed restore may have partially written the pipeline: discard it.
       pipeline_ = std::make_unique<analysis::Pipeline>(world_);
+      pipeline_->set_obs(metrics_, config_.tracer, clock_);
       const bool missing = result.error.rfind("no checkpoint", 0) == 0;
       if (resume == Resume::kRequire || !missing) {
+        log(obs::LogLevel::kError, "checkpoint restore refused",
+            {{"error", result.error}});
         common::MutexLock lock(lifecycle_mu_);
         error_ = result.error;
         return false;
@@ -88,6 +220,7 @@ void SupervisedService::worker_main() {
       if (restart_requested_.exchange(false)) throw StageRestartRequested{};
       auto item = queue_.pop_wait(config_.pop_timeout);
       heartbeat_.fetch_add(1);
+      last_beat_ns_.store(clock_->now_ns());
       if (abort_.load()) {
         exit_state = WorkerState::kAborted;
         break;
@@ -97,7 +230,7 @@ void SupervisedService::worker_main() {
         continue;
       }
       pipeline_->ingest(*item);
-      const std::uint64_t n = ingested_.fetch_add(1) + 1;
+      const std::uint64_t n = ingested_c_->add(1) - base_.ingested;
       if (!config_.checkpoint_path.empty() && config_.checkpoint_every_samples != 0 &&
           n % config_.checkpoint_every_samples == 0)
         write_checkpoint();
@@ -109,7 +242,8 @@ void SupervisedService::worker_main() {
   } catch (const StageRestartRequested&) {
     exit_state = WorkerState::kCrashed;
   } catch (...) {
-    worker_crashes_.fetch_add(1);
+    worker_crashes_c_->add(1);
+    log(obs::LogLevel::kWarn, "worker stage crashed");
     exit_state = WorkerState::kCrashed;
   }
   {
@@ -131,19 +265,24 @@ void SupervisedService::watchdog_main() {
       lock.unlock();
       worker_.join();
       lock.lock();
+      const std::uint64_t restarts = worker_restarts_c_->value() - base_.worker_restarts;
       const bool budget_left =
-          worker_restarts_.load() < static_cast<std::uint64_t>(config_.max_worker_restarts);
+          restarts < static_cast<std::uint64_t>(config_.max_worker_restarts);
       if (abort_.load() || !budget_left) {
         if (!abort_.load()) {
           failed_.store(true);
           error_ = "worker restart budget exhausted after " +
-                   std::to_string(worker_restarts_.load()) + " restarts";
+                   std::to_string(restarts) + " restarts";
+          log(obs::LogLevel::kError, "worker restart budget exhausted",
+              {{"restarts", std::to_string(restarts)}});
           queue_.close();  // unblock producers; submit() now refuses
         }
         terminal_ = true;
         break;
       }
-      worker_restarts_.fetch_add(1);
+      worker_restarts_c_->add(1);
+      log(obs::LogLevel::kInfo, "worker stage restarted",
+          {{"restarts", std::to_string(restarts + 1)}});
       worker_state_ = WorkerState::kRunning;
       spawn_worker();
       last_heartbeat = heartbeat_.load();
@@ -162,7 +301,9 @@ void SupervisedService::watchdog_main() {
       // The stage is wedged with work pending. We cannot safely terminate
       // a running thread, so request a self-restart: the worker throws on
       // its next live instruction and comes back through the crash path.
-      stalls_detected_.fetch_add(1);
+      stalls_detected_c_->add(1);
+      log(obs::LogLevel::kWarn, "worker stall detected; requesting restart",
+          {{"queued", std::to_string(queue_.size())}});
       restart_requested_.store(true);
       last_progress = Clock::now();
     }
@@ -172,29 +313,37 @@ void SupervisedService::watchdog_main() {
 }
 
 void SupervisedService::write_checkpoint() {
+  obs::Tracer::Span span(config_.tracer, obs::stage::kCheckpoint,
+                         obs::stage::kCategory);
   pipeline_->record_queue_stats(queue_.stats());
   if (config_.checkpoint_fault_hook && config_.checkpoint_fault_hook()) {
-    checkpoint_failures_.fetch_add(1);
+    checkpoint_failures_c_->add(1);
+    log(obs::LogLevel::kWarn, "checkpoint write failed",
+        {{"error", "injected fault"}});
     return;
   }
   CheckpointMeta meta;
-  meta.samples_ingested = ingested_.load();
+  meta.samples_ingested = ingested_c_->value() - base_.ingested;
   meta.sequence = checkpoint_seq_;
+  const std::uint64_t t0 = clock_->now_ns();
   const std::string err = save_checkpoint(config_.checkpoint_path, *pipeline_, meta);
   if (err.empty()) {
-    checkpoints_written_.fetch_add(1);
+    checkpoint_save_seconds_->observe(static_cast<double>(clock_->now_ns() - t0) * 1e-9);
+    checkpoints_written_c_->add(1);
     ++checkpoint_seq_;
   } else {
-    checkpoint_failures_.fetch_add(1);
+    checkpoint_failures_c_->add(1);
+    log(obs::LogLevel::kWarn, "checkpoint write failed", {{"error", err}});
   }
 }
 
 void SupervisedService::emit_report() {
+  obs::Tracer::Span span(config_.tracer, obs::stage::kEmit, obs::stage::kCategory);
   pipeline_->record_queue_stats(queue_.stats());
   std::ostringstream out;
   analysis::write_radar_report(out, *pipeline_);
   emitter_->emit(out.str());
-  reports_emitted_.fetch_add(1);
+  reports_emitted_c_->add(1);
 }
 
 RunSummary SupervisedService::stop() { return finish(/*persist=*/true); }
@@ -230,14 +379,16 @@ RunSummary SupervisedService::finish(bool persist) {
 }
 
 RunSummary SupervisedService::summarize() {
+  // The registry is the single bookkeeping path; the summary is a delta
+  // view over it for this run.
   RunSummary s;
-  s.ingested = ingested_.load();
-  s.checkpoints_written = checkpoints_written_.load();
-  s.checkpoint_failures = checkpoint_failures_.load();
-  s.reports_emitted = reports_emitted_.load();
-  s.worker_crashes = worker_crashes_.load();
-  s.worker_restarts = worker_restarts_.load();
-  s.stalls_detected = stalls_detected_.load();
+  s.ingested = ingested_c_->value() - base_.ingested;
+  s.checkpoints_written = checkpoints_written_c_->value() - base_.checkpoints_written;
+  s.checkpoint_failures = checkpoint_failures_c_->value() - base_.checkpoint_failures;
+  s.reports_emitted = reports_emitted_c_->value() - base_.reports_emitted;
+  s.worker_crashes = worker_crashes_c_->value() - base_.worker_crashes;
+  s.worker_restarts = worker_restarts_c_->value() - base_.worker_restarts;
+  s.stalls_detected = stalls_detected_c_->value() - base_.stalls_detected;
   s.queue = queue_.stats();
   s.restored = restored_;
   s.restored_samples = restored_samples_;

@@ -43,6 +43,10 @@
 #include "common/bounded_queue.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/checkpoint.h"
 #include "service/sink.h"
 #include "world/world.h"
@@ -73,6 +77,17 @@ struct ServiceConfig {
   /// Chaos hook consulted before each checkpoint save; return true to fail
   /// the write (the ENOSPC model). Failures are counted, never fatal.
   std::function<bool()> checkpoint_fault_hook;
+
+  /// Observability (all optional, all must outlive the service). When
+  /// `metrics` is null the service creates a private registry — the
+  /// supervision counters are ALWAYS registry-backed; RunSummary is just a
+  /// view over them (there is no second bookkeeping path). The clock seam
+  /// times checkpoints and the heartbeat-age gauge; tests inject a
+  /// ManualClock, production defaults to obs::monotonic_clock().
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::Logger* logger = nullptr;
+  const obs::Clock* clock = nullptr;
 };
 
 struct RunSummary {
@@ -136,12 +151,23 @@ class SupervisedService {
   /// Only meaningful once the service is no longer running.
   [[nodiscard]] const analysis::Pipeline& pipeline() const { return *pipeline_; }
 
+  /// The registry backing the supervision counters: the configured one, or
+  /// the private registry the service created when none was given. Live for
+  /// the whole service lifetime; snapshots may be taken from any thread.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return *metrics_; }
+
  private:
   enum class WorkerState : std::uint8_t { kIdle, kRunning, kCrashed, kDrained, kAborted };
 
   void worker_main();
   void watchdog_main();
   void spawn_worker() TAMPER_REQUIRES(lifecycle_mu_);
+  void register_metrics();
+  void log(obs::LogLevel level, std::string_view message,
+           std::initializer_list<obs::LogField> fields = {}) const {
+    if (config_.logger != nullptr)
+      config_.logger->log(level, "supervisor", message, fields);
+  }
   void write_checkpoint();
   void emit_report();
   RunSummary finish(bool persist);
@@ -172,13 +198,36 @@ class SupervisedService {
   std::atomic<bool> restart_requested_{false};
   std::atomic<std::uint64_t> hook_tick_{0};
   std::atomic<std::uint64_t> heartbeat_{0};
-  std::atomic<std::uint64_t> ingested_{0};
-  std::atomic<std::uint64_t> checkpoints_written_{0};
-  std::atomic<std::uint64_t> checkpoint_failures_{0};
-  std::atomic<std::uint64_t> reports_emitted_{0};
-  std::atomic<std::uint64_t> worker_crashes_{0};
-  std::atomic<std::uint64_t> worker_restarts_{0};
-  std::atomic<std::uint64_t> stalls_detected_{0};
+  std::atomic<std::uint64_t> last_beat_ns_{0};  ///< clock stamp of last heartbeat
+
+  // Supervision counters live in the metrics registry — the single
+  // bookkeeping path. The handles are resolved once in the constructor and
+  // are plain relaxed atomics underneath, so every former fetch_add is the
+  // same cost. A registry may outlive (or be shared across) services, so
+  // start() records each counter's base and RunSummary reports the delta.
+  obs::Registry* metrics_ = nullptr;  ///< config_.metrics or owned_metrics_
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* ingested_c_ = nullptr;
+  obs::Counter* checkpoints_written_c_ = nullptr;
+  obs::Counter* checkpoint_failures_c_ = nullptr;
+  obs::Counter* reports_emitted_c_ = nullptr;
+  obs::Counter* worker_crashes_c_ = nullptr;
+  obs::Counter* worker_restarts_c_ = nullptr;
+  obs::Counter* stalls_detected_c_ = nullptr;
+  obs::Histogram* checkpoint_save_seconds_ = nullptr;
+  obs::Histogram* checkpoint_restore_seconds_ = nullptr;
+  obs::Registry::CollectorId collector_ = 0;
+  struct CounterBases {
+    std::uint64_t ingested = 0;
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t checkpoint_failures = 0;
+    std::uint64_t reports_emitted = 0;
+    std::uint64_t worker_crashes = 0;
+    std::uint64_t worker_restarts = 0;
+    std::uint64_t stalls_detected = 0;
+  };
+  CounterBases base_;  ///< written by start() pre-spawn only (like restored_)
   // checkpoint_seq_ is only touched by the thread currently driving the
   // pipeline: start() before spawning, then the worker, then finish()
   // after the final join. Each handoff is a thread create/join, so the

@@ -1,0 +1,25 @@
+// Fixture: hygienic metric registrations — snake_case names and label
+// keys, one registration site per family, handles shared from there. The
+// multi-line family call checks that R6 reads names across line breaks,
+// and the label VALUE passed to with() is free-form by design.
+#include "obs/metrics.h"
+
+struct Handles {
+  tamper::obs::Counter* ingested = nullptr;
+  tamper::obs::Gauge* depth = nullptr;
+};
+
+Handles register_metrics(tamper::obs::Registry& reg) {
+  Handles h;
+  h.ingested = &reg.counter(
+      "tamper_ingest_samples_total",
+      "Samples ingested (help text may Say Anything, even .counter(\"X\"))");
+  h.depth = &reg.gauge("tamper_queue_depth", "queued samples");
+  auto& shed = reg.counter_family("tamper_queue_shed_total",
+                                  "sheds by reason", {"reason"});
+  shed.with({"Embryonic-Phase"}).add(0);
+  auto& lat = reg.histogram("tamper_classify_seconds", "per-sample latency",
+                            {0.001, 0.01, 0.1});
+  lat.observe(0.002);
+  return h;
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences R6 at exactly one site.
+#include "obs/metrics.h"
+
+void register_metrics(tamper::obs::Registry& reg) {
+  // tamperlint-allow(R6): byte-compatible with the legacy exporter's CamelCase name
+  reg.counter("LegacyIngestTotal", "kept until the dashboards migrate");
+  reg.counter("tamper_modern_total", "the replacement series");
+}

@@ -1,0 +1,12 @@
+// Fixture: R6 must fire on a non-snake_case metric name, a non-snake_case
+// label key, and a family registered at two different sites in one file.
+#include "obs/metrics.h"
+
+void register_metrics(tamper::obs::Registry& reg) {
+  reg.counter("Tamper_Ingest_Total", "capitals leak into the exposition");  // R6
+  auto& shed = reg.counter_family("tamper_shed_total", "sheds by reason",
+                                  {"Reason"});  // R6: label key
+  shed.with({"embryonic"}).add(0);
+  reg.counter("tamper_dup_total", "first registration");
+  reg.counter("tamper_dup_total", "second site disagrees eventually");  // R6
+}

@@ -137,6 +137,43 @@ TEST(LintR5, SourcesAreExemptFromHeaderRules) {
   EXPECT_EQ(count_rule(findings, "R5"), 0);
 }
 
+TEST(LintR6, FiresOnBadNamesLabelsAndDuplicateRegistration) {
+  const auto findings =
+      lint_source("src/service/supervisor.cpp", fixture("r6_violation.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R6"), 3) << tamper::lint::format_text(findings);
+  // The duplicate finding points back at the first registration site.
+  bool saw_duplicate = false;
+  for (const auto& f : findings)
+    if (f.rule == "R6" && f.message.find("more than once") != std::string::npos) {
+      saw_duplicate = true;
+      EXPECT_NE(f.message.find("first at line"), std::string::npos) << f.message;
+    }
+  EXPECT_TRUE(saw_duplicate);
+}
+
+TEST(LintR6, QuietOnHygienicRegistrations) {
+  // Includes a multi-line registration (name on its own line), a help
+  // string that *mentions* a registration call, and a free-form label
+  // value — none of which may fire.
+  const auto findings =
+      lint_source("src/obs/handles.cpp", fixture("r6_clean.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R6"), 0) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR6, SuppressionSilencesExactlyOneSite) {
+  const auto findings =
+      lint_source("src/obs/legacy.cpp", fixture("r6_suppressed.cpp"), {});
+  EXPECT_EQ(count_rule(findings, "R6"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR6, IgnoresRegistrationsInsideStringLiterals) {
+  const std::string src =
+      "const char* doc = \"call reg.counter(\\\"Bad_Name\\\", ...) to register\";\n";
+  const auto findings = lint_source("src/obs/doc.cpp", src, {});
+  EXPECT_EQ(count_rule(findings, "R6"), 0) << tamper::lint::format_text(findings);
+}
+
 TEST(LintR0, MalformedDirectivesAreFindingsAndSuppressNothing) {
   const auto findings =
       lint_source("src/analysis/pipeline.cpp", fixture("r0_malformed.cpp"), {});

@@ -53,6 +53,9 @@ run_mode() {
       ;;
   esac
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" "$@"
+  # End-to-end observability smoke under the same sanitizer: real watch
+  # runs (clean + SIGTERM drain) with every emitted file re-parsed.
+  tools/obs_smoke.sh "$build_dir"
   echo "== sanitizer gate passed: $mode =="
 }
 

@@ -1,0 +1,46 @@
+// obscheck — tiny validator CLI for the observability output formats.
+//
+//   obscheck prom <file>    Prometheus text exposition v0.0.4
+//   obscheck trace <file>   Chrome trace-event JSON (Perfetto-loadable)
+//
+// Exit 0 when the file parses, 1 with a one-line diagnostic when it does
+// not, 2 on usage/IO errors. This is the parser half of the CI obs smoke
+// gate (tools/obs_smoke.sh): it re-reads real `tamperscope watch` output
+// through obs/validate, so the emission contract is enforced end to end
+// rather than only against in-process strings in tests/test_obs.cpp.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/validate.h"
+
+int main(int argc, char** argv) {
+  const std::string kind = argc == 3 ? argv[1] : "";
+  if (kind != "prom" && kind != "trace") {
+    std::cerr << "usage: obscheck <prom|trace> <file>\n";
+    return 2;
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::cerr << "obscheck: cannot open " << argv[2] << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const tamper::obs::Validation v = kind == "prom"
+                                        ? tamper::obs::validate_prometheus_text(text)
+                                        : tamper::obs::validate_chrome_trace(text);
+  if (!v.ok) {
+    std::cerr << "obscheck: " << argv[2] << ":" << v.line << ": " << v.error << '\n';
+    return 1;
+  }
+  if (kind == "prom")
+    std::cout << argv[2] << ": ok (" << v.families << " families, " << v.samples
+              << " samples)\n";
+  else
+    std::cout << argv[2] << ": ok (" << v.samples << " events)\n";
+  return 0;
+}

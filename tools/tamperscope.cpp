@@ -19,11 +19,18 @@
 //   tamperscope watch [--connections N] [--seed S] [--checkpoint FILE]
 //                     [--fresh] [--report out.json] [--spool DIR]
 //                     [--queue N] [--shed] [--checkpoint-every N]
-//                     [--report-every N]
+//                     [--report-every N] [--metrics-out PATH]
+//                     [--metrics-interval MS] [--trace-out PATH]
 //       Run the analysis pipeline as a supervised streaming service:
 //       bounded ingest queue, periodic checkpoints (resume with the same
 //       --checkpoint path), report sink with retry + spool. SIGINT/SIGTERM
 //       drain the queue, write a final checkpoint, and emit a final report.
+//       --metrics-out snapshots Prometheus text (and PATH.json) every
+//       --metrics-interval ms, with a final flush on shutdown; --trace-out
+//       writes a Perfetto-loadable Chrome trace of pipeline stage spans.
+//
+//   Common options: --log-level debug|info|warn|error, --log-format
+//   text|json — structured logging on stderr (stdout stays the product).
 #include <algorithm>
 #include <atomic>
 #include <csignal>
@@ -34,15 +41,27 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
 #include "analysis/testlists.h"
 #include "capture/sampler.h"
 #include "common/json.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/supervisor.h"
 #include "world/traffic.h"
 
@@ -101,6 +120,79 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Structured logger on stderr, shaped by --log-level and --log-format.
+/// stdout stays reserved for the command's actual product (tables, JSON).
+obs::Logger make_logger(const Args& args) {
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  if (args.has("log-level") && !obs::parse_log_level(args.get("log-level"), &level))
+    std::cerr << "warning: unknown --log-level '" << args.get("log-level")
+              << "', using info\n";
+  const obs::Logger::Format format = args.get("log-format") == "json"
+                                         ? obs::Logger::Format::kJson
+                                         : obs::Logger::Format::kText;
+  return obs::Logger(std::cerr, level, format);
+}
+
+/// Temp-file + rename so a reader never sees a half-written snapshot and an
+/// interrupted run still leaves the previous complete file behind.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Prometheus text at `path`, the JSON snapshot beside it at `path`.json.
+bool write_metrics_files(obs::Registry& metrics, const std::string& path) {
+  return write_file_atomic(path, metrics.prometheus_text()) &&
+         write_file_atomic(path + ".json", metrics.json_text());
+}
+
+/// Periodic snapshot writer for `watch`: calls `flush` every `interval`
+/// until stopped. The final flush after service shutdown is the caller's —
+/// it must happen after stop() so the drained counters are on disk.
+class SnapshotFlusher {
+ public:
+  SnapshotFlusher(std::function<void()> flush, std::chrono::milliseconds interval)
+      : flush_(std::move(flush)), interval_(interval),
+        thread_([this] { run(); }) {}
+  ~SnapshotFlusher() { stop(); }
+
+  void stop() {
+    {
+      common::MutexLock lock(mu_);
+      if (done_) return;
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    common::UniqueLock lock(mu_);
+    while (!done_) {
+      cv_.wait_for(lock, interval_);
+      if (done_) break;
+      lock.unlock();
+      flush_();
+      lock.lock();
+    }
+  }
+
+  std::function<void()> flush_;
+  std::chrono::milliseconds interval_;
+  common::Mutex mu_;
+  std::condition_variable_any cv_;
+  bool done_ TAMPER_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
 int cmd_signatures() {
   common::TextTable table({"Signature", "ASCII name", "Stage", "Description"});
   const std::map<core::Signature, std::string> descriptions = {
@@ -150,57 +242,117 @@ int cmd_classify(const Args& args) {
   // Lenient by default: a capture from a hostile tap should degrade, not
   // die. --strict turns any corruption into a hard failure.
   const bool strict = args.has("strict");
+  obs::Logger logger = make_logger(args);
+  const std::string metrics_path = args.get("metrics-out");
+  const std::string trace_path = args.get("trace-out");
+  obs::Registry metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty())
+    tracer = std::make_unique<obs::Tracer>(obs::monotonic_clock());
+
   capture::ConnectionSampler::Config config;
   config.sample_one_in = 1;
   capture::ConnectionSampler sampler(config);
   net::PcapReader reader(in, strict ? net::PcapReadMode::kStrict
                                     : net::PcapReadMode::kLenient);
   if (!reader.ok()) {
-    std::cerr << "error: " << args.positional[0] << ": " << reader.error() << '\n';
+    logger.error("classify", "cannot read capture",
+                 {{"path", args.positional[0]}, {"error", reader.error()}});
     return 1;
   }
   install_signal_handlers();
   double last_ts = 0.0;
   bool interrupted = false;
-  while (auto pkt = reader.next()) {
-    if (g_signal != 0) {
-      // Stop reading but keep going: classify what we have, report the
-      // degradation honestly, then exit with the conventional signal code.
-      interrupted = true;
-      break;
+  {
+    obs::Tracer::Span sample_span(tracer.get(), obs::stage::kSample,
+                                  obs::stage::kCategory);
+    while (auto pkt = reader.next()) {
+      if (g_signal != 0) {
+        // Stop reading but keep going: classify what we have, report the
+        // degradation honestly, then exit with the conventional signal code.
+        interrupted = true;
+        break;
+      }
+      last_ts = std::max(last_ts, pkt->timestamp);  // hostile clocks can regress
+      sampler.on_packet(*pkt, pkt->timestamp);
     }
-    last_ts = std::max(last_ts, pkt->timestamp);  // hostile clocks can regress
-    sampler.on_packet(*pkt, pkt->timestamp);
   }
   const auto samples = sampler.flush_all(last_ts + 60.0);
   if (interrupted)
-    std::cerr << "interrupted by signal " << static_cast<int>(g_signal)
-              << ": classifying the " << samples.size() << " flows read so far\n";
+    logger.warn("classify", "interrupted; classifying the flows read so far",
+                {{"signal", std::to_string(static_cast<int>(g_signal))},
+                 {"flows", std::to_string(samples.size())}});
 
   const net::PcapReader::Stats& rs = reader.stats();
   const capture::ConnectionSampler::Stats& ss = sampler.stats();
+
+  // Mirror the capture-side counters into the registry so --metrics-out
+  // reflects reader + sampler health with the same names watch exposes.
+  metrics.counter("tamper_reader_frames_total", "Frames read from the capture")
+      .increment_to(rs.frames_read);
+  auto& skipped = metrics.counter_family("tamper_reader_skipped_total",
+                                         "Frames the reader skipped", {"reason"});
+  skipped.with({"unparseable"}).increment_to(rs.skipped_unparseable);
+  skipped.with({"oversize"}).increment_to(rs.skipped_oversize);
+  skipped.with({"truncated"}).increment_to(rs.skipped_truncated);
+  metrics.counter("tamper_reader_resyncs_total", "Successful record resyncs")
+      .increment_to(rs.resyncs);
+  metrics
+      .counter("tamper_reader_resync_failures_total",
+               "Resync scans that found no plausible header")
+      .increment_to(rs.resync_failures);
+  metrics.counter("tamper_sampler_packets_total", "Packets offered to the sampler")
+      .increment_to(ss.packets_seen);
+  metrics
+      .counter("tamper_sampler_malformed_total",
+               "Hostile/garbage packets dropped before flow lookup")
+      .increment_to(ss.packets_malformed);
+  metrics
+      .counter("tamper_sampler_evicted_total",
+               "Flows force-closed at the max_flows overload limit")
+      .increment_to(ss.flows_evicted_overload);
+  metrics.counter("tamper_sampler_connections_total", "Connections assembled")
+      .increment_to(ss.connections_seen);
+  metrics.counter("tamper_sampler_sampled_total", "Connections sampled")
+      .increment_to(ss.connections_sampled);
+
   const std::uint64_t degraded = reader.frames_skipped() + ss.packets_malformed +
                                  ss.flows_evicted_overload + rs.resync_failures;
   if (degraded > 0) {
     // One summary line, always on stderr, so scripted users see skew.
-    std::cerr << "degraded input: " << rs.skipped_oversize << " oversize, "
-              << rs.skipped_truncated << " truncated, " << rs.skipped_unparseable
-              << " unparseable frames skipped; " << rs.resyncs << " resyncs ("
-              << rs.resync_failures << " failed); " << ss.packets_malformed
-              << " malformed packets; " << ss.flows_evicted_overload
-              << " flows overload-evicted\n";
+    logger.warn("classify", "degraded input",
+                {{"oversize", std::to_string(rs.skipped_oversize)},
+                 {"truncated", std::to_string(rs.skipped_truncated)},
+                 {"unparseable", std::to_string(rs.skipped_unparseable)},
+                 {"resyncs", std::to_string(rs.resyncs)},
+                 {"resync_failures", std::to_string(rs.resync_failures)},
+                 {"malformed_packets", std::to_string(ss.packets_malformed)},
+                 {"overload_evicted", std::to_string(ss.flows_evicted_overload)}});
     if (strict) {
-      std::cerr << "error: corrupt capture (strict mode)\n";
+      logger.error("classify", "corrupt capture (strict mode)");
       return 1;
     }
   }
   if (rs.frames_read == 0) {
-    std::cerr << "error: " << args.positional[0] << ": no parseable frames in capture\n";
+    logger.error("classify", "no parseable frames in capture",
+                 {{"path", args.positional[0]}});
     return 1;
   }
 
+  // Observability outputs are written on every exit path past this point.
+  const auto flush_obs = [&](std::uint64_t flows) {
+    metrics.counter("tamper_classify_flows_total", "Flows classified")
+        .increment_to(flows);
+    if (!metrics_path.empty() && !write_metrics_files(metrics, metrics_path))
+      logger.warn("classify", "metrics write failed", {{"path", metrics_path}});
+    if (tracer && !write_file_atomic(trace_path, tracer->chrome_json()))
+      logger.warn("classify", "trace write failed", {{"path", trace_path}});
+  };
+
   core::SignatureClassifier classifier;
   if (args.has("json")) {
+    obs::Tracer::Span classify_span(tracer.get(), obs::stage::kClassify,
+                                    obs::stage::kCategory);
     common::JsonWriter json(std::cout);
     json.begin_array();
     for (const auto& sample : samples) {
@@ -221,16 +373,22 @@ int cmd_classify(const Args& args) {
     }
     json.end_array();
     std::cout << '\n';
+    classify_span.finish();
+    flush_obs(samples.size());
     return interrupted ? 128 + static_cast<int>(g_signal) : 0;
   }
 
   common::LabelCounter verdicts;
-  for (const auto& sample : samples) {
-    const auto verdict = classifier.classify(sample);
-    verdicts.add(verdict.signature
-                     ? std::string(core::name(*verdict.signature))
-                     : (verdict.possibly_tampered ? "(possibly tampered, unmatched)"
-                                                  : "Not Tampering"));
+  {
+    obs::Tracer::Span classify_span(tracer.get(), obs::stage::kClassify,
+                                    obs::stage::kCategory);
+    for (const auto& sample : samples) {
+      const auto verdict = classifier.classify(sample);
+      verdicts.add(verdict.signature
+                       ? std::string(core::name(*verdict.signature))
+                       : (verdict.possibly_tampered ? "(possibly tampered, unmatched)"
+                                                    : "Not Tampering"));
+    }
   }
   std::cout << "frames: " << reader.frames_read() << ", flows: " << samples.size()
             << "\n\n";
@@ -238,6 +396,7 @@ int cmd_classify(const Args& args) {
   for (const auto& [label, count] : verdicts.top(32))
     table.add_row({label, common::TextTable::num(count)});
   table.print(std::cout);
+  flush_obs(samples.size());
   return interrupted ? 128 + static_cast<int>(g_signal) : 0;
 }
 
@@ -340,6 +499,17 @@ int cmd_watch(const Args& args) {
   const std::uint64_t connections = args.get_u64("connections", 200'000);
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::string report_path = args.get("report", "tamperscope-report.json");
+  const std::string metrics_path = args.get("metrics-out");
+  const std::string trace_path = args.get("trace-out");
+  obs::Logger logger = make_logger(args);
+
+  obs::Registry metrics;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty()) {
+    obs::Tracer::Config trace_cfg;
+    trace_cfg.capacity = args.get_u64("trace-capacity", 4096);
+    tracer = std::make_unique<obs::Tracer>(obs::monotonic_clock(), trace_cfg);
+  }
 
   service::ServiceConfig cfg;
   cfg.checkpoint_path = args.get("checkpoint");
@@ -348,6 +518,9 @@ int cmd_watch(const Args& args) {
   cfg.queue_capacity = args.get_u64("queue", 4096);
   cfg.queue_policy = args.has("shed") ? common::QueuePolicy::kShed
                                       : common::QueuePolicy::kBlock;
+  cfg.metrics = &metrics;
+  cfg.tracer = tracer.get();
+  cfg.logger = &logger;
 
   world::WorldConfig world_cfg;
   world_cfg.seed = seed;
@@ -366,23 +539,51 @@ int cmd_watch(const Args& args) {
   if (!svc.start(resume)) {
     // A corrupt checkpoint is refused, never silently discarded: state loss
     // must be an explicit operator decision (--fresh).
-    std::cerr << "error: " << svc.error() << "\n"
-              << "hint: pass --fresh to discard the checkpoint and start over\n";
+    logger.error("watch", "service refused to start", {{"error", svc.error()}});
+    logger.info("watch", "pass --fresh to discard the checkpoint and start over");
     return 1;
   }
 
+  // Periodic observability snapshots; the final flush after stop() (below)
+  // runs even on SIGTERM-drain so a partial run still leaves a complete
+  // Prometheus file and a Perfetto-loadable trace behind.
+  const auto flush_snapshots = [&] {
+    if (!metrics_path.empty() && !write_metrics_files(metrics, metrics_path))
+      logger.warn("watch", "metrics snapshot write failed", {{"path", metrics_path}});
+    if (tracer && !write_file_atomic(trace_path, tracer->chrome_json()))
+      logger.warn("watch", "trace write failed", {{"path", trace_path}});
+  };
+  std::unique_ptr<SnapshotFlusher> flusher;
+  if (!metrics_path.empty() || tracer)
+    flusher = std::make_unique<SnapshotFlusher>(
+        flush_snapshots,
+        std::chrono::milliseconds(args.get_u64("metrics-interval", 1000)));
+
   install_signal_handlers();
   std::uint64_t submitted = 0;
-  generator.generate(connections, [&](world::LabeledConnection&& conn) {
-    if (g_signal != 0 || svc.failed()) return;
-    if (svc.submit(std::move(conn.sample))) ++submitted;
-  });
+  // Direct generate_one loop (not generator.generate) so a signal stops
+  // the offered load immediately instead of discarding the remainder of a
+  // large --connections run one connection at a time.
+  for (std::uint64_t i = 0; i < connections; ++i) {
+    if (g_signal != 0 || svc.failed()) break;
+    if (svc.submit(generator.generate_one().sample)) ++submitted;
+  }
 
   const bool interrupted = g_signal != 0;
   if (interrupted)
-    std::cerr << "signal " << static_cast<int>(g_signal)
-              << ": draining queue, writing final checkpoint + report\n";
+    logger.warn("watch", "signal received; draining queue, writing final checkpoint + report",
+                {{"signal", std::to_string(static_cast<int>(g_signal))}});
   const service::RunSummary s = svc.stop();
+  if (flusher) flusher->stop();
+  flush_snapshots();
+  if (!metrics_path.empty())
+    logger.info("watch", "final metrics snapshot written",
+                {{"prometheus", metrics_path}, {"json", metrics_path + ".json"}});
+  if (tracer)
+    logger.info("watch", "trace written",
+                {{"path", trace_path},
+                 {"events", std::to_string(tracer->size())},
+                 {"dropped", std::to_string(tracer->dropped())}});
 
   std::cout << "ingested:      " << s.ingested
             << (s.restored ? " (" + std::to_string(s.restored_samples) + " restored from checkpoint)"
@@ -399,7 +600,7 @@ int cmd_watch(const Args& args) {
             << "supervision:   " << s.worker_crashes << " crashes, " << s.worker_restarts
             << " restarts, " << s.stalls_detected << " stalls\n";
   if (s.failed) {
-    std::cerr << "error: " << s.failure << '\n';
+    logger.error("watch", "service failed", {{"error", s.failure}});
     return 1;
   }
   return interrupted ? 128 + static_cast<int>(g_signal) : 0;
@@ -423,6 +624,7 @@ int main(int argc, char** argv) {
   std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch> [options]\n"
                "  signatures                         print the Table 1 taxonomy\n"
                "  classify <pcap> [--json] [--strict|--lenient]\n"
+               "           [--metrics-out PATH] [--trace-out PATH]\n"
                "                                     classify flows from a capture\n"
                "                                     (lenient default: skip corrupt records,\n"
                "                                     print a degraded-input summary; strict:\n"
@@ -432,8 +634,13 @@ int main(int argc, char** argv) {
                "  watch [--connections N] [--seed S] [--checkpoint FILE] [--fresh]\n"
                "        [--report out.json] [--spool DIR] [--queue N] [--shed]\n"
                "        [--checkpoint-every N] [--report-every N]\n"
+               "        [--metrics-out PATH] [--metrics-interval MS] [--trace-out PATH]\n"
                "                                     run the pipeline as a supervised\n"
                "                                     streaming service; SIGINT/SIGTERM drain,\n"
-               "                                     checkpoint, and emit a final report\n";
+               "                                     checkpoint, and emit a final report;\n"
+               "                                     --metrics-out writes Prometheus text +\n"
+               "                                     PATH.json snapshots, --trace-out a\n"
+               "                                     Perfetto-loadable stage trace\n"
+               "  common: --log-level debug|info|warn|error, --log-format text|json\n";
   return command.empty() ? 2 : 1;
 }
