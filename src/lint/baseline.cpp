@@ -1,0 +1,142 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "lint/text.h"
+
+namespace tamper::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using internal::trimmed;
+
+[[nodiscard]] bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text,
+                                          std::vector<std::string>& errors) {
+  std::vector<BaselineEntry> entries;
+  std::size_t lineno = 0;
+  for (const std::string& raw : internal::split_lines(text)) {
+    ++lineno;
+    const std::string line = trimmed(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 = tab1 == std::string::npos ? std::string::npos
+                                                       : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      errors.push_back("baseline line " + std::to_string(lineno) +
+                       ": want <rule>\\t<path>\\t<message>");
+      continue;
+    }
+    entries.push_back({line.substr(0, tab1), line.substr(tab1 + 1, tab2 - tab1 - 1),
+                       line.substr(tab2 + 1)});
+  }
+  return entries;
+}
+
+std::vector<BaselineEntry> apply_baseline(std::vector<Finding>& findings,
+                                          const std::vector<BaselineEntry>& baseline) {
+  std::vector<bool> used(baseline.size(), false);
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const BaselineEntry& e = baseline[i];
+      if (e.rule == f.rule && e.path == f.path && e.message == f.message) {
+        matched = true;
+        used[i] = true;
+        break;
+      }
+    }
+    if (!matched) kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+  std::vector<BaselineEntry> stale;
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (!used[i]) stale.push_back(baseline[i]);
+  return stale;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> lines;
+  for (const Finding& f : findings) {
+    std::string msg = f.message;
+    std::replace(msg.begin(), msg.end(), '\t', ' ');
+    std::replace(msg.begin(), msg.end(), '\n', ' ');
+    lines.push_back(f.rule + "\t" + f.path + "\t" + msg);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  std::ostringstream out;
+  out << "# tamperlint baseline — accepted pre-existing findings.\n"
+      << "# Format: <rule>\\t<path>\\t<message>. Annotate every entry with a\n"
+      << "# comment explaining why it is accepted; delete entries as the\n"
+      << "# findings are fixed (stale entries are reported on every run).\n";
+  for (const std::string& line : lines) out << line << '\n';
+  return out.str();
+}
+
+std::vector<std::string> parse_manifest(std::string_view text) {
+  std::vector<std::string> paths;
+  for (const std::string& raw : internal::split_lines(text)) {
+    const std::string line = trimmed(raw);
+    if (line.empty() || line[0] == '#') continue;
+    paths.push_back(line);
+  }
+  return paths;
+}
+
+std::string format_manifest(std::vector<std::string> paths) {
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  std::ostringstream out;
+  out << "# tamperlint source manifest — the gate lints exactly these files.\n"
+      << "# Regenerate after adding/removing sources:\n"
+      << "#   tamperlint --root . --write-manifest=tools/tamperlint.manifest\n";
+  for (const std::string& p : paths) out << p << '\n';
+  return out.str();
+}
+
+std::vector<std::string> walk_sources(const std::string& root, const Config& config,
+                                      std::vector<std::string>& errors) {
+  std::vector<std::string> out;
+  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    fs::recursive_directory_iterator it(dir, fs::directory_options::skip_permission_denied,
+                                        ec);
+    if (ec) {
+      errors.push_back(dir.string() + ": " + ec.message());
+      continue;
+    }
+    for (auto end = fs::recursive_directory_iterator(); it != end; ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory()) {
+        const bool excluded =
+            name.rfind("build", 0) == 0 ||
+            std::find(config.exclude_dirs.begin(), config.exclude_dirs.end(), name) !=
+                config.exclude_dirs.end();
+        if (excluded) it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
+      std::string rel = fs::path(it->path()).lexically_relative(root).generic_string();
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tamper::lint

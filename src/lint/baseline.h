@@ -1,0 +1,59 @@
+// The gate's workflow files: the finding baseline (tools/tamperlint.baseline)
+// that lets a new rule land enforcing only new findings, and the source
+// manifest (tools/tamperlint.manifest) that makes file discovery explicit —
+// the gate lints exactly the listed files, so build trees and generated
+// files can never leak into a scan.
+//
+// Baseline format, one entry per line, tab-separated (line numbers are
+// deliberately absent so unrelated edits don't churn the file):
+//
+//   <rule>\t<path>\t<message>
+//
+// `#` starts a comment — every retained entry should carry one explaining
+// why the finding is accepted. Manifest format: one repo-relative path per
+// line, sorted, `#` comments allowed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace tamper::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string message;
+};
+
+/// Parse baseline text; malformed lines append to `errors` (they never
+/// silently accept findings).
+[[nodiscard]] std::vector<BaselineEntry> parse_baseline(
+    std::string_view text, std::vector<std::string>& errors);
+
+/// Remove findings matched by the baseline (rule+path+message equality;
+/// line is ignored). Returns the stale entries that matched nothing — a
+/// stale entry means the finding was fixed and the baseline should shrink.
+[[nodiscard]] std::vector<BaselineEntry> apply_baseline(
+    std::vector<Finding>& findings, const std::vector<BaselineEntry>& baseline);
+
+/// Serialize findings as a baseline file (sorted, deduplicated).
+[[nodiscard]] std::string format_baseline(const std::vector<Finding>& findings);
+
+/// Parse a manifest: repo-relative paths, blank lines and `#` comments
+/// skipped.
+[[nodiscard]] std::vector<std::string> parse_manifest(std::string_view text);
+
+/// Serialize a manifest (sorted, deduplicated, trailing newline).
+[[nodiscard]] std::string format_manifest(std::vector<std::string> paths);
+
+/// Walk the standard source directories (src tools tests bench examples)
+/// under `root`, honoring Config::exclude_dirs and the always-on `build*`
+/// skip. Returns sorted root-relative paths with forward slashes.
+[[nodiscard]] std::vector<std::string> walk_sources(const std::string& root,
+                                                    const Config& config,
+                                                    std::vector<std::string>& errors);
+
+}  // namespace tamper::lint

@@ -1,0 +1,315 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "lint/text.h"
+
+namespace tamper::lint {
+
+namespace {
+
+using internal::find_word;
+using internal::ident_char;
+using internal::line_of;
+using internal::trimmed;
+
+[[nodiscard]] std::size_t skip_spaces(std::string_view text, std::size_t p) {
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t' || text[p] == '\n'))
+    ++p;
+  return p;
+}
+
+[[nodiscard]] std::string read_ident(std::string_view text, std::size_t p) {
+  std::size_t e = p;
+  while (e < text.size() && ident_char(text[e])) ++e;
+  return std::string(text.substr(p, e - p));
+}
+
+/// Offset just past the matching closer for the opener at `p`, or npos.
+[[nodiscard]] std::size_t match(std::string_view text, std::size_t p, char open,
+                                char close) {
+  int depth = 0;
+  for (; p < text.size(); ++p) {
+    if (text[p] == open) ++depth;
+    else if (text[p] == close && --depth == 0) return p + 1;
+  }
+  return std::string_view::npos;
+}
+
+void extract_includes(const std::vector<std::string>& strings_lines, FileIndex& out) {
+  for (std::size_t i = 0; i < strings_lines.size(); ++i) {
+    const std::string t = trimmed(strings_lines[i]);
+    if (t.empty() || t[0] != '#') continue;
+    std::size_t p = 1;
+    while (p < t.size() && (t[p] == ' ' || t[p] == '\t')) ++p;
+    if (t.compare(p, 7, "include") != 0) continue;
+    const std::size_t open = t.find('"', p + 7);
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = t.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.includes.push_back(
+        {t.substr(open + 1, close - open - 1), static_cast<int>(i + 1)});
+  }
+}
+
+void extract_enums(std::string_view stripped, FileIndex& out) {
+  std::size_t pos = 0, p = 0;
+  while ((p = find_word(stripped, "enum", pos)) != std::string_view::npos) {
+    pos = p + 4;
+    std::size_t q = skip_spaces(stripped, p + 4);
+    for (const std::string_view kw : {"class", "struct"}) {
+      if (stripped.compare(q, kw.size(), kw) == 0 && q + kw.size() < stripped.size() &&
+          !ident_char(stripped[q + kw.size()]))
+        q = skip_spaces(stripped, q + kw.size());
+    }
+    const std::string name = read_ident(stripped, q);
+    if (name.empty()) continue;  // anonymous enum: nothing to switch over by name
+    q = skip_spaces(stripped, q + name.size());
+    if (q < stripped.size() && stripped[q] == ':') {
+      // underlying type; scan forward to the body (or a fwd-decl `;`)
+      while (q < stripped.size() && stripped[q] != '{' && stripped[q] != ';') ++q;
+    }
+    if (q >= stripped.size() || stripped[q] != '{') continue;  // forward declaration
+    const std::size_t end = match(stripped, q, '{', '}');
+    if (end == std::string_view::npos) continue;
+    EnumDef def;
+    def.name = name;
+    def.line = static_cast<int>(line_of(stripped, p) + 1);
+    // Split the body on top-level commas; each part's leading identifier is
+    // the enumerator (initializers like `= 1 << 2` follow it).
+    std::string_view body = stripped.substr(q + 1, end - q - 2);
+    int depth = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+      const char c = i < body.size() ? body[i] : ',';
+      if (c == '(' || c == '{') ++depth;
+      else if (c == ')' || c == '}') --depth;
+      else if (c == ',' && depth == 0) {
+        const std::string part = trimmed(body.substr(start, i - start));
+        start = i + 1;
+        if (part.empty()) continue;
+        const std::string enumerator = read_ident(part, 0);
+        if (!enumerator.empty()) def.enumerators.push_back(enumerator);
+      }
+    }
+    out.enums.push_back(std::move(def));
+  }
+}
+
+void extract_switches(std::string_view stripped, FileIndex& out) {
+  std::size_t pos = 0, p = 0;
+  while ((p = find_word(stripped, "switch", pos)) != std::string_view::npos) {
+    pos = p + 6;
+    std::size_t q = skip_spaces(stripped, p + 6);
+    if (q >= stripped.size() || stripped[q] != '(') continue;
+    const std::size_t cond_end = match(stripped, q, '(', ')');
+    if (cond_end == std::string_view::npos) continue;
+    q = skip_spaces(stripped, cond_end);
+    if (q >= stripped.size() || stripped[q] != '{') continue;
+    const std::size_t end = match(stripped, q, '{', '}');
+    if (end == std::string_view::npos) continue;
+    const std::string_view body = stripped.substr(q + 1, end - q - 2);
+
+    SwitchSite site;
+    site.line = static_cast<int>(line_of(stripped, p) + 1);
+    std::size_t bp = 0, c = 0;
+    while ((c = find_word(body, "case", bp)) != std::string_view::npos) {
+      bp = c + 4;
+      // Label runs to the first `:` that is not part of a `::`.
+      std::size_t colon = c + 4;
+      while (colon < body.size()) {
+        if (body[colon] == ':' &&
+            (colon + 1 >= body.size() || body[colon + 1] != ':') &&
+            (colon == 0 || body[colon - 1] != ':'))
+          break;
+        ++colon;
+      }
+      if (colon >= body.size()) break;
+      const std::string label = trimmed(body.substr(c + 4, colon - c - 4));
+      if (label.empty()) continue;
+      CaseLabel parsed;
+      const std::size_t sep = label.rfind("::");
+      if (sep != std::string::npos) {
+        parsed.enumerator = label.substr(sep + 2);
+        const std::size_t prev = label.rfind("::", sep - 1);
+        parsed.enum_name =
+            prev == std::string::npos
+                ? trimmed(label.substr(0, sep))
+                : label.substr(prev + 2, sep - prev - 2);
+      } else {
+        parsed.enumerator = label;
+      }
+      if (!parsed.enumerator.empty() && ident_char(parsed.enumerator[0]))
+        site.labels.push_back(std::move(parsed));
+    }
+    std::size_t d = 0;
+    while ((d = find_word(body, "default", d)) != std::string_view::npos) {
+      const std::size_t after = skip_spaces(body, d + 7);
+      if (after < body.size() && body[after] == ':') {
+        site.has_default = true;
+        break;
+      }
+      d += 7;
+    }
+    out.switches.push_back(std::move(site));
+  }
+}
+
+/// Lexical scopes for lock tracking. Lambda bodies are separate functions
+/// whose execution is deferred, so locks held at the definition site are not
+/// ordered before locks the body takes: each lambda starts a fresh context.
+struct ScopeFrame {
+  char kind;              ///< 'n'amespace, 'c'lass, 'l'ambda, 'b'lock
+  std::string cls;        ///< enclosing class name ("" when none)
+  std::size_t lock_floor; ///< index into the active-lock stack visible here
+};
+
+[[nodiscard]] bool looks_like_lambda(std::string_view stmt) {
+  const std::size_t rb = stmt.rfind(']');
+  if (rb == std::string_view::npos) return false;
+  const std::size_t lb = stmt.rfind('[', rb);
+  if (lb == std::string_view::npos) return false;
+  for (std::size_t i = lb + 1; i < rb; ++i) {
+    const char c = stmt[i];
+    if (!(ident_char(c) || c == ' ' || c == '&' || c == '=' || c == ',' ||
+          c == '.' || c == '*'))
+      return false;
+  }
+  const std::string tail = trimmed(stmt.substr(rb + 1));
+  return tail.empty() || tail[0] == '(';
+}
+
+/// Class named by a block-opening statement, or "" when it opens something
+/// else. Handles `class X {`, `struct X : Base {`, attribute macros between
+/// keyword and name, and out-of-line member definitions `Ret X::f(...)`.
+[[nodiscard]] std::string class_of_opener(std::string_view stmt,
+                                          const std::string& inherited) {
+  if (find_word(stmt, "namespace") != std::string_view::npos) return "";
+  const bool is_class = find_word(stmt, "class") != std::string_view::npos ||
+                        find_word(stmt, "struct") != std::string_view::npos;
+  if (is_class && find_word(stmt, "enum") == std::string_view::npos) {
+    // Name is the last identifier before the base-clause `:` (if any).
+    std::string_view head = stmt;
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i] == ':' && (i + 1 >= stmt.size() || stmt[i + 1] != ':') &&
+          (i == 0 || stmt[i - 1] != ':')) {
+        head = stmt.substr(0, i);
+        break;
+      }
+    }
+    std::string last, prev;
+    for (std::size_t i = 0; i < head.size();) {
+      if (ident_char(head[i])) {
+        std::size_t e = i;
+        while (e < head.size() && ident_char(head[e])) ++e;
+        prev = last;
+        last = std::string(head.substr(i, e - i));
+        i = e;
+      } else {
+        ++i;
+      }
+    }
+    if (last == "final") last = prev;
+    if (!last.empty() && !(last[0] >= '0' && last[0] <= '9')) return last;
+    return inherited;
+  }
+  // Out-of-line member definition: `... Class::method(...)`.
+  std::size_t p = 0;
+  while ((p = stmt.find("::", p)) != std::string_view::npos) {
+    std::size_t b = p;
+    while (b > 0 && ident_char(stmt[b - 1])) --b;
+    std::size_t e = p + 2;
+    std::string member = read_ident(stmt, e);
+    std::size_t after = skip_spaces(stmt, e + member.size());
+    if (b < p && !member.empty() && after < stmt.size() && stmt[after] == '(')
+      return std::string(stmt.substr(b, p - b));
+    p += 2;
+  }
+  return inherited;
+}
+
+void extract_lock_nestings(std::string_view stripped, FileIndex& out) {
+  struct ActiveLock {
+    std::size_t depth;
+    std::string node;
+  };
+  std::vector<ScopeFrame> scopes;
+  std::vector<ActiveLock> locks;
+  std::size_t stmt_start = 0;
+
+  const auto current_cls = [&]() -> std::string {
+    return scopes.empty() ? "" : scopes.back().cls;
+  };
+  const auto current_floor = [&]() -> std::size_t {
+    return scopes.empty() ? 0 : scopes.back().lock_floor;
+  };
+
+  const auto scan_locks = [&](std::string_view stmt, std::size_t stmt_off) {
+    for (const std::string_view kw : {"MutexLock", "UniqueLock"}) {
+      std::size_t from = 0, w = 0;
+      while ((w = find_word(stmt, kw, from)) != std::string_view::npos) {
+        from = w + kw.size();
+        std::size_t p = skip_spaces(stmt, w + kw.size());
+        const std::string var = read_ident(stmt, p);
+        if (var.empty()) continue;  // `MutexLock(` — a declaration, not a site
+        p = skip_spaces(stmt, p + var.size());
+        if (p >= stmt.size() || stmt[p] != '(') continue;
+        const std::size_t close = match(stmt, p, '(', ')');
+        if (close == std::string_view::npos) continue;
+        const std::string expr = trimmed(stmt.substr(p + 1, close - p - 2));
+        if (expr.empty() || expr.find("Mutex") != std::string::npos) continue;
+        const bool bare =
+            std::all_of(expr.begin(), expr.end(), [](char c) { return ident_char(c); });
+        const std::string cls = current_cls();
+        const std::string node = bare && !cls.empty() ? cls + "::" + expr : expr;
+        const int line = static_cast<int>(line_of(stripped, stmt_off + w) + 1);
+        for (std::size_t i = current_floor(); i < locks.size(); ++i)
+          out.lock_nestings.push_back({locks[i].node, node, line});
+        locks.push_back({scopes.size(), node});
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == ';') {
+      scan_locks(stripped.substr(stmt_start, i - stmt_start), stmt_start);
+      stmt_start = i + 1;
+    } else if (c == '{') {
+      const std::string stmt(
+          trimmed(stripped.substr(stmt_start, i - stmt_start)));
+      ScopeFrame frame;
+      if (looks_like_lambda(stmt)) {
+        frame = {'l', current_cls(), locks.size()};
+      } else if (find_word(stmt, "namespace") != std::string_view::npos) {
+        frame = {'n', "", current_floor()};
+      } else {
+        frame = {'b', class_of_opener(stmt, current_cls()), current_floor()};
+      }
+      scopes.push_back(std::move(frame));
+      stmt_start = i + 1;
+    } else if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      while (!locks.empty() && locks.back().depth > scopes.size()) locks.pop_back();
+      stmt_start = i + 1;
+    }
+  }
+}
+
+}  // namespace
+
+FileIndex index_file(const std::string& path, std::string_view stripped_text,
+                     std::string_view strings_text) {
+  FileIndex out;
+  out.path = path;
+  extract_includes(internal::split_lines(strings_text), out);
+  extract_enums(stripped_text, out);
+  extract_switches(stripped_text, out);
+  extract_lock_nestings(stripped_text, out);
+  for (const auto& site : internal::metric_sites(stripped_text, strings_text))
+    out.metrics.push_back({site.name, static_cast<int>(site.line0 + 1)});
+  return out;
+}
+
+}  // namespace tamper::lint

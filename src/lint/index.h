@@ -1,0 +1,94 @@
+// Pass 1 of the two-pass analyzer: a per-file structural index (includes,
+// enum definitions, switch sites, lock-acquisition nestings, metric-family
+// registrations, suppression directives) that the cross-file rules R7–R10
+// evaluate over once every file has been scanned. Per-file extraction is
+// pure and can run in parallel; merging is deterministic in path order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamper::lint {
+
+struct Config;
+struct Finding;
+
+/// `#include "target"` — quoted includes only; system headers are invisible
+/// to layering by construction.
+struct IncludeSite {
+  std::string target;  ///< verbatim include string, e.g. "common/rng.h"
+  int line = 0;        ///< 1-based
+};
+
+/// `enum [class] Name ... { enumerators }`.
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  int line = 0;
+};
+
+/// One `case Enum::kValue:` label inside a switch.
+struct CaseLabel {
+  std::string enum_name;   ///< qualifier right before the enumerator ("" if bare)
+  std::string enumerator;
+};
+
+struct SwitchSite {
+  std::vector<CaseLabel> labels;
+  bool has_default = false;
+  int line = 0;  ///< 1-based line of the `switch` keyword
+};
+
+/// `to` was constructed (MutexLock/UniqueLock) while `from` was still in
+/// scope in the same function body. Nodes are `Class::member` when the lock
+/// expression is a bare member inside a known class scope, the expression
+/// verbatim otherwise. Lambda bodies start a fresh lock context: their
+/// execution is deferred, so lexical nesting is not acquisition nesting.
+struct LockNesting {
+  std::string from;
+  std::string to;
+  int line = 0;  ///< 1-based line of the inner acquisition
+};
+
+struct MetricRegistration {
+  std::string name;
+  int line = 0;  ///< 1-based
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<IncludeSite> includes;
+  std::vector<EnumDef> enums;
+  std::vector<SwitchSite> switches;
+  std::vector<LockNesting> lock_nestings;
+  std::vector<MetricRegistration> metrics;
+  /// suppressed[line0] holds rule ids suppressed on that 0-based line
+  /// (well-formed `tamperlint-allow` directives only).
+  std::vector<std::vector<std::string>> suppressed;
+};
+
+/// Extract the structural index of one file. `stripped_text` is the
+/// comments-and-strings-blanked form, `strings_text` the strings-kept form
+/// (both from internal::strip_literals, position-aligned with the source).
+[[nodiscard]] FileIndex index_file(const std::string& path,
+                                   std::string_view stripped_text,
+                                   std::string_view strings_text);
+
+/// The merged repo index: per-file indices in ascending path order plus the
+/// (optional) metric-inventory doc.
+struct RepoIndex {
+  std::vector<FileIndex> files;  ///< sorted by path
+  std::string doc_path;          ///< "" when no doc was provided
+  std::vector<std::string> doc_lines;
+};
+
+/// Pass 2: evaluate R7 (layering), R8 (lock order), R9 (taxonomy
+/// exhaustiveness), and R10 (metric–doc drift) over the merged index.
+/// Findings honor per-line suppressions recorded in the index; the caller
+/// sorts and merges them with the per-file findings.
+[[nodiscard]] std::vector<Finding> repo_rule_findings(const RepoIndex& index,
+                                                      const Config& config);
+
+}  // namespace tamper::lint

@@ -1,11 +1,16 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
+#include <thread>
+
+#include "lint/index.h"
+#include "lint/text.h"
 
 namespace tamper::lint {
 
@@ -13,136 +18,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
-[[nodiscard]] bool ident_char(char c) noexcept {
-  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
-}
-
-/// Blank out the contents of string/char literals and (unless
-/// `keep_comments`) comments, preserving line structure. Token rules run on
-/// the everything-stripped form so they never fire on prose or test strings;
-/// the directive scanner runs on the comments-kept form, because directives
-/// live in comments but must not fire on string literals that merely mention
-/// the directive syntax. `keep_strings` preserves string-literal contents
-/// instead (R6 reads metric names out of them); all three forms are
-/// position-aligned with the source, so structure found in one form can be
-/// read out of another.
-[[nodiscard]] std::string strip_literals(std::string_view src, bool keep_comments,
-                                         bool keep_strings = false) {
-  std::string out(src.size(), ' ');
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw } state = State::kCode;
-  std::string raw_delim;  // raw-string closing delimiter: ")delim\""
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') out[i] = '\n';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          if (keep_comments) out[i] = c;
-          state = State::kLine;
-        } else if (c == '/' && next == '*') {
-          if (keep_comments) {
-            out[i] = c;
-            out[i + 1] = next;
-          }
-          state = State::kBlock;
-          ++i;
-        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(src[i - 1]))) {
-          // R"delim( ... )delim"
-          std::size_t p = i + 2;
-          while (p < src.size() && src[p] != '(') ++p;
-          raw_delim = ")";
-          raw_delim.append(src.substr(i + 2, p - (i + 2)));
-          raw_delim.push_back('"');
-          out[i] = 'R';
-          if (i + 1 < src.size()) out[i + 1] = '"';
-          i += 1;
-          state = State::kRaw;
-        } else if (c == '"') {
-          out[i] = '"';
-          state = State::kString;
-        } else if (c == '\'') {
-          out[i] = '\'';
-          state = State::kChar;
-        } else {
-          out[i] = c;
-        }
-        break;
-      case State::kLine:
-        if (keep_comments && c != '\n') out[i] = c;
-        if (c == '\n') state = State::kCode;
-        break;
-      case State::kBlock:
-        if (keep_comments && c != '\n') out[i] = c;
-        if (c == '*' && next == '/') {
-          if (keep_comments && i + 1 < src.size()) out[i + 1] = next;
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          if (keep_strings) {
-            out[i] = c;
-            if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = src[i + 1];
-          }
-          ++i;
-          if (i < src.size() && src[i] == '\n') out[i] = '\n';
-        } else if (c == '"') {
-          out[i] = '"';
-          state = State::kCode;
-        } else if (keep_strings && c != '\n') {
-          out[i] = c;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          out[i] = '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRaw:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-[[nodiscard]] std::vector<std::string> split_lines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-/// Position of `word` in `line` at identifier boundaries, or npos.
-[[nodiscard]] std::size_t find_word(std::string_view line, std::string_view word,
-                                    std::size_t from = 0) {
-  while (from < line.size()) {
-    const std::size_t pos = line.find(word, from);
-    if (pos == std::string_view::npos) return std::string_view::npos;
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-  return std::string_view::npos;
-}
+using internal::find_word;
+using internal::ident_char;
+using internal::split_lines;
+using internal::strip_literals;
+using internal::trimmed;
 
 [[nodiscard]] bool path_contains(const std::string& path, std::string_view fragment) {
   return path.find(fragment) != std::string::npos;
@@ -152,23 +32,27 @@ namespace fs = std::filesystem;
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
 
+[[nodiscard]] bool is_source_file_path(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp") || path.ends_with(".cc") ||
+         path.ends_with(".cpp") || path.ends_with(".cxx");
+}
+
 [[nodiscard]] bool is_source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
-}
-
-[[nodiscard]] std::string trimmed(std::string_view s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return std::string(s.substr(b, e - b));
 }
 
 constexpr std::string_view kAllowDirective = "tamperlint-allow(";
 constexpr std::string_view kNothrowMarker = "tamperlint: nothrow-path";
 
 [[nodiscard]] bool known_rule(std::string_view id) {
-  return id.size() == 2 && id[0] == 'R' && id[1] >= '1' && id[1] <= '6';
+  if (id.size() < 2 || id.size() > 3 || id[0] != 'R') return false;
+  int n = 0;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return false;
+    n = n * 10 + (id[i] - '0');
+  }
+  return n >= 1 && n <= 10;
 }
 
 /// Per-line suppression state parsed from the raw text.
@@ -198,7 +82,7 @@ struct Directives {
     if (!known_rule(id) || reason.empty()) {
       d.malformed.push_back(
           {"R0", path, static_cast<int>(i + 1),
-           "malformed suppression (want `// tamperlint-allow(R1..R6): reason`); "
+           "malformed suppression (want `// tamperlint-allow(R1..R10): reason`); "
            "it suppresses nothing"});
       continue;
     }
@@ -392,24 +276,10 @@ struct FileLinter {
 
   // R6 — metric hygiene: metric and label names snake_case; each family
   // registered at most once per file (register once, share the handle).
-  //
-  // Registration sites are calls like `reg.counter("name", ...)` or
-  // `metrics->histogram_family("name", "help", {"label"}, ...)`. Structure
-  // (call tokens, quotes, parens) is found in the fully-stripped form, where
-  // literal contents are blanked so the quote after an opening `"` is always
-  // the close; the names themselves are read out of the position-aligned
-  // strings-kept form. Names passed as variables cannot be checked and are
-  // skipped.
+  // Structure (call tokens, quotes, parens) comes from the fully-stripped
+  // form; names are read out of the position-aligned strings-kept form.
   void rule_metric_hygiene(std::string_view stripped_text,
                            std::string_view strings_text) const {
-    static constexpr std::string_view kCalls[] = {
-        "counter(",        "gauge(",        "histogram(",
-        "counter_family(", "gauge_family(", "histogram_family("};
-    const auto line0_of = [&](std::size_t pos) {
-      return static_cast<std::size_t>(std::count(
-          stripped_text.begin(),
-          stripped_text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
-    };
     const auto snake = [](std::string_view s) {
       if (s.empty() || s[0] < 'a' || s[0] > 'z') return false;
       return std::all_of(s.begin(), s.end(), [](char ch) {
@@ -417,55 +287,30 @@ struct FileLinter {
       });
     };
 
-    struct Hit {
-      std::size_t pos;  ///< just past the call's `(` in the stripped text
-      bool family;
-    };
-    std::vector<Hit> hits;
-    for (const std::string_view token : kCalls) {
-      std::size_t from = 0, p = 0;
-      while ((p = stripped_text.find(token, from)) != std::string_view::npos) {
-        from = p + 1;
-        if (p == 0) continue;
-        const char before = stripped_text[p - 1];  // `.counter(` or `->counter(`
-        if (before != '.' && before != '>') continue;
-        hits.push_back({p + token.size(), token.find("_family") != std::string_view::npos});
-      }
-    }
-    std::sort(hits.begin(), hits.end(),
-              [](const Hit& a, const Hit& b) { return a.pos < b.pos; });
-
     std::vector<std::pair<std::string, std::size_t>> seen;  // name -> first line0
-    for (const Hit& hit : hits) {
-      std::size_t p = hit.pos;
-      while (p < stripped_text.size() &&
-             std::isspace(static_cast<unsigned char>(stripped_text[p])) != 0)
-        ++p;
-      if (p >= stripped_text.size() || stripped_text[p] != '"') continue;
-      const std::size_t close = stripped_text.find('"', p + 1);
-      if (close == std::string_view::npos) continue;
-      const std::string name(strings_text.substr(p + 1, close - p - 1));
-      const std::size_t line0 = line0_of(p);
-      if (!snake(name))
+    for (const internal::MetricSite& site : internal::metric_sites(stripped_text,
+                                                                   strings_text)) {
+      const std::size_t line0 = site.line0;
+      if (!snake(site.name))
         report("R6", line0,
-               "metric name \"" + name +
+               "metric name \"" + site.name +
                    "\" is not snake_case ([a-z][a-z0-9_]*); Prometheus exposition "
                    "and the JSON snapshot require stable lowercase names");
       const auto prior = std::find_if(seen.begin(), seen.end(),
-                                      [&](const auto& e) { return e.first == name; });
+                                      [&](const auto& e) { return e.first == site.name; });
       if (prior == seen.end()) {
-        seen.emplace_back(name, line0);
+        seen.emplace_back(site.name, line0);
       } else if (prior->second != line0) {
         report("R6", line0,
-               "metric family \"" + name + "\" registered more than once in this "
+               "metric family \"" + site.name + "\" registered more than once in this "
                    "file (first at line " + std::to_string(prior->second + 1) +
                    "); register once and share the handle");
       }
-      if (!hit.family) continue;
+      if (!site.family) continue;
       // Label keys are the string literals inside the call's brace list
       // (histogram bounds are numeric braces and contribute none).
       int paren = 1, brace = 0;
-      std::size_t q = close + 1;
+      std::size_t q = site.name_end + 1;
       while (q < stripped_text.size() && paren > 0) {
         const char c = stripped_text[q];
         if (c == '"') {
@@ -474,7 +319,7 @@ struct FileLinter {
           if (brace > 0) {
             const std::string key(strings_text.substr(q + 1, lit_close - q - 1));
             if (!snake(key))
-              report("R6", line0_of(q),
+              report("R6", internal::line_of(stripped_text, q),
                      "label key \"" + key +
                          "\" is not snake_case ([a-z][a-z0-9_]*)");
           }
@@ -504,12 +349,15 @@ struct FileLinter {
   }
 };
 
-}  // namespace
-
-std::vector<Finding> lint_source(std::string path, std::string_view content,
-                                 const Config& config) {
-  std::replace(path.begin(), path.end(), '\\', '/');
+/// Per-file work shared by lint_source and lint_repo: run the per-file
+/// rules and (when `index` is non-null) extract the structural index with
+/// the suppression map attached.
+[[nodiscard]] std::vector<Finding> lint_one(const std::string& path,
+                                            std::string_view content,
+                                            const Config& config, FileIndex* index) {
   const std::string stripped_text = strip_literals(content, /*keep_comments=*/false);
+  const std::string strings_text =
+      strip_literals(content, /*keep_comments=*/false, /*keep_strings=*/true);
   const std::vector<std::string> stripped = split_lines(stripped_text);
   const std::vector<std::string> commented =
       split_lines(strip_literals(content, /*keep_comments=*/true));
@@ -524,16 +372,97 @@ std::vector<Finding> lint_source(std::string path, std::string_view content,
   if (linter.rule_enabled("R3")) linter.rule_nothrow_path();
   if (linter.rule_enabled("R4")) linter.rule_checked_narrowing();
   if (linter.rule_enabled("R5")) linter.rule_header_hygiene(content);
-  if (linter.rule_enabled("R6"))
-    linter.rule_metric_hygiene(
-        stripped_text,
-        strip_literals(content, /*keep_comments=*/false, /*keep_strings=*/true));
+  if (linter.rule_enabled("R6")) linter.rule_metric_hygiene(stripped_text, strings_text);
+
+  if (index != nullptr) {
+    *index = index_file(path, stripped_text, strings_text);
+    index->suppressed = directives.suppressed;
+  }
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
   return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string path, std::string_view content,
+                                 const Config& config) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return lint_one(path, content, config, nullptr);
+}
+
+std::vector<Finding> lint_repo(const std::vector<SourceFile>& files,
+                               const Config& config, int jobs) {
+  // Deterministic order: sort by path up front; every downstream stage
+  // (index merge, graph walks, final sort) sees the same sequence no
+  // matter how many threads scanned.
+  std::vector<const SourceFile*> ordered;
+  ordered.reserve(files.size());
+  for (const SourceFile& f : files) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SourceFile* a, const SourceFile* b) { return a->path < b->path; });
+
+  struct Slot {
+    std::vector<Finding> findings;
+    FileIndex index;
+    bool indexed = false;
+  };
+  std::vector<Slot> slots(ordered.size());
+
+  unsigned n = jobs > 0 ? static_cast<unsigned>(jobs)
+                        : std::max(1u, std::thread::hardware_concurrency());
+  n = std::min<unsigned>({n, 16u, static_cast<unsigned>(std::max<std::size_t>(
+                                      ordered.size(), 1))});
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= ordered.size()) return;
+      std::string path = ordered[i]->path;
+      std::replace(path.begin(), path.end(), '\\', '/');
+      if (!is_source_file_path(path)) continue;  // docs feed R10 only
+      slots[i].findings = lint_one(path, ordered[i]->content, config, &slots[i].index);
+      slots[i].indexed = true;
+    }
+  };
+  if (n <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Serial merge in path order, then the cross-file pass.
+  std::vector<Finding> findings;
+  RepoIndex repo;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    findings.insert(findings.end(), std::make_move_iterator(slots[i].findings.begin()),
+                    std::make_move_iterator(slots[i].findings.end()));
+    if (slots[i].indexed) repo.files.push_back(std::move(slots[i].index));
+    std::string path = ordered[i]->path;
+    std::replace(path.begin(), path.end(), '\\', '/');
+    if (!config.metric_doc_path.empty() && repo.doc_path.empty() &&
+        (path == config.metric_doc_path || path.ends_with("/" + config.metric_doc_path))) {
+      repo.doc_path = path;
+      repo.doc_lines = split_lines(ordered[i]->content);
+    }
+  }
+  const std::vector<Finding> cross = repo_rule_findings(repo, config);
+  findings.insert(findings.end(), cross.begin(), cross.end());
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return findings;
 }
 
 std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
@@ -567,21 +496,19 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
   for (const auto& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
       errors.push_back(file + ": unreadable");
       continue;
     }
-    const std::string content((std::istreambuf_iterator<char>(in)),
-                              std::istreambuf_iterator<char>());
-    auto file_findings = lint_source(file, content, config);
-    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    sources.push_back({file, std::string((std::istreambuf_iterator<char>(in)),
+                                         std::istreambuf_iterator<char>())});
   }
-  return findings;
+  return lint_repo(sources, config, /*jobs=*/1);
 }
 
 std::string format_text(const std::vector<Finding>& findings) {
@@ -644,7 +571,15 @@ std::string rule_catalog() {
       "R5  header hygiene   — #pragma once required; `using namespace` "
       "forbidden in headers\n"
       "R6  metric hygiene   — metric/label names snake_case; each metric "
-      "family registered once per file\n";
+      "family registered once per file\n"
+      "R7  layering         — module includes follow the allowed-edge table; "
+      "include graph acyclic\n"
+      "R8  lock order       — the MutexLock/UniqueLock acquisition graph is "
+      "cycle-free (no static deadlock)\n"
+      "R9  taxonomy exhaustiveness — switches over Signature/Stage cover every "
+      "enumerator (no silent default)\n"
+      "R10 metric–doc drift — registered metric families and the DESIGN.md "
+      "inventory agree exactly\n";
 }
 
 }  // namespace tamper::lint

@@ -1,9 +1,13 @@
 // tamperlint — repo-specific static checks for libtamper's contracts.
 //
-// A deliberately small token/line-level linter (no libclang): each rule
-// encodes an invariant the paper's reproducibility or the service's
-// robustness depends on, with a per-site suppression syntax so exceptions
-// are always visible and justified in the diff:
+// A deliberately small linter (no libclang) in two passes. Pass A runs
+// token/line-level rules over each file independently; pass B builds a
+// repo-wide structural index (include graph, enum definitions, switch
+// sites, lock-acquisition nestings, metric registrations) and evaluates
+// cross-file rules over it. Each rule encodes an invariant the paper's
+// reproducibility or the service's robustness depends on, with a per-site
+// suppression syntax so exceptions are always visible and justified in the
+// diff:
 //
 //   R1  determinism  — no wall-clock or ambient randomness (time(),
 //       std::rand, random_device, chrono::system_clock) outside the
@@ -28,6 +32,23 @@
 //       duplicated registration means two call sites disagree about help
 //       text or buckets sooner or later — register once, share the handle.
 //
+// Cross-file rules (need the whole file set, evaluated by lint_repo):
+//
+//   R7  layering — module includes must follow the allowed-edge table in
+//       Config::layering (common at the bottom, tools at the top) and the
+//       include graph must be acyclic; an upward or sideways include is an
+//       architecture regression even when it happens to link.
+//   R8  lock order — the static acquisition graph of MutexLock/UniqueLock
+//       nestings must be cycle-free across the whole repo; a cycle is a
+//       potential deadlock TSan only reports when the interleaving fires.
+//   R9  taxonomy exhaustiveness — every switch over the signature/stage
+//       taxonomy enums (Config::taxonomy_enums) covers every enumerator;
+//       a silent default: swallowing a newly added signature corrupts the
+//       measurement, not just the code.
+//   R10 metric–doc drift — every metric family registered in src/ or
+//       tools/ appears in DESIGN.md's metric inventory table and vice
+//       versa, so the documented surface IS the exported surface.
+//
 // Suppression:  // tamperlint-allow(R3): <non-empty reason>
 // on the offending line, or alone on the line directly above it. A
 // malformed directive (missing reason, unknown rule) is itself reported
@@ -36,12 +57,13 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tamper::lint {
 
 struct Finding {
-  std::string rule;     ///< "R0".."R6"
+  std::string rule;     ///< "R0".."R10"
   std::string path;     ///< as given (normalized to forward slashes)
   int line = 0;         ///< 1-based
   std::string message;
@@ -72,15 +94,67 @@ struct Config {
   /// Directory names skipped during tree walks ("build*" is always
   /// skipped).
   std::vector<std::string> exclude_dirs = {".git", "lint_fixtures"};
+
+  /// R7: the allowed-edge table. A file in module M (src/M/..., or the
+  /// top-level directory name for tools/tests/bench/examples) may include
+  /// its own module plus the listed ones; "*" means anything. Modules not
+  /// listed here are unchecked (fixture trees, vendored code).
+  std::vector<std::pair<std::string, std::vector<std::string>>> layering = {
+      {"common", {}},
+      {"lint", {}},
+      {"net", {"common"}},
+      {"appproto", {"common"}},
+      {"obs", {"common"}},
+      {"tcp", {"net", "common"}},
+      {"capture", {"net", "common"}},
+      {"fault", {"net", "common"}},
+      {"core", {"capture", "net", "common"}},
+      {"middlebox", {"tcp", "appproto", "net", "common"}},
+      {"world", {"middlebox", "tcp", "appproto", "capture", "net", "common"}},
+      {"analysis",
+       {"world", "core", "middlebox", "tcp", "appproto", "capture", "obs", "net",
+        "common"}},
+      {"service",
+       {"analysis", "world", "core", "middlebox", "tcp", "appproto", "capture",
+        "obs", "net", "common"}},
+      {"tools", {"*"}},
+      {"tests", {"*"}},
+      {"bench", {"*"}},
+      {"examples", {"*"}},
+  };
+  /// R9: enum names whose switches must be exhaustive.
+  std::vector<std::string> taxonomy_enums = {"Signature", "Stage"};
+  /// R10: path (suffix-matched within the linted file set) of the metric
+  /// inventory doc, path prefixes whose registrations must be documented,
+  /// and the family-name prefix the inventory covers.
+  std::string metric_doc_path = "DESIGN.md";
+  std::vector<std::string> metric_scan_prefixes = {"src/", "tools/"};
+  std::string metric_prefix = "tamper_";
 };
 
-/// Lint one in-memory source file. `path` decides which rules apply.
+/// One file of the repo, already read into memory.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Lint one in-memory source file (per-file rules R0–R6 only). `path`
+/// decides which rules apply.
 [[nodiscard]] std::vector<Finding> lint_source(std::string path,
                                                std::string_view content,
                                                const Config& config);
 
+/// Lint a whole file set: per-file rules on every C++ source (in parallel
+/// across `jobs` threads; 0 means hardware concurrency) plus the cross-file
+/// rules R7–R10 over the merged index. Output is deterministic — sorted by
+/// (path, line, rule, message) and byte-identical for every thread count.
+/// Non-C++ entries (the metric-inventory doc) contribute only to R10.
+[[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files,
+                                             const Config& config, int jobs = 0);
+
 /// Lint files and/or directory trees (recursing, skipping excluded dirs).
-/// Unreadable paths append to `errors`.
+/// Unreadable paths append to `errors`. Runs the full rule set via
+/// lint_repo over the discovered files.
 [[nodiscard]] std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
                                               const Config& config,
                                               std::vector<std::string>& errors);
@@ -90,6 +164,12 @@ struct Config {
 
 /// Machine-readable form: a JSON array of finding objects.
 [[nodiscard]] std::string format_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 (static-analysis results interchange format), suitable for
+/// GitHub code scanning upload. Artifact URIs are the finding paths
+/// relative to the repo root (uriBaseId SRCROOT); fingerprints are stable
+/// across line drift so re-runs dedupe.
+[[nodiscard]] std::string format_sarif(const std::vector<Finding>& findings);
 
 /// The rule catalog (id + one-line summary), for --list-rules.
 [[nodiscard]] std::string rule_catalog();

@@ -1,0 +1,417 @@
+// Pass 2: the cross-file rules R7–R10, evaluated over the merged RepoIndex.
+// Everything here is deterministic by construction: files arrive sorted by
+// path, graph nodes are visited in sorted order, and every finding anchors
+// at the first (path, line) site that exhibits the problem.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+#include "lint/text.h"
+
+namespace tamper::lint {
+
+namespace {
+
+using internal::trimmed;
+
+[[nodiscard]] bool rule_enabled(const Config& config, std::string_view id) {
+  if (config.rules.empty()) return true;
+  return std::find(config.rules.begin(), config.rules.end(), id) != config.rules.end();
+}
+
+[[nodiscard]] bool suppressed_at(const FileIndex& file, int line,
+                                 std::string_view rule) {
+  const std::size_t line0 = line > 0 ? static_cast<std::size_t>(line - 1) : 0;
+  if (line0 >= file.suppressed.size()) return false;
+  const auto& rules = file.suppressed[line0];
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+/// Module of a repo-relative path: "src/<m>/..." → m, otherwise the first
+/// path component ("tools", "tests", ...).
+[[nodiscard]] std::string module_of(const std::string& path) {
+  std::vector<std::string> comps;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    const std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      comps.push_back(path.substr(start));
+      break;
+    }
+    comps.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  if (comps.size() >= 3 && comps[0] == "src") return comps[1];
+  return comps.empty() ? "" : comps[0];
+}
+
+[[nodiscard]] const std::vector<std::string>* allowed_includes(const Config& config,
+                                                               const std::string& mod) {
+  for (const auto& [name, allowed] : config.layering)
+    if (name == mod) return &allowed;
+  return nullptr;
+}
+
+/// Deterministic strongly-connected components (Tarjan, iterative) over a
+/// graph given as sorted node names + sorted adjacency. Returns the SCCs
+/// that contain a cycle (size > 1, or a self-loop), each sorted, in
+/// ascending order of their smallest member.
+[[nodiscard]] std::vector<std::vector<std::string>> cyclic_sccs(
+    const std::map<std::string, std::set<std::string>>& graph) {
+  std::map<std::string, int> index, lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    const std::string* node;
+    std::set<std::string>::const_iterator it;
+  };
+  for (const auto& [root, unused_] : graph) {
+    (void)unused_;
+    if (index.count(root) != 0) continue;
+    std::vector<Frame> frames;
+    const auto push_node = [&](const std::string& n) {
+      index[n] = lowlink[n] = next_index++;
+      stack.push_back(n);
+      on_stack.insert(n);
+      frames.push_back({&graph.find(n)->first, graph.find(n)->second.begin()});
+    };
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::string& n = *f.node;
+      const auto& adj = graph.find(n)->second;
+      if (f.it != adj.end()) {
+        const std::string& succ = *f.it;
+        ++f.it;
+        if (graph.count(succ) == 0) continue;  // edge out of the file set
+        if (index.count(succ) == 0) {
+          push_node(succ);
+        } else if (on_stack.count(succ) != 0) {
+          lowlink[n] = std::min(lowlink[n], index[succ]);
+        }
+      } else {
+        if (lowlink[n] == index[n]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string m = stack.back();
+            stack.pop_back();
+            on_stack.erase(m);
+            scc.push_back(m);
+            if (m == n) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          const bool self_loop =
+              scc.size() == 1 && graph.find(scc[0])->second.count(scc[0]) != 0;
+          if (scc.size() > 1 || self_loop) sccs.push_back(std::move(scc));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          lowlink[*parent.node] = std::min(lowlink[*parent.node], lowlink[n]);
+        }
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep, std::size_t limit = 0) {
+  std::ostringstream out;
+  const std::size_t n =
+      limit != 0 && parts.size() > limit ? limit : parts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out << sep;
+    out << parts[i];
+  }
+  if (n < parts.size()) out << sep << "… +" << parts.size() - n << " more";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- R7
+
+void rule_layering(const RepoIndex& index, const Config& config,
+                   std::vector<Finding>& out) {
+  std::set<std::string> known_modules;
+  for (const auto& [name, allowed] : config.layering) {
+    (void)allowed;
+    known_modules.insert(name);
+  }
+  std::set<std::string> paths;
+  for (const FileIndex& file : index.files) paths.insert(file.path);
+
+  // Edge check against the allowed-edge table.
+  for (const FileIndex& file : index.files) {
+    const std::string mod = module_of(file.path);
+    const auto* allowed = allowed_includes(config, mod);
+    if (allowed == nullptr) continue;  // unknown module: unchecked
+    const bool any = std::find(allowed->begin(), allowed->end(), "*") != allowed->end();
+    for (const IncludeSite& inc : file.includes) {
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string target_mod = inc.target.substr(0, slash);
+      if (target_mod == mod || known_modules.count(target_mod) == 0) continue;
+      if (any || std::find(allowed->begin(), allowed->end(), target_mod) !=
+                     allowed->end())
+        continue;
+      if (suppressed_at(file, inc.line, "R7")) continue;
+      out.push_back(
+          {"R7", file.path, inc.line,
+           "layering violation: module '" + mod + "' may not include '" +
+               inc.target + "' (module '" + target_mod + "'); allowed below '" +
+               mod + "': " +
+               (allowed->empty() ? std::string("nothing") : join(*allowed, ", "))});
+    }
+  }
+
+  // Cycle check over the resolved file-level include graph.
+  std::map<std::string, std::set<std::string>> graph;
+  const auto resolve = [&](const std::string& includer,
+                           const std::string& target) -> std::string {
+    if (paths.count("src/" + target) != 0) return "src/" + target;
+    if (paths.count(target) != 0) return target;
+    const std::size_t slash = includer.rfind('/');
+    if (slash != std::string::npos) {
+      const std::string sibling = includer.substr(0, slash + 1) + target;
+      if (paths.count(sibling) != 0) return sibling;
+    }
+    return "";
+  };
+  for (const FileIndex& file : index.files) {
+    graph[file.path];  // ensure every file is a node
+    for (const IncludeSite& inc : file.includes) {
+      const std::string target = resolve(file.path, inc.target);
+      if (!target.empty()) graph[file.path].insert(target);
+    }
+  }
+  for (const auto& scc : cyclic_sccs(graph)) {
+    // Anchor at the smallest member's first include into the cycle.
+    const std::string& anchor_path = scc[0];
+    const std::set<std::string> members(scc.begin(), scc.end());
+    int line = 1;
+    for (const FileIndex& file : index.files) {
+      if (file.path != anchor_path) continue;
+      for (const IncludeSite& inc : file.includes) {
+        const std::string target = resolve(file.path, inc.target);
+        if (members.count(target) != 0) {
+          line = inc.line;
+          break;
+        }
+      }
+      if (suppressed_at(file, line, "R7")) line = -1;
+      break;
+    }
+    if (line < 0) continue;
+    std::vector<std::string> cycle(scc.begin(), scc.end());
+    out.push_back({"R7", anchor_path, line,
+                   "include cycle among: " + join(cycle, " -> ") +
+                       "; the include graph must be acyclic"});
+  }
+}
+
+// ---------------------------------------------------------------- R8
+
+void rule_lock_order(const RepoIndex& index, const Config& config,
+                     std::vector<Finding>& out) {
+  (void)config;
+  struct Site {
+    std::string path;
+    int line;
+  };
+  // First acquisition site per ordered (from, to) pair; files are sorted so
+  // "first" is deterministic.
+  std::map<std::pair<std::string, std::string>, Site> edges;
+  for (const FileIndex& file : index.files)
+    for (const LockNesting& n : file.lock_nestings)
+      edges.emplace(std::make_pair(n.from, n.to), Site{file.path, n.line});
+
+  std::map<std::string, std::set<std::string>> graph;
+  for (const auto& [edge, site] : edges) {
+    (void)site;
+    graph[edge.first].insert(edge.second);
+    graph[edge.second];  // nodes with only incoming edges still exist
+  }
+
+  for (const auto& scc : cyclic_sccs(graph)) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    std::vector<std::string> described;
+    const Site* anchor = nullptr;
+    for (const auto& [edge, site] : edges) {
+      if (members.count(edge.first) == 0 || members.count(edge.second) == 0)
+        continue;
+      if (anchor == nullptr) anchor = &site;
+      described.push_back(edge.first + " -> " + edge.second + " (" + site.path +
+                          ":" + std::to_string(site.line) + ")");
+    }
+    if (anchor == nullptr) continue;
+    bool is_suppressed = false;
+    for (const FileIndex& file : index.files)
+      if (file.path == anchor->path)
+        is_suppressed = suppressed_at(file, anchor->line, "R8");
+    if (is_suppressed) continue;
+    out.push_back({"R8", anchor->path, anchor->line,
+                   "lock-order inversion: mutexes {" + join(scc, ", ") +
+                       "} are acquired in conflicting orders — " +
+                       join(described, "; ") +
+                       "; pick one hierarchy (a cycle here is a deadlock "
+                       "waiting for its interleaving)"});
+  }
+}
+
+// ---------------------------------------------------------------- R9
+
+void rule_taxonomy_exhaustiveness(const RepoIndex& index, const Config& config,
+                                  std::vector<Finding>& out) {
+  // First definition (path-sorted) of each taxonomy enum wins.
+  std::map<std::string, const EnumDef*> defs;
+  for (const FileIndex& file : index.files)
+    for (const EnumDef& def : file.enums)
+      if (std::find(config.taxonomy_enums.begin(), config.taxonomy_enums.end(),
+                    def.name) != config.taxonomy_enums.end())
+        defs.emplace(def.name, &def);
+
+  for (const FileIndex& file : index.files) {
+    for (const SwitchSite& site : file.switches) {
+      // The switch targets the taxonomy enum its first qualified label names.
+      const EnumDef* def = nullptr;
+      for (const CaseLabel& label : site.labels) {
+        const auto it = defs.find(label.enum_name);
+        if (it != defs.end()) {
+          def = it->second;
+          break;
+        }
+      }
+      if (def == nullptr) continue;
+      std::set<std::string> covered;
+      for (const CaseLabel& label : site.labels)
+        if (label.enum_name == def->name) covered.insert(label.enumerator);
+      std::vector<std::string> missing;
+      for (const std::string& e : def->enumerators)
+        if (covered.count(e) == 0) missing.push_back(e);
+      if (missing.empty()) continue;
+      if (suppressed_at(file, site.line, "R9")) continue;
+      out.push_back(
+          {"R9", file.path, site.line,
+           "switch over " + def->name + " covers " +
+               std::to_string(covered.size()) + " of " +
+               std::to_string(def->enumerators.size()) + " enumerators (missing: " +
+               join(missing, ", ", 6) + ")" +
+               (site.has_default
+                    ? "; the default: label silently swallows them — a new "
+                      "signature must not vanish into a bucket"
+                    : "") +
+               "; cover every case or suppress with a reason"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------- R10
+
+/// Expand one `{a,b,c}` group per recursion level: the doc inventory writes
+/// families like `tamper_queue_{pushed,popped}_total`.
+void expand_braces(const std::string& pattern, std::vector<std::string>& out) {
+  const std::size_t open = pattern.find('{');
+  if (open == std::string::npos) {
+    out.push_back(pattern);
+    return;
+  }
+  const std::size_t close = pattern.find('}', open);
+  if (close == std::string::npos) {
+    out.push_back(pattern);
+    return;
+  }
+  std::size_t start = open + 1;
+  const std::string head = pattern.substr(0, open);
+  const std::string tail = pattern.substr(close + 1);
+  while (start <= close) {
+    std::size_t comma = pattern.find(',', start);
+    if (comma == std::string::npos || comma > close) comma = close;
+    expand_braces(head + pattern.substr(start, comma - start) + tail, out);
+    start = comma + 1;
+  }
+}
+
+void rule_metric_doc_drift(const RepoIndex& index, const Config& config,
+                           std::vector<Finding>& out) {
+  if (index.doc_path.empty()) return;
+
+  struct Site {
+    std::string path;
+    int line;
+  };
+  std::map<std::string, Site> registered;
+  for (const FileIndex& file : index.files) {
+    const bool in_scope = std::any_of(
+        config.metric_scan_prefixes.begin(), config.metric_scan_prefixes.end(),
+        [&](const std::string& prefix) { return file.path.rfind(prefix, 0) == 0; });
+    if (!in_scope) continue;
+    for (const MetricRegistration& reg : file.metrics)
+      if (reg.name.rfind(config.metric_prefix, 0) == 0)
+        registered.emplace(reg.name, Site{file.path, reg.line});
+  }
+
+  // Documented names: backticked spans in the first cell of markdown table
+  // rows, brace-expanded.
+  std::map<std::string, int> documented;
+  for (std::size_t i = 0; i < index.doc_lines.size(); ++i) {
+    const std::string t = trimmed(index.doc_lines[i]);
+    if (t.size() < 2 || t[0] != '|') continue;
+    const std::size_t cell_end = t.find('|', 1);
+    if (cell_end == std::string::npos) continue;
+    const std::string cell = t.substr(1, cell_end - 1);
+    std::size_t p = 0;
+    while (true) {
+      const std::size_t tick = cell.find('`', p);
+      if (tick == std::string::npos) break;
+      const std::size_t close = cell.find('`', tick + 1);
+      if (close == std::string::npos) break;
+      std::vector<std::string> names;
+      expand_braces(cell.substr(tick + 1, close - tick - 1), names);
+      for (const std::string& name : names)
+        if (name.rfind(config.metric_prefix, 0) == 0)
+          documented.emplace(name, static_cast<int>(i + 1));
+      p = close + 1;
+    }
+  }
+
+  for (const auto& [name, site] : registered) {
+    if (documented.count(name) != 0) continue;
+    bool is_suppressed = false;
+    for (const FileIndex& file : index.files)
+      if (file.path == site.path)
+        is_suppressed = suppressed_at(file, site.line, "R10");
+    if (is_suppressed) continue;
+    out.push_back({"R10", site.path, site.line,
+                   "metric family \"" + name + "\" is registered here but missing "
+                       "from the metric inventory in " + index.doc_path +
+                       "; document it (or suppress with a reason)"});
+  }
+  for (const auto& [name, line] : documented) {
+    if (registered.count(name) != 0) continue;
+    out.push_back({"R10", index.doc_path, line,
+                   "metric family \"" + name + "\" is documented in the metric "
+                       "inventory but never registered in " +
+                       join(config.metric_scan_prefixes, ", ") +
+                       "; delete the row or restore the registration"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& config) {
+  std::vector<Finding> out;
+  if (rule_enabled(config, "R7")) rule_layering(index, config, out);
+  if (rule_enabled(config, "R8")) rule_lock_order(index, config, out);
+  if (rule_enabled(config, "R9")) rule_taxonomy_exhaustiveness(index, config, out);
+  if (rule_enabled(config, "R10")) rule_metric_doc_drift(index, config, out);
+  return out;
+}
+
+}  // namespace tamper::lint

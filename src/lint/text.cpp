@@ -1,0 +1,184 @@
+#include "lint/text.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tamper::lint::internal {
+
+bool ident_char(char c) noexcept {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+std::string strip_literals(std::string_view src, bool keep_comments,
+                           bool keep_strings) {
+  std::string out(src.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw } state = State::kCode;
+  std::string raw_delim;  // raw-string closing delimiter: ")delim\""
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          if (keep_comments) out[i] = c;
+          state = State::kLine;
+        } else if (c == '/' && next == '*') {
+          if (keep_comments) {
+            out[i] = c;
+            out[i + 1] = next;
+          }
+          state = State::kBlock;
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim.clear();
+          raw_delim.push_back(')');
+          raw_delim.append(src.substr(i + 2, p - (i + 2)));
+          raw_delim.push_back('"');
+          out[i] = 'R';
+          if (i + 1 < src.size()) out[i + 1] = '"';
+          i += 1;
+          state = State::kRaw;
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          out[i] = '\'';
+          state = State::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kLine:
+        if (keep_comments && c != '\n') out[i] = c;
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlock:
+        if (keep_comments && c != '\n') out[i] = c;
+        if (c == '*' && next == '/') {
+          if (keep_comments && i + 1 < src.size()) out[i + 1] = next;
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (keep_strings) {
+            out[i] = c;
+            if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = src[i + 1];
+          }
+          ++i;
+          if (i < src.size() && src[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kCode;
+        } else if (keep_strings && c != '\n') {
+          out[i] = c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::size_t find_word(std::string_view line, std::string_view word, std::size_t from) {
+  while (from < line.size()) {
+    const std::size_t pos = line.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::string trimmed(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return static_cast<std::size_t>(
+      std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+std::vector<MetricSite> metric_sites(std::string_view stripped_text,
+                                     std::string_view strings_text) {
+  static constexpr std::string_view kCalls[] = {
+      "counter(",        "gauge(",        "histogram(",
+      "counter_family(", "gauge_family(", "histogram_family("};
+  struct Hit {
+    std::size_t pos;  ///< just past the call's `(` in the stripped text
+    bool family;
+  };
+  std::vector<Hit> hits;
+  for (const std::string_view token : kCalls) {
+    std::size_t from = 0, p = 0;
+    while ((p = stripped_text.find(token, from)) != std::string_view::npos) {
+      from = p + 1;
+      if (p == 0) continue;
+      const char before = stripped_text[p - 1];  // `.counter(` or `->counter(`
+      if (before != '.' && before != '>') continue;
+      hits.push_back({p + token.size(), token.find("_family") != std::string_view::npos});
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.pos < b.pos; });
+
+  std::vector<MetricSite> sites;
+  for (const Hit& hit : hits) {
+    std::size_t p = hit.pos;
+    while (p < stripped_text.size() &&
+           std::isspace(static_cast<unsigned char>(stripped_text[p])) != 0)
+      ++p;
+    if (p >= stripped_text.size() || stripped_text[p] != '"') continue;
+    const std::size_t close = stripped_text.find('"', p + 1);
+    if (close == std::string_view::npos) continue;
+    MetricSite site;
+    site.name = std::string(strings_text.substr(p + 1, close - p - 1));
+    site.line0 = line_of(stripped_text, p);
+    site.name_pos = p + 1;
+    site.name_end = close;
+    site.family = hit.family;
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+}  // namespace tamper::lint::internal

@@ -1,0 +1,56 @@
+// Internal text-analysis helpers shared by the per-file rules (lint.cpp)
+// and the repo-index pass (index.cpp). Everything here is pure: string in,
+// structure out, no filesystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamper::lint::internal {
+
+[[nodiscard]] bool ident_char(char c) noexcept;
+
+/// Blank out the contents of string/char literals and (unless
+/// `keep_comments`) comments, preserving line structure. Token rules run on
+/// the everything-stripped form so they never fire on prose or test strings;
+/// the directive scanner runs on the comments-kept form, because directives
+/// live in comments but must not fire on string literals that merely mention
+/// the directive syntax. `keep_strings` preserves string-literal contents
+/// instead (metric-name rules read names out of them); all three forms are
+/// position-aligned with the source, so structure found in one form can be
+/// read out of another.
+[[nodiscard]] std::string strip_literals(std::string_view src, bool keep_comments,
+                                         bool keep_strings = false);
+
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text);
+
+/// Position of `word` in `line` at identifier boundaries, or npos.
+[[nodiscard]] std::size_t find_word(std::string_view line, std::string_view word,
+                                    std::size_t from = 0);
+
+[[nodiscard]] std::string trimmed(std::string_view s);
+
+/// 0-based line number of byte offset `pos` in `text`.
+[[nodiscard]] std::size_t line_of(std::string_view text, std::size_t pos);
+
+/// A metric-family registration site: a call like `reg.counter("name", ...)`
+/// or `metrics->histogram_family("name", help, {"label"}, ...)`. `pos` is
+/// the offset just past the opening quote of the name in the stripped text
+/// (positions are shared across the aligned forms).
+struct MetricSite {
+  std::string name;
+  std::size_t line0 = 0;  ///< 0-based line of the name literal
+  std::size_t name_pos = 0;
+  std::size_t name_end = 0;  ///< offset of the closing quote
+  bool family = false;
+};
+
+/// All registration sites, in text order. Structure is found in the
+/// fully-stripped form; names are read out of the aligned strings-kept form.
+/// Names passed as variables cannot be seen and are skipped.
+[[nodiscard]] std::vector<MetricSite> metric_sites(std::string_view stripped_text,
+                                                   std::string_view strings_text);
+
+}  // namespace tamper::lint::internal

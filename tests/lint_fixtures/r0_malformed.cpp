@@ -5,5 +5,5 @@
 int bad_seed() {
   // tamperlint-allow(R1)
   std::random_device rd;  // still flagged: directive has no reason
-  return static_cast<int>(rd());  // tamperlint-allow(R9): unknown rule id
+  return static_cast<int>(rd());  // tamperlint-allow(R99): unknown rule id
 }

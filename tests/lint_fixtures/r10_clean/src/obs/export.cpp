@@ -1,0 +1,10 @@
+#include "obs/metrics.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  reg.counter("tamper_pushed_total", "documented below");
+  reg.counter("tamper_popped_total", "documented below");
+}
+
+}  // namespace tamper::obs

@@ -1,0 +1,9 @@
+#include "obs/metrics.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  reg.counter("tamper_orphan_total", "registered but not documented");
+}
+
+}  // namespace tamper::obs

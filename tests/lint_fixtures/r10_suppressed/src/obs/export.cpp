@@ -1,0 +1,10 @@
+#include "obs/metrics.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  // tamperlint-allow(R10): experimental family, documented on graduation
+  reg.counter("tamper_orphan_total", "registered but not documented");
+}
+
+}  // namespace tamper::obs

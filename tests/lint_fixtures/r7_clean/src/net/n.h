@@ -1,0 +1,5 @@
+#pragma once
+
+namespace tamper::net {
+int parse();
+}  // namespace tamper::net

@@ -1,0 +1,6 @@
+#pragma once
+#include "net/n.h"
+
+namespace tamper::tcp {
+int track();
+}  // namespace tamper::tcp

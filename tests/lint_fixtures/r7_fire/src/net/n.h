@@ -1,0 +1,6 @@
+#pragma once
+#include "tcp/t.h"
+
+namespace tamper::net {
+int parse();
+}  // namespace tamper::net

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace tamper::tcp {
+int track();
+}  // namespace tamper::tcp

@@ -1,0 +1,7 @@
+#pragma once
+// tamperlint-allow(R7): deliberate upward include, probing suppression
+#include "tcp/t.h"
+
+namespace tamper::net {
+int parse();
+}  // namespace tamper::net

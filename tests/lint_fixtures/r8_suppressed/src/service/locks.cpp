@@ -1,0 +1,25 @@
+#include "common/mutex.h"
+
+namespace tamper::service {
+
+class Pair {
+ public:
+  void forward() {
+    common::MutexLock a(a_mu_);
+    // tamperlint-allow(R8): backward() is only reachable during shutdown,
+    common::MutexLock b(b_mu_);
+    ++both_;
+  }
+  void backward() {
+    common::MutexLock b(b_mu_);
+    common::MutexLock a(a_mu_);
+    ++both_;
+  }
+
+ private:
+  common::Mutex a_mu_;
+  common::Mutex b_mu_;
+  int both_ = 0;
+};
+
+}  // namespace tamper::service

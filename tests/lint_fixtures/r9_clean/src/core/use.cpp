@@ -1,0 +1,17 @@
+#include "core/sig.h"
+
+namespace tamper::core {
+
+int arm(Signature sig) {
+  switch (sig) {
+    case Signature::kSynNone:
+      return 0;
+    case Signature::kSynRst:
+      return 1;
+    case Signature::kDataRst:
+      return 2;
+  }
+  return -1;
+}
+
+}  // namespace tamper::core

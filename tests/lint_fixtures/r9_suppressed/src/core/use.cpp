@@ -1,0 +1,17 @@
+#include "core/sig.h"
+
+namespace tamper::core {
+
+int arm(Signature sig) {
+  // tamperlint-allow(R9): kDataRst is handled by the caller's prefilter
+  switch (sig) {
+    case Signature::kSynNone:
+      return 0;
+    case Signature::kSynRst:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace tamper::core

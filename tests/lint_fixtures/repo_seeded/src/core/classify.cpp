@@ -1,0 +1,16 @@
+#include "core/sig.h"
+
+namespace tamper::core {
+
+int weight(Signature sig) {
+  switch (sig) {
+    case Signature::kSynNone:
+      return 0;
+    case Signature::kSynRst:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace tamper::core

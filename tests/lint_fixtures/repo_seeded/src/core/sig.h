@@ -1,0 +1,12 @@
+#pragma once
+#include <cstdint>
+
+namespace tamper::core {
+
+enum class Signature : std::uint8_t {
+  kSynNone,
+  kSynRst,
+  kDataRst,
+};
+
+}  // namespace tamper::core

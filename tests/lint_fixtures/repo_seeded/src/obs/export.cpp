@@ -1,0 +1,10 @@
+#include "obs/metrics.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  reg.counter("tamper_seeded_total", "documented in the fixture DESIGN.md");
+  reg.counter("tamper_orphan_total", "deliberately left undocumented");
+}
+
+}  // namespace tamper::obs

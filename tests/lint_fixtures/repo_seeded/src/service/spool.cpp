@@ -1,0 +1,24 @@
+#include "common/mutex.h"
+
+namespace tamper::service {
+
+class Spool {
+ public:
+  void push() {
+    common::MutexLock q(queue_mu_);
+    common::MutexLock d(disk_mu_);
+    ++depth_;
+  }
+  void drain() {
+    common::MutexLock d(disk_mu_);
+    common::MutexLock q(queue_mu_);
+    --depth_;
+  }
+
+ private:
+  common::Mutex queue_mu_;
+  common::Mutex disk_mu_;
+  int depth_ = 0;
+};
+
+}  // namespace tamper::service

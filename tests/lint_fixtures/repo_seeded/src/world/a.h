@@ -1,0 +1,6 @@
+#pragma once
+#include "world/b.h"
+
+namespace tamper::world {
+int alpha();
+}  // namespace tamper::world

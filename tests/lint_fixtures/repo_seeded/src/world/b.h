@@ -1,0 +1,6 @@
+#pragma once
+#include "world/a.h"
+
+namespace tamper::world {
+int beta();
+}  // namespace tamper::world

@@ -9,16 +9,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "lint/baseline.h"
 
 namespace {
 
 using tamper::lint::Config;
 using tamper::lint::Finding;
+using tamper::lint::lint_repo;
 using tamper::lint::lint_source;
+using tamper::lint::SourceFile;
 
 std::string fixture(const std::string& name) {
   const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
@@ -32,6 +40,24 @@ int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
   return static_cast<int>(std::count_if(
       findings.begin(), findings.end(),
       [&](const Finding& f) { return f.rule == rule; }));
+}
+
+/// Load a fixture mini-repo (tests/lint_fixtures/<name>/...) as in-memory
+/// SourceFiles whose paths are relative to the subtree root, so module
+/// detection ("src/net/...") works no matter where the checkout lives.
+std::vector<SourceFile> load_repo(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(LINT_FIXTURE_DIR) / name;
+  std::vector<SourceFile> files;
+  EXPECT_TRUE(fs::is_directory(root)) << "missing fixture tree: " << root;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    files.push_back({entry.path().lexically_relative(root).generic_string(),
+                     std::string((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>())});
+  }
+  return files;
 }
 
 TEST(LintR1, FiresOnAmbientTimeAndRandomness) {
@@ -211,6 +237,430 @@ TEST(LintOutput, DeterministicAndMachineReadable) {
   const std::string json = tamper::lint::format_json(a);
   EXPECT_NE(json.find("\"rule\": \"R4\""), std::string::npos);
   EXPECT_NE(json.find("\"line\": "), std::string::npos);
+}
+
+// ---------------------------------------------------------------- R7
+
+TEST(LintR7, FiresOnUpwardInclude) {
+  const auto findings = lint_repo(load_repo("r7_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R7"), 1) << tamper::lint::format_text(findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].path, "src/net/n.h");
+  EXPECT_NE(findings[0].message.find("module 'net'"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintR7, SuppressionOnTheIncludeLineSilencesIt) {
+  const auto findings = lint_repo(load_repo("r7_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R7"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR7, QuietOnDownwardInclude) {
+  const auto findings = lint_repo(load_repo("r7_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+// ---------------------------------------------------------------- R8
+
+TEST(LintR8, FiresOnLockOrderInversion) {
+  const auto findings = lint_repo(load_repo("r8_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R8"), 1) << tamper::lint::format_text(findings);
+  ASSERT_FALSE(findings.empty());
+  // Both conflicting acquisition sites are named, with class-qualified nodes.
+  EXPECT_NE(findings[0].message.find("Pair::a_mu_ -> Pair::b_mu_"),
+            std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("Pair::b_mu_ -> Pair::a_mu_"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintR8, SuppressionAtTheAnchorSiteSilencesIt) {
+  const auto findings = lint_repo(load_repo("r8_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R8"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR8, QuietOnConsistentOrder) {
+  const auto findings = lint_repo(load_repo("r8_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+// ---------------------------------------------------------------- R9
+
+TEST(LintR9, FiresOnMissingEnumeratorWithDefault) {
+  const auto findings = lint_repo(load_repo("r9_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R9"), 1) << tamper::lint::format_text(findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].path, "src/core/use.cpp");
+  EXPECT_NE(findings[0].message.find("missing: kDataRst"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("default:"), std::string::npos)
+      << "the silent default must be called out: " << findings[0].message;
+}
+
+TEST(LintR9, SuppressionAboveTheSwitchSilencesIt) {
+  const auto findings = lint_repo(load_repo("r9_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R9"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR9, QuietOnExhaustiveSwitch) {
+  const auto findings = lint_repo(load_repo("r9_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+// ---------------------------------------------------------------- R10
+
+TEST(LintR10, FiresInBothDirections) {
+  const auto findings = lint_repo(load_repo("r10_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R10"), 2) << tamper::lint::format_text(findings);
+  bool undocumented = false, unregistered = false;
+  for (const auto& f : findings) {
+    if (f.message.find("tamper_orphan_total") != std::string::npos) {
+      undocumented = true;
+      EXPECT_EQ(f.path, "src/obs/export.cpp");
+    }
+    if (f.message.find("tamper_ghost_total") != std::string::npos) {
+      unregistered = true;
+      EXPECT_EQ(f.path, "DESIGN.md");
+    }
+  }
+  EXPECT_TRUE(undocumented);
+  EXPECT_TRUE(unregistered);
+}
+
+TEST(LintR10, SuppressionAtTheRegistrationSilencesIt) {
+  const auto findings = lint_repo(load_repo("r10_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R10"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR10, BraceExpandedInventoryRowsMatch) {
+  const auto findings = lint_repo(load_repo("r10_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+// ---------------------------------------------------------------- seeded repo
+
+TEST(LintSeeded, ExactlyOneFindingPerCrossFileRule) {
+  const auto findings = lint_repo(load_repo("repo_seeded"), {});
+  EXPECT_EQ(findings.size(), 4u) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R7"), 1);
+  EXPECT_EQ(count_rule(findings, "R8"), 1);
+  EXPECT_EQ(count_rule(findings, "R9"), 1);
+  EXPECT_EQ(count_rule(findings, "R10"), 1);
+  const std::map<std::string, std::string> expected_path = {
+      {"R7", "src/world/a.h"},
+      {"R8", "src/service/spool.cpp"},
+      {"R9", "src/core/classify.cpp"},
+      {"R10", "src/obs/export.cpp"},
+  };
+  for (const auto& f : findings)
+    EXPECT_EQ(f.path, expected_path.at(f.rule)) << f.rule << ": " << f.message;
+}
+
+// ---------------------------------------------------------------- parallelism
+
+TEST(LintParallel, ByteIdenticalAcrossThreadCountsAndRuns) {
+  const auto files = load_repo("repo_seeded");
+  const auto baseline_run = lint_repo(files, {}, /*jobs=*/1);
+  const std::string text = tamper::lint::format_text(baseline_run);
+  const std::string json = tamper::lint::format_json(baseline_run);
+  const std::string sarif = tamper::lint::format_sarif(baseline_run);
+  for (const int jobs : {1, 2, 8}) {
+    for (int run = 0; run < 2; ++run) {
+      const auto again = lint_repo(files, {}, jobs);
+      EXPECT_EQ(tamper::lint::format_text(again), text) << "jobs=" << jobs;
+      EXPECT_EQ(tamper::lint::format_json(again), json) << "jobs=" << jobs;
+      EXPECT_EQ(tamper::lint::format_sarif(again), sarif) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(LintParallel, ShuffledInputOrderDoesNotChangeOutput) {
+  auto files = load_repo("repo_seeded");
+  const std::string text = tamper::lint::format_text(lint_repo(files, {}, 4));
+  std::reverse(files.begin(), files.end());
+  EXPECT_EQ(tamper::lint::format_text(lint_repo(files, {}, 4)), text);
+}
+
+// ---------------------------------------------------------------- SARIF
+
+/// A deliberately small JSON reader — just enough structure to validate the
+/// SARIF output against the 2.1.0 shape without external schema tooling.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+      ++pos;
+  }
+  bool eat(char c) {
+    skip();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    failed = true;
+    return false;
+  }
+  JsonValue parse() {
+    JsonValue v;
+    skip();
+    if (pos >= text.size()) {
+      failed = true;
+      return v;
+    }
+    const char c = text[pos];
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos;
+      skip();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return v;
+      }
+      while (!failed) {
+        skip();
+        JsonValue key = parse_string();
+        if (failed || !eat(':')) break;
+        v.object.emplace(key.str, parse());
+        skip();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        eat('}');
+        break;
+      }
+    } else if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos;
+      skip();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return v;
+      }
+      while (!failed) {
+        v.array.push_back(parse());
+        skip();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        eat(']');
+        break;
+      }
+    } else if (c == '"') {
+      v = parse_string();
+    } else if (c == 't' || c == 'f') {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = c == 't';
+      pos += c == 't' ? 4 : 5;
+    } else if (c == 'n') {
+      pos += 4;
+    } else {
+      v.kind = JsonValue::Kind::kNumber;
+      std::size_t end = pos;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+              text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+              text[end] == 'e' || text[end] == 'E'))
+        ++end;
+      v.number = std::stod(std::string(text.substr(pos, end - pos)));
+      pos = end;
+    }
+    return v;
+  }
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!eat('"')) return v;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        const char esc = text[pos + 1];
+        if (esc == 'n') v.str.push_back('\n');
+        else if (esc == 't') v.str.push_back('\t');
+        else if (esc == 'u') {
+          pos += 4;  // \u00XX — fixture messages only use control escapes
+          v.str.push_back('?');
+        } else v.str.push_back(esc);
+        pos += 2;
+        continue;
+      }
+      v.str.push_back(text[pos++]);
+    }
+    if (!eat('"')) failed = true;
+    return v;
+  }
+};
+
+TEST(LintSarif, ValidatesAgainstThe210Shape) {
+  const auto findings = lint_repo(load_repo("repo_seeded"), {});
+  ASSERT_EQ(findings.size(), 4u);
+  const std::string sarif = tamper::lint::format_sarif(findings);
+
+  JsonParser parser{sarif};
+  const JsonValue doc = parser.parse();
+  ASSERT_FALSE(parser.failed) << "SARIF output is not well-formed JSON";
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+
+  const JsonValue* schema = doc.get("$schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->str.find("sarif-schema-2.1.0"), std::string::npos);
+  const JsonValue* version = doc.get("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->str, "2.1.0");
+
+  const JsonValue* runs = doc.get("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue& run = runs->array[0];
+
+  const JsonValue* tool = run.get("tool");
+  ASSERT_NE(tool, nullptr);
+  const JsonValue* driver = tool->get("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->get("name")->str, "tamperlint");
+  const JsonValue* rules = driver->get("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->array.size(), 11u);  // R0..R10
+  for (const JsonValue& rule : rules->array) {
+    ASSERT_NE(rule.get("id"), nullptr);
+    ASSERT_NE(rule.get("shortDescription"), nullptr);
+    EXPECT_NE(rule.get("shortDescription")->get("text"), nullptr);
+  }
+
+  const JsonValue* results = run.get("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), findings.size());
+  for (const JsonValue& result : results->array) {
+    const JsonValue* rule_id = result.get("ruleId");
+    ASSERT_NE(rule_id, nullptr);
+    const JsonValue* rule_index = result.get("ruleIndex");
+    ASSERT_NE(rule_index, nullptr);
+    // ruleIndex must point at the catalog entry with the matching id.
+    const int idx = static_cast<int>(rule_index->number);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, static_cast<int>(rules->array.size()));
+    EXPECT_EQ(rules->array[static_cast<std::size_t>(idx)].get("id")->str,
+              rule_id->str);
+    EXPECT_EQ(result.get("level")->str, "error");
+    ASSERT_NE(result.get("message"), nullptr);
+    EXPECT_FALSE(result.get("message")->get("text")->str.empty());
+    const JsonValue* locations = result.get("locations");
+    ASSERT_NE(locations, nullptr);
+    ASSERT_EQ(locations->array.size(), 1u);
+    const JsonValue* phys = locations->array[0].get("physicalLocation");
+    ASSERT_NE(phys, nullptr);
+    const JsonValue* artifact = phys->get("artifactLocation");
+    ASSERT_NE(artifact, nullptr);
+    EXPECT_FALSE(artifact->get("uri")->str.empty());
+    EXPECT_EQ(artifact->get("uriBaseId")->str, "SRCROOT");
+    EXPECT_GE(phys->get("region")->get("startLine")->number, 1.0);
+    const JsonValue* prints = result.get("partialFingerprints");
+    ASSERT_NE(prints, nullptr);
+    EXPECT_NE(prints->get("tamperlint/v1"), nullptr);
+  }
+}
+
+TEST(LintSarif, FingerprintsAreStableAcrossRuns) {
+  const auto files = load_repo("repo_seeded");
+  EXPECT_EQ(tamper::lint::format_sarif(lint_repo(files, {})),
+            tamper::lint::format_sarif(lint_repo(files, {})));
+}
+
+// ---------------------------------------------------------------- baseline
+
+TEST(LintBaseline, RoundTripsAndDropsMatchedFindings) {
+  auto findings = lint_repo(load_repo("repo_seeded"), {});
+  ASSERT_EQ(findings.size(), 4u);
+  const std::string serialized = tamper::lint::format_baseline(findings);
+
+  std::vector<std::string> errors;
+  const auto parsed = tamper::lint::parse_baseline(serialized, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(parsed.size(), 4u);
+
+  const auto stale = tamper::lint::apply_baseline(findings, parsed);
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(LintBaseline, MatchesWithoutLineNumbersAndReportsStaleEntries) {
+  auto findings = lint_repo(load_repo("repo_seeded"), {});
+  ASSERT_EQ(findings.size(), 4u);
+  std::vector<tamper::lint::BaselineEntry> baseline;
+  // Accept only the R9 finding, plus one entry for a finding that no longer
+  // exists (its message changed) — that entry must come back stale.
+  for (const auto& f : findings)
+    if (f.rule == "R9") baseline.push_back({f.rule, f.path, f.message});
+  baseline.push_back({"R9", "src/core/classify.cpp", "an old message"});
+
+  const auto stale = tamper::lint::apply_baseline(findings, baseline);
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_EQ(count_rule(findings, "R9"), 0);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].message, "an old message");
+}
+
+TEST(LintBaseline, MalformedLinesAreErrorsNotSilentAcceptance) {
+  std::vector<std::string> errors;
+  const auto parsed = tamper::lint::parse_baseline(
+      "# comment\nR7 src/world/a.h no tabs here\n", errors);
+  EXPECT_TRUE(parsed.empty());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("baseline line 2"), std::string::npos) << errors[0];
+}
+
+// ---------------------------------------------------------------- manifest
+
+TEST(LintManifest, WalkFormatParseRoundTrip) {
+  std::vector<std::string> errors;
+  const auto walked = tamper::lint::walk_sources(
+      std::string(LINT_FIXTURE_DIR) + "/r7_fire", {}, errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(walked.size(), 2u);
+  EXPECT_EQ(walked[0], "src/net/n.h");
+  EXPECT_EQ(walked[1], "src/tcp/t.h");
+
+  const std::string serialized = tamper::lint::format_manifest(walked);
+  EXPECT_EQ(tamper::lint::parse_manifest(serialized), walked);
+}
+
+TEST(LintManifest, FormatSortsAndDeduplicates) {
+  const std::string serialized = tamper::lint::format_manifest(
+      {"src/b.cpp", "src/a.cpp", "src/b.cpp"});
+  const auto parsed = tamper::lint::parse_manifest(serialized);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], "src/a.cpp");
+  EXPECT_EQ(parsed[1], "src/b.cpp");
+}
+
+TEST(LintCatalog, ListsTheCrossFileRules) {
+  const std::string catalog = tamper::lint::rule_catalog();
+  for (const char* id : {"R7", "R8", "R9", "R10"})
+    EXPECT_NE(catalog.find(id), std::string::npos) << id;
 }
 
 }  // namespace

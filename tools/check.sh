@@ -9,6 +9,14 @@
 #   tools/check.sh --sanitizer=thread      # TSan (data-race gate)
 #   tools/check.sh --sanitizer=all         # both, sequentially
 #   tools/check.sh --sanitizer=thread -R Service   # subset of tests
+#   tools/check.sh --lint-only             # fast path: tamperlint gate only
+#
+# --lint-only skips the sanitizer builds entirely: it builds just the
+# tamperlint binary (reusing an existing build tree when one is present)
+# and runs the manifest+baseline gate — seconds, not minutes, so it works
+# as a pre-commit hook:
+#
+#   ln -s ../../tools/precommit.sh .git/hooks/pre-commit
 #
 # Extra arguments are forwarded to ctest. Build trees are kept per
 # sanitizer (build-sanitize-<mode>) so switching modes never causes a full
@@ -18,17 +26,46 @@ cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
 SANITIZER=address
+LINT_ONLY=0
 ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --sanitizer=*) SANITIZER="${arg#--sanitizer=}" ;;
+    --lint-only) LINT_ONLY=1 ;;
     --help|-h)
-      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) ARGS+=("$arg") ;;
   esac
 done
+
+if [ "$LINT_ONLY" = 1 ]; then
+  # Reuse whichever configured tree already exists (its compile_commands.json
+  # and object cache make the tamperlint build incremental); fall back to a
+  # minimal dedicated tree so the fast path never triggers a full build.
+  lint_build=""
+  for candidate in "${BUILD_DIR:-}" build build-sanitize-address build-lint; do
+    [ -n "$candidate" ] && [ -f "$candidate/CMakeCache.txt" ] || continue
+    lint_build="$candidate"
+    break
+  done
+  if [ -z "$lint_build" ]; then
+    lint_build=build-lint
+    cmake -B "$lint_build" -S . \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DTAMPER_BUILD_TESTS=OFF \
+      -DTAMPER_BUILD_BENCH=OFF \
+      -DTAMPER_BUILD_EXAMPLES=OFF >/dev/null
+  fi
+  cmake --build "$lint_build" -j "$JOBS" --target tamperlint >/dev/null
+  "$lint_build"/tools/tamperlint --root . \
+    --manifest tools/tamperlint.manifest \
+    --verify-manifest \
+    --baseline tools/tamperlint.baseline
+  echo "== lint gate passed (build dir: $lint_build) =="
+  exit 0
+fi
 
 run_mode() {
   local mode="$1"

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Pre-commit hook: the fast lint gate only (no sanitizer builds). Install:
+#
+#   ln -s ../../tools/precommit.sh .git/hooks/pre-commit
+exec "$(dirname "$(readlink -f "$0")")/check.sh" --lint-only

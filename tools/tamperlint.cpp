@@ -1,27 +1,52 @@
 // tamperlint — run the repo's contract lint (see src/lint/lint.h for the
 // rule catalog). Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// The gate form pins file discovery to a checked-in manifest and filters
+// accepted pre-existing findings through a baseline:
+//
+//   tamperlint --root . --manifest tools/tamperlint.manifest
+//              --verify-manifest --baseline tools/tamperlint.baseline
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/baseline.h"
 #include "lint/lint.h"
 
 namespace {
 
 constexpr const char* kUsage = R"(usage: tamperlint [options] [path...]
 
-Runs libtamper's contract lint over C++ sources. Paths may be files or
-directories (recursed; build*/, .git/, lint_fixtures/ skipped). With no
-paths, lints src tools tests bench examples under --root.
+Runs libtamper's contract lint over C++ sources: per-file rules R0-R6 plus
+the cross-file rules R7-R10 (layering, lock order, taxonomy exhaustiveness,
+metric-doc drift). Paths may be files or directories (recursed; build*/,
+.git/, lint_fixtures/ skipped). With no paths and no manifest, lints
+src tools tests bench examples under --root.
 
 options:
-  --root=DIR        repository root to resolve default paths against (default .)
-  --format=FMT      text (default) or json
-  --rules=R1,R3     run only the listed rules (default: all)
-  --list-rules      print the rule catalog and exit
-  -h, --help        this help
+  --root=DIR            repository root; manifest/default paths resolve
+                        against it and findings are reported relative to it
+  --manifest=FILE       lint exactly the files listed (repo-relative paths);
+                        the gate's discovery mode - build trees and generated
+                        files can never leak into a scan
+  --verify-manifest     fail (exit 2) if the manifest disagrees with a fresh
+                        source walk, with the missing/extra paths
+  --write-manifest=FILE walk sources under --root, write FILE, and exit
+  --baseline=FILE       drop findings listed in FILE (accepted pre-existing
+                        findings); stale entries are warned to stderr
+  --write-baseline=FILE write the current findings as a baseline and exit
+  --format=FMT          text (default), json, or sarif
+  --output=FILE         write findings to FILE instead of stdout
+  --jobs=N              per-file scan threads (default: hardware concurrency)
+  --rules=R1,R7         run only the listed rules (default: all)
+  --list-rules          print the rule catalog and exit
+  -h, --help            this help
 )";
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -33,12 +58,51 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+/// Load repo-relative paths into SourceFiles whose .path stays relative, so
+/// findings, baselines, and SARIF URIs are stable across checkouts.
+std::vector<tamper::lint::SourceFile> load_relative(
+    const std::string& root, const std::vector<std::string>& rel_paths,
+    std::vector<std::string>& errors) {
+  std::vector<tamper::lint::SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::string content;
+    if (!read_file(root + "/" + rel, content)) {
+      errors.push_back(rel + ": unreadable");
+      continue;
+    }
+    files.push_back({rel, std::move(content)});
+  }
+  return files;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tamper::lint::Config config;
   std::string root = ".";
   std::string format = "text";
+  std::string output;
+  std::string manifest_path;
+  std::string write_manifest_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool verify_manifest = false;
+  int jobs = 0;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -48,8 +112,26 @@ int main(int argc, char** argv) {
       root = value("--root=");
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg.rfind("--manifest=", 0) == 0) {
+      manifest_path = value("--manifest=");
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg.rfind("--write-manifest=", 0) == 0) {
+      write_manifest_path = value("--write-manifest=");
+    } else if (arg == "--verify-manifest") {
+      verify_manifest = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline=");
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value("--write-baseline=");
     } else if (arg.rfind("--format=", 0) == 0) {
       format = value("--format=");
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output = value("--output=");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(value("--jobs=").c_str());
     } else if (arg.rfind("--rules=", 0) == 0) {
       config.rules = split_csv(value("--rules="));
     } else if (arg == "--list-rules") {
@@ -65,25 +147,116 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (format != "text" && format != "json") {
-    std::cerr << "tamperlint: --format must be text or json\n";
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "tamperlint: --format must be text, json, or sarif\n";
     return 2;
   }
-  if (paths.empty())
-    for (const char* dir : {"src", "tools", "tests", "bench", "examples"})
-      paths.push_back(root + "/" + dir);
 
   std::vector<std::string> errors;
-  const auto findings = tamper::lint::lint_paths(paths, config, errors);
+  std::vector<tamper::lint::Finding> findings;
 
-  if (format == "json") {
-    std::cout << tamper::lint::format_json(findings);
+  if (!write_manifest_path.empty()) {
+    const std::vector<std::string> walked =
+        tamper::lint::walk_sources(root, config, errors);
+    for (const auto& err : errors) std::cerr << "tamperlint: " << err << '\n';
+    if (!errors.empty()) return 2;
+    if (!write_file(write_manifest_path, tamper::lint::format_manifest(walked))) {
+      std::cerr << "tamperlint: cannot write " << write_manifest_path << '\n';
+      return 2;
+    }
+    std::cerr << "tamperlint: wrote " << walked.size() << " paths to "
+              << write_manifest_path << '\n';
+    return 0;
+  }
+
+  if (!paths.empty() && manifest_path.empty()) {
+    // Legacy/ad-hoc mode: explicit files or directory trees, reported with
+    // the paths as given.
+    findings = tamper::lint::lint_paths(paths, config, errors);
   } else {
-    std::cout << tamper::lint::format_text(findings);
+    std::vector<std::string> rel_paths;
+    if (!manifest_path.empty()) {
+      std::string text;
+      if (!read_file(manifest_path, text)) {
+        std::cerr << "tamperlint: cannot read manifest " << manifest_path << '\n';
+        return 2;
+      }
+      rel_paths = tamper::lint::parse_manifest(text);
+      if (verify_manifest) {
+        const std::vector<std::string> walked =
+            tamper::lint::walk_sources(root, config, errors);
+        bool drift = false;
+        for (const std::string& p : walked)
+          if (std::find(rel_paths.begin(), rel_paths.end(), p) == rel_paths.end()) {
+            std::cerr << "tamperlint: source not in manifest: " << p << '\n';
+            drift = true;
+          }
+        for (const std::string& p : rel_paths)
+          if (std::find(walked.begin(), walked.end(), p) == walked.end()) {
+            std::cerr << "tamperlint: manifest entry missing on disk: " << p << '\n';
+            drift = true;
+          }
+        if (drift) {
+          std::cerr << "tamperlint: manifest drift — regenerate with "
+                       "--write-manifest="
+                    << manifest_path << '\n';
+          return 2;
+        }
+      }
+    } else {
+      rel_paths = tamper::lint::walk_sources(root, config, errors);
+    }
+    std::vector<tamper::lint::SourceFile> files =
+        load_relative(root, rel_paths, errors);
+    // The metric inventory doc participates in R10 even though it is not a
+    // lintable source; pull it in when present.
+    std::string doc;
+    if (!config.metric_doc_path.empty() &&
+        read_file(root + "/" + config.metric_doc_path, doc))
+      files.push_back({config.metric_doc_path, std::move(doc)});
+    findings = tamper::lint::lint_repo(files, config, jobs);
+  }
+
+  if (!write_baseline_path.empty()) {
+    if (!write_file(write_baseline_path, tamper::lint::format_baseline(findings))) {
+      std::cerr << "tamperlint: cannot write " << write_baseline_path << '\n';
+      return 2;
+    }
+    std::cerr << "tamperlint: wrote " << findings.size() << " entries to "
+              << write_baseline_path << '\n';
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "tamperlint: cannot read baseline " << baseline_path << '\n';
+      return 2;
+    }
+    const auto baseline = tamper::lint::parse_baseline(text, errors);
+    const auto stale = tamper::lint::apply_baseline(findings, baseline);
+    for (const auto& e : stale)
+      std::cerr << "tamperlint: stale baseline entry (finding fixed — delete it): "
+                << e.rule << '\t' << e.path << '\t' << e.message << '\n';
+  }
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = tamper::lint::format_json(findings);
+  } else if (format == "sarif") {
+    rendered = tamper::lint::format_sarif(findings);
+  } else {
+    rendered = tamper::lint::format_text(findings);
     if (!findings.empty())
-      std::cout << findings.size()
-                << " finding(s). Suppress a deliberate exception with "
-                   "`// tamperlint-allow(RN): reason`.\n";
+      rendered += std::to_string(findings.size()) +
+                  " finding(s). Suppress a deliberate exception with "
+                  "`// tamperlint-allow(RN): reason`.\n";
+  }
+  if (output.empty()) {
+    std::cout << rendered;
+  } else if (!write_file(output, rendered)) {
+    std::cerr << "tamperlint: cannot write " << output << '\n';
+    return 2;
   }
   for (const auto& err : errors) std::cerr << "tamperlint: " << err << '\n';
 
