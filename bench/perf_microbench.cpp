@@ -1,10 +1,16 @@
 // Engineering microbenchmarks (google-benchmark): the classifier and its
 // substrates must keep up with CDN-scale sampling (the paper's deployment
 // samples from 45M requests/second). One binary, standard --benchmark_*
-// flags apply.
+// flags apply; every run also writes a machine-readable BENCH_ingest.json
+// (override with --bench-json=PATH) so the perf trajectory is a diffable
+// artifact, not a scrollback memory. bench/BENCH_ingest.json holds the
+// checked-in seed run to compare against.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +20,7 @@
 #include "appproto/tls.h"
 #include "capture/sampler.h"
 #include "common/bounded_queue.h"
+#include "common/json.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
 #include "obs/metrics.h"
@@ -281,6 +288,103 @@ void BM_BoundedQueueShedOverload(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedQueueShedOverload);
 
+/// Collects every finished run and writes them as one JSON document, while
+/// forwarding to the normal console reporter (it must be the display
+/// reporter — the library refuses a secondary file reporter without
+/// --benchmark_out). Times are normalized to nanoseconds per iteration
+/// regardless of the benchmark's display unit, so consecutive check-ins
+/// diff numerically.
+class BenchJsonReporter final : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    cpus_ = context.cpu_info.num_cpus;
+    console_.SetOutputStream(&GetOutputStream());
+    console_.SetErrorStream(&GetErrorStream());
+    return console_.ReportContext(context);
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      const double unit_to_ns =
+          1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      row.real_ns = run.GetAdjustedRealTime() * unit_to_ns;
+      row.cpu_ns = run.GetAdjustedCPUTime() * unit_to_ns;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) row.items_per_second = items->second.value;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    common::JsonWriter json(out);
+    json.begin_object();
+    json.key("schema").value("tamper-bench-v1");
+    json.key("cpus").value(static_cast<std::int64_t>(cpus_));
+    json.key("benchmarks").begin_array();
+    for (const Row& row : rows_) {
+      json.begin_object();
+      json.key("name").value(row.name);
+      json.key("iterations").value(static_cast<std::uint64_t>(row.iterations));
+      json.key("real_ns_per_iter").value(row.real_ns);
+      json.key("cpu_ns_per_iter").value(row.cpu_ns);
+      if (row.items_per_second > 0)
+        json.key("items_per_second").value(row.items_per_second);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << '\n';
+    return static_cast<bool>(out.flush());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns = 0;
+    double cpu_ns = 0;
+    double items_per_second = 0;
+  };
+  benchmark::ConsoleReporter console_;
+  int cpus_ = 0;
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Our flag first, so google-benchmark never sees it.
+  std::string json_path = "BENCH_ingest.json";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--bench-json=";
+    if (arg.rfind(kFlag, 0) == 0)
+      json_path = std::string(arg.substr(kFlag.size()));
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJsonReporter json_reporter;
+  benchmark::RunSpecifiedBenchmarks(&json_reporter);
+  benchmark::Shutdown();
+  if (json_path.empty()) return 0;
+  if (!json_reporter.write(json_path)) {
+    std::cerr << "cannot write " << json_path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << json_path << '\n';
+  return 0;
+}

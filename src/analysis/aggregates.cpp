@@ -133,6 +133,25 @@ std::vector<std::string> SignatureMatrix::countries() const {
   return out;
 }
 
+void SignatureMatrix::merge(const SignatureMatrix& other) {
+  total_ += other.total_;
+  possibly_ += other.possibly_;
+  matched_ += other.matched_;
+  for (std::size_t i = 0; i < signature_totals_.size(); ++i)
+    signature_totals_[i] += other.signature_totals_[i];
+  for (std::size_t i = 0; i < stage_possibly_.size(); ++i)
+    stage_possibly_[i] += other.stage_possibly_[i];
+  for (std::size_t i = 0; i < stage_matched_.size(); ++i)
+    stage_matched_[i] += other.stage_matched_[i];
+  for (const auto& [cc, row] : other.rows_) {
+    CountryRow& mine = rows_[cc];
+    mine.connections += row.connections;
+    mine.matches += row.matches;
+    for (std::size_t i = 0; i < mine.by_signature.size(); ++i)
+      mine.by_signature[i] += row.by_signature[i];
+  }
+}
+
 // ---- AsnAggregator ----
 
 void AsnAggregator::add(const ConnectionRecord& record) {
@@ -167,6 +186,18 @@ std::uint64_t AsnAggregator::country_total(const std::string& cc) const {
   std::uint64_t total = 0;
   for (const auto& [asn, stats] : it->second) total += stats.connections;
   return total;
+}
+
+void AsnAggregator::merge(const AsnAggregator& other) {
+  for (const auto& [cc, ases] : other.by_country_) {
+    auto& mine = by_country_[cc];
+    for (const auto& [asn, stats] : ases) {
+      AsnStats& s = mine[asn];
+      s.asn = asn;
+      s.connections += stats.connections;
+      s.matches += stats.matches;
+    }
+  }
 }
 
 void AsnAggregator::snapshot(common::BinWriter& w) const {
@@ -226,6 +257,19 @@ std::vector<std::string> TimeSeries::countries() const {
   return out;
 }
 
+void TimeSeries::merge(const TimeSeries& other) {
+  for (const auto& [cc, hours] : other.series_) {
+    auto& mine = series_[cc];
+    for (const auto& [hour, bucket] : hours) {
+      HourBucket& b = mine[hour];
+      b.connections += bucket.connections;
+      b.post_ack_psh_matches += bucket.post_ack_psh_matches;
+      for (std::size_t i = 0; i < b.by_signature.size(); ++i)
+        b.by_signature[i] += bucket.by_signature[i];
+    }
+  }
+}
+
 void TimeSeries::snapshot(common::BinWriter& w) const {
   w.u64(series_.size());
   for (const auto& [cc, hours] : series_) {
@@ -279,6 +323,20 @@ void VersionProtocolAggregator::add(const ConnectionRecord& record) {
   } else if (record.protocol == appproto::AppProtocol::kHttp) {
     ++split.http_total;
     if (post_psh) ++split.http_psh_matches;
+  }
+}
+
+void VersionProtocolAggregator::merge(const VersionProtocolAggregator& other) {
+  for (const auto& [cc, split] : other.by_country_) {
+    Split& mine = by_country_[cc];
+    mine.v4_total += split.v4_total;
+    mine.v4_matches += split.v4_matches;
+    mine.v6_total += split.v6_total;
+    mine.v6_matches += split.v6_matches;
+    mine.tls_total += split.tls_total;
+    mine.tls_psh_matches += split.tls_psh_matches;
+    mine.http_total += split.http_total;
+    mine.http_psh_matches += split.http_psh_matches;
   }
 }
 
@@ -369,6 +427,16 @@ std::vector<std::string> CategoryAggregator::countries() const {
   return out;
 }
 
+void CategoryAggregator::merge(const CategoryAggregator& other) {
+  for (const auto& [cc, data] : other.by_country_) {
+    CountryData& mine = by_country_[cc];
+    for (const auto& [domain, n] : data.tampered_by_domain)
+      mine.tampered_by_domain[domain] += n;
+    for (const auto& [domain, n] : data.seen_by_domain)
+      mine.seen_by_domain[domain] += n;
+  }
+}
+
 void CategoryAggregator::snapshot(common::BinWriter& w) const {
   w.u64(by_country_.size());
   for (const auto& [cc, data] : by_country_) {
@@ -399,6 +467,15 @@ void OverlapMatrix::add(const ConnectionRecord& record) {
   const auto [it, inserted] = first_state_.try_emplace(key, state);
   if (inserted) return;                 // first observation of this pair
   matrix_[it->second][state] += 1;      // (first, next) transition
+}
+
+void OverlapMatrix::merge(const OverlapMatrix& other) {
+  for (const auto& [key, state] : other.first_state_) {
+    const auto [it, inserted] = first_state_.try_emplace(key, state);
+    if (!inserted && state < it->second) it->second = state;
+  }
+  for (std::size_t i = 0; i < kStates; ++i)
+    for (std::size_t j = 0; j < kStates; ++j) matrix_[i][j] += other.matrix_[i][j];
 }
 
 void OverlapMatrix::snapshot(common::BinWriter& w) const {

@@ -2,6 +2,13 @@
 //
 // Each aggregator consumes ConnectionRecords; none of them retain raw
 // samples (mirroring the paper's aggregate-only reporting, §3.3).
+//
+// Every aggregator is a commutative monoid under merge(): merge is
+// associative and commutative with the default-constructed aggregator as
+// identity, so a fleet of PoPs can each aggregate a shard of the traffic
+// and a central merger can combine the partials in any order — and any
+// grouping — without changing a byte of the merged output
+// (tests/test_fleet.cpp pins the three laws against serialized state).
 #pragma once
 
 #include <array>
@@ -40,6 +47,9 @@ class SignatureMatrix {
   [[nodiscard]] std::uint64_t stage_matched(core::Stage stage) const;
 
   [[nodiscard]] std::vector<std::string> countries() const;
+
+  /// Pointwise count sum (commutative monoid).
+  void merge(const SignatureMatrix& other);
 
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);
@@ -80,6 +90,9 @@ class AsnAggregator {
                                                double traffic_share = 0.8) const;
   [[nodiscard]] std::uint64_t country_total(const std::string& cc) const;
 
+  /// Pointwise count sum (commutative monoid).
+  void merge(const AsnAggregator& other);
+
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);
 
@@ -107,6 +120,9 @@ class TimeSeries {
       const std::string& cc) const;
   [[nodiscard]] std::vector<std::string> countries() const;
 
+  /// Pointwise bucket sum (commutative monoid).
+  void merge(const TimeSeries& other);
+
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);
 
@@ -128,6 +144,9 @@ class VersionProtocolAggregator {
   [[nodiscard]] const std::map<std::string, Split>& by_country() const noexcept {
     return by_country_;
   }
+
+  /// Pointwise split sum (commutative monoid).
+  void merge(const VersionProtocolAggregator& other);
 
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);
@@ -165,6 +184,10 @@ class CategoryAggregator {
       const std::string& cc, std::uint64_t domain_threshold = 100) const;
   [[nodiscard]] std::vector<std::string> countries() const;
 
+  /// Pointwise per-domain count sum (commutative monoid; lookup_ is config
+  /// and never merged).
+  void merge(const CategoryAggregator& other);
+
   /// Serializes the per-domain maps only; the category lookup is config,
   /// re-injected by whoever constructs the restoring aggregator.
   void snapshot(common::BinWriter& w) const;
@@ -194,6 +217,13 @@ class OverlapMatrix {
   [[nodiscard]] static std::size_t state_of(const core::Classification& c) noexcept {
     return c.signature ? static_cast<std::size_t>(*c.signature) : kStates - 1;
   }
+
+  /// Transition-count sum. A (client, domain) pair normally lives on one
+  /// PoP (anycast routes by client prefix), so first_state_ keys rarely
+  /// collide across shards; after a failover both sides may have seen a
+  /// "first" — the smaller state wins, which keeps merge commutative and
+  /// associative (min is).
+  void merge(const OverlapMatrix& other);
 
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);

@@ -88,6 +88,21 @@ void read_cdf(common::BinReader& r, common::EmpiricalCdf& cdf) {
 
 }  // namespace
 
+void EvidenceCollector::merge(const EvidenceCollector& other) {
+  cap_ = std::max(cap_, other.cap_);
+  const auto merge_cdf = [](common::EmpiricalCdf& into, const common::EmpiricalCdf& from) {
+    if (from.count() == 0) return;
+    std::vector<double> samples = into.sorted_samples();
+    const std::vector<double> more = from.sorted_samples();
+    samples.insert(samples.end(), more.begin(), more.end());
+    into.assign(std::move(samples));
+  };
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    merge_cdf(ipid_[b], other.ipid_[b]);
+    merge_cdf(ttl_[b], other.ttl_[b]);
+  }
+}
+
 void EvidenceCollector::snapshot(common::BinWriter& w) const {
   w.u64(cap_);
   for (const auto& cdf : ipid_) write_cdf(w, cdf);

@@ -53,6 +53,13 @@ class EvidenceCollector {
   }
   [[nodiscard]] static std::size_t clean_bucket() noexcept { return kBuckets - 1; }
 
+  /// Multiset union of the per-bucket delta samples (commutative monoid).
+  /// The cap is a per-vantage collection-rate limit, deliberately NOT
+  /// re-applied at merge time: truncating the union would make the result
+  /// depend on merge order and break associativity. A merged bucket may
+  /// therefore hold up to cap × PoP-count samples.
+  void merge(const EvidenceCollector& other);
+
   void snapshot(common::BinWriter& w) const;
   void restore(common::BinReader& r);
 

@@ -49,6 +49,8 @@ void Pipeline::set_obs(obs::Registry* metrics, obs::Tracer* tracer,
       {&degraded_family.with({"queue_shed_embryonic"}),
        &DegradedStats::queue_shed_embryonic},
       {&degraded_family.with({"queue_shed_other"}), &DegradedStats::queue_shed_other},
+      {&degraded_family.with({"spool_replay_failures"}),
+       &DegradedStats::spool_replay_failures},
   };
   obs_collector_ = metrics->add_collector([this, mirrors] {
     const DegradedStats d = degraded();
@@ -68,6 +70,8 @@ void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
     ++degraded_.empty_samples;
     return;
   }
+  if (sample.observation_end_sec > latest_ts_sec_)
+    latest_ts_sec_ = sample.observation_end_sec;
   // Sampled latency probe: 1 in 64 keeps the steady-state cost of the
   // instrumentation to two relaxed fetch_adds per sample.
   const bool timed = obs_classify_seconds_ != nullptr && (seq & 63) == 1;
@@ -122,6 +126,7 @@ void Pipeline::snapshot(common::BinWriter& w) const {
     w.u64(degraded_.truncated_frames);
     w.u64(degraded_.queue_shed_embryonic);
     w.u64(degraded_.queue_shed_other);
+    w.u64(degraded_.spool_replay_failures);
   }
 
   w.u64(scanner_.connections);
@@ -129,6 +134,7 @@ void Pipeline::snapshot(common::BinWriter& w) const {
   w.u64(scanner_.high_ttl);
   w.u64(scanner_.syn_rst_matches);
   w.u64(scanner_.syn_rst_zmap);
+  w.i64(latest_ts_sec_);
 
   matrix_.snapshot(w);
   asns_.snapshot(w);
@@ -151,6 +157,7 @@ void Pipeline::restore(common::BinReader& r) {
     degraded_.truncated_frames = r.u64();
     degraded_.queue_shed_embryonic = r.u64();
     degraded_.queue_shed_other = r.u64();
+    degraded_.spool_replay_failures = r.u64();
   }
 
   scanner_.connections = r.u64();
@@ -158,6 +165,7 @@ void Pipeline::restore(common::BinReader& r) {
   scanner_.high_ttl = r.u64();
   scanner_.syn_rst_matches = r.u64();
   scanner_.syn_rst_zmap = r.u64();
+  latest_ts_sec_ = r.i64();
 
   matrix_.restore(r);
   asns_.restore(r);
@@ -174,7 +182,43 @@ void Pipeline::restore(common::BinReader& r) {
     last_reader_ = {};
     last_sampler_ = {};
     last_queue_ = {};
+    last_sink_replay_failures_ = 0;
   }
+}
+
+void Pipeline::merge_from(const Pipeline& other) {
+  {
+    // Lock ordering: this->stats_mu_ before other.stats_mu_. The merger
+    // only ever folds decoded partials (never two live pipelines that could
+    // merge into each other), so the order cannot invert.
+    common::MutexLock lock(stats_mu_);
+    const DegradedStats od = other.degraded();
+    degraded_.empty_samples += od.empty_samples;
+    degraded_.ingest_errors += od.ingest_errors;
+    degraded_.malformed_packets += od.malformed_packets;
+    degraded_.overload_evicted += od.overload_evicted;
+    degraded_.unparseable_frames += od.unparseable_frames;
+    degraded_.oversize_frames += od.oversize_frames;
+    degraded_.truncated_frames += od.truncated_frames;
+    degraded_.queue_shed_embryonic += od.queue_shed_embryonic;
+    degraded_.queue_shed_other += od.queue_shed_other;
+    degraded_.spool_replay_failures += od.spool_replay_failures;
+  }
+
+  scanner_.connections += other.scanner_.connections;
+  scanner_.no_tcp_options += other.scanner_.no_tcp_options;
+  scanner_.high_ttl += other.scanner_.high_ttl;
+  scanner_.syn_rst_matches += other.scanner_.syn_rst_matches;
+  scanner_.syn_rst_zmap += other.scanner_.syn_rst_zmap;
+  if (other.latest_ts_sec_ > latest_ts_sec_) latest_ts_sec_ = other.latest_ts_sec_;
+
+  matrix_.merge(other.matrix_);
+  asns_.merge(other.asns_);
+  timeseries_.merge(other.timeseries_);
+  version_protocol_.merge(other.version_protocol_);
+  categories_.merge(other.categories_);
+  overlap_.merge(other.overlap_);
+  evidence_.merge(other.evidence_);
 }
 
 }  // namespace tamper::analysis

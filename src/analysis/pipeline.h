@@ -39,11 +39,12 @@ struct DegradedStats {
   std::uint64_t truncated_frames = 0;     ///< reader: short records
   std::uint64_t queue_shed_embryonic = 0; ///< service: backpressure shed (embryonic)
   std::uint64_t queue_shed_other = 0;     ///< service: backpressure shed (forced)
+  std::uint64_t spool_replay_failures = 0; ///< sink: spooled reports lost at replay
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return empty_samples + ingest_errors + malformed_packets + overload_evicted +
            unparseable_frames + oversize_frames + truncated_frames +
-           queue_shed_embryonic + queue_shed_other;
+           queue_shed_embryonic + queue_shed_other + spool_replay_failures;
   }
 };
 
@@ -131,6 +132,31 @@ class Pipeline {
     degraded_.queue_shed_other += delta(s.shed_other, last_queue_.shed_other);
     last_queue_ = s;
   }
+  /// Report-sink degradation: cumulative count of spooled reports that
+  /// failed replay (quarantined — data loss an operator must see). Takes a
+  /// plain counter, not the emitter's Stats struct, so the analysis layer
+  /// stays below the service layer.
+  void record_sink_stats(std::uint64_t spool_replay_failures) noexcept
+      TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
+    degraded_.spool_replay_failures +=
+        delta(spool_replay_failures, last_sink_replay_failures_);
+    last_sink_replay_failures_ = spool_replay_failures;
+  }
+
+  /// Largest observation_end_sec ingested so far (1-second granularity,
+  /// like every timestamp in the capture path — paper §3.2). The fleet
+  /// layer derives a partial's epoch from it. Serialized in snapshot(), so
+  /// a resumed PoP re-tags its partials with the same epochs.
+  [[nodiscard]] std::int64_t latest_ts_sec() const noexcept { return latest_ts_sec_; }
+
+  /// Fold another pipeline's aggregate state into this one. All aggregate
+  /// members are commutative monoids (see aggregates.h), degraded/scanner
+  /// counters add, and latest_ts_sec takes the max — so a fleet merger can
+  /// combine per-PoP partials in any order or grouping and serialize to
+  /// identical bytes. The delta baselines (last_*) are per-process state
+  /// and are not merged.
+  void merge_from(const Pipeline& other) TAMPER_EXCLUDES(stats_mu_);
 
   /// Serialize every aggregator plus the degraded/scanner accounting into a
   /// checkpoint payload (see service::Checkpoint for the file envelope).
@@ -154,6 +180,7 @@ class Pipeline {
   OverlapMatrix overlap_;
   EvidenceCollector evidence_;
   ScannerStats scanner_;
+  std::int64_t latest_ts_sec_ = 0;  ///< worker-thread owned, like the aggregators
   // Observability handles (null until set_obs). The counter/histogram
   // pointers are stable registry handles; sampling state is worker-thread
   // only, like the aggregators.
@@ -168,6 +195,7 @@ class Pipeline {
   net::PcapReader::Stats last_reader_ TAMPER_GUARDED_BY(stats_mu_);
   capture::ConnectionSampler::Stats last_sampler_ TAMPER_GUARDED_BY(stats_mu_);
   common::BoundedQueueStats last_queue_ TAMPER_GUARDED_BY(stats_mu_);
+  std::uint64_t last_sink_replay_failures_ TAMPER_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace tamper::analysis

@@ -53,8 +53,47 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
   json.kv("truncated_frames", degraded.truncated_frames);
   json.kv("queue_shed_embryonic", degraded.queue_shed_embryonic);
   json.kv("queue_shed_other", degraded.queue_shed_other);
+  json.kv("spool_replay_failures", degraded.spool_replay_failures);
   json.kv("total", degraded.total());
   json.end_object();
+
+  // Fleet coverage (merged reports only): which PoPs are inside these
+  // aggregates, per closed epoch. pops_reporting < pops_expected marks the
+  // epoch explicitly degraded — the consumer sees reduced coverage instead
+  // of silently-wrong totals.
+  if (options.fleet != nullptr) {
+    const FleetCoverage& fleet = *options.fleet;
+    json.key("fleet");
+    json.begin_object();
+    json.kv("pops_expected", static_cast<std::uint64_t>(fleet.pops_expected));
+    json.kv("pops_reporting", static_cast<std::uint64_t>(fleet.pops_reporting));
+    json.kv("watermark_epoch", fleet.watermark);
+    json.kv("max_epoch", fleet.max_epoch);
+    json.kv("degraded", fleet.degraded);
+    json.key("pops");
+    json.begin_array();
+    for (const FleetPopStatus& pop : fleet.pops) {
+      json.begin_object();
+      json.kv("pop", static_cast<std::uint64_t>(pop.pop));
+      json.kv("status", pop.status);
+      json.kv("last_epoch", pop.last_epoch);
+      json.kv("samples", pop.samples);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("epochs");
+    json.begin_array();
+    for (const FleetEpochCoverage& epoch : fleet.epochs) {
+      json.begin_object();
+      json.kv("epoch", epoch.epoch);
+      json.kv("pops_reporting", static_cast<std::uint64_t>(epoch.pops_reporting));
+      json.kv("pops_expected", static_cast<std::uint64_t>(epoch.pops_expected));
+      json.kv("degraded", epoch.degraded());
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
 
   // Per-signature global totals with country composition.
   json.key("signatures");

@@ -5,11 +5,44 @@
 // posture (§3.3): no addresses, no domains.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "analysis/pipeline.h"
 
 namespace tamper::analysis {
+
+/// Per-PoP status as seen by the fleet merger at report time.
+struct FleetPopStatus {
+  std::uint32_t pop = 0;
+  std::string status;             ///< "live" | "lagging" | "dead" | "silent"
+  std::uint64_t last_epoch = 0;   ///< newest epoch received (0 when silent)
+  std::uint64_t samples = 0;      ///< samples in the PoP's newest partial
+};
+
+/// Coverage for one closed epoch: which PoPs' data is inside the merged
+/// aggregates for that epoch.
+struct FleetEpochCoverage {
+  std::uint64_t epoch = 0;
+  std::uint32_t pops_reporting = 0;
+  std::uint32_t pops_expected = 0;
+  [[nodiscard]] bool degraded() const noexcept { return pops_reporting < pops_expected; }
+};
+
+/// Fleet coverage block for the merged Radar report. Every field here is a
+/// pure function of the merger's current partial set — never of arrival
+/// order — so the merged report stays byte-stable across reorderings.
+struct FleetCoverage {
+  std::uint32_t pops_expected = 0;
+  std::uint32_t pops_reporting = 0;  ///< PoPs with any partial received
+  std::uint64_t watermark = 0;       ///< newest epoch considered closed
+  std::uint64_t max_epoch = 0;       ///< newest epoch seen from any PoP
+  bool degraded = false;             ///< any closed epoch below full coverage
+  std::vector<FleetPopStatus> pops;
+  std::vector<FleetEpochCoverage> epochs;  ///< closed epochs, oldest first
+};
 
 struct ReportOptions {
   /// Countries with fewer sampled connections are suppressed (aggregation
@@ -18,6 +51,9 @@ struct ReportOptions {
   /// Emit the per-country daily time series section.
   bool include_timeseries = true;
   bool pretty = true;
+  /// When set (by the fleet merger), a "fleet" section with per-epoch
+  /// coverage is emitted after degraded_input.
+  const FleetCoverage* fleet = nullptr;
 };
 
 /// Serialize the pipeline's aggregates as a JSON document.

@@ -38,6 +38,41 @@ bool ChaosSchedule::checkpoint_should_fail() {
   return false;
 }
 
+std::optional<std::uint64_t> ChaosSchedule::pop_kill_point(
+    std::uint32_t pop, std::uint64_t samples) const noexcept {
+  if (samples == 0) return std::nullopt;
+  if (pop_roll(pop, 0, 0xf1ee7c8a54ULL) >= config_.fleet.pop_crash_probability)
+    return std::nullopt;
+  // Uniform over the middle half [samples/4, 3*samples/4): the kill always
+  // lands after some progress and before the drain, so every campaign that
+  // fires one actually exercises resume.
+  const std::uint64_t lo = samples / 4;
+  const std::uint64_t span = samples - samples / 2;
+  if (span == 0) return lo;
+  return lo + pop_hash(pop, 1, 0xf1ee7c8a54ULL) % span;
+}
+
+bool ChaosSchedule::pop_partitioned(std::uint32_t pop, std::uint64_t epoch) const noexcept {
+  const std::uint64_t len =
+      config_.fleet.partition_epochs > 0 ? config_.fleet.partition_epochs : 1;
+  const std::uint64_t first = epoch >= len - 1 ? epoch - (len - 1) : 0;
+  for (std::uint64_t e = first; e <= epoch; ++e)
+    if (pop_roll(pop, e, 0xf1ee79a87ULL) < config_.fleet.partition_probability) return true;
+  return false;
+}
+
+bool ChaosSchedule::pop_straggles(std::uint32_t pop, std::uint64_t epoch) const noexcept {
+  return pop_roll(pop, epoch, 0xf1ee57a3ULL) < config_.fleet.straggler_probability;
+}
+
+std::int64_t ChaosSchedule::pop_clock_skew_sec(std::uint32_t pop) const noexcept {
+  if (pop_roll(pop, 0, 0xf1ee5e3aULL) >= config_.fleet.skew_probability) return 0;
+  const std::int64_t bound = config_.fleet.max_skew_sec;
+  if (bound <= 0) return 0;
+  const std::uint64_t h = pop_hash(pop, 1, 0xf1ee5e3aULL);
+  return static_cast<std::int64_t>(h % static_cast<std::uint64_t>(2 * bound + 1)) - bound;
+}
+
 std::vector<std::uint8_t> truncated_prefix(const std::vector<std::uint8_t>& bytes,
                                            std::size_t keep) {
   if (keep > bytes.size()) keep = bytes.size();

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -35,6 +36,19 @@ class ChaosSchedule {
     double sink_failure_probability = 0.0;  ///< per delivery: outage starts
     int sink_outage_length = 3;             ///< deliveries failed per outage
     double checkpoint_failure_probability = 0.0;  ///< per save: write fails
+
+    /// Fleet-level events (see fleet::run_campaign). All decisions are a
+    /// stateless hash of (seed, pop, x) so a campaign replays identically
+    /// from its seed regardless of PoP count or scheduling order.
+    struct FleetConfig {
+      double pop_crash_probability = 0.0;   ///< per PoP: kill -9 mid-feed
+      double partition_probability = 0.0;   ///< per (pop, epoch): PoP<->merger cut
+      std::uint64_t partition_epochs = 2;   ///< epochs a partition lasts
+      double straggler_probability = 0.0;   ///< per (pop, epoch): partial held past watermark
+      double skew_probability = 0.0;        ///< per PoP: clock skew applied
+      std::int64_t max_skew_sec = 3;        ///< |skew| bound, seconds
+    };
+    FleetConfig fleet;
   };
 
   ChaosSchedule(std::uint64_t seed, Config config)
@@ -58,6 +72,29 @@ class ChaosSchedule {
   /// Per-save checkpoint write fault.
   [[nodiscard]] bool checkpoint_should_fail();
 
+  // Fleet-level decisions. Stateless in (pop, x): any component can re-ask
+  // at any time and get the same answer, which is what makes kill-at-any-
+  // point campaigns replayable.
+
+  /// Sample index (within the samples routed to `pop`, which has `samples`
+  /// of them) at which the PoP is killed — or nullopt for no kill. The kill
+  /// point is uniform over the middle half of the feed so a crash always
+  /// lands after some progress and before the drain.
+  [[nodiscard]] std::optional<std::uint64_t> pop_kill_point(
+      std::uint32_t pop, std::uint64_t samples) const noexcept;
+
+  /// True when the PoP<->merger link is partitioned during `epoch`. A
+  /// partition triggered at epoch e covers [e, e + partition_epochs), so
+  /// the check scans the trigger window ending at `epoch`.
+  [[nodiscard]] bool pop_partitioned(std::uint32_t pop, std::uint64_t epoch) const noexcept;
+
+  /// True when the PoP's partial for `epoch` straggles past the watermark.
+  [[nodiscard]] bool pop_straggles(std::uint32_t pop, std::uint64_t epoch) const noexcept;
+
+  /// Per-PoP clock skew in seconds, in [-max_skew_sec, +max_skew_sec]
+  /// (0 unless the skew roll fires).
+  [[nodiscard]] std::int64_t pop_clock_skew_sec(std::uint32_t pop) const noexcept;
+
   struct Stats {
     std::uint64_t crashes_injected = 0;
     std::uint64_t stalls_injected = 0;
@@ -70,6 +107,14 @@ class ChaosSchedule {
   [[nodiscard]] double tick_roll(std::uint64_t tick, std::uint64_t salt) const noexcept {
     const std::uint64_t h = common::mix64(seed_ ^ common::mix64(tick ^ salt));
     return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  [[nodiscard]] std::uint64_t pop_hash(std::uint32_t pop, std::uint64_t x,
+                                       std::uint64_t salt) const noexcept {
+    return common::mix64(seed_ ^ common::mix64((static_cast<std::uint64_t>(pop) << 32 ^ x) ^ salt));
+  }
+  [[nodiscard]] double pop_roll(std::uint32_t pop, std::uint64_t x,
+                                std::uint64_t salt) const noexcept {
+    return static_cast<double>(pop_hash(pop, x, salt) >> 11) * 0x1.0p-53;
   }
 
   Config config_;

@@ -1,0 +1,103 @@
+#include "fleet/campaign.h"
+
+namespace tamper::fleet {
+
+CampaignResult run_campaign(const world::World& world,
+                            const std::vector<capture::ConnectionSample>& samples,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  const fault::ChaosSchedule chaos(options.seed, options.chaos);
+
+  FleetConfig fc;
+  fc.pops = options.pops;
+  fc.seed = options.seed;
+  fc.epoch_length_sec = options.epoch_length_sec;
+  fc.report_every_samples = options.report_every_samples;
+  fc.checkpoint_every_samples = options.checkpoint_every_samples;
+  fc.state_dir = options.state_dir;
+  fc.retain_samples = true;
+  Fleet fleet(world, fc);
+
+  // Static routing, computed with every PoP alive (see header).
+  std::vector<std::vector<const capture::ConnectionSample*>> routed(options.pops);
+  for (const capture::ConnectionSample& sample : samples) {
+    const auto pop = fleet.anycast().route(sample.client_ip);
+    if (pop) routed[*pop].push_back(&sample);
+  }
+
+  for (std::uint32_t pop = 0; pop < options.pops; ++pop) {
+    const std::int64_t skew = chaos.pop_clock_skew_sec(pop);
+    if (skew != 0) {
+      fleet.set_pop_skew(pop, skew);
+      ++result.events.skewed_pops;
+    }
+  }
+
+  const std::uint64_t interval =
+      options.report_every_samples > 0 ? options.report_every_samples : 1;
+  for (std::uint32_t pop = 0; pop < options.pops; ++pop) {
+    const auto& feed = routed[pop];
+    const auto kill_point =
+        chaos.pop_kill_point(pop, static_cast<std::uint64_t>(feed.size()));
+    bool gated = false;
+    std::uint64_t current_window = ~0ULL;
+    bool lost = false;
+    for (std::size_t i = 0; i < feed.size(); ++i) {
+      if (options.mode == CampaignMode::kDeliveryChaos) {
+        // Partition / straggler gates are keyed by report-interval window:
+        // a gated window means the partial emitted in it fails delivery and
+        // spools; healing lets the spool replay (as duplicates/stale — the
+        // merger's idempotence absorbs them).
+        const std::uint64_t window = static_cast<std::uint64_t>(i) / interval;
+        if (window != current_window) {
+          current_window = window;
+          const bool partitioned = chaos.pop_partitioned(pop, window);
+          const bool straggling = chaos.pop_straggles(pop, window);
+          if (partitioned) ++result.events.partition_windows;
+          if (straggling) ++result.events.straggler_windows;
+          const bool gate = partitioned || straggling;
+          if (gate != gated) {
+            // Let the worker finish the previous window first, so the gate
+            // change applies to exactly the partials this window emits.
+            fleet.quiesce_pop(pop);
+            gated = gate;
+            fleet.set_pop_partitioned(pop, gated);
+          }
+        }
+      }
+      if (kill_point && static_cast<std::uint64_t>(i) == *kill_point) {
+        // Quiesce first: the kill must land at the scheduled stream
+        // position, not wherever the async worker happens to be.
+        fleet.quiesce_pop(pop);
+        fleet.kill_pop(pop);
+        ++result.events.kills;
+        if (options.mode == CampaignMode::kDeliveryChaos) {
+          if (fleet.restart_pop(pop)) ++result.events.restarts;
+        } else {
+          fleet.withdraw_pop(pop);
+          ++result.events.withdrawals;
+          lost = true;
+          break;  // the unreported tail is gone with the PoP
+        }
+      }
+      fleet.feed_pop(pop, *feed[i]);
+    }
+    // Heal before shutdown: kDeliveryChaos proves byte-identity, which
+    // needs every surviving PoP's final partial to reach the merger. The
+    // quiesce pins the tail's partials inside the gated window, so healing
+    // replays them from the spool (exercising the merger's stale path).
+    if (!lost && gated) {
+      fleet.quiesce_pop(pop);
+      fleet.set_pop_partitioned(pop, false);
+    }
+  }
+
+  result.summaries = fleet.stop();
+  result.merged_image = fleet.merger().merged_state_image();
+  result.merged_json = fleet.merger().merged_report();
+  result.coverage = fleet.merger().coverage();
+  result.merger_stats = fleet.merger().stats();
+  return result;
+}
+
+}  // namespace tamper::fleet

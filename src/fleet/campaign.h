@@ -1,0 +1,78 @@
+// Seeded fleet chaos campaigns — kill-at-any-point proof harness.
+//
+// A campaign routes a fixed sample stream over a fleet with a STATIC
+// routing (computed once with every PoP alive), injects fleet-level chaos
+// from a seeded fault::ChaosSchedule, and returns the merged output in a
+// byte-comparable form. Two invariants, pinned by tests/test_fleet.cpp
+// across >= 50 seeds:
+//
+//   * kDeliveryChaos — crashes with resume, partitions that heal,
+//     stragglers, duplicate deliveries, skewed clocks: every sample's data
+//     survives, so the merged aggregate image is BYTE-IDENTICAL to the
+//     chaos-free baseline (identical surviving coverage set => identical
+//     bytes).
+//   * kPopLoss — a PoP dies and never comes back: its unreported tail is
+//     gone, and the merged report says so (pops_reporting < pops_expected
+//     on the affected epochs, degraded flag set). Explicitly degraded,
+//     never silently wrong.
+//
+// Static routing is deliberate: re-routing a dead PoP's clients mid-run
+// would change which vantage observed which connection — a different
+// coverage set, hence legitimately different bytes. Failover re-routing is
+// exercised separately via world::AnycastMap's minimal-motion tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "capture/sample.h"
+#include "fault/chaos.h"
+#include "fleet/fleet.h"
+#include "world/world.h"
+
+namespace tamper::fleet {
+
+enum class CampaignMode : std::uint8_t {
+  kDeliveryChaos,  ///< crash+resume, partition+heal, stragglers, skew
+  kPopLoss,        ///< crash without restart: explicit coverage loss
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t pops = 3;
+  CampaignMode mode = CampaignMode::kDeliveryChaos;
+  fault::ChaosSchedule::Config chaos;  ///< only the .fleet block is read
+  std::string state_dir;               ///< unique per campaign run
+  std::uint64_t epoch_length_sec = 3600;
+  std::uint64_t report_every_samples = 200;
+  std::uint64_t checkpoint_every_samples = 100;
+};
+
+struct CampaignEvents {
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t withdrawals = 0;
+  std::uint64_t partition_windows = 0;  ///< gated report-intervals entered
+  std::uint64_t straggler_windows = 0;
+  std::uint64_t skewed_pops = 0;
+};
+
+struct CampaignResult {
+  std::vector<std::uint8_t> merged_image;  ///< canonical merged-state bytes
+  std::string merged_json;                 ///< merged Radar report + fleet section
+  analysis::FleetCoverage coverage;
+  Merger::Stats merger_stats;
+  CampaignEvents events;
+  std::vector<service::RunSummary> summaries;  ///< per PoP
+};
+
+/// Run one campaign. `samples` should be sorted by observation_end_sec so
+/// each PoP's latest-timestamp (hence epoch) advances monotonically —
+/// world::TrafficGenerator emits slightly out of order.
+CampaignResult run_campaign(const world::World& world,
+                            const std::vector<capture::ConnectionSample>& samples,
+                            const CampaignOptions& options);
+
+}  // namespace tamper::fleet

@@ -1,0 +1,158 @@
+#include "fleet/fleet.h"
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "fleet/partial.h"
+#include "service/checkpoint.h"
+
+namespace tamper::fleet {
+
+namespace fs = std::filesystem;
+
+Fleet::Fleet(const world::World& world, FleetConfig config)
+    : world_(world),
+      config_(std::move(config)),
+      anycast_(config_.pops, config_.seed) {
+  config_.merger.pops_expected = config_.pops;
+  config_.merger.epoch_length_sec = config_.epoch_length_sec;
+  merger_ = std::make_unique<Merger>(world_, config_.merger);
+  pops_.resize(config_.pops);
+  for (std::uint32_t pop = 0; pop < config_.pops; ++pop) {
+    pops_[pop] = std::make_unique<Pop>();
+    pops_[pop]->registry = std::make_unique<obs::Registry>();
+    build_pop(pop);
+  }
+}
+
+Fleet::~Fleet() {
+  // Services must die before their emitters/gates (the service destructor
+  // may still touch the emitter via its metrics collector).
+  for (auto& pop : pops_)
+    if (pop) pop->service.reset();
+}
+
+std::string Fleet::pop_dir(std::uint32_t pop) const {
+  return config_.state_dir + "/pop-" + std::to_string(pop);
+}
+
+void Fleet::build_pop(std::uint32_t pop) {
+  Pop& p = *pops_[pop];
+  const std::string dir = pop_dir(pop);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  // The gate models the network between PoP and merger — external to the
+  // PoP process, so it (and its blocked state) survives restart_pop().
+  if (p.gate == nullptr) p.gate = std::make_unique<GateSink>(*merger_);
+  // Backoff sleeps are a no-op: fleet time is sample-driven, and campaigns
+  // must replay thousands of deliveries instantly.
+  p.emitter = std::make_unique<service::ReportEmitter>(
+      *p.gate, config_.retry, dir + "/spool",
+      common::mix64(config_.seed ^ (0x3e9dULL + pop)), [](double) {});
+
+  service::ServiceConfig cfg;
+  cfg.queue_capacity = config_.queue_capacity;
+  cfg.queue_policy = common::QueuePolicy::kBlock;
+  cfg.checkpoint_every_samples = config_.checkpoint_every_samples;
+  cfg.checkpoint_path = dir + "/checkpoint.bin";
+  cfg.report_every_samples = config_.report_every_samples;
+  cfg.metrics = p.registry.get();
+  cfg.report_encoder = [this, pop](const analysis::Pipeline& pipeline,
+                                   std::uint64_t samples) {
+    return encode_pop_partial(pop, pipeline, samples);
+  };
+  p.service = std::make_unique<service::SupervisedService>(world_, cfg, p.emitter.get());
+  // kResumeOrFresh: the first build finds no checkpoint and starts fresh; a
+  // rebuilt PoP resumes. A refusal (corrupt checkpoint) leaves the service
+  // constructed-but-stopped; feed_pop then returns false.
+  (void)p.service->start(service::SupervisedService::Resume::kResumeOrFresh);
+}
+
+std::string Fleet::encode_pop_partial(std::uint32_t pop,
+                                      const analysis::Pipeline& pipeline,
+                                      std::uint64_t samples) const {
+  PartialHeader header;
+  header.pop = pop;
+  header.sequence = samples;
+  const std::int64_t ts = pipeline.latest_ts_sec() + pops_[pop]->skew_sec.load();
+  header.epoch = ts <= 0 || config_.epoch_length_sec == 0
+                     ? 0
+                     : static_cast<std::uint64_t>(ts) / config_.epoch_length_sec;
+  return encode_partial(header, pipeline);
+}
+
+std::optional<std::uint32_t> Fleet::submit(const capture::ConnectionSample& sample) {
+  const auto pop = anycast_.route(sample.client_ip);
+  if (!pop) return std::nullopt;
+  if (!feed_pop(*pop, sample)) return std::nullopt;
+  return pop;
+}
+
+bool Fleet::feed_pop(std::uint32_t pop, const capture::ConnectionSample& sample) {
+  Pop& p = *pops_[pop];
+  if (config_.retain_samples) p.fed.push_back(sample);
+  return p.service != nullptr && p.service->submit(sample);
+}
+
+void Fleet::kill_pop(std::uint32_t pop) {
+  Pop& p = *pops_[pop];
+  if (p.service != nullptr) (void)p.service->kill();
+}
+
+bool Fleet::restart_pop(std::uint32_t pop) {
+  Pop& p = *pops_[pop];
+  // Where would the rebuilt PoP resume? Probe the checkpoint so we know
+  // which tail of the retained feed the kill dropped.
+  std::uint64_t resume_from = 0;
+  {
+    analysis::Pipeline probe(world_);
+    const service::LoadResult r =
+        service::load_checkpoint(pop_dir(pop) + "/checkpoint.bin", probe);
+    if (r.ok) resume_from = r.meta.samples_ingested;
+  }
+  p.service.reset();  // joins any leftover threads; frees the old collectors
+  p.emitter.reset();  // a fresh process image gets a fresh emitter too
+  build_pop(pop);
+  if (p.service == nullptr || !p.service->running()) return false;
+  // Re-feed the dropped tail. The queue is FIFO and the worker is single,
+  // so fed-order == ingest-order and the resume point indexes the feed.
+  for (std::size_t i = resume_from; i < p.fed.size(); ++i)
+    if (!p.service->submit(p.fed[i])) return false;
+  return true;
+}
+
+void Fleet::withdraw_pop(std::uint32_t pop) { anycast_.set_alive(pop, false); }
+
+void Fleet::quiesce_pop(std::uint32_t pop) {
+  Pop& p = *pops_[pop];
+  if (p.service == nullptr || !config_.retain_samples) return;
+  // After a resume, ingested() counts restored + re-fed samples, so it
+  // converges on the retained feed size in every restart history. Bounded
+  // spin (~5 s worst case) instead of a deadline: fleet code is clockless.
+  for (int spin = 0; spin < 50'000; ++spin) {
+    if (!p.service->running()) return;
+    if (p.service->ingested() >= p.fed.size()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Fleet::set_pop_partitioned(std::uint32_t pop, bool partitioned) {
+  pops_[pop]->gate->blocked.store(partitioned);
+}
+
+void Fleet::set_pop_skew(std::uint32_t pop, std::int64_t skew_sec) {
+  pops_[pop]->skew_sec.store(skew_sec);
+}
+
+std::vector<service::RunSummary> Fleet::stop() {
+  std::vector<service::RunSummary> summaries;
+  summaries.reserve(pops_.size());
+  for (auto& pop : pops_)
+    summaries.push_back(pop->service != nullptr ? pop->service->stop()
+                                                : service::RunSummary{});
+  return summaries;
+}
+
+}  // namespace tamper::fleet

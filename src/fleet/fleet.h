@@ -1,0 +1,150 @@
+// Multi-PoP fleet driver: N supervised per-PoP service instances, each its
+// own fault domain, streaming epoch-tagged partials to a central Merger.
+//
+// Topology (in-process model of the paper's anycast CDN, §3.1):
+//
+//   clients --AnycastMap--> PoP 0..N-1, each:
+//       SupervisedService (bounded queue, watchdog, checkpoint)
+//         -> report_encoder: cumulative partial (fleet/partial.h)
+//         -> ReportEmitter (retry/backoff/spool, per-PoP spool dir)
+//         -> GateSink (network partition model)
+//         -> Merger (central; dedup, watermark, coverage)
+//
+// Fault domains: each PoP has its own registry, queue, checkpoint file,
+// spool directory and worker/watchdog threads — nothing but the Merger is
+// shared, so one PoP's crash, stall, partition or clock skew cannot touch
+// another's state.
+//
+// The kill -9 model: kill_pop() abandons the whole PoP process, so
+// restart_pop() recreates BOTH the service and its emitter (a real restart
+// gets a fresh process image), resumes from the PoP's checkpoint, and
+// re-feeds the samples the kill dropped (the retained per-PoP feed is the
+// in-process stand-in for the tap's packet stream, which a real PoP would
+// re-read from its capture buffer). The per-PoP registry is owned by the
+// Fleet and survives restarts, so metric cadence continues seamlessly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/sample.h"
+#include "fleet/merger.h"
+#include "obs/metrics.h"
+#include "service/sink.h"
+#include "service/supervisor.h"
+#include "world/anycast.h"
+#include "world/world.h"
+
+namespace tamper::fleet {
+
+/// Network-partition model: while blocked, every delivery fails (the
+/// emitter retries, then spools); heal by unblocking — the spool replays
+/// after the next successful delivery.
+class GateSink final : public service::Sink {
+ public:
+  explicit GateSink(service::Sink& inner) : inner_(inner) {}
+  bool deliver(const std::string& payload) override {
+    if (blocked.load()) return false;
+    return inner_.deliver(payload);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "gate:" + inner_.describe();
+  }
+  std::atomic<bool> blocked{false};
+
+ private:
+  service::Sink& inner_;
+};
+
+struct FleetConfig {
+  std::uint32_t pops = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t epoch_length_sec = 3600;
+  std::uint64_t report_every_samples = 200;     ///< partial cadence per PoP
+  std::uint64_t checkpoint_every_samples = 100;
+  std::string state_dir;  ///< required: per-PoP checkpoints + spools live here
+  service::RetryPolicy retry;
+  std::size_t queue_capacity = 4096;
+  /// Retain routed samples per PoP so restart_pop() can re-feed what a kill
+  /// dropped. Disable only when kills are not part of the run.
+  bool retain_samples = true;
+  /// Merger knobs; pops_expected and epoch_length_sec are overwritten from
+  /// the fleet values above.
+  MergerConfig merger;
+};
+
+class Fleet {
+ public:
+  Fleet(const world::World& world, FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Route via anycast and feed the owning PoP. Returns the PoP, or
+  /// nullopt when every PoP is withdrawn (sample unobserved) or the owning
+  /// PoP refused (failed/stopped).
+  std::optional<std::uint32_t> submit(const capture::ConnectionSample& sample);
+
+  /// Feed a specific PoP, bypassing routing (campaigns precompute a static
+  /// routing so crash+resume runs stay byte-comparable to their baseline).
+  bool feed_pop(std::uint32_t pop, const capture::ConnectionSample& sample);
+
+  /// kill -9 the PoP: threads join, nothing persists past its checkpoint.
+  void kill_pop(std::uint32_t pop);
+  /// Fresh process image: recreate emitter + service, resume from the
+  /// checkpoint, re-feed the dropped tail of the retained feed.
+  [[nodiscard]] bool restart_pop(std::uint32_t pop);
+  /// Withdraw the PoP's anycast announcement (route() stops picking it).
+  void withdraw_pop(std::uint32_t pop);
+
+  void set_pop_partitioned(std::uint32_t pop, bool partitioned);
+  void set_pop_skew(std::uint32_t pop, std::int64_t skew_sec);
+
+  /// Wait until the PoP's worker has ingested everything fed so far (or the
+  /// service died). The queue is asynchronous, so without this a fault
+  /// injected "at sample i" can land at whatever earlier position the
+  /// worker happens to be at; campaigns quiesce before kills and gate
+  /// toggles so chaos hits the stream position the schedule chose.
+  void quiesce_pop(std::uint32_t pop);
+
+  /// Graceful shutdown of every still-running PoP (final checkpoint +
+  /// final partial each). Indexed by PoP id.
+  std::vector<service::RunSummary> stop();
+
+  [[nodiscard]] Merger& merger() noexcept { return *merger_; }
+  [[nodiscard]] const Merger& merger() const noexcept { return *merger_; }
+  [[nodiscard]] world::AnycastMap& anycast() noexcept { return anycast_; }
+  [[nodiscard]] obs::Registry& pop_metrics(std::uint32_t pop) {
+    return *pops_[pop]->registry;
+  }
+  [[nodiscard]] std::uint32_t pop_count() const noexcept { return config_.pops; }
+
+ private:
+  struct Pop {
+    std::unique_ptr<obs::Registry> registry;  ///< survives restarts
+    std::unique_ptr<GateSink> gate;
+    std::unique_ptr<service::ReportEmitter> emitter;
+    std::unique_ptr<service::SupervisedService> service;
+    std::vector<capture::ConnectionSample> fed;  ///< routed samples, feed order
+    std::atomic<std::int64_t> skew_sec{0};
+  };
+
+  [[nodiscard]] std::string pop_dir(std::uint32_t pop) const;
+  void build_pop(std::uint32_t pop);
+  [[nodiscard]] std::string encode_pop_partial(std::uint32_t pop,
+                                               const analysis::Pipeline& pipeline,
+                                               std::uint64_t samples) const;
+
+  const world::World& world_;
+  FleetConfig config_;
+  std::unique_ptr<Merger> merger_;
+  world::AnycastMap anycast_;
+  std::vector<std::unique_ptr<Pop>> pops_;
+};
+
+}  // namespace tamper::fleet

@@ -1,0 +1,120 @@
+// Central straggler-tolerant merger: the receiving end of the fleet.
+//
+// Each PoP emits cumulative epoch-tagged partials (fleet/partial.h) through
+// its ReportEmitter; the merger is the Sink they deliver into. It keeps the
+// newest partial per PoP and answers three questions, all as pure functions
+// of the current partial set (never of arrival order, so merged output is
+// byte-identical whenever the surviving coverage set is identical):
+//
+//   * merged_pipeline()     — fold the partials into one Pipeline (every
+//                             aggregator is a commutative monoid);
+//   * coverage()            — per-epoch pops_reporting/pops_expected with an
+//                             epoch watermark (max_epoch - grace_epochs):
+//                             an epoch past the watermark with missing PoPs
+//                             is explicitly degraded, never silently wrong;
+//   * pop status            — live / lagging (behind the watermark) / dead
+//                             (no partial for heartbeat_timeout_epochs) /
+//                             silent (never reported).
+//
+// Idempotence: a partial is identified by (pop, epoch, sequence). Exact
+// replays are duplicates; older sequences are stale (superseded by newer
+// cumulative state, e.g. a spool replay arriving after a fresher partial);
+// both are dropped and counted. Corrupt partials are counted rejected and
+// acknowledged — re-delivering bad bytes forever would wedge the emitter's
+// spool, and the counter is the operator's signal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "analysis/report.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "service/sink.h"
+#include "world/world.h"
+
+namespace tamper::fleet {
+
+struct MergerConfig {
+  std::uint32_t pops_expected = 3;
+  /// Epochs behind max_epoch the watermark sits: stragglers within the
+  /// grace window are simply not-yet-late.
+  std::uint64_t grace_epochs = 1;
+  /// A PoP whose newest partial is this many epochs behind max_epoch is
+  /// declared dead (its anycast prefixes have presumably failed over).
+  std::uint64_t heartbeat_timeout_epochs = 3;
+  std::uint64_t epoch_length_sec = 3600;
+  /// Bounded-skew guard: a PoP reporting an epoch further than
+  /// max_skew_sec (rounded up to whole epochs) + grace from the fleet
+  /// median is counted in skew_detected (metrics only — detection depends
+  /// on arrival order, so it never feeds the merged report).
+  std::int64_t max_skew_sec = 3;
+  /// How many closed epochs the coverage block enumerates.
+  std::uint64_t coverage_window_epochs = 8;
+};
+
+class Merger final : public service::Sink {
+ public:
+  Merger(const world::World& world, MergerConfig config);
+  ~Merger() override;
+
+  /// Sink entry point for PoP emitters (thread-safe; PoPs deliver
+  /// concurrently). Returns false only for transport-shaped refusals the
+  /// emitter should retry; corrupt payloads are acknowledged + counted.
+  bool deliver(const std::string& payload) override;
+  [[nodiscard]] std::string describe() const override { return "fleet-merger"; }
+
+  struct Stats {
+    std::uint64_t received = 0;       ///< deliver() calls
+    std::uint64_t accepted = 0;       ///< partials merged into the state
+    std::uint64_t duplicates = 0;     ///< exact (pop, epoch, sequence) replays
+    std::uint64_t stale = 0;          ///< older sequence than current state
+    std::uint64_t late = 0;           ///< epoch already past the watermark at arrival
+    std::uint64_t rejected = 0;       ///< corrupt / unparseable partials
+    std::uint64_t skew_detected = 0;  ///< bounded-skew guard trips
+  };
+  [[nodiscard]] Stats stats() const TAMPER_EXCLUDES(mu_);
+
+  /// Order-invariant coverage snapshot (see analysis::FleetCoverage).
+  [[nodiscard]] analysis::FleetCoverage coverage() const TAMPER_EXCLUDES(mu_);
+
+  /// Fold the current partials into one pipeline (ascending PoP id; the
+  /// order is irrelevant by the monoid laws but fixed for sanity).
+  [[nodiscard]] std::unique_ptr<analysis::Pipeline> merged_pipeline() const
+      TAMPER_EXCLUDES(mu_);
+
+  /// Canonical byte image of the merged aggregate state (a checkpoint
+  /// encoding with zeroed meta) — what the chaos campaigns byte-compare.
+  [[nodiscard]] std::vector<std::uint8_t> merged_state_image() const;
+
+  /// Merged Radar JSON with the fleet coverage section.
+  [[nodiscard]] std::string merged_report(analysis::ReportOptions options = {}) const;
+
+  /// Register tamper_fleet_* metrics. The registry must outlive the merger.
+  void set_obs(obs::Registry* metrics);
+
+ private:
+  struct PopEntry {
+    std::uint64_t epoch = 0;
+    std::uint64_t sequence = 0;
+    std::unique_ptr<analysis::Pipeline> pipeline;
+  };
+
+  [[nodiscard]] std::uint64_t max_epoch_locked() const TAMPER_REQUIRES(mu_);
+  [[nodiscard]] std::uint64_t watermark_locked() const TAMPER_REQUIRES(mu_);
+
+  const world::World& world_;
+  MergerConfig config_;
+  mutable common::Mutex mu_;
+  std::map<std::uint32_t, PopEntry> pops_ TAMPER_GUARDED_BY(mu_);
+  Stats stats_ TAMPER_GUARDED_BY(mu_);
+  obs::Registry* metrics_ = nullptr;
+  obs::Registry::CollectorId collector_ = 0;
+};
+
+}  // namespace tamper::fleet

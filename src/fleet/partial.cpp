@@ -1,0 +1,124 @@
+#include "fleet/partial.h"
+
+#include <cstring>
+
+#include "common/binio.h"
+
+namespace tamper::fleet {
+
+namespace {
+// magic + version + pop + epoch + sequence + size + checksum
+constexpr std::size_t kEnvelopeOverhead = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+}  // namespace
+
+std::string encode_partial(const PartialHeader& header,
+                           const analysis::Pipeline& pipeline) {
+  common::BinWriter payload;
+  pipeline.snapshot(payload);
+
+  common::BinWriter out;
+  for (char c : kPartialMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kPartialVersion);
+  out.u32(header.pop);
+  out.u64(header.epoch);
+  out.u64(header.sequence);
+  out.u64(payload.bytes().size());
+  const std::vector<std::uint8_t> head = out.bytes();
+
+  std::string image(head.begin(), head.end());
+  image.append(reinterpret_cast<const char*>(payload.bytes().data()),
+               payload.bytes().size());
+
+  common::BinWriter checksum;
+  checksum.u64(common::fnv1a_bytes(payload.bytes().data(), payload.bytes().size()));
+  image.append(reinterpret_cast<const char*>(checksum.bytes().data()),
+               checksum.bytes().size());
+  return image;
+}
+
+namespace {
+
+DecodeResult validate(const std::string& payload, const std::uint8_t** body,
+                      std::uint64_t* body_size) {
+  DecodeResult result;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(payload.data());
+  if (payload.size() < kEnvelopeOverhead) {
+    result.error = "partial too short to hold an envelope (" +
+                   std::to_string(payload.size()) + " bytes)";
+    return result;
+  }
+  if (std::memcmp(bytes, kPartialMagic, sizeof kPartialMagic) != 0) {
+    result.error = "bad partial magic";
+    return result;
+  }
+  common::BinReader header(bytes + sizeof kPartialMagic,
+                           payload.size() - sizeof kPartialMagic);
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  try {
+    version = header.u32();
+    result.header.pop = header.u32();
+    result.header.epoch = header.u64();
+    result.header.sequence = header.u64();
+    payload_size = header.u64();
+  } catch (const common::BinUnderrun&) {
+    result.error = "truncated partial header";
+    return result;
+  }
+  if (version != kPartialVersion) {
+    result.error = "unsupported partial version " + std::to_string(version) +
+                   " (this build reads version " + std::to_string(kPartialVersion) + ")";
+    return result;
+  }
+  if (payload_size != payload.size() - kEnvelopeOverhead) {
+    result.error = "partial payload size mismatch (declared " +
+                   std::to_string(payload_size) + ", actual " +
+                   std::to_string(payload.size() - kEnvelopeOverhead) + ")";
+    return result;
+  }
+  const std::uint8_t* data = bytes + (kEnvelopeOverhead - 8);
+  common::BinReader tail(bytes + payload.size() - 8, 8);
+  const std::uint64_t declared_checksum = tail.u64();
+  const std::uint64_t actual_checksum =
+      common::fnv1a_bytes(data, static_cast<std::size_t>(payload_size));
+  if (declared_checksum != actual_checksum) {
+    result.error = "partial checksum mismatch (corrupt payload)";
+    return result;
+  }
+  *body = data;
+  *body_size = payload_size;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+DecodeResult peek_partial(const std::string& payload) {
+  const std::uint8_t* body = nullptr;
+  std::uint64_t body_size = 0;
+  return validate(payload, &body, &body_size);
+}
+
+DecodeResult decode_partial(const std::string& payload, analysis::Pipeline& pipeline) {
+  const std::uint8_t* body = nullptr;
+  std::uint64_t body_size = 0;
+  DecodeResult result = validate(payload, &body, &body_size);
+  if (!result.ok) return result;
+  try {
+    common::BinReader reader(body, static_cast<std::size_t>(body_size));
+    pipeline.restore(reader);
+    if (!reader.exhausted()) {
+      result.ok = false;
+      result.error = "partial has " + std::to_string(reader.remaining()) +
+                     " trailing payload bytes";
+      return result;
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = std::string("partial payload rejected: ") + e.what();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace tamper::fleet

@@ -1,0 +1,61 @@
+// Epoch-tagged partial aggregates — the wire unit between a PoP and the
+// central merger.
+//
+// A partial is a full Pipeline snapshot (every aggregator is a commutative
+// monoid, see analysis/aggregates.h) wrapped in a small envelope:
+//
+//   magic    "TSPART01"                   (8 bytes)
+//   version  u32                          (kPartialVersion)
+//   pop      u32                          (sending PoP id)
+//   epoch    u64                          (1-second buckets / epoch_length)
+//   sequence u64                          (cumulative samples at emission)
+//   size     u64                          (payload byte count)
+//   payload                               (Pipeline::snapshot stream)
+//   checksum u64                          (FNV-1a over payload)
+//
+// Partials are CUMULATIVE, not incremental: each one carries the PoP's
+// entire aggregate state so far, and the merger keeps only the newest per
+// PoP. That makes every delivery idempotent — a replayed or duplicated
+// partial is recognized by (pop, epoch, sequence) and dropped; a stale one
+// (lower sequence, e.g. replayed from the spool after newer state arrived)
+// is superseded and dropped. The sequence is the samples-ingested count,
+// which survives checkpoint resume, so a restarted PoP continues the same
+// sequence space with no duplicate and no gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/pipeline.h"
+
+namespace tamper::fleet {
+
+inline constexpr char kPartialMagic[8] = {'T', 'S', 'P', 'A', 'R', 'T', '0', '1'};
+inline constexpr std::uint32_t kPartialVersion = 1;
+
+struct PartialHeader {
+  std::uint32_t pop = 0;
+  std::uint64_t epoch = 0;     ///< latest_ts_sec (+skew) / epoch_length
+  std::uint64_t sequence = 0;  ///< cumulative samples ingested at emission
+};
+
+/// Serialize header + pipeline state into one partial. Pure function of
+/// the aggregate state (byte-stable across snapshot -> restore -> snapshot).
+[[nodiscard]] std::string encode_partial(const PartialHeader& header,
+                                         const analysis::Pipeline& pipeline);
+
+struct DecodeResult {
+  bool ok = false;
+  std::string error;  ///< human-readable refusal when !ok
+  PartialHeader header;
+};
+
+/// Header-only validation (magic, version, sizes, checksum) — what the
+/// merger runs before paying for a full pipeline restore.
+[[nodiscard]] DecodeResult peek_partial(const std::string& payload);
+
+/// Full validation + restore into `pipeline`. On refusal the pipeline may
+/// be partially written — decode into a pipeline you can discard.
+DecodeResult decode_partial(const std::string& payload, analysis::Pipeline& pipeline);
+
+}  // namespace tamper::fleet

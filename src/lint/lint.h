@@ -117,6 +117,9 @@ struct Config {
       {"service",
        {"analysis", "world", "core", "middlebox", "tcp", "appproto", "capture",
         "obs", "net", "common"}},
+      {"fleet",
+       {"service", "fault", "analysis", "world", "core", "middlebox", "tcp",
+        "appproto", "capture", "obs", "net", "common"}},
       {"tools", {"*"}},
       {"tests", {"*"}},
       {"bench", {"*"}},

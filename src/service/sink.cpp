@@ -133,8 +133,21 @@ void ReportEmitter::replay_spool() {
   if (spool_dir_.empty()) return;
   for (const std::string& name : spool_files()) {
     const fs::path path = fs::path(spool_dir_) / name;
+    std::error_code ec;
     std::ifstream in(path, std::ios::binary);
-    if (!in) continue;
+    if (!fs::is_regular_file(path, ec) || !in) {
+      // An unreadable spool entry is data loss: a previous pass accepted
+      // the report into the spool and this one cannot deliver it. Count it
+      // and quarantine it (rename bad-*) so one poisoned entry cannot stall
+      // every future replay pass at the same spot.
+      {
+        common::MutexLock lock(mu_);
+        ++stats_.spool_replay_failures;
+      }
+      fs::rename(path, fs::path(spool_dir_) / ("bad-" + name), ec);
+      if (ec) fs::remove_all(path, ec);
+      continue;
+    }
     std::string payload((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     in.close();
     // One direct attempt per spooled report — the spool is already the
@@ -154,7 +167,6 @@ void ReportEmitter::replay_spool() {
       ++stats_.delivered;
       ++stats_.spool_replayed;
     }
-    std::error_code ec;
     fs::remove(path, ec);
   }
 }
@@ -169,7 +181,18 @@ std::vector<std::string> ReportEmitter::spool_files() const {
     const std::string name = entry.path().filename().string();
     if (name.rfind("report-", 0) == 0) names.push_back(name);
   }
-  std::sort(names.begin(), names.end());
+  // Replay order is the embedded sequence number, not the lexical name.
+  // Zero-padding keeps the two aligned only until the width overflows or a
+  // foreign spool feeds unpadded names; oldest-first is a correctness
+  // property, so sort numerically (name as tie-break for malformed digits).
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              const auto seq = [](const std::string& n) {
+                return std::strtoull(n.c_str() + n.find_last_of('-') + 1, nullptr, 10);
+              };
+              const unsigned long long sa = seq(a), sb = seq(b);
+              return sa != sb ? sa < sb : a < b;
+            });
   return names;
 }
 

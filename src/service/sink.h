@@ -87,6 +87,12 @@ class ReportEmitter {
     std::uint64_t spooled = 0;         ///< reports parked on disk
     std::uint64_t spool_replayed = 0;  ///< spooled reports later delivered
     std::uint64_t lost = 0;            ///< spool write itself failed
+    /// Spool entries that could not be read back at replay (corrupt file,
+    /// permissions, stray directory). Each is quarantined (renamed bad-*)
+    /// so it cannot wedge future replays, and counted here — this is data
+    /// loss after the report was accepted into the spool, so it also feeds
+    /// DegradedStats::spool_replay_failures via the supervisor.
+    std::uint64_t spool_replay_failures = 0;
   };
 
   /// `spool_dir` is created if missing; pass empty to disable spooling

@@ -114,6 +114,11 @@ void SupervisedService::register_metrics() {
     e_spool_depth =
         &m.gauge("tamper_emitter_spool_depth", "Spooled reports awaiting replay");
   }
+  obs::Counter* e_replay_failures =
+      emitter_ != nullptr
+          ? &m.counter("tamper_sink_spool_replay_failures_total",
+                       "Spool entries unreadable at replay (quarantined; data loss)")
+          : nullptr;
 
   collector_ = m.add_collector([=, this] {
     const common::BoundedQueueStats qs = queue_.stats();
@@ -138,6 +143,7 @@ void SupervisedService::register_metrics() {
       e_spooled->increment_to(es.spooled);
       e_replayed->increment_to(es.spool_replayed);
       e_lost->increment_to(es.lost);
+      e_replay_failures->increment_to(es.spool_replay_failures);
       e_spool_depth->set(static_cast<double>(emitter_->spool_depth()));
     }
   });
@@ -340,9 +346,18 @@ void SupervisedService::write_checkpoint() {
 void SupervisedService::emit_report() {
   obs::Tracer::Span span(config_.tracer, obs::stage::kEmit, obs::stage::kCategory);
   pipeline_->record_queue_stats(queue_.stats());
-  std::ostringstream out;
-  analysis::write_radar_report(out, *pipeline_);
-  emitter_->emit(out.str());
+  // Replay-failure accounting folds into DegradedStats so the loss is
+  // visible inside the very report (or partial) being emitted.
+  pipeline_->record_sink_stats(emitter_->stats().spool_replay_failures);
+  std::string payload;
+  if (config_.report_encoder) {
+    payload = config_.report_encoder(*pipeline_, ingested_c_->value() - base_.ingested);
+  } else {
+    std::ostringstream out;
+    analysis::write_radar_report(out, *pipeline_);
+    payload = out.str();
+  }
+  emitter_->emit(payload);
   reports_emitted_c_->add(1);
 }
 

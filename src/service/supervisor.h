@@ -78,6 +78,13 @@ struct ServiceConfig {
   /// the write (the ENOSPC model). Failures are counted, never fatal.
   std::function<bool()> checkpoint_fault_hook;
 
+  /// Report payload seam. Default (empty) emits the Radar JSON report. A
+  /// fleet PoP instead encodes an epoch-tagged partial aggregate (see
+  /// fleet::encode_partial) so the central merger receives mergeable state,
+  /// not rendered JSON. Called on the worker thread with the pipeline and
+  /// the cumulative samples-ingested count at emission time.
+  std::function<std::string(const analysis::Pipeline&, std::uint64_t)> report_encoder;
+
   /// Observability (all optional, all must outlive the service). When
   /// `metrics` is null the service creates a private registry — the
   /// supervision counters are ALWAYS registry-backed; RunSummary is just a
@@ -150,6 +157,13 @@ class SupervisedService {
 
   /// Only meaningful once the service is no longer running.
   [[nodiscard]] const analysis::Pipeline& pipeline() const { return *pipeline_; }
+
+  /// Samples ingested by this run so far (restored count included; atomic
+  /// counter read, any thread). Chaos harnesses poll this to wait for the
+  /// worker to reach a stream position before injecting a fault there.
+  [[nodiscard]] std::uint64_t ingested() const noexcept {
+    return ingested_c_->value() - base_.ingested;
+  }
 
   /// The registry backing the supervision counters: the configured one, or
   /// the private registry the service created when none was given. Live for

@@ -1,0 +1,46 @@
+#include "world/anycast.h"
+
+#include "common/rng.h"
+
+namespace tamper::world {
+
+AnycastMap::AnycastMap(std::uint32_t pop_count, std::uint64_t seed)
+    : seed_(common::mix64(seed ^ 0xa27ca57ULL)), alive_(pop_count, true) {}
+
+void AnycastMap::set_alive(std::uint32_t pop, bool alive) { alive_[pop] = alive; }
+
+std::uint32_t AnycastMap::alive_count() const noexcept {
+  std::uint32_t n = 0;
+  for (bool a : alive_)
+    if (a) ++n;
+  return n;
+}
+
+std::uint64_t AnycastMap::prefix_key(const net::IpAddress& client) noexcept {
+  const auto& b = client.bytes();
+  if (client.is_v4()) {
+    // v4-mapped layout: the address lives in bytes [12..15]; /16 keeps the
+    // first two of them.
+    return (0x4ULL << 60) | (static_cast<std::uint64_t>(b[12]) << 8) | b[13];
+  }
+  return (0x6ULL << 60) | (static_cast<std::uint64_t>(b[0]) << 24) |
+         (static_cast<std::uint64_t>(b[1]) << 16) |
+         (static_cast<std::uint64_t>(b[2]) << 8) | b[3];
+}
+
+std::optional<std::uint32_t> AnycastMap::route(const net::IpAddress& client) const {
+  const std::uint64_t key = common::mix64(prefix_key(client) ^ seed_);
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_score = 0;
+  for (std::uint32_t pop = 0; pop < alive_.size(); ++pop) {
+    if (!alive_[pop]) continue;
+    const std::uint64_t score = common::mix64(key ^ (0x90bULL + pop));
+    if (!best || score > best_score) {
+      best = pop;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace tamper::world

@@ -1,0 +1,55 @@
+// Anycast client->PoP routing for the fleet model.
+//
+// The paper's vantage is a CDN whose clients reach the nearest PoP via BGP
+// anycast (§3.1): which PoP a client lands on is a function of the
+// client's network location, not of time — until a PoP withdraws its
+// announcement, at which point only the clients of that PoP move. We model
+// this with rendezvous (highest-random-weight) hashing over the client's
+// routing prefix (/16 for IPv4, /32 for IPv6):
+//
+//   * deterministic  — the same client prefix always reaches the same PoP
+//     for a given alive-set, regardless of query order;
+//   * sticky         — all connections of one client (and its /16
+//     neighbours) land on one PoP, which is what makes the per-PoP
+//     OverlapMatrix shards nearly disjoint;
+//   * minimal motion — when a PoP dies, only the prefixes it served are
+//     re-routed (the rendezvous property); everyone else stays put.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace tamper::world {
+
+class AnycastMap {
+ public:
+  /// All PoPs start alive. `seed` fixes the prefix->PoP assignment; two
+  /// maps with the same (pop_count, seed) route identically.
+  AnycastMap(std::uint32_t pop_count, std::uint64_t seed);
+
+  /// Withdraw or re-announce a PoP.
+  void set_alive(std::uint32_t pop, bool alive);
+  [[nodiscard]] bool alive(std::uint32_t pop) const { return alive_[pop]; }
+  [[nodiscard]] std::uint32_t pop_count() const noexcept {
+    return static_cast<std::uint32_t>(alive_.size());
+  }
+  [[nodiscard]] std::uint32_t alive_count() const noexcept;
+
+  /// Highest-random-weight PoP among the alive set for this client, or
+  /// nullopt when every PoP is withdrawn (the traffic is simply not
+  /// observed — clients of a fully-dark anycast prefix get no answer).
+  [[nodiscard]] std::optional<std::uint32_t> route(const net::IpAddress& client) const;
+
+  /// The routing key: the client's /16 (v4) or /32 (v6) prefix bits,
+  /// family-tagged so a v4 /16 can never collide with a v6 /32.
+  [[nodiscard]] static std::uint64_t prefix_key(const net::IpAddress& client) noexcept;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace tamper::world

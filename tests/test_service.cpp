@@ -10,11 +10,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "analysis/report.h"
 #include "common/bounded_queue.h"
 #include "fault/chaos.h"
 #include "service/checkpoint.h"
@@ -357,6 +359,65 @@ TEST(ReportEmitter, SpoolSurvivesEmitterRestart) {
   EXPECT_TRUE(second.emit("from-run-two"));
   ASSERT_EQ(sink.delivered().size(), 2u);
   EXPECT_EQ(sink.delivered()[1], "from-run-one");
+}
+
+TEST(ReportEmitter, SpoolReplayOrderIsNumericNotLexical) {
+  ScratchDir dir("spool_order");
+  const std::string spool = dir.file("spool");
+  fs::create_directories(spool);
+  // A foreign (or overflowed-width) spool feeds unpadded names, where the
+  // lexical order would replay 10 before 2.
+  std::ofstream(spool + "/report-10") << "ten";
+  std::ofstream(spool + "/report-2") << "two";
+
+  service::MemorySink sink;
+  service::ReportEmitter emitter(sink, {}, spool, 7, [](double) {});
+  EXPECT_TRUE(emitter.emit("fresh"));
+  ASSERT_EQ(sink.delivered().size(), 3u);
+  EXPECT_EQ(sink.delivered()[1], "two");  // oldest sequence first
+  EXPECT_EQ(sink.delivered()[2], "ten");
+  // And the resumed sequence counter starts past the highest replayed one.
+  sink.fail_next = [] { return true; };
+  EXPECT_FALSE(emitter.emit("doomed"));
+  EXPECT_TRUE(fs::exists(spool + "/report-000000000011"));
+}
+
+TEST(ReportEmitter, UnreadableSpoolEntryIsCountedAndQuarantined) {
+  ScratchDir dir("spool_bad");
+  const std::string spool = dir.file("spool");
+  fs::create_directories(spool);
+  // A directory wearing a spool-entry name can never be read as a report —
+  // the replay must count the loss and quarantine it rather than silently
+  // skipping it (or stalling on it) forever.
+  fs::create_directories(spool + "/report-000000000003");
+  std::ofstream(spool + "/report-000000000007") << "survivor";
+
+  service::MemorySink sink;
+  service::ReportEmitter emitter(sink, {}, spool, 7, [](double) {});
+  EXPECT_TRUE(emitter.emit("fresh"));
+
+  EXPECT_EQ(emitter.stats().spool_replay_failures, 1u);
+  EXPECT_FALSE(fs::exists(spool + "/report-000000000003"));
+  EXPECT_TRUE(fs::exists(spool + "/bad-report-000000000003"));
+  // The poisoned entry did not block the rest of the backlog.
+  ASSERT_EQ(sink.delivered().size(), 2u);
+  EXPECT_EQ(sink.delivered()[1], "survivor");
+  EXPECT_EQ(emitter.spool_depth(), 0u);
+}
+
+TEST(PipelineStats, SinkReplayFailuresLandInDegradedStats) {
+  analysis::Pipeline pipeline(shared_world());
+  pipeline.record_sink_stats(3);
+  EXPECT_EQ(pipeline.degraded().spool_replay_failures, 3u);
+  pipeline.record_sink_stats(3);  // same snapshot twice counts once
+  EXPECT_EQ(pipeline.degraded().spool_replay_failures, 3u);
+  pipeline.record_sink_stats(5);  // only the delta is added
+  EXPECT_EQ(pipeline.degraded().spool_replay_failures, 5u);
+  EXPECT_GE(pipeline.degraded().total(), 5u);
+
+  std::ostringstream out;
+  analysis::write_radar_report(out, pipeline);
+  EXPECT_NE(out.str().find("\"spool_replay_failures\": 5"), std::string::npos);
 }
 
 TEST(ReportEmitter, NoSpoolDirMeansAccountedLoss) {

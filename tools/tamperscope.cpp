@@ -29,6 +29,16 @@
 //       --metrics-interval ms, with a final flush on shutdown; --trace-out
 //       writes a Perfetto-loadable Chrome trace of pipeline stage spans.
 //
+//   tamperscope fleet [--pops N] [--connections N] [--seed S] [--state DIR]
+//                     [--report out.json] [--report-every N]
+//                     [--checkpoint-every N] [--kill-pop P] [--lose-pop P]
+//                     [--metrics-out PATH]
+//       Run a multi-PoP fleet: anycast-routed per-PoP supervised services
+//       streaming epoch-tagged partial aggregates to a central merger.
+//       --kill-pop crashes PoP P mid-run and resumes it from its
+//       checkpoint (coverage recovers); --lose-pop crashes it for good
+//       (the merged report flags the affected epochs as degraded).
+//
 //   Common options: --log-level debug|info|warn|error, --log-format
 //   text|json — structured logging on stderr (stdout stays the product).
 #include <algorithm>
@@ -62,6 +72,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "fleet/fleet.h"
 #include "service/supervisor.h"
 #include "world/traffic.h"
 
@@ -606,6 +617,103 @@ int cmd_watch(const Args& args) {
   return interrupted ? 128 + static_cast<int>(g_signal) : 0;
 }
 
+int cmd_fleet(const Args& args) {
+  const std::uint64_t connections = args.get_u64("connections", 20'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const auto pops = static_cast<std::uint32_t>(args.get_u64("pops", 3));
+  const std::string state_dir = args.get("state", "tamperscope-fleet");
+  const std::string report_path = args.get("report", "tamperscope-fleet.json");
+  const std::string metrics_path = args.get("metrics-out");
+  obs::Logger logger = make_logger(args);
+
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  world::World world(world_cfg);
+  world::TrafficConfig traffic;
+  traffic.seed = seed ^ 0x51;
+  world::TrafficGenerator generator(world, traffic);
+
+  // Feed in timestamp order so each PoP's epoch (derived from its latest
+  // observed timestamp) advances monotonically — the generator jitters.
+  std::vector<capture::ConnectionSample> samples;
+  samples.reserve(connections);
+  for (std::uint64_t i = 0; i < connections; ++i)
+    samples.push_back(generator.generate_one().sample);
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const capture::ConnectionSample& a,
+                      const capture::ConnectionSample& b) {
+                     return a.observation_end_sec < b.observation_end_sec;
+                   });
+
+  fleet::FleetConfig fc;
+  fc.pops = pops;
+  fc.seed = seed;
+  fc.state_dir = state_dir;
+  fc.report_every_samples = args.get_u64("report-every", 2000);
+  fc.checkpoint_every_samples = args.get_u64("checkpoint-every", 1000);
+  // Declared before the Fleet: the merger unregisters its collector on
+  // destruction, so the registry must outlive it.
+  obs::Registry merger_metrics;
+  fleet::Fleet fleet(world, fc);
+  fleet.merger().set_obs(&merger_metrics);
+
+  std::uint64_t submitted = 0, unobserved = 0;
+  for (std::uint64_t i = 0; i < samples.size(); ++i) {
+    if (i == samples.size() / 2) {
+      if (args.has("kill-pop")) {
+        const auto pop = static_cast<std::uint32_t>(args.get_u64("kill-pop", 0));
+        fleet.kill_pop(pop);
+        const bool resumed = fleet.restart_pop(pop);
+        logger.info("fleet", resumed ? "PoP killed and resumed from checkpoint"
+                                     : "PoP killed; restart FAILED",
+                    {{"pop", std::to_string(pop)}});
+      }
+      if (args.has("lose-pop")) {
+        const auto pop = static_cast<std::uint32_t>(args.get_u64("lose-pop", 0));
+        fleet.kill_pop(pop);
+        fleet.withdraw_pop(pop);
+        logger.warn("fleet", "PoP lost for good; anycast withdrawn",
+                    {{"pop", std::to_string(pop)}});
+      }
+    }
+    if (fleet.submit(samples[i]))
+      ++submitted;
+    else
+      ++unobserved;
+  }
+  const auto summaries = fleet.stop();
+
+  if (!write_file_atomic(report_path, fleet.merger().merged_report())) {
+    logger.error("fleet", "cannot write merged report", {{"path", report_path}});
+    return 1;
+  }
+  if (!metrics_path.empty() && !write_metrics_files(merger_metrics, metrics_path))
+    logger.warn("fleet", "metrics snapshot write failed", {{"path", metrics_path}});
+
+  const analysis::FleetCoverage coverage = fleet.merger().coverage();
+  const fleet::Merger::Stats ms = fleet.merger().stats();
+  std::cout << "fleet:        " << pops << " PoPs, " << submitted << " samples routed";
+  if (unobserved > 0) std::cout << ", " << unobserved << " unobserved";
+  std::cout << '\n';
+  common::TextTable table({"PoP", "Status", "Last epoch", "Samples", "Crashes"});
+  for (const auto& pop : coverage.pops) {
+    const service::RunSummary& s = summaries[pop.pop];
+    table.add_row({std::to_string(pop.pop), pop.status,
+                   common::TextTable::num(pop.last_epoch),
+                   common::TextTable::num(pop.samples),
+                   common::TextTable::num(s.worker_crashes)});
+  }
+  table.print(std::cout);
+  std::cout << "merger:       " << ms.accepted << " partials merged (" << ms.received
+            << " received, " << ms.duplicates << " duplicate, " << ms.stale
+            << " stale, " << ms.late << " late, " << ms.rejected << " rejected)\n"
+            << "coverage:     " << coverage.pops_reporting << "/"
+            << coverage.pops_expected << " PoPs reporting, watermark epoch "
+            << coverage.watermark << (coverage.degraded ? " [DEGRADED]" : "") << '\n'
+            << "merged report: " << report_path << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -617,11 +725,12 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "testlists") return cmd_testlists(args);
     if (command == "watch") return cmd_watch(args);
+    if (command == "fleet") return cmd_fleet(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch> [options]\n"
+  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch|fleet> [options]\n"
                "  signatures                         print the Table 1 taxonomy\n"
                "  classify <pcap> [--json] [--strict|--lenient]\n"
                "           [--metrics-out PATH] [--trace-out PATH]\n"
@@ -641,6 +750,15 @@ int main(int argc, char** argv) {
                "                                     --metrics-out writes Prometheus text +\n"
                "                                     PATH.json snapshots, --trace-out a\n"
                "                                     Perfetto-loadable stage trace\n"
+               "  fleet [--pops N] [--connections N] [--seed S] [--state DIR]\n"
+               "        [--report out.json] [--report-every N] [--checkpoint-every N]\n"
+               "        [--kill-pop P] [--lose-pop P] [--metrics-out PATH]\n"
+               "                                     run N anycast-routed PoP services\n"
+               "                                     streaming epoch-tagged partials to a\n"
+               "                                     central merger; --kill-pop crashes and\n"
+               "                                     resumes PoP P mid-run, --lose-pop\n"
+               "                                     crashes it for good (merged report\n"
+               "                                     flags degraded epochs)\n"
                "  common: --log-level debug|info|warn|error, --log-format text|json\n";
   return command.empty() ? 2 : 1;
 }
