@@ -5,10 +5,24 @@
 // (override with --bench-json=PATH) so the perf trajectory is a diffable
 // artifact, not a scrollback memory. bench/BENCH_ingest.json holds the
 // checked-in seed run to compare against.
+//
+// The JSON also carries a "derived" block — classify-latency p50/p99 over
+// the corpus and the mean logged bytes per connection — so the tail (not
+// just the mean google-benchmark reports) and the memory footprint of the
+// record format are part of the diffable trajectory.
+//
+// --bench-compare=PATH [--bench-threshold=PCT] re-reads a previous run
+// (e.g. the checked-in seed) after this one and exits nonzero if any
+// benchmark's throughput regressed by more than PCT percent (default 15) —
+// the CI bench-compare gate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -288,6 +302,93 @@ void BM_BoundedQueueShedOverload(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedQueueShedOverload);
 
+/// Post-run derived statistics: the classify latency TAIL (google-benchmark
+/// reports means; tampering detection at CDN scale lives and dies by p99)
+/// and the logged byte footprint of the record format. All inputs are the
+/// seeded corpus, and time comes from the obs clock seam (lint R1).
+struct DerivedStats {
+  double classify_p50_ns = 0;
+  double classify_p99_ns = 0;
+  double bytes_per_connection = 0;
+};
+
+DerivedStats measure_derived() {
+  const auto& samples = corpus();
+  DerivedStats d;
+  if (samples.empty()) return d;
+
+  core::SignatureClassifier classifier;
+  const obs::Clock& clock = obs::monotonic_clock();
+  std::vector<double> latencies;
+  constexpr int kRounds = 8;  // enough calls that p99 indexes a real tail
+  latencies.reserve(samples.size() * kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& sample : samples) {
+      const std::uint64_t t0 = clock.now_ns();
+      benchmark::DoNotOptimize(classifier.classify(sample));
+      latencies.push_back(static_cast<double>(clock.now_ns() - t0));
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto at = [&](double q) {
+    const std::size_t i = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[i];
+  };
+  d.classify_p50_ns = at(0.50);
+  d.classify_p99_ns = at(0.99);
+
+  // The logged record footprint (capture/sample.h): per connection the
+  // 5-tuple + observation end (40 bytes), per packet the fixed observed
+  // fields (25 bytes) plus the retained payload.
+  constexpr std::uint64_t kConnectionOverhead = 40;
+  constexpr std::uint64_t kPacketOverhead = 25;
+  std::uint64_t bytes = 0;
+  for (const auto& sample : samples) {
+    bytes += kConnectionOverhead;
+    for (const auto& pkt : sample.packets)
+      bytes += kPacketOverhead + pkt.payload.size();
+  }
+  d.bytes_per_connection =
+      static_cast<double>(bytes) / static_cast<double>(samples.size());
+  return d;
+}
+
+/// One row of a previous run's JSON, as much of it as the compare needs.
+struct BaselineRow {
+  double cpu_ns_per_iter = 0;
+  double items_per_second = 0;
+};
+
+/// Minimal scanner for the tamper-bench JSON this binary writes (both the
+/// v1 and v2 shapes). Not a general JSON parser: names are the first
+/// string after `"name":` and numbers are strtod'd in the same object.
+std::map<std::string, BaselineRow> parse_baseline(const std::string& text) {
+  std::map<std::string, BaselineRow> rows;
+  const auto number_after = [&](std::size_t from, std::size_t until,
+                                const std::string& key) {
+    const std::size_t k = text.find(key, from);
+    if (k == std::string::npos || k >= until) return 0.0;
+    return std::strtod(text.c_str() + k + key.size(), nullptr);
+  };
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + 9;
+    const std::size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    const std::size_t object_end = text.find('}', name_end);
+    const std::size_t until =
+        object_end == std::string::npos ? text.size() : object_end;
+    BaselineRow row;
+    row.cpu_ns_per_iter = number_after(name_end, until, "\"cpu_ns_per_iter\": ");
+    row.items_per_second = number_after(name_end, until, "\"items_per_second\": ");
+    rows[text.substr(name_begin, name_end - name_begin)] = row;
+    pos = until;
+  }
+  return rows;
+}
+
 /// Collects every finished run and writes them as one JSON document, while
 /// forwarding to the normal console reporter (it must be the display
 /// reporter — the library refuses a secondary file reporter without
@@ -322,13 +423,18 @@ class BenchJsonReporter final : public benchmark::BenchmarkReporter {
     }
   }
 
-  bool write(const std::string& path) const {
+  bool write(const std::string& path, const DerivedStats& derived) const {
     std::ofstream out(path, std::ios::trunc);
     if (!out) return false;
     common::JsonWriter json(out);
     json.begin_object();
-    json.key("schema").value("tamper-bench-v1");
+    json.key("schema").value("tamper-bench-v2");
     json.key("cpus").value(static_cast<std::int64_t>(cpus_));
+    json.key("derived").begin_object();
+    json.key("classify_p50_ns").value(derived.classify_p50_ns);
+    json.key("classify_p99_ns").value(derived.classify_p99_ns);
+    json.key("bytes_per_connection").value(derived.bytes_per_connection);
+    json.end_object();
     json.key("benchmarks").begin_array();
     for (const Row& row : rows_) {
       json.begin_object();
@@ -344,6 +450,35 @@ class BenchJsonReporter final : public benchmark::BenchmarkReporter {
     json.end_object();
     out << '\n';
     return static_cast<bool>(out.flush());
+  }
+
+  /// Compare this run against a previous run's rows. A benchmark regresses
+  /// when its throughput fell more than `threshold_pct` below the baseline
+  /// (items/second when both runs have it, else inverted cpu ns/iter).
+  /// Benchmarks present in only one run are skipped — adding or retiring a
+  /// benchmark must not fail the gate. Returns the regression count.
+  int compare_against(const std::map<std::string, BaselineRow>& baseline,
+                      double threshold_pct) const {
+    int regressions = 0;
+    for (const Row& row : rows_) {
+      const auto it = baseline.find(row.name);
+      if (it == baseline.end()) continue;
+      double base = it->second.items_per_second;
+      double current = row.items_per_second;
+      if (base <= 0 || current <= 0) {  // fall back to time per iteration
+        if (it->second.cpu_ns_per_iter <= 0 || row.cpu_ns <= 0) continue;
+        base = 1.0 / it->second.cpu_ns_per_iter;
+        current = 1.0 / row.cpu_ns;
+      }
+      const double change_pct = (current / base - 1.0) * 100.0;
+      if (change_pct < -threshold_pct) {
+        ++regressions;
+        std::cerr << "REGRESSION " << row.name << ": throughput "
+                  << change_pct << "% vs baseline (threshold -"
+                  << threshold_pct << "%)\n";
+      }
+    }
+    return regressions;
   }
 
  private:
@@ -362,14 +497,22 @@ class BenchJsonReporter final : public benchmark::BenchmarkReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Our flag first, so google-benchmark never sees it.
+  // Our flags first, so google-benchmark never sees them.
   std::string json_path = "BENCH_ingest.json";
+  std::string compare_path;
+  double threshold_pct = 15.0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    constexpr std::string_view kFlag = "--bench-json=";
-    if (arg.rfind(kFlag, 0) == 0)
-      json_path = std::string(arg.substr(kFlag.size()));
+    constexpr std::string_view kJsonFlag = "--bench-json=";
+    constexpr std::string_view kCompareFlag = "--bench-compare=";
+    constexpr std::string_view kThresholdFlag = "--bench-threshold=";
+    if (arg.rfind(kJsonFlag, 0) == 0)
+      json_path = std::string(arg.substr(kJsonFlag.size()));
+    else if (arg.rfind(kCompareFlag, 0) == 0)
+      compare_path = std::string(arg.substr(kCompareFlag.size()));
+    else if (arg.rfind(kThresholdFlag, 0) == 0)
+      threshold_pct = std::strtod(arg.substr(kThresholdFlag.size()).data(), nullptr);
     else
       argv[kept++] = argv[i];
   }
@@ -380,11 +523,35 @@ int main(int argc, char** argv) {
   BenchJsonReporter json_reporter;
   benchmark::RunSpecifiedBenchmarks(&json_reporter);
   benchmark::Shutdown();
-  if (json_path.empty()) return 0;
-  if (!json_reporter.write(json_path)) {
-    std::cerr << "cannot write " << json_path << '\n';
-    return 1;
+  const DerivedStats derived = measure_derived();
+  if (!json_path.empty()) {
+    if (!json_reporter.write(json_path, derived)) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
   }
-  std::cout << "wrote " << json_path << '\n';
+  if (!compare_path.empty()) {
+    std::ifstream in(compare_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read baseline " << compare_path << '\n';
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto baseline = parse_baseline(buf.str());
+    if (baseline.empty()) {
+      std::cerr << "baseline " << compare_path << " has no benchmark rows\n";
+      return 1;
+    }
+    const int regressions = json_reporter.compare_against(baseline, threshold_pct);
+    if (regressions > 0) {
+      std::cerr << regressions << " benchmark(s) regressed more than "
+                << threshold_pct << "% vs " << compare_path << '\n';
+      return 1;
+    }
+    std::cout << "no regression beyond " << threshold_pct << "% vs "
+              << compare_path << '\n';
+  }
   return 0;
 }

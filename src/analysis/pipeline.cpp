@@ -51,6 +51,15 @@ void Pipeline::set_obs(obs::Registry* metrics, obs::Tracer* tracer,
       {&degraded_family.with({"queue_shed_other"}), &DegradedStats::queue_shed_other},
       {&degraded_family.with({"spool_replay_failures"}),
        &DegradedStats::spool_replay_failures},
+      {&degraded_family.with({"spool_dropped"}), &DegradedStats::spool_dropped},
+      {&degraded_family.with({"admission_rate_limited"}),
+       &DegradedStats::admission_rate_limited},
+      {&degraded_family.with({"admission_sampled_down"}),
+       &DegradedStats::admission_sampled_down},
+      {&degraded_family.with({"admission_embryonic_shed"}),
+       &DegradedStats::admission_embryonic_shed},
+      {&degraded_family.with({"admission_rejected"}),
+       &DegradedStats::admission_rejected},
   };
   obs_collector_ = metrics->add_collector([this, mirrors] {
     const DegradedStats d = degraded();
@@ -79,7 +88,9 @@ void Pipeline::ingest(const capture::ConnectionSample& sample) noexcept {
   try {
     obs::Tracer::Span classify_span(tracer_, obs::stage::kClassify,
                                     obs::stage::kCategory);
-    const ConnectionRecord record = analyze(sample, world_.geo(), classifier_);
+    const ConnectionRecord record =
+        analyze(sample, world_.geo(), classifier_,
+                /*parse_app_proto=*/!evidence_only_.load(std::memory_order_relaxed));
     classify_span.finish();
     obs::Tracer::Span aggregate_span(tracer_, obs::stage::kAggregate,
                                      obs::stage::kCategory);
@@ -127,6 +138,11 @@ void Pipeline::snapshot(common::BinWriter& w) const {
     w.u64(degraded_.queue_shed_embryonic);
     w.u64(degraded_.queue_shed_other);
     w.u64(degraded_.spool_replay_failures);
+    w.u64(degraded_.spool_dropped);
+    w.u64(degraded_.admission_rate_limited);
+    w.u64(degraded_.admission_sampled_down);
+    w.u64(degraded_.admission_embryonic_shed);
+    w.u64(degraded_.admission_rejected);
   }
 
   w.u64(scanner_.connections);
@@ -158,6 +174,11 @@ void Pipeline::restore(common::BinReader& r) {
     degraded_.queue_shed_embryonic = r.u64();
     degraded_.queue_shed_other = r.u64();
     degraded_.spool_replay_failures = r.u64();
+    degraded_.spool_dropped = r.u64();
+    degraded_.admission_rate_limited = r.u64();
+    degraded_.admission_sampled_down = r.u64();
+    degraded_.admission_embryonic_shed = r.u64();
+    degraded_.admission_rejected = r.u64();
   }
 
   scanner_.connections = r.u64();
@@ -183,6 +204,8 @@ void Pipeline::restore(common::BinReader& r) {
     last_sampler_ = {};
     last_queue_ = {};
     last_sink_replay_failures_ = 0;
+    last_spool_dropped_ = 0;
+    last_admission_ = {};
   }
 }
 
@@ -203,6 +226,11 @@ void Pipeline::merge_from(const Pipeline& other) {
     degraded_.queue_shed_embryonic += od.queue_shed_embryonic;
     degraded_.queue_shed_other += od.queue_shed_other;
     degraded_.spool_replay_failures += od.spool_replay_failures;
+    degraded_.spool_dropped += od.spool_dropped;
+    degraded_.admission_rate_limited += od.admission_rate_limited;
+    degraded_.admission_sampled_down += od.admission_sampled_down;
+    degraded_.admission_embryonic_shed += od.admission_embryonic_shed;
+    degraded_.admission_rejected += od.admission_rejected;
   }
 
   scanner_.connections += other.scanner_.connections;

@@ -3,6 +3,7 @@
 // through a Pipeline and then read the aggregates behind each table/figure.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -40,11 +41,21 @@ struct DegradedStats {
   std::uint64_t queue_shed_embryonic = 0; ///< service: backpressure shed (embryonic)
   std::uint64_t queue_shed_other = 0;     ///< service: backpressure shed (forced)
   std::uint64_t spool_replay_failures = 0; ///< sink: spooled reports lost at replay
+  std::uint64_t spool_dropped = 0;         ///< sink: spool cap evictions (oldest-first)
+  // Overload-control admission refusals (control::OverloadController), by
+  // DropReason — every sample the admission gate turned away, so shed load
+  // is visible next to the aggregates it thinned.
+  std::uint64_t admission_rate_limited = 0;   ///< token bucket empty
+  std::uint64_t admission_sampled_down = 0;   ///< ladder stride skipped it
+  std::uint64_t admission_embryonic_shed = 0; ///< embryonic shed at admission
+  std::uint64_t admission_rejected = 0;       ///< kShedding refused the flow
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return empty_samples + ingest_errors + malformed_packets + overload_evicted +
            unparseable_frames + oversize_frames + truncated_frames +
-           queue_shed_embryonic + queue_shed_other + spool_replay_failures;
+           queue_shed_embryonic + queue_shed_other + spool_replay_failures +
+           spool_dropped + admission_rate_limited + admission_sampled_down +
+           admission_embryonic_shed + admission_rejected;
   }
 };
 
@@ -132,16 +143,45 @@ class Pipeline {
     degraded_.queue_shed_other += delta(s.shed_other, last_queue_.shed_other);
     last_queue_ = s;
   }
-  /// Report-sink degradation: cumulative count of spooled reports that
-  /// failed replay (quarantined — data loss an operator must see). Takes a
-  /// plain counter, not the emitter's Stats struct, so the analysis layer
-  /// stays below the service layer.
-  void record_sink_stats(std::uint64_t spool_replay_failures) noexcept
+  /// Report-sink degradation: cumulative counts of spooled reports that
+  /// failed replay (quarantined) and of spool-cap evictions — both data
+  /// loss an operator must see. Takes plain counters, not the emitter's
+  /// Stats struct, so the analysis layer stays below the service layer.
+  void record_sink_stats(std::uint64_t spool_replay_failures,
+                         std::uint64_t spool_dropped = 0) noexcept
       TAMPER_EXCLUDES(stats_mu_) {
     common::MutexLock lock(stats_mu_);
     degraded_.spool_replay_failures +=
         delta(spool_replay_failures, last_sink_replay_failures_);
     last_sink_replay_failures_ = spool_replay_failures;
+    degraded_.spool_dropped += delta(spool_dropped, last_spool_dropped_);
+    last_spool_dropped_ = spool_dropped;
+  }
+  /// Admission-control shed accounting (cumulative, from the overload
+  /// controller's stats). Plain counters for the same layering reason as
+  /// record_sink_stats: analysis must not depend on control.
+  void record_overload_stats(std::uint64_t rate_limited, std::uint64_t sampled_down,
+                             std::uint64_t embryonic_shed,
+                             std::uint64_t rejected) noexcept
+      TAMPER_EXCLUDES(stats_mu_) {
+    common::MutexLock lock(stats_mu_);
+    degraded_.admission_rate_limited += delta(rate_limited, last_admission_.rate_limited);
+    degraded_.admission_sampled_down += delta(sampled_down, last_admission_.sampled_down);
+    degraded_.admission_embryonic_shed +=
+        delta(embryonic_shed, last_admission_.embryonic_shed);
+    degraded_.admission_rejected += delta(rejected, last_admission_.rejected);
+    last_admission_ = {rate_limited, sampled_down, embryonic_shed, rejected};
+  }
+
+  /// Evidence-only mode (degradation ladder level kEvidenceOnly and above):
+  /// ingest skips app-proto (TLS/HTTP) payload parsing and keeps only the
+  /// tamper-signature evidence. Safe to flip from any thread; the worker
+  /// reads it per sample.
+  void set_evidence_only(bool on) noexcept {
+    evidence_only_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool evidence_only() const noexcept {
+    return evidence_only_.load(std::memory_order_relaxed);
   }
 
   /// Largest observation_end_sec ingested so far (1-second granularity,
@@ -196,6 +236,15 @@ class Pipeline {
   capture::ConnectionSampler::Stats last_sampler_ TAMPER_GUARDED_BY(stats_mu_);
   common::BoundedQueueStats last_queue_ TAMPER_GUARDED_BY(stats_mu_);
   std::uint64_t last_sink_replay_failures_ TAMPER_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t last_spool_dropped_ TAMPER_GUARDED_BY(stats_mu_) = 0;
+  struct AdmissionBaseline {
+    std::uint64_t rate_limited = 0;
+    std::uint64_t sampled_down = 0;
+    std::uint64_t embryonic_shed = 0;
+    std::uint64_t rejected = 0;
+  };
+  AdmissionBaseline last_admission_ TAMPER_GUARDED_BY(stats_mu_);
+  std::atomic<bool> evidence_only_{false};
 };
 
 }  // namespace tamper::analysis

@@ -29,9 +29,14 @@ struct ConnectionRecord {
   std::uint64_t client_ip_hash = 0;  ///< stable key for (IP, domain) pairing
 };
 
+/// `parse_app_proto = false` is the overload ladder's evidence-only mode
+/// (control::Level::kEvidenceOnly and above): skip the DPI payload
+/// inspection, keeping the port-derived protocol and the tamper-signature
+/// classification — the part of the record that must never degrade.
 [[nodiscard]] inline ConnectionRecord analyze(const capture::ConnectionSample& sample,
                                               const world::GeoDatabase& geo,
-                                              const core::SignatureClassifier& classifier) {
+                                              const core::SignatureClassifier& classifier,
+                                              bool parse_app_proto = true) {
   ConnectionRecord record;
   record.classification = classifier.classify(sample);
   record.ip_version = sample.ip_version;
@@ -45,7 +50,7 @@ struct ConnectionRecord {
     record.protocol = appproto::AppProtocol::kHttp;
   else if (sample.server_port == 443)
     record.protocol = appproto::AppProtocol::kTls;
-  if (const auto* payload = sample.first_data_payload()) {
+  if (const auto* payload = parse_app_proto ? sample.first_data_payload() : nullptr) {
     const appproto::DpiResult dpi = appproto::inspect_payload(*payload);
     if (dpi.protocol != appproto::AppProtocol::kUnknown) record.protocol = dpi.protocol;
     record.domain = dpi.domain;

@@ -54,6 +54,11 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
   json.kv("queue_shed_embryonic", degraded.queue_shed_embryonic);
   json.kv("queue_shed_other", degraded.queue_shed_other);
   json.kv("spool_replay_failures", degraded.spool_replay_failures);
+  json.kv("spool_dropped", degraded.spool_dropped);
+  json.kv("admission_rate_limited", degraded.admission_rate_limited);
+  json.kv("admission_sampled_down", degraded.admission_sampled_down);
+  json.kv("admission_embryonic_shed", degraded.admission_embryonic_shed);
+  json.kv("admission_rejected", degraded.admission_rejected);
   json.kv("total", degraded.total());
   json.end_object();
 
@@ -78,6 +83,8 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
       json.kv("status", pop.status);
       json.kv("last_epoch", pop.last_epoch);
       json.kv("samples", pop.samples);
+      json.kv("overload", pop.overload);
+      json.kv("shed_samples", pop.shed_samples);
       json.end_object();
     }
     json.end_array();
@@ -88,6 +95,7 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
       json.kv("epoch", epoch.epoch);
       json.kv("pops_reporting", static_cast<std::uint64_t>(epoch.pops_reporting));
       json.kv("pops_expected", static_cast<std::uint64_t>(epoch.pops_expected));
+      json.kv("pops_shedding", static_cast<std::uint64_t>(epoch.pops_shedding));
       json.kv("degraded", epoch.degraded());
       json.end_object();
     }

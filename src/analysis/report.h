@@ -20,6 +20,11 @@ struct FleetPopStatus {
   std::string status;             ///< "live" | "lagging" | "dead" | "silent"
   std::uint64_t last_epoch = 0;   ///< newest epoch received (0 when silent)
   std::uint64_t samples = 0;      ///< samples in the PoP's newest partial
+  /// Overload-control state carried in the PoP's newest partial:
+  /// snake_case ladder level name (control::name) and cumulative admission
+  /// sheds. "normal"/0 for partials from pre-overload PoPs.
+  std::string overload = "normal";
+  std::uint64_t shed_samples = 0;
 };
 
 /// Coverage for one closed epoch: which PoPs' data is inside the merged
@@ -28,7 +33,12 @@ struct FleetEpochCoverage {
   std::uint64_t epoch = 0;
   std::uint32_t pops_reporting = 0;
   std::uint32_t pops_expected = 0;
-  [[nodiscard]] bool degraded() const noexcept { return pops_reporting < pops_expected; }
+  /// PoPs whose partial covers this epoch while admission control was
+  /// shedding (their contribution is incomplete even though they reported).
+  std::uint32_t pops_shedding = 0;
+  [[nodiscard]] bool degraded() const noexcept {
+    return pops_reporting < pops_expected || pops_shedding > 0;
+  }
 };
 
 /// Fleet coverage block for the merged Radar report. Every field here is a

@@ -1,0 +1,229 @@
+// Overload control plane: admission control, the degradation ladder, and
+// sink backpressure — the contract that keeps a PoP inside its memory and
+// staleness bounds when the offered load exceeds what it can classify.
+//
+// Three cooperating pieces, all deterministic given (seed, clock):
+//
+//   * AdmissionDecision / OverloadController::admit() — the gate in front
+//     of the service's bounded MPSC queue. A token bucket caps the
+//     sustained admit rate (refilled from the injectable obs::Clock, never
+//     ambient time — lint R1), and the current ladder level contributes a
+//     sampling stride and embryonic/new-flow policy. Every refusal carries
+//     an explicit reason and is counted; nothing is dropped silently.
+//
+//   * The degradation ladder — Level::kNormal .. Level::kShedding. Each
+//     level maps to a concrete LevelPolicy (see policy_for): raise the
+//     effective sampling stride, shed embryonic flows at admission, skip
+//     app-proto (TLS/HTTP) parsing and keep only tamper-signature
+//     evidence, and finally reject new flows outright. Transitions are
+//     driven by observe(): queue-depth watermarks, emitter spool depth and
+//     the circuit breaker feed a pressure/calm signal that must persist
+//     for a configured streak (hysteresis) before the level moves one rung
+//     — so a single burst cannot flap the service through the whole
+//     ladder.
+//
+//   * The circuit breaker — sink backpressure. Consecutive report-delivery
+//     failures trip it; while open, the service skips periodic report
+//     emissions (counted) instead of growing the spool without bound, and
+//     the open breaker is itself a pressure input that pushes the ladder
+//     up. After a cooldown (injectable clock) it half-opens to let one
+//     probe emission through.
+//
+// OverloadState is the compact summary that travels in each fleet partial
+// (fleet/partial.h) so the central merger can mark epochs covered by a
+// shedding PoP as coverage-degraded rather than treating them as healthy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace tamper::control {
+
+/// The degradation ladder, mildest first. Levels only ever move one rung
+/// per transition; the enumerator order IS the escalation order.
+enum class Level : std::uint8_t {
+  kNormal = 0,        ///< full fidelity
+  kSampleDown = 1,    ///< admission stride > 1: deterministic subsampling
+  kEmbryonicShed = 2, ///< + embryonic (single-SYN) flows refused at admission
+  kEvidenceOnly = 3,  ///< + skip app-proto DPI; keep tamper-signature evidence
+  kShedding = 4,      ///< + reject all new flows
+};
+
+[[nodiscard]] constexpr std::array<Level, 5> all_levels() noexcept {
+  return {Level::kNormal, Level::kSampleDown, Level::kEmbryonicShed,
+          Level::kEvidenceOnly, Level::kShedding};
+}
+
+/// Stable snake_case name (metrics labels, fleet coverage JSON).
+[[nodiscard]] const char* name(Level level) noexcept;
+
+/// What a ladder level concretely does to the ingest path.
+struct LevelPolicy {
+  std::uint32_t admit_one_in = 1;  ///< admission stride (1 = every sample)
+  bool shed_embryonic = false;     ///< refuse single-SYN flows at admission
+  bool parse_app_proto = true;     ///< false: evidence-only classification
+  bool admit_new_flows = true;     ///< false: reject everything (kShedding)
+};
+
+/// The fixed level -> policy mapping (documented in DESIGN.md §11).
+[[nodiscard]] LevelPolicy policy_for(Level level) noexcept;
+
+struct OverloadConfig {
+  /// Master switch: a default-constructed config leaves the service's
+  /// behavior exactly as before this subsystem existed.
+  bool enabled = false;
+
+  /// Token bucket: sustained admit rate in samples/second (0 = unlimited)
+  /// and bucket capacity (0 = one second of rate). Refills from `clock`.
+  double admit_rate_per_sec = 0.0;
+  double admit_burst = 0.0;
+
+  /// Queue-depth watermarks as fractions of capacity: pressure above high,
+  /// calm below low, hysteresis holds in between.
+  double high_watermark = 0.75;
+  double low_watermark = 0.40;
+  /// Emitter spool depth at or above this counts as pressure (the sink is
+  /// not keeping up and disk is filling).
+  std::size_t spool_high_watermark = 64;
+
+  /// Hysteresis, in consecutive observe() calls: the pressure (calm)
+  /// signal must persist this long before the ladder moves up (down) one
+  /// rung. observe() is sample-cadenced, so these are deterministic under
+  /// a seeded load schedule.
+  std::uint32_t escalate_after = 4;
+  std::uint32_t deescalate_after = 16;
+
+  /// Circuit breaker: consecutive report-delivery failures that trip it,
+  /// and how long it stays open before half-opening for a probe.
+  std::uint32_t breaker_trip_after = 3;
+  std::uint64_t breaker_cooldown_ns = 250'000'000;
+
+  /// Injectable time source for the token bucket and breaker cooldown.
+  /// Null means obs::monotonic_clock(); campaigns inject a ManualClock so
+  /// twin-seeded runs are byte-identical.
+  const obs::Clock* clock = nullptr;
+};
+
+/// Why admit() refused a sample. kNone means admitted.
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kRateLimited,    ///< token bucket empty
+  kSampledDown,    ///< ladder stride skipped it
+  kEmbryonicShed,  ///< embryonic flow at kEmbryonicShed or above
+  kRejected,       ///< kShedding refuses all new flows
+};
+
+struct AdmissionDecision {
+  bool admit = true;
+  DropReason reason = DropReason::kNone;
+  Level level = Level::kNormal;  ///< ladder level at decision time
+};
+
+/// Cumulative controller accounting (single source of truth; the metrics
+/// collector and DegradedStats both mirror it).
+struct OverloadStats {
+  std::uint64_t offered = 0;         ///< admit() calls
+  std::uint64_t admitted = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t sampled_down = 0;
+  std::uint64_t embryonic_shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t deescalations = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t reports_skipped = 0;  ///< emissions skipped, breaker open
+  Level level = Level::kNormal;
+  Level peak_level = Level::kNormal;
+
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return rate_limited + sampled_down + embryonic_shed + rejected;
+  }
+};
+
+/// The compact per-PoP summary carried in every fleet partial envelope.
+struct OverloadState {
+  Level level = Level::kNormal;        ///< ladder level at emission time
+  std::uint64_t shed_samples = 0;      ///< cumulative admission drops
+  std::int64_t first_shed_ts_sec = 0;  ///< capture time of the first drop (0: never)
+};
+
+/// The overload controller. Thread contract: every public method is safe
+/// from any thread (producers admit, the worker observes, the metrics
+/// collector reads); all state sits behind one leaf mutex and the methods
+/// never call out while holding it.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadConfig& config);
+  ~OverloadController();
+
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Ladder inputs at one observation point (one per submitted sample plus
+  /// one per worker iteration, in the live service).
+  struct Inputs {
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::size_t spool_depth = 0;
+  };
+
+  /// Feed the watermark comparators and advance the ladder (one rung at
+  /// most, hysteresis permitting).
+  void observe(const Inputs& inputs) TAMPER_EXCLUDES(mu_);
+
+  /// Admission decision for one sample. `embryonic` is the queue's
+  /// shed_first predicate (single bare SYN); `sample_ts_sec` stamps
+  /// first_shed_ts_sec when this is the first drop ever.
+  [[nodiscard]] AdmissionDecision admit(bool embryonic, std::int64_t sample_ts_sec)
+      TAMPER_EXCLUDES(mu_);
+
+  /// Report-delivery outcome from the emitter: failures feed the breaker,
+  /// a success closes it.
+  void report_outcome(bool delivered) TAMPER_EXCLUDES(mu_);
+
+  /// True while the breaker holds emissions back. After the cooldown the
+  /// breaker half-opens: this returns false so one probe emission goes
+  /// through; its outcome re-trips or closes the breaker.
+  [[nodiscard]] bool breaker_open() TAMPER_EXCLUDES(mu_);
+
+  /// Count one periodic emission skipped because the breaker was open.
+  void count_report_skipped() TAMPER_EXCLUDES(mu_);
+
+  [[nodiscard]] Level level() const TAMPER_EXCLUDES(mu_);
+  [[nodiscard]] OverloadStats stats() const TAMPER_EXCLUDES(mu_);
+  [[nodiscard]] OverloadState state() const TAMPER_EXCLUDES(mu_);
+
+  /// Register the tamper_overload_* metric families plus a collector that
+  /// mirrors stats() at every snapshot. The registry must outlive the
+  /// controller (or call set_obs(nullptr) first).
+  void set_obs(obs::Registry* metrics);
+
+ private:
+  void refill_locked(std::uint64_t now_ns) TAMPER_REQUIRES(mu_);
+  void move_level_locked(Level to) TAMPER_REQUIRES(mu_);
+
+  const OverloadConfig config_;
+  const obs::Clock* clock_;
+  mutable common::Mutex mu_;
+  OverloadStats stats_ TAMPER_GUARDED_BY(mu_);
+  double tokens_ TAMPER_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t last_refill_ns_ TAMPER_GUARDED_BY(mu_) = 0;
+  std::uint32_t pressure_streak_ TAMPER_GUARDED_BY(mu_) = 0;
+  std::uint32_t calm_streak_ TAMPER_GUARDED_BY(mu_) = 0;
+  std::int64_t first_shed_ts_sec_ TAMPER_GUARDED_BY(mu_) = 0;
+  // Breaker: closed (failures < trip_after), open (until open_until_ns_),
+  // then half-open — breaker_open() returns false past the deadline and the
+  // next report_outcome() decides.
+  std::uint32_t consecutive_failures_ TAMPER_GUARDED_BY(mu_) = 0;
+  bool breaker_tripped_ TAMPER_GUARDED_BY(mu_) = false;
+  std::uint64_t breaker_open_until_ns_ TAMPER_GUARDED_BY(mu_) = 0;
+  obs::Registry* metrics_ = nullptr;
+  obs::Registry::CollectorId collector_ = 0;
+};
+
+}  // namespace tamper::control

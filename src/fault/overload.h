@@ -1,0 +1,116 @@
+// Seeded overload-load generator — the traffic half of the overload-control
+// chaos harness (the wire-corruption half lives in injector.h). Produces a
+// deterministic schedule of connection samples whose offered rate follows
+// one of four hostile shapes:
+//
+//   * kSustainedRate — a flat 10x (configurable) multiple of the base rate
+//     for the whole run: the "provisioned for 1x, offered 10x" case the
+//     degradation ladder exists for.
+//   * kBurstTrain   — base-rate background with periodic short bursts at a
+//     much higher rate: exercises hysteresis (a single burst must not walk
+//     the service down the whole ladder).
+//   * kSynFlood     — sustained overload where most samples are bare SYNs
+//     from 100.64.0.0/10 (embryonic flows): exercises the kEmbryonicShed
+//     rung and the sampler's flow-table bound.
+//   * kSlowSink     — moderate offered load, but the report sink stalls in
+//     periodic windows (sink_stalled_at): exercises spool bounding and the
+//     circuit breaker instead of the admission gate.
+//
+// Everything is a pure function of (seed, config): two generators built the
+// same way emit byte-identical schedules, which is what makes the ≥30-seed
+// campaigns in tests/test_control.cpp reproducible evidence rather than
+// flake.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "capture/sample.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace tamper::fault {
+
+enum class OverloadScenario : std::uint8_t {
+  kSustainedRate = 0,
+  kBurstTrain = 1,
+  kSynFlood = 2,
+  kSlowSink = 3,
+};
+
+[[nodiscard]] constexpr std::array<OverloadScenario, 4> all_overload_scenarios() noexcept {
+  return {OverloadScenario::kSustainedRate, OverloadScenario::kBurstTrain,
+          OverloadScenario::kSynFlood, OverloadScenario::kSlowSink};
+}
+
+/// Stable snake_case scenario name (campaign logs, test labels).
+[[nodiscard]] const char* name(OverloadScenario scenario) noexcept;
+
+/// One offered sample: when it arrives and what it is. `flood` marks the
+/// embryonic bare-SYN decoys (never real flows), so campaigns can assert
+/// the embryonic-shed rung drops exactly these.
+struct OverloadEvent {
+  common::SimTime at = 0.0;
+  capture::ConnectionSample sample;
+  bool flood = false;
+};
+
+class OverloadGenerator {
+ public:
+  struct Config {
+    OverloadScenario scenario = OverloadScenario::kSustainedRate;
+    /// Schedule length in simulated seconds.
+    double duration_sec = 30.0;
+    /// The "1x" provisioned rate, samples/second.
+    double base_rate_per_sec = 200.0;
+    /// kSustainedRate / kSynFlood offered-rate multiplier.
+    double overload_factor = 10.0;
+    // kBurstTrain: a burst_length_sec burst at burst_factor x base every
+    // burst_period_sec, base rate in between.
+    double burst_period_sec = 5.0;
+    double burst_length_sec = 1.0;
+    double burst_factor = 20.0;
+    /// kSynFlood: fraction of offered samples that are bare-SYN decoys.
+    double flood_fraction = 0.9;
+    // kSlowSink: the sink fails deliveries for stall_length_sec out of
+    // every stall_period_sec.
+    double stall_period_sec = 10.0;
+    double stall_length_sec = 4.0;
+  };
+
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t flood_events = 0;
+  };
+
+  explicit OverloadGenerator(std::uint64_t seed) : OverloadGenerator(seed, Config()) {}
+  OverloadGenerator(std::uint64_t seed, Config config);
+
+  /// Build the full offered-load schedule, in nondecreasing `at` order.
+  /// Call once per campaign.
+  [[nodiscard]] std::vector<OverloadEvent> run();
+
+  /// kSlowSink: whether the report sink should be failing deliveries at
+  /// simulated time `t`. Pure function of config; false for the other
+  /// scenarios.
+  [[nodiscard]] bool sink_stalled_at(common::SimTime t) const noexcept;
+
+  /// Offered rate (samples/second) at simulated time `t` — the schedule's
+  /// envelope, exposed so tests can assert the shape.
+  [[nodiscard]] double rate_at(common::SimTime t) const noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] capture::ConnectionSample make_flow_sample(common::SimTime at);
+  [[nodiscard]] capture::ConnectionSample make_flood_sample(common::SimTime at);
+
+  Config config_;
+  common::Rng rng_;
+  Stats stats_;
+  std::uint32_t next_flow_ = 0;
+  std::uint32_t next_decoy_ = 0;
+};
+
+}  // namespace tamper::fault

@@ -59,9 +59,11 @@ void Fleet::build_pop(std::uint32_t pop) {
   cfg.checkpoint_path = dir + "/checkpoint.bin";
   cfg.report_every_samples = config_.report_every_samples;
   cfg.metrics = p.registry.get();
+  cfg.overload = config_.overload;
   cfg.report_encoder = [this, pop](const analysis::Pipeline& pipeline,
-                                   std::uint64_t samples) {
-    return encode_pop_partial(pop, pipeline, samples);
+                                   std::uint64_t samples,
+                                   const control::OverloadState& overload) {
+    return encode_pop_partial(pop, pipeline, samples, overload);
   };
   p.service = std::make_unique<service::SupervisedService>(world_, cfg, p.emitter.get());
   // kResumeOrFresh: the first build finds no checkpoint and starts fresh; a
@@ -72,10 +74,12 @@ void Fleet::build_pop(std::uint32_t pop) {
 
 std::string Fleet::encode_pop_partial(std::uint32_t pop,
                                       const analysis::Pipeline& pipeline,
-                                      std::uint64_t samples) const {
+                                      std::uint64_t samples,
+                                      const control::OverloadState& overload) const {
   PartialHeader header;
   header.pop = pop;
   header.sequence = samples;
+  header.overload = overload;
   const std::int64_t ts = pipeline.latest_ts_sec() + pops_[pop]->skew_sec.load();
   header.epoch = ts <= 0 || config_.epoch_length_sec == 0
                      ? 0

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "capture/sample.h"
+#include "control/overload.h"
 #include "fleet/merger.h"
 #include "obs/metrics.h"
 #include "service/sink.h"
@@ -75,6 +76,10 @@ struct FleetConfig {
   /// Merger knobs; pops_expected and epoch_length_sec are overwritten from
   /// the fleet values above.
   MergerConfig merger;
+  /// Per-PoP overload control (admission + degradation ladder). Disabled by
+  /// default; when enabled, each PoP's shed state rides its partials so the
+  /// merger marks epochs from shedding PoPs coverage-degraded.
+  control::OverloadConfig overload;
 };
 
 class Fleet {
@@ -136,9 +141,9 @@ class Fleet {
 
   [[nodiscard]] std::string pop_dir(std::uint32_t pop) const;
   void build_pop(std::uint32_t pop);
-  [[nodiscard]] std::string encode_pop_partial(std::uint32_t pop,
-                                               const analysis::Pipeline& pipeline,
-                                               std::uint64_t samples) const;
+  [[nodiscard]] std::string encode_pop_partial(
+      std::uint32_t pop, const analysis::Pipeline& pipeline,
+      std::uint64_t samples, const control::OverloadState& overload) const;
 
   const world::World& world_;
   FleetConfig config_;

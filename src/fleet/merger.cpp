@@ -86,6 +86,7 @@ bool Merger::deliver(const std::string& payload) {
   }
   entry.epoch = h.epoch;
   entry.sequence = h.sequence;
+  entry.overload = h.overload;
   entry.pipeline = std::move(pipeline);
   ++stats_.accepted;
 
@@ -134,6 +135,8 @@ analysis::FleetCoverage Merger::coverage() const {
     } else {
       status.last_epoch = it->second.epoch;
       status.samples = it->second.sequence;
+      status.overload = control::name(it->second.overload.level);
+      status.shed_samples = it->second.overload.shed_samples;
       if (c.max_epoch - it->second.epoch >= config_.heartbeat_timeout_epochs) {
         status.status = "dead";
       } else if (it->second.epoch < c.watermark) {
@@ -155,9 +158,23 @@ analysis::FleetCoverage Merger::coverage() const {
       epoch.epoch = e;
       epoch.pops_expected = config_.pops_expected;
       // Partials are cumulative, so a PoP whose newest partial is at epoch
-      // >= e has epoch e's data inside the merged aggregates.
-      for (const auto& [pop, entry] : pops_)
-        if (entry.epoch >= e) ++epoch.pops_reporting;
+      // >= e has epoch e's data inside the merged aggregates. A PoP that
+      // was shedding by epoch e contributed incompletely: its header
+      // carries the capture time of the FIRST admission drop, so every
+      // epoch from that point on is marked shedding — a pure function of
+      // the partial set, never of arrival order.
+      for (const auto& [pop, entry] : pops_) {
+        if (entry.epoch < e) continue;
+        ++epoch.pops_reporting;
+        if (entry.overload.shed_samples > 0 && entry.overload.first_shed_ts_sec > 0) {
+          const std::uint64_t first_shed_epoch =
+              config_.epoch_length_sec == 0
+                  ? 0
+                  : static_cast<std::uint64_t>(entry.overload.first_shed_ts_sec) /
+                        config_.epoch_length_sec;
+          if (first_shed_epoch <= e) ++epoch.pops_shedding;
+        }
+      }
       if (epoch.degraded()) c.degraded = true;
       c.epochs.push_back(epoch);
     }
@@ -210,14 +227,20 @@ void Merger::set_obs(obs::Registry* metrics) {
   obs::Gauge* expected = &m.gauge("tamper_fleet_pops_expected", "PoPs configured");
   obs::Gauge* watermark =
       &m.gauge("tamper_fleet_watermark_epoch", "Newest epoch considered closed");
+  obs::Gauge* shedding = &m.gauge(
+      "tamper_fleet_pops_shedding",
+      "PoPs whose newest partial reports overload-control admission sheds");
   collector_ = m.add_collector([=, this] {
     Stats s;
     std::size_t pop_count = 0;
+    std::size_t shedding_count = 0;
     std::uint64_t mark = 0;
     {
       common::MutexLock lock(mu_);
       s = stats_;
       pop_count = pops_.size();
+      for (const auto& [pop, entry] : pops_)
+        if (entry.overload.shed_samples > 0) ++shedding_count;
       mark = watermark_locked();
     }
     received->increment_to(s.received);
@@ -230,6 +253,7 @@ void Merger::set_obs(obs::Registry* metrics) {
     reporting->set(static_cast<double>(pop_count));
     expected->set(static_cast<double>(config_.pops_expected));
     watermark->set(static_cast<double>(mark));
+    shedding->set(static_cast<double>(shedding_count));
   });
 }
 

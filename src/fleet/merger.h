@@ -34,6 +34,7 @@
 #include "analysis/report.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "control/overload.h"
 #include "obs/metrics.h"
 #include "service/sink.h"
 #include "world/world.h"
@@ -102,6 +103,7 @@ class Merger final : public service::Sink {
   struct PopEntry {
     std::uint64_t epoch = 0;
     std::uint64_t sequence = 0;
+    control::OverloadState overload;  ///< from the newest partial's header
     std::unique_ptr<analysis::Pipeline> pipeline;
   };
 

@@ -7,8 +7,8 @@
 namespace tamper::fleet {
 
 namespace {
-// magic + version + pop + epoch + sequence + size + checksum
-constexpr std::size_t kEnvelopeOverhead = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+// magic + version + pop + epoch + sequence + overload(1+8+8) + size + checksum
+constexpr std::size_t kEnvelopeOverhead = 8 + 4 + 4 + 8 + 8 + (1 + 8 + 8) + 8 + 8;
 }  // namespace
 
 std::string encode_partial(const PartialHeader& header,
@@ -22,6 +22,9 @@ std::string encode_partial(const PartialHeader& header,
   out.u32(header.pop);
   out.u64(header.epoch);
   out.u64(header.sequence);
+  out.u8(static_cast<std::uint8_t>(header.overload.level));
+  out.u64(header.overload.shed_samples);
+  out.i64(header.overload.first_shed_ts_sec);
   out.u64(payload.bytes().size());
   const std::vector<std::uint8_t> head = out.bytes();
 
@@ -55,21 +58,33 @@ DecodeResult validate(const std::string& payload, const std::uint8_t** body,
                            payload.size() - sizeof kPartialMagic);
   std::uint32_t version = 0;
   std::uint64_t payload_size = 0;
+  std::uint8_t level = 0;
   try {
     version = header.u32();
+    // Version gates the header shape: refuse foreign versions before
+    // interpreting the rest of the envelope as v2 fields.
+    if (version != kPartialVersion) {
+      result.error = "unsupported partial version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kPartialVersion) +
+                     ")";
+      return result;
+    }
     result.header.pop = header.u32();
     result.header.epoch = header.u64();
     result.header.sequence = header.u64();
+    level = header.u8();
+    result.header.overload.shed_samples = header.u64();
+    result.header.overload.first_shed_ts_sec = header.i64();
     payload_size = header.u64();
   } catch (const common::BinUnderrun&) {
     result.error = "truncated partial header";
     return result;
   }
-  if (version != kPartialVersion) {
-    result.error = "unsupported partial version " + std::to_string(version) +
-                   " (this build reads version " + std::to_string(kPartialVersion) + ")";
+  if (level > static_cast<std::uint8_t>(control::Level::kShedding)) {
+    result.error = "partial overload level out of range (" + std::to_string(level) + ")";
     return result;
   }
+  result.header.overload.level = static_cast<control::Level>(level);
   if (payload_size != payload.size() - kEnvelopeOverhead) {
     result.error = "partial payload size mismatch (declared " +
                    std::to_string(payload_size) + ", actual " +

@@ -9,6 +9,9 @@
 //   pop      u32                          (sending PoP id)
 //   epoch    u64                          (1-second buckets / epoch_length)
 //   sequence u64                          (cumulative samples at emission)
+//   level    u8                           (overload ladder level, v2)
+//   shed     u64                          (cumulative admission sheds, v2)
+//   first_shed i64                        (capture ts of first shed; 0 never, v2)
 //   size     u64                          (payload byte count)
 //   payload                               (Pipeline::snapshot stream)
 //   checksum u64                          (FNV-1a over payload)
@@ -27,16 +30,22 @@
 #include <string>
 
 #include "analysis/pipeline.h"
+#include "control/overload.h"
 
 namespace tamper::fleet {
 
 inline constexpr char kPartialMagic[8] = {'T', 'S', 'P', 'A', 'R', 'T', '0', '1'};
-inline constexpr std::uint32_t kPartialVersion = 1;
+// v2: the header carries the PoP's control::OverloadState so the merger can
+// mark epochs from shedding PoPs coverage-degraded. v1 partials are
+// refused, like old checkpoints: partials are operational state.
+inline constexpr std::uint32_t kPartialVersion = 2;
 
 struct PartialHeader {
   std::uint32_t pop = 0;
   std::uint64_t epoch = 0;     ///< latest_ts_sec (+skew) / epoch_length
   std::uint64_t sequence = 0;  ///< cumulative samples ingested at emission
+  /// Overload-control state at emission time (default: never degraded).
+  control::OverloadState overload;
 };
 
 /// Serialize header + pipeline state into one partial. Pure function of

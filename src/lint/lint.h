@@ -48,6 +48,11 @@
 //   R10 metric–doc drift — every metric family registered in src/ or
 //       tools/ appears in DESIGN.md's metric inventory table and vice
 //       versa, so the documented surface IS the exported surface.
+//   R11 ladder exhaustiveness — every switch over the overload-control
+//       enums (Config::control_enums, i.e. control::Level) covers every
+//       enumerator; a default: that silently maps an unhandled ladder
+//       level to "no policy change" would defeat the degradation
+//       contract exactly when a new level is added.
 //
 // Suppression:  // tamperlint-allow(R3): <non-empty reason>
 // on the offending line, or alone on the line directly above it. A
@@ -63,7 +68,7 @@
 namespace tamper::lint {
 
 struct Finding {
-  std::string rule;     ///< "R0".."R10"
+  std::string rule;     ///< "R0".."R11"
   std::string path;     ///< as given (normalized to forward slashes)
   int line = 0;         ///< 1-based
   std::string message;
@@ -105,9 +110,10 @@ struct Config {
       {"net", {"common"}},
       {"appproto", {"common"}},
       {"obs", {"common"}},
+      {"control", {"obs", "common"}},
       {"tcp", {"net", "common"}},
       {"capture", {"net", "common"}},
-      {"fault", {"net", "common"}},
+      {"fault", {"capture", "net", "common"}},
       {"core", {"capture", "net", "common"}},
       {"middlebox", {"tcp", "appproto", "net", "common"}},
       {"world", {"middlebox", "tcp", "appproto", "capture", "net", "common"}},
@@ -115,11 +121,11 @@ struct Config {
        {"world", "core", "middlebox", "tcp", "appproto", "capture", "obs", "net",
         "common"}},
       {"service",
-       {"analysis", "world", "core", "middlebox", "tcp", "appproto", "capture",
-        "obs", "net", "common"}},
+       {"control", "analysis", "world", "core", "middlebox", "tcp", "appproto",
+        "capture", "obs", "net", "common"}},
       {"fleet",
-       {"service", "fault", "analysis", "world", "core", "middlebox", "tcp",
-        "appproto", "capture", "obs", "net", "common"}},
+       {"service", "control", "fault", "analysis", "world", "core", "middlebox",
+        "tcp", "appproto", "capture", "obs", "net", "common"}},
       {"tools", {"*"}},
       {"tests", {"*"}},
       {"bench", {"*"}},
@@ -127,6 +133,9 @@ struct Config {
   };
   /// R9: enum names whose switches must be exhaustive.
   std::vector<std::string> taxonomy_enums = {"Signature", "Stage"};
+  /// R11: overload-control enum names whose switches must be exhaustive
+  /// (same machinery as R9, separate rule id so suppressions stay honest).
+  std::vector<std::string> control_enums = {"Level"};
   /// R10: path (suffix-matched within the linted file set) of the metric
   /// inventory doc, path prefixes whose registrations must be documented,
   /// and the family-name prefix the inventory covers.
@@ -149,7 +158,7 @@ struct SourceFile {
 
 /// Lint a whole file set: per-file rules on every C++ source (in parallel
 /// across `jobs` threads; 0 means hardware concurrency) plus the cross-file
-/// rules R7–R10 over the merged index. Output is deterministic — sorted by
+/// rules R7–R11 over the merged index. Output is deterministic — sorted by
 /// (path, line, rule, message) and byte-identical for every thread count.
 /// Non-C++ entries (the metric-inventory doc) contribute only to R10.
 [[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files,

@@ -1,4 +1,4 @@
-// Pass 2: the cross-file rules R7–R10, evaluated over the merged RepoIndex.
+// Pass 2: the cross-file rules R7–R11, evaluated over the merged RepoIndex.
 // Everything here is deterministic by construction: files arrive sorted by
 // path, graph nodes are visited in sorted order, and every finding anchors
 // at the first (path, line) site that exhibits the problem.
@@ -265,21 +265,28 @@ void rule_lock_order(const RepoIndex& index, const Config& config,
   }
 }
 
-// ---------------------------------------------------------------- R9
+// ------------------------------------------------------------ R9 / R11
 
-void rule_taxonomy_exhaustiveness(const RepoIndex& index, const Config& config,
-                                  std::vector<Finding>& out) {
-  // First definition (path-sorted) of each taxonomy enum wins.
+/// Shared machinery for the switch-exhaustiveness rules: R9 guards the
+/// signature taxonomy enums, R11 guards the overload-control ladder.
+/// `enum_kind` names what a swallowed enumerator would be in the finding
+/// ("signature", "ladder level").
+void rule_enum_exhaustiveness(const RepoIndex& index,
+                              const std::vector<std::string>& enum_names,
+                              const std::string& rule_id,
+                              const std::string& enum_kind,
+                              std::vector<Finding>& out) {
+  // First definition (path-sorted) of each guarded enum wins.
   std::map<std::string, const EnumDef*> defs;
   for (const FileIndex& file : index.files)
     for (const EnumDef& def : file.enums)
-      if (std::find(config.taxonomy_enums.begin(), config.taxonomy_enums.end(),
-                    def.name) != config.taxonomy_enums.end())
+      if (std::find(enum_names.begin(), enum_names.end(), def.name) !=
+          enum_names.end())
         defs.emplace(def.name, &def);
 
   for (const FileIndex& file : index.files) {
     for (const SwitchSite& site : file.switches) {
-      // The switch targets the taxonomy enum its first qualified label names.
+      // The switch targets the guarded enum its first qualified label names.
       const EnumDef* def = nullptr;
       for (const CaseLabel& label : site.labels) {
         const auto it = defs.find(label.enum_name);
@@ -296,20 +303,32 @@ void rule_taxonomy_exhaustiveness(const RepoIndex& index, const Config& config,
       for (const std::string& e : def->enumerators)
         if (covered.count(e) == 0) missing.push_back(e);
       if (missing.empty()) continue;
-      if (suppressed_at(file, site.line, "R9")) continue;
+      if (suppressed_at(file, site.line, rule_id)) continue;
       out.push_back(
-          {"R9", file.path, site.line,
+          {rule_id, file.path, site.line,
            "switch over " + def->name + " covers " +
                std::to_string(covered.size()) + " of " +
                std::to_string(def->enumerators.size()) + " enumerators (missing: " +
                join(missing, ", ", 6) + ")" +
                (site.has_default
-                    ? "; the default: label silently swallows them — a new "
-                      "signature must not vanish into a bucket"
+                    ? "; the default: label silently swallows them — a new " +
+                          enum_kind + " must not vanish into a bucket"
                     : "") +
                "; cover every case or suppress with a reason"});
     }
   }
+}
+
+void rule_taxonomy_exhaustiveness(const RepoIndex& index, const Config& config,
+                                  std::vector<Finding>& out) {
+  rule_enum_exhaustiveness(index, config.taxonomy_enums, "R9", "signature", out);
+}
+
+// ---------------------------------------------------------------- R11
+
+void rule_ladder_exhaustiveness(const RepoIndex& index, const Config& config,
+                                std::vector<Finding>& out) {
+  rule_enum_exhaustiveness(index, config.control_enums, "R11", "ladder level", out);
 }
 
 // ---------------------------------------------------------------- R10
@@ -411,6 +430,7 @@ std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& co
   if (rule_enabled(config, "R8")) rule_lock_order(index, config, out);
   if (rule_enabled(config, "R9")) rule_taxonomy_exhaustiveness(index, config, out);
   if (rule_enabled(config, "R10")) rule_metric_doc_drift(index, config, out);
+  if (rule_enabled(config, "R11")) rule_ladder_exhaustiveness(index, config, out);
   return out;
 }
 

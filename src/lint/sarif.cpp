@@ -40,6 +40,8 @@ constexpr RuleMeta kRules[] = {
      "Switches over the signature/stage taxonomy enums cover every enumerator"},
     {"R10", "MetricDocDrift",
      "Registered metric families and the DESIGN.md inventory agree exactly"},
+    {"R11", "LadderExhaustiveness",
+     "Switches over the overload-control ladder enums cover every enumerator"},
 };
 
 void json_escape(std::ostringstream& out, std::string_view s) {

@@ -1,0 +1,49 @@
+// Two-strike signal handling for draining services.
+//
+// The first SIGINT/SIGTERM is a drain request: the handler records the
+// signal and returns, and the command loop polls pending() to stop offering
+// load, drain the queue, checkpoint and emit a final report. A SECOND
+// SIGINT/SIGTERM while that drain is still running means the operator wants
+// out NOW: the handler calls std::_Exit(128 + sig) — no destructors, no
+// flushes, just the conventional fatal-signal exit code. Both paths are
+// async-signal-safe: the handler touches only a volatile sig_atomic_t and
+// _Exit (POSIX async-signal-safe).
+//
+// All state is process-global (signal handlers cannot carry instance
+// state); install() is idempotent and re-arms a fresh first strike.
+#pragma once
+
+#include <csignal>
+#include <cstdlib>
+
+namespace tamper::service {
+
+namespace shutdown_detail {
+inline volatile std::sig_atomic_t g_signal = 0;
+}  // namespace shutdown_detail
+
+extern "C" inline void tamper_shutdown_on_signal(int sig) {
+  if (shutdown_detail::g_signal != 0) std::_Exit(128 + sig);  // second strike
+  shutdown_detail::g_signal = sig;
+}
+
+class ShutdownGuard {
+ public:
+  /// Arm SIGINT/SIGTERM and reset the first-strike state.
+  static void install() {
+    shutdown_detail::g_signal = 0;
+    std::signal(SIGINT, &tamper_shutdown_on_signal);
+    std::signal(SIGTERM, &tamper_shutdown_on_signal);
+  }
+
+  /// The signal that requested the drain, or 0 if none yet.
+  [[nodiscard]] static int pending() {
+    return static_cast<int>(shutdown_detail::g_signal);
+  }
+  [[nodiscard]] static bool requested() { return pending() != 0; }
+
+  /// Shell convention for a signal-terminated process.
+  [[nodiscard]] static int exit_code() { return 128 + pending(); }
+};
+
+}  // namespace tamper::service

@@ -121,12 +121,27 @@ void ReportEmitter::spool(const std::string& payload) {
                 static_cast<unsigned long long>(seq));
   const fs::path path = fs::path(spool_dir_) / name;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  common::MutexLock lock(mu_);
-  if (!out || !(out << payload).flush()) {
-    ++stats_.lost;
-    return;
+  {
+    common::MutexLock lock(mu_);
+    if (!out || !(out << payload).flush()) {
+      ++stats_.lost;
+      return;
+    }
+    ++stats_.spooled;
   }
-  ++stats_.spooled;
+  // Enforce the spool cap by evicting oldest-first: under sustained sink
+  // failure the freshest aggregates are the ones worth replaying, and disk
+  // usage must stay bounded (the overload contract). Each eviction is
+  // counted — data loss by policy, never silent.
+  if (policy_.max_spool_depth > 0) {
+    std::vector<std::string> names = spool_files();
+    std::error_code ec;
+    for (std::size_t i = 0; names.size() - i > policy_.max_spool_depth; ++i) {
+      fs::remove(fs::path(spool_dir_) / names[i], ec);
+      common::MutexLock lock(mu_);
+      ++stats_.spool_dropped;
+    }
+  }
 }
 
 void ReportEmitter::replay_spool() {

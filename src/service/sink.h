@@ -71,6 +71,11 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   double max_backoff_s = 1.0;
   double jitter_fraction = 0.25;    ///< uniform +/- fraction of the delay
+  /// Spool cap: when a new report would push the spool past this many
+  /// entries, the OLDEST entry is evicted (counted in Stats::spool_dropped)
+  /// — reports age out rather than the disk filling without bound. 0 means
+  /// unbounded (the pre-overload behavior).
+  std::size_t max_spool_depth = 0;
 };
 
 /// Threading contract: emit()/replay_spool() belong to ONE caller thread at
@@ -93,6 +98,9 @@ class ReportEmitter {
     /// loss after the report was accepted into the spool, so it also feeds
     /// DegradedStats::spool_replay_failures via the supervisor.
     std::uint64_t spool_replay_failures = 0;
+    /// Oldest entries evicted to honor RetryPolicy::max_spool_depth — data
+    /// loss by explicit policy (feeds DegradedStats::spool_dropped).
+    std::uint64_t spool_dropped = 0;
   };
 
   /// `spool_dir` is created if missing; pass empty to disable spooling

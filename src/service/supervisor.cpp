@@ -34,16 +34,24 @@ SupervisedService::SupervisedService(const world::World& world, ServiceConfig co
   }
   clock_ = config_.clock != nullptr ? config_.clock : &obs::monotonic_clock();
   pipeline_->set_obs(metrics_, config_.tracer, clock_);
+  if (config_.overload.enabled) {
+    control::OverloadConfig oc = config_.overload;
+    if (oc.clock == nullptr) oc.clock = clock_;  // inherit the service seam
+    overload_ = std::make_unique<control::OverloadController>(oc);
+    overload_->set_obs(metrics_);
+  }
   register_metrics();
 }
 
 SupervisedService::~SupervisedService() {
   if (running_.load()) kill();
   metrics_->remove_collector(collector_);
-  // Detach the pipeline's collector now: members destruct in reverse
-  // declaration order, so owned_metrics_ dies before pipeline_ and the
-  // pipeline destructor must not touch the registry then.
+  // Detach the pipeline's and controller's collectors now: members destruct
+  // in reverse declaration order, so owned_metrics_ dies before pipeline_
+  // (and before overload_) and neither destructor may touch the registry
+  // then.
   pipeline_->set_obs(nullptr);
+  if (overload_ != nullptr) overload_->set_obs(nullptr);
 }
 
 void SupervisedService::register_metrics() {
@@ -119,6 +127,11 @@ void SupervisedService::register_metrics() {
           ? &m.counter("tamper_sink_spool_replay_failures_total",
                        "Spool entries unreadable at replay (quarantined; data loss)")
           : nullptr;
+  obs::Counter* e_spool_dropped =
+      emitter_ != nullptr
+          ? &m.counter("tamper_emitter_spool_dropped_total",
+                       "Oldest spool entries evicted to honor the spool cap")
+          : nullptr;
 
   collector_ = m.add_collector([=, this] {
     const common::BoundedQueueStats qs = queue_.stats();
@@ -144,6 +157,7 @@ void SupervisedService::register_metrics() {
       e_replayed->increment_to(es.spool_replayed);
       e_lost->increment_to(es.lost);
       e_replay_failures->increment_to(es.spool_replay_failures);
+      e_spool_dropped->increment_to(es.spool_dropped);
       e_spool_depth->set(static_cast<double>(emitter_->spool_depth()));
     }
   });
@@ -208,6 +222,25 @@ bool SupervisedService::start(Resume resume) {
 
 bool SupervisedService::submit(capture::ConnectionSample sample) {
   if (!running_.load() || failed_.load()) return false;
+  if (overload_ != nullptr) {
+    // Admission control runs before the queue: observe feeds the ladder
+    // (sample-cadenced, so hysteresis is deterministic under a seeded load
+    // schedule), then admit() decides. Refusals are counted by the
+    // controller and folded into DegradedStats at the next checkpoint or
+    // report.
+    control::OverloadController::Inputs inputs;
+    inputs.queue_depth = queue_.size();
+    inputs.queue_capacity = config_.queue_capacity;
+    inputs.spool_depth = spool_depth_cache_.load(std::memory_order_relaxed);
+    overload_->observe(inputs);
+    const std::int64_t ts = sample.packets.empty() ? sample.observation_end_sec
+                                                   : sample.packets.front().ts_sec;
+    const control::AdmissionDecision decision =
+        overload_->admit(sample_is_embryonic(sample), ts);
+    pipeline_->set_evidence_only(
+        !control::policy_for(decision.level).parse_app_proto);
+    if (!decision.admit) return false;
+  }
   return queue_.push(std::move(sample));
 }
 
@@ -318,10 +351,25 @@ void SupervisedService::watchdog_main() {
   lifecycle_cv_.notify_all();
 }
 
+// Fold every degraded-input source into the pipeline's DegradedStats so a
+// checkpoint/report emitted right after carries the loss it describes.
+void SupervisedService::record_degraded_sources() {
+  pipeline_->record_queue_stats(queue_.stats());
+  if (emitter_ != nullptr) {
+    const ReportEmitter::Stats es = emitter_->stats();
+    pipeline_->record_sink_stats(es.spool_replay_failures, es.spool_dropped);
+  }
+  if (overload_ != nullptr) {
+    const control::OverloadStats os = overload_->stats();
+    pipeline_->record_overload_stats(os.rate_limited, os.sampled_down,
+                                     os.embryonic_shed, os.rejected);
+  }
+}
+
 void SupervisedService::write_checkpoint() {
   obs::Tracer::Span span(config_.tracer, obs::stage::kCheckpoint,
                          obs::stage::kCategory);
-  pipeline_->record_queue_stats(queue_.stats());
+  record_degraded_sources();
   if (config_.checkpoint_fault_hook && config_.checkpoint_fault_hook()) {
     checkpoint_failures_c_->add(1);
     log(obs::LogLevel::kWarn, "checkpoint write failed",
@@ -343,21 +391,29 @@ void SupervisedService::write_checkpoint() {
   }
 }
 
-void SupervisedService::emit_report() {
+void SupervisedService::emit_report(bool force) {
   obs::Tracer::Span span(config_.tracer, obs::stage::kEmit, obs::stage::kCategory);
-  pipeline_->record_queue_stats(queue_.stats());
-  // Replay-failure accounting folds into DegradedStats so the loss is
-  // visible inside the very report (or partial) being emitted.
-  pipeline_->record_sink_stats(emitter_->stats().spool_replay_failures);
+  // While the circuit breaker is open, periodic emissions are skipped —
+  // backpressure instead of an ever-deeper retry/spool hole. The final
+  // emission (force, from stop()) always goes out: it is the run's record.
+  if (!force && overload_ != nullptr && overload_->breaker_open()) {
+    overload_->count_report_skipped();
+    log(obs::LogLevel::kWarn, "report emission skipped: circuit breaker open");
+    return;
+  }
+  record_degraded_sources();
   std::string payload;
   if (config_.report_encoder) {
-    payload = config_.report_encoder(*pipeline_, ingested_c_->value() - base_.ingested);
+    payload = config_.report_encoder(*pipeline_, ingested_c_->value() - base_.ingested,
+                                     overload_state());
   } else {
     std::ostringstream out;
     analysis::write_radar_report(out, *pipeline_);
     payload = out.str();
   }
-  emitter_->emit(payload);
+  const bool delivered = emitter_->emit(payload);
+  if (overload_ != nullptr) overload_->report_outcome(delivered);
+  spool_depth_cache_.store(emitter_->spool_depth(), std::memory_order_relaxed);
   reports_emitted_c_->add(1);
 }
 
@@ -385,9 +441,9 @@ RunSummary SupervisedService::finish(bool persist) {
     if (worker_.joinable()) worker_.join();
     running_.store(false);
     if (persist) {
-      pipeline_->record_queue_stats(queue_.stats());
+      record_degraded_sources();
       if (!config_.checkpoint_path.empty()) write_checkpoint();
-      if (emitter_ != nullptr) emit_report();
+      if (emitter_ != nullptr) emit_report(/*force=*/true);
     }
   }
   return summarize();
@@ -405,6 +461,7 @@ RunSummary SupervisedService::summarize() {
   s.worker_restarts = worker_restarts_c_->value() - base_.worker_restarts;
   s.stalls_detected = stalls_detected_c_->value() - base_.stalls_detected;
   s.queue = queue_.stats();
+  s.overload = overload_stats();
   s.restored = restored_;
   s.restored_samples = restored_samples_;
   s.failed = failed_.load();

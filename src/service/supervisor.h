@@ -43,6 +43,7 @@
 #include "common/bounded_queue.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "control/overload.h"
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -81,9 +82,19 @@ struct ServiceConfig {
   /// Report payload seam. Default (empty) emits the Radar JSON report. A
   /// fleet PoP instead encodes an epoch-tagged partial aggregate (see
   /// fleet::encode_partial) so the central merger receives mergeable state,
-  /// not rendered JSON. Called on the worker thread with the pipeline and
-  /// the cumulative samples-ingested count at emission time.
-  std::function<std::string(const analysis::Pipeline&, std::uint64_t)> report_encoder;
+  /// not rendered JSON. Called on the worker thread with the pipeline, the
+  /// cumulative samples-ingested count, and the overload-control state at
+  /// emission time (all-zero when overload control is disabled).
+  std::function<std::string(const analysis::Pipeline&, std::uint64_t,
+                            const control::OverloadState&)>
+      report_encoder;
+
+  /// Overload control (disabled by default — `overload.enabled` gates the
+  /// whole admission path). When enabled, submit() runs every sample
+  /// through control::OverloadController: token-bucket + ladder-stride
+  /// admission, watermark-driven degradation, and the report circuit
+  /// breaker. `overload.clock` defaults to this config's `clock` seam.
+  control::OverloadConfig overload;
 
   /// Observability (all optional, all must outlive the service). When
   /// `metrics` is null the service creates a private registry — the
@@ -106,6 +117,7 @@ struct RunSummary {
   std::uint64_t worker_restarts = 0;
   std::uint64_t stalls_detected = 0;
   common::BoundedQueueStats queue;
+  control::OverloadStats overload;      ///< all-zero when overload control is off
   bool restored = false;                 ///< start() resumed from a checkpoint
   std::uint64_t restored_samples = 0;
   bool failed = false;                   ///< restart budget exhausted
@@ -170,6 +182,18 @@ class SupervisedService {
   /// the whole service lifetime; snapshots may be taken from any thread.
   [[nodiscard]] obs::Registry& metrics() noexcept { return *metrics_; }
 
+  /// Overload-control accounting (all-zero defaults when disabled). Safe
+  /// from any thread, any time.
+  [[nodiscard]] control::OverloadStats overload_stats() const {
+    return overload_ != nullptr ? overload_->stats() : control::OverloadStats{};
+  }
+  [[nodiscard]] control::OverloadState overload_state() const {
+    return overload_ != nullptr ? overload_->state() : control::OverloadState{};
+  }
+  [[nodiscard]] control::Level overload_level() const {
+    return overload_ != nullptr ? overload_->level() : control::Level::kNormal;
+  }
+
  private:
   enum class WorkerState : std::uint8_t { kIdle, kRunning, kCrashed, kDrained, kAborted };
 
@@ -183,7 +207,8 @@ class SupervisedService {
       config_.logger->log(level, "supervisor", message, fields);
   }
   void write_checkpoint();
-  void emit_report();
+  void emit_report(bool force = false);
+  void record_degraded_sources();
   RunSummary finish(bool persist);
   [[nodiscard]] RunSummary summarize() TAMPER_EXCLUDES(lifecycle_mu_);
 
@@ -192,6 +217,14 @@ class SupervisedService {
   ReportEmitter* emitter_;
   std::unique_ptr<analysis::Pipeline> pipeline_;
   common::BoundedQueue<capture::ConnectionSample> queue_;
+  /// Null unless config_.overload.enabled. Destroyed explicitly detached
+  /// from the registry (see ~SupervisedService) because owned_metrics_ may
+  /// die first.
+  std::unique_ptr<control::OverloadController> overload_;
+  /// Emitter spool depth is a directory scan; submit() reads this cache
+  /// (refreshed at every emission) instead of hitting the filesystem per
+  /// sample.
+  std::atomic<std::size_t> spool_depth_cache_{0};
 
   // The worker handle is owned by whichever thread most recently observed
   // its exit: the watchdog (join + respawn on crash) or finish() (final

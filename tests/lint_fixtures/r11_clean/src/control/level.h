@@ -1,0 +1,12 @@
+#pragma once
+#include <cstdint>
+
+namespace tamper::control {
+
+enum class Level : std::uint8_t {
+  kNormal,
+  kSampleDown,
+  kShedding,
+};
+
+}  // namespace tamper::control

@@ -1,0 +1,17 @@
+#include "control/level.h"
+
+namespace tamper::control {
+
+int stride(Level level) {
+  switch (level) {
+    case Level::kNormal:
+      return 1;
+    case Level::kSampleDown:
+      return 4;
+    case Level::kShedding:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace tamper::control

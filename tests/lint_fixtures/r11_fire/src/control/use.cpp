@@ -1,0 +1,16 @@
+#include "control/level.h"
+
+namespace tamper::control {
+
+int stride(Level level) {
+  switch (level) {
+    case Level::kNormal:
+      return 1;
+    case Level::kSampleDown:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace tamper::control

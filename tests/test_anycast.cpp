@@ -1,0 +1,160 @@
+// AnycastMap edge cases: IPv6 prefix extraction, single-PoP fleets,
+// fully-withdrawn anycast (route() -> nullopt), and the byte-identical
+// restore guarantee — after a full withdraw/re-announce cycle every
+// client routes exactly where it did before, because routing is a pure
+// function of (prefix, alive-set, seed), not of history.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "world/anycast.h"
+
+namespace tamper {
+namespace {
+
+using world::AnycastMap;
+
+std::vector<net::IpAddress> sample_clients() {
+  std::vector<net::IpAddress> clients;
+  for (std::uint8_t a = 1; a < 200; a += 13)
+    for (std::uint8_t b = 0; b < 250; b += 31)
+      clients.push_back(net::IpAddress::v4(a, b, a, b));
+  for (std::uint64_t hi = 1; hi < 4000; hi += 257)
+    clients.push_back(net::IpAddress::v6(0x2001'0db8'0000'0000 | hi, hi * 977));
+  return clients;
+}
+
+// ------------------------------------------------------- prefix keys --
+
+TEST(AnycastPrefix, V4KeyIsTheSlash16) {
+  const auto key = AnycastMap::prefix_key(net::IpAddress::v4(198, 51, 100, 7));
+  EXPECT_EQ(key, AnycastMap::prefix_key(net::IpAddress::v4(198, 51, 0, 0)));
+  EXPECT_EQ(key, AnycastMap::prefix_key(net::IpAddress::v4(198, 51, 255, 255)));
+  EXPECT_NE(key, AnycastMap::prefix_key(net::IpAddress::v4(198, 52, 100, 7)));
+}
+
+TEST(AnycastPrefix, V6KeyIsTheSlash32) {
+  // Same first 32 bits -> same key, no matter what the low 96 bits do.
+  const auto base =
+      AnycastMap::prefix_key(net::IpAddress::v6(0x2001'0db8'0000'0000ULL, 0));
+  EXPECT_EQ(base, AnycastMap::prefix_key(
+                      net::IpAddress::v6(0x2001'0db8'ffff'ffffULL, 0xffff'ffff'ffff'ffffULL)));
+  EXPECT_EQ(base, AnycastMap::prefix_key(
+                      net::IpAddress::v6(0x2001'0db8'0000'0001ULL, 42)));
+  // Bit 32 flips the prefix.
+  EXPECT_NE(base, AnycastMap::prefix_key(
+                      net::IpAddress::v6(0x2001'0db9'0000'0000ULL, 0)));
+}
+
+TEST(AnycastPrefix, V4AndV6KeysNeverCollide) {
+  // A v4 /16 whose bits numerically equal a v6 /32 prefix must still get a
+  // distinct key: the key is family-tagged.
+  const auto v4 = AnycastMap::prefix_key(net::IpAddress::v4(0x20, 0x01, 1, 1));
+  const auto v6 = AnycastMap::prefix_key(
+      net::IpAddress::v6(0x2001'0000'0000'0000ULL, 0));
+  EXPECT_NE(v4, v6);
+}
+
+TEST(AnycastPrefix, StickyWithinThePrefixAcrossTheMap) {
+  AnycastMap map(7, 0xfeed);
+  // Every host of one /16 lands on the same PoP (per-client stickiness is
+  // what keeps the per-PoP shards nearly disjoint).
+  const auto pop = map.route(net::IpAddress::v4(203, 9, 0, 1));
+  ASSERT_TRUE(pop.has_value());
+  for (std::uint8_t c = 0; c < 200; c += 17)
+    EXPECT_EQ(map.route(net::IpAddress::v4(203, 9, c, c + 1)), pop);
+  // IPv6: same /32, same PoP.
+  const auto pop6 = map.route(net::IpAddress::v6(0x2001'0db8'0000'0000ULL, 1));
+  ASSERT_TRUE(pop6.has_value());
+  EXPECT_EQ(map.route(net::IpAddress::v6(0x2001'0db8'1234'5678ULL, 99)), pop6);
+}
+
+// ---------------------------------------------------- degenerate sets --
+
+TEST(AnycastRouting, SinglePopFleetTakesEverything) {
+  AnycastMap map(1, 7);
+  for (const auto& client : sample_clients()) {
+    const auto pop = map.route(client);
+    ASSERT_TRUE(pop.has_value());
+    EXPECT_EQ(*pop, 0u);
+  }
+  map.set_alive(0, false);
+  EXPECT_EQ(map.alive_count(), 0u);
+  EXPECT_EQ(map.route(net::IpAddress::v4(1, 2, 3, 4)), std::nullopt);
+}
+
+TEST(AnycastRouting, AllPopsWithdrawnRoutesNowhere) {
+  AnycastMap map(5, 11);
+  for (std::uint32_t pop = 0; pop < map.pop_count(); ++pop)
+    map.set_alive(pop, false);
+  EXPECT_EQ(map.alive_count(), 0u);
+  for (const auto& client : sample_clients())
+    EXPECT_EQ(map.route(client), std::nullopt);
+  // One PoP re-announcing catches the whole address space.
+  map.set_alive(3, true);
+  for (const auto& client : sample_clients()) {
+    const auto pop = map.route(client);
+    ASSERT_TRUE(pop.has_value());
+    EXPECT_EQ(*pop, 3u);
+  }
+}
+
+// ------------------------------------------------------ restore cycle --
+
+TEST(AnycastRouting, WithdrawReannounceRestoresRoutingExactly) {
+  AnycastMap map(8, 0x5eed);
+  const auto clients = sample_clients();
+  std::vector<std::optional<std::uint32_t>> before;
+  before.reserve(clients.size());
+  for (const auto& c : clients) before.push_back(map.route(c));
+
+  // Full outage, then full recovery, in scrambled order: routing state is
+  // the alive-set, not the transition history.
+  for (std::uint32_t pop = 0; pop < map.pop_count(); ++pop)
+    map.set_alive(pop, false);
+  for (std::uint32_t pop = map.pop_count(); pop-- > 0;)
+    map.set_alive(pop, true);
+
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    EXPECT_EQ(map.route(clients[i]), before[i]) << "client " << i;
+
+  // A fresh map with the same (pop_count, seed) agrees byte-for-byte too.
+  AnycastMap twin(8, 0x5eed);
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    EXPECT_EQ(twin.route(clients[i]), before[i]);
+}
+
+TEST(AnycastRouting, WithdrawMovesOnlyTheDeadPopsClients) {
+  AnycastMap map(6, 42);
+  const auto clients = sample_clients();
+  std::vector<std::uint32_t> before;
+  before.reserve(clients.size());
+  for (const auto& c : clients) before.push_back(*map.route(c));
+
+  const std::uint32_t victim = 2;
+  map.set_alive(victim, false);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto now = map.route(clients[i]);
+    ASSERT_TRUE(now.has_value());
+    if (before[i] == victim) {
+      EXPECT_NE(*now, victim);  // the victim's clients re-homed...
+      ++moved;
+    } else {
+      EXPECT_EQ(*now, before[i]);  // ...and nobody else budged
+    }
+  }
+  EXPECT_GT(moved, 0u);
+
+  // Re-announce: the victim's clients come straight back.
+  map.set_alive(victim, true);
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    EXPECT_EQ(*map.route(clients[i]), before[i]);
+}
+
+}  // namespace
+}  // namespace tamper

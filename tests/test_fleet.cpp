@@ -19,6 +19,7 @@
 
 #include "analysis/pipeline.h"
 #include "capture/sample.h"
+#include "control/overload.h"
 #include "fault/chaos.h"
 #include "fleet/campaign.h"
 #include "fleet/fleet.h"
@@ -180,7 +181,7 @@ TEST(Partial, RoundTripsHeaderAndState) {
 TEST(Partial, CorruptionIsRefusedNeverTrusted) {
   analysis::Pipeline pipeline(shared_world());
   for (const auto& s : generate_samples(40)) pipeline.ingest(s);
-  const std::string wire = fleet::encode_partial({1, 7, 40}, pipeline);
+  const std::string wire = fleet::encode_partial({1, 7, 40, {}}, pipeline);
 
   // Any single flipped payload byte must fail the checksum (the fixed
   // header is 40 bytes: magic + version + pop + epoch + sequence + size).
@@ -204,6 +205,42 @@ TEST(Partial, CorruptionIsRefusedNeverTrusted) {
   bad_version[8] = static_cast<char>(fleet::kPartialVersion + 1);
   EXPECT_FALSE(fleet::peek_partial(bad_version).ok);
 }
+
+TEST(Partial, V2CarriesOverloadStateInTheEnvelope) {
+  analysis::Pipeline pipeline(shared_world());
+  for (const auto& s : generate_samples(30)) pipeline.ingest(s);
+
+  fleet::PartialHeader header;
+  header.pop = 4;
+  header.epoch = 12;
+  header.sequence = 30;
+  header.overload.level = control::Level::kEvidenceOnly;
+  header.overload.shed_samples = 1234;
+  header.overload.first_shed_ts_sec = 41'000;
+  const std::string wire = fleet::encode_partial(header, pipeline);
+
+  const fleet::DecodeResult peek = fleet::peek_partial(wire);
+  ASSERT_TRUE(peek.ok) << peek.error;
+  EXPECT_EQ(peek.header.overload.level, control::Level::kEvidenceOnly);
+  EXPECT_EQ(peek.header.overload.shed_samples, 1234u);
+  EXPECT_EQ(peek.header.overload.first_shed_ts_sec, 41'000);
+
+  // A v1 envelope (no overload state) is refused like an old checkpoint:
+  // partials are operational state, not an archival format.
+  std::string v1 = wire;
+  v1[8] = 1;
+  const auto refused = fleet::peek_partial(v1);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("version"), std::string::npos);
+
+  // The ladder level is range-checked: 5 names no rung.
+  // Envelope layout: magic(8) + version(4) + pop(4) + epoch(8) +
+  // sequence(8) puts the level byte at offset 32.
+  std::string bad_level = wire;
+  bad_level[32] = 5;
+  EXPECT_FALSE(fleet::peek_partial(bad_level).ok);
+}
+
 
 // ---------------------------------------------------------------------------
 // Monoid laws — the algebra that makes the fleet correct by construction
@@ -284,9 +321,82 @@ class MergerTest : public ::testing::Test {
                       std::size_t samples) {
     analysis::Pipeline p(shared_world());
     for (const auto& s : generate_samples(samples, 0x9000 + pop)) p.ingest(s);
-    return fleet::encode_partial({pop, epoch, sequence}, p);
+    return fleet::encode_partial({pop, epoch, sequence, {}}, p);
   }
 };
+
+TEST_F(MergerTest, SheddingPopMarksItsEpochsDegradedNeverSilentlyComplete) {
+  fleet::MergerConfig mc;
+  mc.pops_expected = 2;
+  mc.grace_epochs = 1;
+  mc.epoch_length_sec = 3600;
+  fleet::Merger merger(shared_world(), mc);
+
+  // PoP 0: healthy. PoP 1: reporting, but admission control began
+  // shedding in epoch 10 (first shed at 10h + 5min of capture time).
+  EXPECT_TRUE(merger.deliver(partial(0, 11, 200, 60)));
+  analysis::Pipeline p1(shared_world());
+  for (const auto& s : generate_samples(60, 0x9100)) p1.ingest(s);
+  fleet::PartialHeader h1;
+  h1.pop = 1;
+  h1.epoch = 11;
+  h1.sequence = 180;
+  h1.overload.level = control::Level::kEmbryonicShed;
+  h1.overload.shed_samples = 20;
+  h1.overload.first_shed_ts_sec = 10 * 3600 + 300;
+  EXPECT_TRUE(merger.deliver(fleet::encode_partial(h1, p1)));
+
+  const auto c = merger.coverage();
+  EXPECT_EQ(c.pops_reporting, 2u);
+  EXPECT_TRUE(c.degraded);
+  bool saw_shedding_epoch = false;
+  for (const auto& e : c.epochs) {
+    EXPECT_EQ(e.pops_reporting, 2u);
+    if (e.epoch >= 10) {
+      // Both PoPs reported, but one was shedding: the epoch must say so
+      // rather than pass as complete.
+      EXPECT_EQ(e.pops_shedding, 1u);
+      EXPECT_TRUE(e.degraded());
+      saw_shedding_epoch = true;
+    } else {
+      EXPECT_EQ(e.pops_shedding, 0u);
+      EXPECT_FALSE(e.degraded());
+    }
+  }
+  EXPECT_TRUE(saw_shedding_epoch);
+
+  // The merged report names the shed: coverage JSON plus the per-PoP
+  // overload state.
+  const std::string json = merger.merged_report({.min_country_connections = 0});
+  EXPECT_NE(json.find("\"pops_shedding\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("embryonic_shed"), std::string::npos);
+}
+
+TEST_F(MergerTest, SheddingCoverageIgnoresArrivalOrder) {
+  fleet::MergerConfig mc;
+  mc.pops_expected = 2;
+  mc.epoch_length_sec = 3600;
+
+  analysis::Pipeline p1(shared_world());
+  for (const auto& s : generate_samples(40, 0x9200)) p1.ingest(s);
+  fleet::PartialHeader h1{1, 9, 40, {}};
+  h1.overload.level = control::Level::kShedding;
+  h1.overload.shed_samples = 7;
+  h1.overload.first_shed_ts_sec = 8 * 3600;
+  const std::string shed_wire = fleet::encode_partial(h1, p1);
+  const std::string ok_wire = partial(0, 9, 120, 50);
+
+  fleet::Merger forward(shared_world(), mc);
+  EXPECT_TRUE(forward.deliver(ok_wire));
+  EXPECT_TRUE(forward.deliver(shed_wire));
+  fleet::Merger reverse(shared_world(), mc);
+  EXPECT_TRUE(reverse.deliver(shed_wire));
+  EXPECT_TRUE(reverse.deliver(ok_wire));
+
+  EXPECT_EQ(forward.merged_report({.min_country_connections = 0}),
+            reverse.merged_report({.min_country_connections = 0}));
+}
 
 TEST_F(MergerTest, ExactReplayIsADuplicate) {
   fleet::Merger merger(shared_world(), {.pops_expected = 2});
@@ -577,8 +687,9 @@ TEST(FleetCampaign, DeliveryChaosNeverChangesTheMergedBytes) {
     // report — aggregates AND the fleet coverage section — must match the
     // chaos-free run (a routing seed can make one PoP's clients go quiet
     // early, but then the baseline shows the very same coverage).
-    if (result.events.skewed_pops == 0)
+    if (result.events.skewed_pops == 0) {
       EXPECT_EQ(result.merged_json, baseline.merged_json) << "seed=" << seed;
+    }
     total.kills += result.events.kills;
     total.restarts += result.events.restarts;
     total.partition_windows += result.events.partition_windows;

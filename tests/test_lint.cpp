@@ -342,6 +342,30 @@ TEST(LintR10, BraceExpandedInventoryRowsMatch) {
   EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
 }
 
+// ---------------------------------------------------------------- R11
+
+TEST(LintR11, FiresOnMissingLadderRungWithDefault) {
+  const auto findings = lint_repo(load_repo("r11_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R11"), 1) << tamper::lint::format_text(findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].path, "src/control/use.cpp");
+  EXPECT_NE(findings[0].message.find("missing: kShedding"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("ladder level"), std::string::npos)
+      << "the swallowed rung must be named a ladder level: " << findings[0].message;
+}
+
+TEST(LintR11, SuppressionAboveTheSwitchSilencesIt) {
+  const auto findings = lint_repo(load_repo("r11_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R11"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR11, QuietOnExhaustiveSwitch) {
+  const auto findings = lint_repo(load_repo("r11_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
 // ---------------------------------------------------------------- seeded repo
 
 TEST(LintSeeded, ExactlyOneFindingPerCrossFileRule) {
@@ -544,7 +568,7 @@ TEST(LintSarif, ValidatesAgainstThe210Shape) {
   EXPECT_EQ(driver->get("name")->str, "tamperlint");
   const JsonValue* rules = driver->get("rules");
   ASSERT_NE(rules, nullptr);
-  EXPECT_EQ(rules->array.size(), 11u);  // R0..R10
+  EXPECT_EQ(rules->array.size(), 12u);  // R0..R11
   for (const JsonValue& rule : rules->array) {
     ASSERT_NE(rule.get("id"), nullptr);
     ASSERT_NE(rule.get("shortDescription"), nullptr);
@@ -659,7 +683,7 @@ TEST(LintManifest, FormatSortsAndDeduplicates) {
 
 TEST(LintCatalog, ListsTheCrossFileRules) {
   const std::string catalog = tamper::lint::rule_catalog();
-  for (const char* id : {"R7", "R8", "R9", "R10"})
+  for (const char* id : {"R7", "R8", "R9", "R10", "R11"})
     EXPECT_NE(catalog.find(id), std::string::npos) << id;
 }
 

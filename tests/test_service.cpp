@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -20,6 +22,7 @@
 #include "common/bounded_queue.h"
 #include "fault/chaos.h"
 #include "service/checkpoint.h"
+#include "service/shutdown.h"
 #include "service/sink.h"
 #include "service/supervisor.h"
 #include "world/traffic.h"
@@ -682,6 +685,53 @@ TEST(SupervisedService, ChaosCampaignNeverCorruptsState) {
   const auto& es = emitter.stats();
   EXPECT_EQ(summary.reports_emitted, es.reports);
   EXPECT_EQ(es.reports, (es.delivered - es.spool_replayed) + es.spooled + es.lost);
+}
+
+// ------------------------------------------------------- shutdown guard --
+
+TEST(ShutdownGuard, FirstSignalRequestsDrainAndInstallRearms) {
+  service::ShutdownGuard::install();
+  EXPECT_FALSE(service::ShutdownGuard::requested());
+  EXPECT_EQ(service::ShutdownGuard::pending(), 0);
+
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(service::ShutdownGuard::requested());
+  EXPECT_EQ(service::ShutdownGuard::pending(), SIGTERM);
+  EXPECT_EQ(service::ShutdownGuard::exit_code(), 128 + SIGTERM);
+
+  // install() is the re-arm: a fresh first strike, no stale state.
+  service::ShutdownGuard::install();
+  EXPECT_FALSE(service::ShutdownGuard::requested());
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+TEST(ShutdownGuardDeathTest, SecondSignalForceExitsWith128PlusSig) {
+  // Regression for `tamperscope watch`: a second SIGINT during the drain
+  // must not wait for the drain — it force-exits with the conventional
+  // fatal-signal code (128 + SIGINT = 130), destructors be damned.
+  EXPECT_EXIT(
+      {
+        service::ShutdownGuard::install();
+        std::raise(SIGINT);  // first strike: recorded, handler returns
+        std::raise(SIGINT);  // second strike: _Exit(130)
+        std::_Exit(0);       // unreachable if the guard works
+      },
+      ::testing::ExitedWithCode(128 + SIGINT), "");
+}
+
+TEST(ShutdownGuardDeathTest, SecondStrikeKeepsTheFirstSignalsDrainSemantics) {
+  // SIGTERM then SIGINT: the drain was requested by SIGTERM, but the
+  // impatient second strike exits with ITS OWN signal's code.
+  EXPECT_EXIT(
+      {
+        service::ShutdownGuard::install();
+        std::raise(SIGTERM);
+        if (service::ShutdownGuard::pending() != SIGTERM) std::_Exit(99);
+        std::raise(SIGINT);
+        std::_Exit(0);
+      },
+      ::testing::ExitedWithCode(128 + SIGINT), "");
 }
 
 }  // namespace

@@ -21,10 +21,15 @@
 //                     [--queue N] [--shed] [--checkpoint-every N]
 //                     [--report-every N] [--metrics-out PATH]
 //                     [--metrics-interval MS] [--trace-out PATH]
+//                     [--overload] [--admit-rate N] [--admit-burst N]
 //       Run the analysis pipeline as a supervised streaming service:
 //       bounded ingest queue, periodic checkpoints (resume with the same
 //       --checkpoint path), report sink with retry + spool. SIGINT/SIGTERM
-//       drain the queue, write a final checkpoint, and emit a final report.
+//       drain the queue, write a final checkpoint, and emit a final report;
+//       a SECOND SIGINT/SIGTERM during the drain force-exits immediately
+//       with code 128+sig. --overload enables the admission controller +
+//       degradation ladder (--admit-rate/--admit-burst bound the sustained
+//       ingest rate) and prints the ladder/shed summary on exit.
 //       --metrics-out snapshots Prometheus text (and PATH.json) every
 //       --metrics-interval ms, with a final flush on shutdown; --trace-out
 //       writes a Perfetto-loadable Chrome trace of pipeline stage spans.
@@ -72,7 +77,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "control/overload.h"
 #include "fleet/fleet.h"
+#include "service/shutdown.h"
 #include "service/supervisor.h"
 #include "world/traffic.h"
 
@@ -80,19 +87,12 @@ using namespace tamper;
 
 namespace {
 
-// Async-signal-safe flag: handlers only store the signal number; command
-// loops poll it and shut down cleanly (classify still prints its degraded
-// summary, watch drains + checkpoints). Exit code is the shell convention
-// 128 + signal.
-volatile std::sig_atomic_t g_signal = 0;
-
-extern "C" void on_signal(int sig) { g_signal = sig; }
-
-void install_signal_handlers() {
-  g_signal = 0;
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-}
+// Two-strike signal handling (service/shutdown.h): the first SIGINT/SIGTERM
+// requests a clean drain — command loops poll ShutdownGuard::pending() and
+// shut down cleanly (classify still prints its degraded summary, watch
+// drains + checkpoints). A second signal during the drain force-exits
+// immediately with 128 + sig. Exit codes follow the shell convention.
+void install_signal_handlers() { service::ShutdownGuard::install(); }
 
 struct Args {
   std::vector<std::string> positional;
@@ -278,7 +278,7 @@ int cmd_classify(const Args& args) {
     obs::Tracer::Span sample_span(tracer.get(), obs::stage::kSample,
                                   obs::stage::kCategory);
     while (auto pkt = reader.next()) {
-      if (g_signal != 0) {
+      if (service::ShutdownGuard::requested()) {
         // Stop reading but keep going: classify what we have, report the
         // degradation honestly, then exit with the conventional signal code.
         interrupted = true;
@@ -291,7 +291,7 @@ int cmd_classify(const Args& args) {
   const auto samples = sampler.flush_all(last_ts + 60.0);
   if (interrupted)
     logger.warn("classify", "interrupted; classifying the flows read so far",
-                {{"signal", std::to_string(static_cast<int>(g_signal))},
+                {{"signal", std::to_string(service::ShutdownGuard::pending())},
                  {"flows", std::to_string(samples.size())}});
 
   const net::PcapReader::Stats& rs = reader.stats();
@@ -386,7 +386,7 @@ int cmd_classify(const Args& args) {
     std::cout << '\n';
     classify_span.finish();
     flush_obs(samples.size());
-    return interrupted ? 128 + static_cast<int>(g_signal) : 0;
+    return interrupted ? 128 + service::ShutdownGuard::pending() : 0;
   }
 
   common::LabelCounter verdicts;
@@ -408,7 +408,7 @@ int cmd_classify(const Args& args) {
     table.add_row({label, common::TextTable::num(count)});
   table.print(std::cout);
   flush_obs(samples.size());
-  return interrupted ? 128 + static_cast<int>(g_signal) : 0;
+  return interrupted ? 128 + service::ShutdownGuard::pending() : 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -532,6 +532,12 @@ int cmd_watch(const Args& args) {
   cfg.metrics = &metrics;
   cfg.tracer = tracer.get();
   cfg.logger = &logger;
+  if (args.has("overload")) {
+    cfg.overload.enabled = true;
+    cfg.overload.admit_rate_per_sec =
+        static_cast<double>(args.get_u64("admit-rate", 0));
+    cfg.overload.admit_burst = static_cast<double>(args.get_u64("admit-burst", 0));
+  }
 
   world::WorldConfig world_cfg;
   world_cfg.seed = seed;
@@ -576,14 +582,14 @@ int cmd_watch(const Args& args) {
   // the offered load immediately instead of discarding the remainder of a
   // large --connections run one connection at a time.
   for (std::uint64_t i = 0; i < connections; ++i) {
-    if (g_signal != 0 || svc.failed()) break;
+    if (service::ShutdownGuard::requested() || svc.failed()) break;
     if (svc.submit(generator.generate_one().sample)) ++submitted;
   }
 
-  const bool interrupted = g_signal != 0;
+  const bool interrupted = service::ShutdownGuard::requested();
   if (interrupted)
     logger.warn("watch", "signal received; draining queue, writing final checkpoint + report",
-                {{"signal", std::to_string(static_cast<int>(g_signal))}});
+                {{"signal", std::to_string(service::ShutdownGuard::pending())}});
   const service::RunSummary s = svc.stop();
   if (flusher) flusher->stop();
   flush_snapshots();
@@ -610,11 +616,23 @@ int cmd_watch(const Args& args) {
             << " producer waits\n"
             << "supervision:   " << s.worker_crashes << " crashes, " << s.worker_restarts
             << " restarts, " << s.stalls_detected << " stalls\n";
+  if (args.has("overload")) {
+    const control::OverloadStats& o = s.overload;
+    std::cout << "overload:      level " << control::name(o.level) << " (peak "
+              << control::name(o.peak_level) << "), " << o.offered << " offered, "
+              << o.admitted << " admitted, " << o.shed_total() << " shed ("
+              << o.rate_limited << " rate-limited, " << o.sampled_down
+              << " sampled down, " << o.embryonic_shed << " embryonic, "
+              << o.rejected << " rejected)\n"
+              << "backpressure:  " << o.escalations << " escalations, "
+              << o.deescalations << " de-escalations, " << o.breaker_trips
+              << " breaker trips, " << o.reports_skipped << " reports skipped\n";
+  }
   if (s.failed) {
     logger.error("watch", "service failed", {{"error", s.failure}});
     return 1;
   }
-  return interrupted ? 128 + static_cast<int>(g_signal) : 0;
+  return interrupted ? 128 + service::ShutdownGuard::pending() : 0;
 }
 
 int cmd_fleet(const Args& args) {
@@ -744,9 +762,13 @@ int main(int argc, char** argv) {
                "        [--report out.json] [--spool DIR] [--queue N] [--shed]\n"
                "        [--checkpoint-every N] [--report-every N]\n"
                "        [--metrics-out PATH] [--metrics-interval MS] [--trace-out PATH]\n"
+               "        [--overload] [--admit-rate N] [--admit-burst N]\n"
                "                                     run the pipeline as a supervised\n"
                "                                     streaming service; SIGINT/SIGTERM drain,\n"
-               "                                     checkpoint, and emit a final report;\n"
+               "                                     checkpoint, and emit a final report (a\n"
+               "                                     second signal force-exits with 128+sig);\n"
+               "                                     --overload enables admission control +\n"
+               "                                     the degradation ladder;\n"
                "                                     --metrics-out writes Prometheus text +\n"
                "                                     PATH.json snapshots, --trace-out a\n"
                "                                     Perfetto-loadable stage trace\n"
