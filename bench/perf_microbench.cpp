@@ -236,6 +236,34 @@ void BM_PipelineIngestMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineIngestMetrics);
 
+// Rollup sampling overhead: the metrics pipeline plus the longitudinal
+// trends rollup (pipeline.sample_trends) at a checkpoint-boundary cadence.
+// The telemetry-plane contract (DESIGN.md §12): amortized over the samples
+// between boundaries, rollup sampling must stay within ~2% of the
+// metrics-instrumented pipeline — compare against BM_PipelineIngestMetrics
+// under --bench-compare.
+void BM_PipelineIngestRollup(benchmark::State& state) {
+  const auto& samples = corpus();
+  obs::Registry registry;
+  analysis::Pipeline pipeline(bench_world());
+  pipeline.set_obs(&registry);
+  // Boundary cadence: one rollup per 512 ingested samples, the same order
+  // of magnitude as a `tamperscope watch --checkpoint-every 500` run.
+  constexpr std::size_t kRollupEvery = 512;
+  std::size_t i = 0;
+  std::size_t since_rollup = 0;
+  for (auto _ : state) {
+    pipeline.ingest(samples[i]);
+    i = (i + 1) % samples.size();
+    if (++since_rollup == kRollupEvery) {
+      pipeline.sample_trends();
+      since_rollup = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineIngestRollup);
+
 void BM_PipelineIngestTraced(benchmark::State& state) {
   const auto& samples = corpus();
   obs::Registry registry;

@@ -48,6 +48,19 @@ class SignatureMatrix {
 
   [[nodiscard]] std::vector<std::string> countries() const;
 
+  struct CountryRow {
+    std::array<std::uint64_t, core::kSignatureCount> by_signature{};
+    std::uint64_t connections = 0;
+    std::uint64_t matches = 0;
+  };
+  /// Direct read-only view of the per-country rows, sorted by country code.
+  /// The trends rollup iterates this instead of countries() + per-country
+  /// lookups — one tree walk instead of hundreds (DESIGN.md §12 overhead
+  /// contract).
+  [[nodiscard]] const std::map<std::string, CountryRow>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Pointwise count sum (commutative monoid).
   void merge(const SignatureMatrix& other);
 
@@ -55,11 +68,6 @@ class SignatureMatrix {
   void restore(common::BinReader& r);
 
  private:
-  struct CountryRow {
-    std::array<std::uint64_t, core::kSignatureCount> by_signature{};
-    std::uint64_t connections = 0;
-    std::uint64_t matches = 0;
-  };
   std::map<std::string, CountryRow> rows_;
   std::array<std::uint64_t, core::kSignatureCount> signature_totals_{};
   std::array<std::uint64_t, 5> stage_possibly_{};

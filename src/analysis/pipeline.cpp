@@ -23,6 +23,13 @@ void Pipeline::set_obs(obs::Registry* metrics, obs::Tracer* tracer,
   obs_clock_ = clock != nullptr ? clock : &obs::monotonic_clock();
   obs_samples_ = nullptr;
   obs_classify_seconds_ = nullptr;
+  class_connections_c_ = class_possibly_c_ = class_matched_c_ = nullptr;
+  class_signature_fam_ = class_country_conn_fam_ = class_country_match_fam_ = nullptr;
+  class_signature_mirror_.fill(nullptr);
+  class_country_conn_mirror_.clear();
+  class_country_match_mirror_.clear();
+  ts_points_c_ = ts_dropped_c_ = nullptr;
+  ts_series_g_ = ts_latest_epoch_g_ = nullptr;
   if (metrics == nullptr) return;
 
   obs_samples_ = &metrics->counter("tamper_pipeline_samples_total",
@@ -65,6 +72,139 @@ void Pipeline::set_obs(obs::Registry* metrics, obs::Tracer* tracer,
     const DegradedStats d = degraded();
     for (const CauseMirror& m : mirrors) m.counter->increment_to(d.*m.field);
   });
+
+  // Classification mirrors + trends bookkeeping. Registered here, written
+  // only by sample_trends() on the worker thread — a collector would race
+  // with the worker on the aggregates (they are worker-owned, unlocked).
+  class_connections_c_ = &metrics->counter(
+      "tamper_class_connections_total", "Connections classified (aggregate mirror)");
+  class_possibly_c_ = &metrics->counter(
+      "tamper_class_possibly_tampered_total",
+      "Possibly-tampered connections (aggregate mirror)");
+  class_matched_c_ = &metrics->counter(
+      "tamper_class_matched_total",
+      "Connections matching a tamper signature (aggregate mirror)");
+  class_signature_fam_ = &metrics->counter_family(
+      "tamper_class_signature_matches_total",
+      "Signature matches by signature (aggregate mirror)", {"signature"});
+  class_country_conn_fam_ = &metrics->counter_family(
+      "tamper_class_country_connections_total",
+      "Connections by country (aggregate mirror)", {"country"});
+  class_country_match_fam_ = &metrics->counter_family(
+      "tamper_class_country_matches_total",
+      "Signature matches by country (aggregate mirror)", {"country"});
+  ts_points_c_ = &metrics->counter("tamper_timeseries_points_total",
+                                   "Points offered to the trends epoch ring");
+  ts_dropped_c_ = &metrics->counter(
+      "tamper_timeseries_dropped_total",
+      "Points the trends ring refused (history window or series cap)");
+  ts_series_g_ = &metrics->gauge("tamper_timeseries_series",
+                                 "Distinct series held in the trends ring");
+  ts_latest_epoch_g_ = &metrics->gauge("tamper_timeseries_latest_epoch",
+                                       "Newest epoch with a recorded point");
+}
+
+void Pipeline::sample_trends() {
+  const std::int64_t epoch = trends_.epoch_of(latest_ts_sec_);
+  const DegradedStats d = degraded();
+  const bool mirror = obs_metrics_ != nullptr;
+
+  // The catalog's "agg:" sources point at the tamper_class_* registry
+  // mirrors, which this pass updates alongside the ring (increment_to keeps
+  // them idempotent across crash-resume re-derivation). One fused pass per
+  // aggregate — the country loops walk matrix rows, mirror-handle maps, and
+  // the ring in lockstep (all sorted by country), so each per-label sample
+  // costs amortized-constant lookups and rollup sampling honors the ≤2%
+  // overhead contract (DESIGN.md §12).
+  if (mirror) {
+    class_connections_c_->increment_to(matrix_.total_connections());
+    class_possibly_c_->increment_to(matrix_.possibly_tampered());
+    class_matched_c_->increment_to(matrix_.matched());
+  }
+
+  for (const obs::SeriesSpec& spec : obs::default_series_catalog()) {
+    const bool from_agg = spec.source.rfind("agg:", 0) == 0;
+    if (from_agg) {
+      if (spec.family == "connections") {
+        trends_.record_epoch(spec.family, "", spec.merge, epoch,
+                             static_cast<double>(matrix_.total_connections()));
+      } else if (spec.family == "possibly_tampered") {
+        trends_.record_epoch(spec.family, "", spec.merge, epoch,
+                             static_cast<double>(matrix_.possibly_tampered()));
+      } else if (spec.family == "signature_matched") {
+        trends_.record_epoch(spec.family, "", spec.merge, epoch,
+                             static_cast<double>(matrix_.matched()));
+      } else if (spec.family == "signature_matches") {
+        for (std::size_t s = 0; s < core::kSignatureCount; ++s) {
+          const auto sig = static_cast<core::Signature>(s);
+          const std::uint64_t total = matrix_.signature_total(sig);
+          if (total == 0) continue;
+          if (mirror) {
+            obs::Counter*& h = class_signature_mirror_[s];
+            if (h == nullptr)
+              h = &class_signature_fam_->with({std::string(core::name(sig))});
+            h->increment_to(total);
+          }
+          trends_.record_epoch(spec.family, core::name(sig), spec.merge, epoch,
+                               static_cast<double>(total));
+        }
+      } else if (spec.family == "country_connections") {
+        obs::EpochRing::Cursor cursor(trends_);
+        auto handle = class_country_conn_mirror_.begin();
+        for (const auto& [cc, row] : matrix_.rows()) {
+          if (mirror) {
+            while (handle != class_country_conn_mirror_.end() && handle->first < cc)
+              ++handle;
+            if (handle == class_country_conn_mirror_.end() || handle->first != cc)
+              handle = class_country_conn_mirror_.emplace_hint(
+                  handle, cc, &class_country_conn_fam_->with({cc}));
+            handle->second->increment_to(row.connections);
+          }
+          cursor.record_epoch(spec.family, cc, spec.merge, epoch,
+                              static_cast<double>(row.connections));
+        }
+      } else if (spec.family == "country_matches") {
+        obs::EpochRing::Cursor cursor(trends_);
+        auto handle = class_country_match_mirror_.begin();
+        for (const auto& [cc, row] : matrix_.rows()) {
+          if (row.matches == 0) continue;
+          if (mirror) {
+            while (handle != class_country_match_mirror_.end() && handle->first < cc)
+              ++handle;
+            if (handle == class_country_match_mirror_.end() || handle->first != cc)
+              handle = class_country_match_mirror_.emplace_hint(
+                  handle, cc, &class_country_match_fam_->with({cc}));
+            handle->second->increment_to(row.matches);
+          }
+          cursor.record_epoch(spec.family, cc, spec.merge, epoch,
+                              static_cast<double>(row.matches));
+        }
+      } else if (spec.family == "degraded") {
+        // Coverage loss only (not d.total()): noise counters like a single
+        // empty flow must not mark the whole epoch degraded and suppress
+        // the watchdog scan for it.
+        trends_.record_epoch(spec.family, "", spec.merge, epoch,
+                             static_cast<double>(d.coverage_loss()));
+      }
+      continue;
+    }
+    // "metric:" sources read the registry; an absent family (e.g. overload
+    // control disabled) is simply not sampled.
+    if (!mirror) continue;
+    const std::string_view metric =
+        std::string_view(spec.source).substr(std::string_view("metric:").size());
+    double value = 0.0;
+    if (obs_metrics_->read_family_total(metric, &value))
+      trends_.record_epoch(spec.family, "", spec.merge, epoch, value);
+  }
+
+  if (obs_metrics_ != nullptr) {
+    ts_points_c_->increment_to(trends_.recorded_points());
+    ts_dropped_c_->increment_to(trends_.dropped_points());
+    ts_series_g_->set(static_cast<double>(trends_.series().size()));
+    ts_latest_epoch_g_->set(
+        trends_.empty() ? 0.0 : static_cast<double>(trends_.max_epoch()));
+  }
 }
 
 // tamperlint: nothrow-path
@@ -159,6 +299,7 @@ void Pipeline::snapshot(common::BinWriter& w) const {
   categories_.snapshot(w);
   overlap_.snapshot(w);
   evidence_.snapshot(w);
+  trends_.snapshot(w);
 }
 
 void Pipeline::restore(common::BinReader& r) {
@@ -195,6 +336,7 @@ void Pipeline::restore(common::BinReader& r) {
   categories_.restore(r);
   overlap_.restore(r);
   evidence_.restore(r);
+  trends_.restore(r);
 
   // A restored process reads fresh sources whose cumulative counters start
   // at zero again; the delta baselines must follow.
@@ -247,6 +389,7 @@ void Pipeline::merge_from(const Pipeline& other) {
   categories_.merge(other.categories_);
   overlap_.merge(other.overlap_);
   evidence_.merge(other.evidence_);
+  trends_.merge_from(other.trends_);
 }
 
 }  // namespace tamper::analysis

@@ -3,9 +3,12 @@
 // through a Pipeline and then read the aggregates behind each table/figure.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "analysis/aggregates.h"
 #include "analysis/evidence.h"
@@ -20,6 +23,7 @@
 #include "net/pcap.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "world/traffic.h"
 #include "world/world.h"
@@ -55,6 +59,19 @@ struct DegradedStats {
            unparseable_frames + oversize_frames + truncated_frames +
            queue_shed_embryonic + queue_shed_other + spool_replay_failures +
            spool_dropped + admission_rate_limited + admission_sampled_down +
+           admission_embryonic_shed + admission_rejected;
+  }
+
+  /// Coverage loss: samples/flows removed from aggregation entirely — what
+  /// the anomaly watchdog's `degraded` trends series tracks (DESIGN.md §12).
+  /// Excludes input *noise* that biases no rate (empty flows, malformed
+  /// packets inside an observed flow) and report-delivery losses (spool_*,
+  /// surfaced at the merger as missing partials): a stray junk flow per
+  /// epoch must not blind the watchdog for that epoch.
+  [[nodiscard]] std::uint64_t coverage_loss() const noexcept {
+    return ingest_errors + overload_evicted + unparseable_frames +
+           oversize_frames + truncated_frames + queue_shed_embryonic +
+           queue_shed_other + admission_rate_limited + admission_sampled_down +
            admission_embryonic_shed + admission_rejected;
   }
 };
@@ -190,6 +207,26 @@ class Pipeline {
   /// a resumed PoP re-tags its partials with the same epochs.
   [[nodiscard]] std::int64_t latest_ts_sec() const noexcept { return latest_ts_sec_; }
 
+  /// Configure the longitudinal trends ring (epoch width, history depth,
+  /// series cap). Resets the ring; call before ingesting. A later restore()
+  /// adopts the checkpoint's epoch length regardless.
+  void set_trends_config(obs::EpochRingConfig config) {
+    trends_ = obs::EpochRing(config);
+  }
+
+  /// Sample the trends catalog (obs::default_series_catalog) into the epoch
+  /// ring at the current capture time, and mirror the classification
+  /// aggregates into the tamper_class_* registry families. Called by the
+  /// service at checkpoint/report boundaries, on the worker thread (the
+  /// ring and aggregates are worker-owned). Deterministic: values come from
+  /// checkpoint-restored state keyed by capture-derived epochs, so a
+  /// resumed run re-records identical points.
+  void sample_trends();
+
+  /// The longitudinal epoch ring (see obs/timeseries.h). Worker-owned: read
+  /// it from the worker thread or after the run ends, like the aggregators.
+  [[nodiscard]] const obs::EpochRing& trends() const noexcept { return trends_; }
+
   /// Fold another pipeline's aggregate state into this one. All aggregate
   /// members are commutative monoids (see aggregates.h), degraded/scanner
   /// counters add, and latest_ts_sec takes the max — so a fleet merger can
@@ -230,6 +267,27 @@ class Pipeline {
   obs::Counter* obs_samples_ = nullptr;
   obs::Histogram* obs_classify_seconds_ = nullptr;
   obs::Registry::CollectorId obs_collector_ = 0;
+  // tamper_class_* mirrors + tamper_timeseries_* bookkeeping, updated only
+  // inside sample_trends() on the worker thread (never by collectors: the
+  // aggregates and ring are worker-owned).
+  obs::Counter* class_connections_c_ = nullptr;
+  obs::Counter* class_possibly_c_ = nullptr;
+  obs::Counter* class_matched_c_ = nullptr;
+  obs::CounterFamily* class_signature_fam_ = nullptr;
+  obs::CounterFamily* class_country_conn_fam_ = nullptr;
+  obs::CounterFamily* class_country_match_fam_ = nullptr;
+  // Cached per-label child handles: CounterFamily::with is a locked lookup,
+  // too heavy to repeat for every label on every rollup (the ≤2% sampling
+  // overhead contract). Children are stable registry handles; the caches
+  // only grow, and reset with the families on set_obs.
+  std::array<obs::Counter*, core::kSignatureCount> class_signature_mirror_{};
+  std::map<std::string, obs::Counter*> class_country_conn_mirror_;
+  std::map<std::string, obs::Counter*> class_country_match_mirror_;
+  obs::Counter* ts_points_c_ = nullptr;
+  obs::Counter* ts_dropped_c_ = nullptr;
+  obs::Gauge* ts_series_g_ = nullptr;
+  obs::Gauge* ts_latest_epoch_g_ = nullptr;
+  obs::EpochRing trends_;
   mutable common::Mutex stats_mu_;  ///< guards degraded accounting only
   DegradedStats degraded_ TAMPER_GUARDED_BY(stats_mu_);
   net::PcapReader::Stats last_reader_ TAMPER_GUARDED_BY(stats_mu_);

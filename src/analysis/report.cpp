@@ -6,6 +6,7 @@
 #include "common/json.h"
 #include "common/sim_clock.h"
 #include "common/stats.h"
+#include "obs/timeseries.h"
 
 namespace tamper::analysis {
 
@@ -152,6 +153,26 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
     json.end_object();
   }
   json.end_array();
+
+  // Longitudinal trends: the sampled epoch ring, with per-epoch coverage
+  // annotations so a degraded epoch (PoPs missing or shedding) is never
+  // read as a real rate drop, plus the watchdog's deterministic anomaly
+  // events.
+  if (options.include_trends && !pipeline.trends().empty()) {
+    const obs::EpochRing& ring = pipeline.trends();
+    json.key("trends");
+    json.begin_object();
+    json.kv("epoch_length_sec", ring.config().epoch_length_sec);
+    json.kv("min_epoch", ring.min_epoch());
+    json.kv("max_epoch", ring.max_epoch());
+    obs::TimeseriesScope scope;
+    scope.ring = &ring;
+    if (options.trend_epochs != nullptr) scope.epochs = *options.trend_epochs;
+    if (options.trend_anomalies != nullptr)
+      scope.anomalies = *options.trend_anomalies;
+    obs::write_timeseries_scope_fields(json, scope);
+    json.end_object();
+  }
 
   if (options.include_timeseries) {
     json.key("daily_timeseries");

@@ -64,6 +64,14 @@ struct ReportOptions {
   /// When set (by the fleet merger), a "fleet" section with per-epoch
   /// coverage is emitted after degraded_input.
   const FleetCoverage* fleet = nullptr;
+  /// Longitudinal "trends" block (obs/timeseries.h): emitted when the
+  /// pipeline's epoch ring holds points. Coverage notes and anomaly events
+  /// come from the caller — the fleet merger passes merged per-epoch
+  /// coverage, a local service its anomaly watchdog's last scan; when null
+  /// the block carries empty arrays for them.
+  bool include_trends = true;
+  const std::vector<obs::EpochCoverageNote>* trend_epochs = nullptr;
+  const std::vector<obs::AnomalyEvent>* trend_anomalies = nullptr;
 };
 
 /// Serialize the pipeline's aggregates as a JSON document.

@@ -60,6 +60,11 @@ void Fleet::build_pop(std::uint32_t pop) {
   cfg.report_every_samples = config_.report_every_samples;
   cfg.metrics = p.registry.get();
   cfg.overload = config_.overload;
+  cfg.logger = config_.logger;
+  cfg.pop = static_cast<std::int64_t>(pop);
+  cfg.trends = config_.trends;
+  cfg.trends.epoch_length_sec =
+      static_cast<std::int64_t>(config_.epoch_length_sec);
   cfg.report_encoder = [this, pop](const analysis::Pipeline& pipeline,
                                    std::uint64_t samples,
                                    const control::OverloadState& overload) {

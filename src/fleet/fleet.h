@@ -34,7 +34,9 @@
 #include "capture/sample.h"
 #include "control/overload.h"
 #include "fleet/merger.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "service/sink.h"
 #include "service/supervisor.h"
 #include "world/anycast.h"
@@ -80,6 +82,14 @@ struct FleetConfig {
   /// default; when enabled, each PoP's shed state rides its partials so the
   /// merger marks epochs from shedding PoPs coverage-degraded.
   control::OverloadConfig overload;
+  /// Per-PoP trends ring depth/cardinality; the epoch width always follows
+  /// the fleet's epoch_length_sec so per-PoP series and partial-header
+  /// epochs agree.
+  obs::EpochRingConfig trends;
+  /// Shared structured-log sink for every PoP's supervisor (optional). Each
+  /// PoP's lines carry a tamper_pop field, so one interleaved stream stays
+  /// attributable.
+  obs::Logger* logger = nullptr;
 };
 
 class Fleet {

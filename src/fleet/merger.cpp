@@ -197,12 +197,81 @@ std::vector<std::uint8_t> Merger::merged_state_image() const {
   return service::encode_checkpoint(*merged, service::CheckpointMeta{});
 }
 
+Merger::FleetTrends Merger::fleet_trends() const {
+  const auto merged = merged_pipeline();
+  return fleet_trends(*merged, coverage());
+}
+
+Merger::FleetTrends Merger::fleet_trends(
+    const analysis::Pipeline& merged,
+    const analysis::FleetCoverage& coverage) const {
+  FleetTrends trends;
+  // A coverage-degraded epoch must never be scored as a real rate shift:
+  // feed the scan every epoch where PoPs were missing or shedding, plus the
+  // epochs where the merged degraded-input series itself rose.
+  std::set<std::int64_t> degraded =
+      obs::epochs_where_rising(merged.trends(), "degraded");
+  trends.epochs.reserve(coverage.epochs.size());
+  for (const analysis::FleetEpochCoverage& e : coverage.epochs) {
+    obs::EpochCoverageNote note;
+    note.epoch = static_cast<std::int64_t>(e.epoch);
+    note.pops_reporting = e.pops_reporting;
+    note.pops_expected = e.pops_expected;
+    note.pops_shedding = e.pops_shedding;
+    note.degraded = e.degraded();
+    trends.epochs.push_back(note);
+    if (note.degraded) degraded.insert(note.epoch);
+  }
+  trends.scan = obs::scan_anomalies(merged.trends(),
+                                    obs::default_series_catalog(),
+                                    config_.anomaly, degraded);
+  return trends;
+}
+
 std::string Merger::merged_report(analysis::ReportOptions options) const {
   const auto merged = merged_pipeline();
   const analysis::FleetCoverage fleet = coverage();
+  const FleetTrends trends = fleet_trends(*merged, fleet);
   options.fleet = &fleet;
+  options.trend_epochs = &trends.epochs;
+  options.trend_anomalies = &trends.scan.events;
   std::ostringstream out;
   analysis::write_radar_report(out, *merged, options);
+  return out.str();
+}
+
+std::string Merger::timeseries_dump(bool pretty) const {
+  const auto merged = merged_pipeline();
+  const analysis::FleetCoverage fleet = coverage();
+  const FleetTrends trends = fleet_trends(*merged, fleet);
+  // Copy each reporting PoP's ring out from under the lock so the scopes
+  // below can hold stable pointers (rings are small: bounded epochs ×
+  // bounded series).
+  std::vector<std::pair<std::uint32_t, obs::EpochRing>> pop_rings;
+  {
+    common::MutexLock lock(mu_);
+    for (const auto& [pop, entry] : pops_)
+      if (entry.pipeline != nullptr)
+        pop_rings.emplace_back(pop, entry.pipeline->trends());
+  }
+  std::vector<obs::TimeseriesScope> scopes;
+  scopes.reserve(1 + pop_rings.size());
+  obs::TimeseriesScope fleet_scope;
+  fleet_scope.name = "fleet";
+  fleet_scope.ring = &merged->trends();
+  fleet_scope.epochs = trends.epochs;
+  fleet_scope.anomalies = trends.scan.events;
+  scopes.push_back(fleet_scope);
+  for (const auto& [pop, ring] : pop_rings) {
+    obs::TimeseriesScope scope;
+    scope.name = "pop:" + std::to_string(pop);
+    scope.ring = &ring;
+    scopes.push_back(scope);
+  }
+  std::ostringstream out;
+  obs::write_timeseries_json(out, scopes,
+                             static_cast<std::int64_t>(config_.epoch_length_sec),
+                             pretty);
   return out.str();
 }
 

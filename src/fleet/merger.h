@@ -35,7 +35,9 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "control/overload.h"
+#include "obs/anomaly.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "service/sink.h"
 #include "world/world.h"
 
@@ -57,6 +59,9 @@ struct MergerConfig {
   std::int64_t max_skew_sec = 3;
   /// How many closed epochs the coverage block enumerates.
   std::uint64_t coverage_window_epochs = 8;
+  /// Watchdog tuning for the fleet-level anomaly scan run over the merged
+  /// trends ring (timeseries_dump / merged_report).
+  obs::AnomalyConfig anomaly{};
 };
 
 class Merger final : public service::Sink {
@@ -93,8 +98,31 @@ class Merger final : public service::Sink {
   /// encoding with zeroed meta) — what the chaos campaigns byte-compare.
   [[nodiscard]] std::vector<std::uint8_t> merged_state_image() const;
 
-  /// Merged Radar JSON with the fleet coverage section.
+  /// Merged Radar JSON with the fleet coverage section and a trends block
+  /// annotated with per-epoch coverage (so a degraded epoch is never read
+  /// as a real rate drop) and the fleet-level anomaly scan.
   [[nodiscard]] std::string merged_report(analysis::ReportOptions options = {}) const;
+
+  /// Standalone `tamper-timeseries/1` JSON: a "fleet" scope (the merged
+  /// trends ring, coverage notes, and the anomaly scan — coverage-degraded
+  /// epochs are suppressed, not scored) plus one "pop:<id>" scope per
+  /// reporting PoP. Pure function of the current partial set.
+  [[nodiscard]] std::string timeseries_dump(bool pretty = true) const;
+
+  /// The fleet-scope trends view shared by merged_report, timeseries_dump
+  /// and `tamperscope top`: coverage notes for the closed-epoch window plus
+  /// the anomaly scan over the merged ring, with degraded epochs = coverage
+  /// degradation ∪ epochs where the merged degraded-input series rose.
+  struct FleetTrends {
+    std::vector<obs::EpochCoverageNote> epochs;
+    obs::AnomalyScan scan;
+  };
+  /// Convenience form over the current partial set (folds a fresh merged
+  /// pipeline; callers that already hold one use the two-argument overload).
+  [[nodiscard]] FleetTrends fleet_trends() const;
+  [[nodiscard]] FleetTrends fleet_trends(
+      const analysis::Pipeline& merged,
+      const analysis::FleetCoverage& coverage) const;
 
   /// Register tamper_fleet_* metrics. The registry must outlive the merger.
   void set_obs(obs::Registry* metrics);

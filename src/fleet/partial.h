@@ -36,9 +36,11 @@ namespace tamper::fleet {
 
 inline constexpr char kPartialMagic[8] = {'T', 'S', 'P', 'A', 'R', 'T', '0', '1'};
 // v2: the header carries the PoP's control::OverloadState so the merger can
-// mark epochs from shedding PoPs coverage-degraded. v1 partials are
+// mark epochs from shedding PoPs coverage-degraded. v3: the payload is the
+// v4 Pipeline snapshot, which appends the trends epoch ring — per-PoP
+// longitudinal series ride every partial into the merger. Old versions are
 // refused, like old checkpoints: partials are operational state.
-inline constexpr std::uint32_t kPartialVersion = 2;
+inline constexpr std::uint32_t kPartialVersion = 3;
 
 struct PartialHeader {
   std::uint32_t pop = 0;

@@ -309,6 +309,9 @@ FileIndex index_file(const std::string& path, std::string_view stripped_text,
   extract_lock_nestings(stripped_text, out);
   for (const auto& site : internal::metric_sites(stripped_text, strings_text))
     out.metrics.push_back({site.name, static_cast<int>(site.line0 + 1)});
+  for (auto& site : internal::series_sites(stripped_text, strings_text))
+    out.series.push_back({std::move(site.family), std::move(site.source),
+                          static_cast<int>(site.line0 + 1)});
   return out;
 }
 

@@ -57,6 +57,14 @@ struct MetricRegistration {
   int line = 0;  ///< 1-based
 };
 
+/// A `series_spec("family", "source", ...)` catalog entry (R12 checks the
+/// source against the registered metric families).
+struct SeriesRegistration {
+  std::string family;
+  std::string source;
+  int line = 0;  ///< 1-based
+};
+
 struct FileIndex {
   std::string path;
   std::vector<IncludeSite> includes;
@@ -64,6 +72,7 @@ struct FileIndex {
   std::vector<SwitchSite> switches;
   std::vector<LockNesting> lock_nestings;
   std::vector<MetricRegistration> metrics;
+  std::vector<SeriesRegistration> series;
   /// suppressed[line0] holds rule ids suppressed on that 0-based line
   /// (well-formed `tamperlint-allow` directives only).
   std::vector<std::vector<std::string>> suppressed;
@@ -85,7 +94,8 @@ struct RepoIndex {
 };
 
 /// Pass 2: evaluate R7 (layering), R8 (lock order), R9 (taxonomy
-/// exhaustiveness), and R10 (metric–doc drift) over the merged index.
+/// exhaustiveness), R10 (metric–doc drift), R11 (ladder exhaustiveness),
+/// and R12 (series–metric linkage) over the merged index.
 /// Findings honor per-line suppressions recorded in the index; the caller
 /// sorts and merges them with the per-file findings.
 [[nodiscard]] std::vector<Finding> repo_rule_findings(const RepoIndex& index,

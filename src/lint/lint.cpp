@@ -52,7 +52,7 @@ constexpr std::string_view kNothrowMarker = "tamperlint: nothrow-path";
     if (id[i] < '0' || id[i] > '9') return false;
     n = n * 10 + (id[i] - '0');
   }
-  return n >= 1 && n <= 11;
+  return n >= 1 && n <= 12;
 }
 
 /// Per-line suppression state parsed from the raw text.
@@ -82,7 +82,7 @@ struct Directives {
     if (!known_rule(id) || reason.empty()) {
       d.malformed.push_back(
           {"R0", path, static_cast<int>(i + 1),
-           "malformed suppression (want `// tamperlint-allow(R1..R11): reason`); "
+           "malformed suppression (want `// tamperlint-allow(R1..R12): reason`); "
            "it suppresses nothing"});
       continue;
     }
@@ -581,7 +581,9 @@ std::string rule_catalog() {
       "R10 metric–doc drift — registered metric families and the DESIGN.md "
       "inventory agree exactly\n"
       "R11 ladder exhaustiveness — switches over control::Level cover every "
-      "rung (no silent default)\n";
+      "rung (no silent default)\n"
+      "R12 series–metric linkage — series_spec sources resolve to a "
+      "registered metric family (no dangling telemetry)\n";
 }
 
 }  // namespace tamper::lint

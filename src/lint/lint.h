@@ -53,6 +53,11 @@
 //       enumerator; a default: that silently maps an unhandled ladder
 //       level to "no policy change" would defeat the degradation
 //       contract exactly when a new level is added.
+//   R12 series–metric linkage — every timeseries catalog entry
+//       (`series_spec("family", "source", ...)` call site) names a source
+//       of the form "agg:<metric>" or "metric:<metric>" whose metric
+//       family is registered somewhere in the scanned prefixes; a dangling
+//       source is a series that samples a surface that does not exist.
 //
 // Suppression:  // tamperlint-allow(R3): <non-empty reason>
 // on the offending line, or alone on the line directly above it. A
@@ -68,7 +73,7 @@
 namespace tamper::lint {
 
 struct Finding {
-  std::string rule;     ///< "R0".."R11"
+  std::string rule;     ///< "R0".."R12"
   std::string path;     ///< as given (normalized to forward slashes)
   int line = 0;         ///< 1-based
   std::string message;
@@ -88,6 +93,7 @@ struct Config {
       "src/common/table.",
       "src/obs/log.",
       "src/obs/metrics.",
+      "src/obs/timeseries.",
       "src/obs/trace.",
       "src/obs/validate.",
       "tools/tamperscope",
@@ -158,7 +164,7 @@ struct SourceFile {
 
 /// Lint a whole file set: per-file rules on every C++ source (in parallel
 /// across `jobs` threads; 0 means hardware concurrency) plus the cross-file
-/// rules R7–R11 over the merged index. Output is deterministic — sorted by
+/// rules R7–R12 over the merged index. Output is deterministic — sorted by
 /// (path, line, rule, message) and byte-identical for every thread count.
 /// Non-C++ entries (the metric-inventory doc) contribute only to R10.
 [[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files,

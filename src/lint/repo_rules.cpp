@@ -1,4 +1,4 @@
-// Pass 2: the cross-file rules R7–R11, evaluated over the merged RepoIndex.
+// Pass 2: the cross-file rules R7–R12, evaluated over the merged RepoIndex.
 // Everything here is deterministic by construction: files arrive sorted by
 // path, graph nodes are visited in sorted order, and every finding anchors
 // at the first (path, line) site that exhibits the problem.
@@ -422,6 +422,56 @@ void rule_metric_doc_drift(const RepoIndex& index, const Config& config,
   }
 }
 
+// ---------------------------------------------------------------- R12
+
+/// Every `series_spec("family", "source", ...)` catalog entry must reference
+/// a real metric family: the source is "agg:<metric>" or "metric:<metric>"
+/// and <metric> is registered somewhere in the scanned prefixes. A series
+/// whose source dangles would silently sample nothing (or claim a backing
+/// surface that does not exist), which is exactly the drift R10 guards the
+/// docs against — R12 extends the guarantee to the telemetry catalog.
+void rule_series_sources(const RepoIndex& index, const Config& config,
+                         std::vector<Finding>& out) {
+  std::set<std::string> registered;
+  for (const FileIndex& file : index.files) {
+    const bool in_scope = std::any_of(
+        config.metric_scan_prefixes.begin(), config.metric_scan_prefixes.end(),
+        [&](const std::string& prefix) { return file.path.rfind(prefix, 0) == 0; });
+    if (!in_scope) continue;
+    for (const MetricRegistration& reg : file.metrics) registered.insert(reg.name);
+  }
+
+  static constexpr std::string_view kPrefixes[] = {"agg:", "metric:"};
+  for (const FileIndex& file : index.files) {
+    for (const SeriesRegistration& s : file.series) {
+      if (suppressed_at(file, s.line, "R12")) continue;
+      std::string metric;
+      for (const std::string_view prefix : kPrefixes) {
+        if (s.source.rfind(prefix, 0) == 0) {
+          metric = s.source.substr(prefix.size());
+          break;
+        }
+      }
+      if (metric.empty()) {
+        out.push_back(
+            {"R12", file.path, s.line,
+             "series \"" + s.family + "\" has source \"" + s.source +
+                 "\" — a series source must be \"agg:<metric_family>\" or "
+                 "\"metric:<metric_family>\" so the backing surface is explicit"});
+        continue;
+      }
+      if (registered.count(metric) != 0) continue;
+      out.push_back(
+          {"R12", file.path, s.line,
+           "series \"" + s.family + "\" references metric family \"" + metric +
+               "\" which is never registered in " +
+               join(config.metric_scan_prefixes, ", ") +
+               "; a dangling source means the series samples a surface that "
+               "does not exist"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& config) {
@@ -431,6 +481,7 @@ std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& co
   if (rule_enabled(config, "R9")) rule_taxonomy_exhaustiveness(index, config, out);
   if (rule_enabled(config, "R10")) rule_metric_doc_drift(index, config, out);
   if (rule_enabled(config, "R11")) rule_ladder_exhaustiveness(index, config, out);
+  if (rule_enabled(config, "R12")) rule_series_sources(index, config, out);
   return out;
 }
 

@@ -42,6 +42,8 @@ constexpr RuleMeta kRules[] = {
      "Registered metric families and the DESIGN.md inventory agree exactly"},
     {"R11", "LadderExhaustiveness",
      "Switches over the overload-control ladder enums cover every enumerator"},
+    {"R12", "SeriesMetricLinkage",
+     "series_spec catalog sources resolve to a registered metric family"},
 };
 
 void json_escape(std::ostringstream& out, std::string_view s) {

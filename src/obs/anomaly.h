@@ -1,0 +1,98 @@
+// Rate-shift watchdog over the epoch ring: "this rate just shifted,
+// there, then" — without replaying pcaps.
+//
+// The detector is the lightweight per-window scheme of carrier-grade
+// passive monitors (cf. Scheitle et al., PAPERS.md): per-epoch deltas of
+// each watched cumulative series are tracked with an EWMA mean and an EWMA
+// absolute deviation, and a delta whose robust z-score
+//
+//     |delta - ewma| / max(ewma_abs_dev, min_deviation)
+//
+// crosses the threshold after the warmup becomes an AnomalyEvent. The scan
+// is a pure function of (ring, degraded epochs, config):
+//
+//   * Deterministic — same ring, same events, byte for byte; twin-seeded
+//     runs and resumed checkpoints re-derive identical event lists.
+//   * Idempotent    — rescans publish through monotone `increment_to`
+//     counters, so re-running after a crash-resume never double-counts.
+//   * Coverage-aware — a delta touching a degraded or missing epoch is
+//     suppressed (and counted), never scored: a PoP dropping out of the
+//     merge must not read as a tampering-rate collapse.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace tamper::obs {
+
+struct AnomalyConfig {
+  double alpha = 0.3;           ///< EWMA weight for mean and deviation
+  double z_threshold = 4.0;     ///< robust z-score that fires an event
+  double min_deviation = 4.0;   ///< deviation floor (quiet series stay quiet)
+  std::size_t warmup_epochs = 3;  ///< deltas scored only after this many
+  std::size_t max_exemplars = 16; ///< bounded context ring (newest kept)
+};
+
+struct AnomalyScan {
+  std::vector<AnomalyEvent> events;        ///< sorted (family, label, epoch)
+  std::uint64_t points_scanned = 0;        ///< deltas evaluated or suppressed
+  std::uint64_t suppressed_degraded = 0;   ///< deltas skipped: degraded epoch
+  std::uint64_t suppressed_gap = 0;        ///< deltas skipped: missing epoch
+};
+
+/// Scan the watched families of `ring` (per `catalog`; series absent from
+/// the catalog are not scanned). `degraded_epochs` holds epochs whose
+/// coverage is degraded — locally (degraded-input accounting moved) or in
+/// the fleet sense (PoPs missing/shedding per Merger::coverage).
+[[nodiscard]] AnomalyScan scan_anomalies(const EpochRing& ring,
+                                         const std::vector<SeriesSpec>& catalog,
+                                         const AnomalyConfig& config,
+                                         const std::set<std::int64_t>& degraded_epochs = {});
+
+/// Epochs where the ring's cumulative `family` series rose — the local
+/// degraded-epoch set when that family tracks degraded-input totals.
+[[nodiscard]] std::set<std::int64_t> epochs_where_rising(const EpochRing& ring,
+                                                         std::string_view family);
+
+/// The resident watchdog: re-runs the scan at report boundaries, publishes
+/// tamper_anomaly_* metrics idempotently, and logs each event the first
+/// time it appears. Single-caller (the service worker thread), like the
+/// ring itself.
+class AnomalyWatchdog {
+ public:
+  explicit AnomalyWatchdog(AnomalyConfig config = {});
+
+  /// Attach the registry (registers the tamper_anomaly_* families) and an
+  /// optional logger for first-seen event lines. Both must outlive the
+  /// watchdog.
+  void set_obs(Registry* metrics, Logger* logger = nullptr);
+
+  /// Rescan and publish. Returns the fresh scan (also kept, see last()).
+  const AnomalyScan& rescan(const EpochRing& ring,
+                            const std::vector<SeriesSpec>& catalog,
+                            const std::set<std::int64_t>& degraded_epochs = {});
+
+  [[nodiscard]] const AnomalyScan& last() const noexcept { return last_; }
+  [[nodiscard]] const AnomalyConfig& config() const noexcept { return config_; }
+  /// The newest max_exemplars events of the last scan, oldest first.
+  [[nodiscard]] std::vector<AnomalyEvent> exemplars() const;
+
+ private:
+  AnomalyConfig config_;
+  AnomalyScan last_;
+  std::set<std::string> logged_;  ///< (family|label|epoch) keys already logged
+  Logger* logger_ = nullptr;
+  Counter* events_c_ = nullptr;
+  Counter* scanned_c_ = nullptr;
+  Counter* suppressed_degraded_c_ = nullptr;
+  Counter* suppressed_gap_c_ = nullptr;
+  Gauge* exemplars_g_ = nullptr;
+};
+
+}  // namespace tamper::obs

@@ -41,9 +41,9 @@ const char* text_tag(LogLevel level) noexcept {
 
 }  // namespace
 
-void Logger::log(LogLevel level, std::string_view component,
-                 std::string_view message,
-                 std::initializer_list<LogField> fields) {
+void Logger::log_impl(LogLevel level, std::string_view component,
+                      std::string_view message, const LogField* fields,
+                      std::size_t n) {
   if (!enabled(level)) return;
   const std::uint64_t ts_ns = clock_->now_ns();
 
@@ -53,7 +53,8 @@ void Logger::log(LogLevel level, std::string_view component,
     std::snprintf(stamp, sizeof stamp, "[%13.6f] ",
                   static_cast<double>(ts_ns) * 1e-9);
     out_ << stamp << text_tag(level) << ' ' << component << ": " << message;
-    for (const LogField& f : fields) out_ << ' ' << f.key << '=' << f.value;
+    for (std::size_t i = 0; i < n; ++i)
+      out_ << ' ' << fields[i].key << '=' << fields[i].value;
     out_ << '\n';
   } else {
     common::JsonWriter json(out_, /*pretty=*/false);
@@ -62,10 +63,11 @@ void Logger::log(LogLevel level, std::string_view component,
     json.kv("level", name(level));
     json.kv("component", component);
     json.kv("msg", message);
-    if (fields.size() > 0) {
+    if (n > 0) {
       json.key("fields");
       json.begin_object();
-      for (const LogField& f : fields) json.kv(f.key, std::string_view(f.value));
+      for (std::size_t i = 0; i < n; ++i)
+        json.kv(fields[i].key, std::string_view(fields[i].value));
       json.end_object();
     }
     json.end_object();

@@ -16,10 +16,12 @@
 // header small and the call sites explicit.
 #pragma once
 
+#include <cstddef>
 #include <initializer_list>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -54,7 +56,15 @@ class Logger {
   [[nodiscard]] Format format() const noexcept { return format_; }
 
   void log(LogLevel level, std::string_view component, std::string_view message,
-           std::initializer_list<LogField> fields = {}) TAMPER_EXCLUDES(mu_);
+           std::initializer_list<LogField> fields = {}) TAMPER_EXCLUDES(mu_) {
+    log_impl(level, component, message, fields.begin(), fields.size());
+  }
+  /// Overload for call sites that build the field list dynamically (e.g.
+  /// the supervisor appending its fleet PoP id to every line).
+  void log(LogLevel level, std::string_view component, std::string_view message,
+           const std::vector<LogField>& fields) TAMPER_EXCLUDES(mu_) {
+    log_impl(level, component, message, fields.data(), fields.size());
+  }
 
   void debug(std::string_view component, std::string_view message,
              std::initializer_list<LogField> fields = {}) {
@@ -74,6 +84,10 @@ class Logger {
   }
 
  private:
+  void log_impl(LogLevel level, std::string_view component,
+                std::string_view message, const LogField* fields,
+                std::size_t n) TAMPER_EXCLUDES(mu_);
+
   std::ostream& out_;
   const LogLevel min_level_;
   const Format format_;

@@ -271,6 +271,23 @@ void HistogramFamily::write_json(internal::JsonCursor& json) const {
   }
 }
 
+bool CounterFamily::accumulate_total(double* out) const {
+  common::MutexLock lock(mu_);
+  double total = 0.0;
+  for (const auto& [labels, counter] : series_)
+    total += static_cast<double>(counter->value());
+  *out = total;
+  return true;
+}
+
+bool GaugeFamily::accumulate_total(double* out) const {
+  common::MutexLock lock(mu_);
+  double total = 0.0;
+  for (const auto& [labels, gauge] : series_) total += gauge->value();
+  *out = total;
+  return true;
+}
+
 std::vector<double> duration_buckets() {
   return {0.00025, 0.001, 0.004, 0.016, 0.0625, 0.25, 1.0, 4.0};
 }
@@ -412,6 +429,13 @@ void Registry::write_json(std::ostream& out, bool pretty) {
   json.end_array();
   json.end_object();
   out << '\n';
+}
+
+bool Registry::read_family_total(std::string_view name, double* out) {
+  common::MutexLock lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return false;
+  return it->second->accumulate_total(out);
 }
 
 std::string Registry::prometheus_text() {

@@ -149,6 +149,11 @@ class FamilyBase {
   virtual void write_prometheus(std::ostream& out) const = 0;
   virtual void write_json(JsonCursor& json) const = 0;
 
+  /// Sum of all series values, for read-back sampling (timeseries rollups).
+  /// Counter and gauge families report true; histograms have no single
+  /// scalar reading and report false.
+  virtual bool accumulate_total(double* /*out*/) const { return false; }
+
  protected:
   void check_arity(const std::vector<std::string>& label_values) const;
 
@@ -167,6 +172,7 @@ class CounterFamily final : public internal::FamilyBase {
   Counter& with(std::vector<std::string> label_values = {}) TAMPER_EXCLUDES(mu_);
   void write_prometheus(std::ostream& out) const override TAMPER_EXCLUDES(mu_);
   void write_json(internal::JsonCursor& json) const override TAMPER_EXCLUDES(mu_);
+  bool accumulate_total(double* out) const override TAMPER_EXCLUDES(mu_);
 
  private:
   mutable common::Mutex mu_;
@@ -180,6 +186,7 @@ class GaugeFamily final : public internal::FamilyBase {
   Gauge& with(std::vector<std::string> label_values = {}) TAMPER_EXCLUDES(mu_);
   void write_prometheus(std::ostream& out) const override TAMPER_EXCLUDES(mu_);
   void write_json(internal::JsonCursor& json) const override TAMPER_EXCLUDES(mu_);
+  bool accumulate_total(double* out) const override TAMPER_EXCLUDES(mu_);
 
  private:
   mutable common::Mutex mu_;
@@ -248,6 +255,16 @@ class Registry {
 
   [[nodiscard]] std::string prometheus_text() TAMPER_EXCLUDES(mu_);
   [[nodiscard]] std::string json_text(bool pretty = true) TAMPER_EXCLUDES(mu_);
+
+  /// Run the collectors without emitting — refreshes mirrored gauges so a
+  /// subsequent read_family_total sees current values.
+  void refresh() TAMPER_EXCLUDES(mu_) { collect(); }
+
+  /// Read the summed value of a counter/gauge family (all series added).
+  /// Returns false when the family is absent or is a histogram. Does NOT
+  /// run collectors — call refresh() first when mirrored state matters.
+  [[nodiscard]] bool read_family_total(std::string_view name, double* out)
+      TAMPER_EXCLUDES(mu_);
 
  private:
   internal::FamilyBase& family(MetricKind kind, std::string_view name,

@@ -34,4 +34,12 @@ struct Validation {
 /// and correct comma placement, closed by a `]` terminator line.
 [[nodiscard]] Validation validate_chrome_trace(std::string_view text);
 
+/// "tamper-timeseries/1" JSON (obs/timeseries.h): a full JSON parse (tiny
+/// recursive-descent, no dependencies) plus the format's structural
+/// contract — schema stamp, positive epoch_length_sec, scopes each with
+/// sorted series (family/label/merge/points with strictly ascending epochs
+/// and finite values), ascending epoch coverage notes, and well-formed
+/// anomaly events. `samples` counts points, `families` distinct series.
+[[nodiscard]] Validation validate_timeseries_json(std::string_view text);
+
 }  // namespace tamper::obs

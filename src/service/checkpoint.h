@@ -27,10 +27,11 @@ namespace tamper::service {
 inline constexpr char kCheckpointMagic[8] = {'T', 'S', 'C', 'K', 'P', 'T', '0', '1'};
 // v2: DegradedStats gained spool_replay_failures; Pipeline serializes
 // latest_ts_sec (fleet epoch tagging). v3: DegradedStats gained the
-// overload-control admission counters and spool_dropped. Older images are
-// refused, not migrated: checkpoints are short-lived operational state,
-// not archives.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+// overload-control admission counters and spool_dropped. v4: Pipeline
+// serializes the trends epoch ring (obs/timeseries.h), so longitudinal
+// history survives crash-resume. Older images are refused, not migrated:
+// checkpoints are short-lived operational state, not archives.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 struct CheckpointMeta {
   std::uint64_t samples_ingested = 0;  ///< pipeline position at snapshot time

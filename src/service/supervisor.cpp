@@ -25,7 +25,8 @@ SupervisedService::SupervisedService(const world::World& world, ServiceConfig co
       config_(std::move(config)),
       emitter_(emitter),
       pipeline_(std::make_unique<analysis::Pipeline>(world)),
-      queue_(config_.queue_capacity, config_.queue_policy, sample_is_embryonic) {
+      queue_(config_.queue_capacity, config_.queue_policy, sample_is_embryonic),
+      anomaly_watchdog_(config_.anomaly) {
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {
@@ -34,6 +35,8 @@ SupervisedService::SupervisedService(const world::World& world, ServiceConfig co
   }
   clock_ = config_.clock != nullptr ? config_.clock : &obs::monotonic_clock();
   pipeline_->set_obs(metrics_, config_.tracer, clock_);
+  pipeline_->set_trends_config(config_.trends);
+  anomaly_watchdog_.set_obs(metrics_, config_.logger);
   if (config_.overload.enabled) {
     control::OverloadConfig oc = config_.overload;
     if (oc.clock == nullptr) oc.clock = clock_;  // inherit the service seam
@@ -370,6 +373,9 @@ void SupervisedService::write_checkpoint() {
   obs::Tracer::Span span(config_.tracer, obs::stage::kCheckpoint,
                          obs::stage::kCategory);
   record_degraded_sources();
+  // Sample the trends ring before encoding so the checkpoint carries the
+  // point for this boundary — a resumed run re-derives the identical ring.
+  pipeline_->sample_trends();
   if (config_.checkpoint_fault_hook && config_.checkpoint_fault_hook()) {
     checkpoint_failures_c_->add(1);
     log(obs::LogLevel::kWarn, "checkpoint write failed",
@@ -402,13 +408,22 @@ void SupervisedService::emit_report(bool force) {
     return;
   }
   record_degraded_sources();
+  pipeline_->sample_trends();
+  // Rescan the watchdog at every report boundary: deterministic events,
+  // idempotent metric publication, first-seen lines logged. Epochs where
+  // the degraded series rose are suppressed from scoring.
+  anomaly_watchdog_.rescan(
+      pipeline_->trends(), obs::default_series_catalog(),
+      obs::epochs_where_rising(pipeline_->trends(), "degraded"));
   std::string payload;
   if (config_.report_encoder) {
     payload = config_.report_encoder(*pipeline_, ingested_c_->value() - base_.ingested,
                                      overload_state());
   } else {
     std::ostringstream out;
-    analysis::write_radar_report(out, *pipeline_);
+    analysis::ReportOptions report_options;
+    report_options.trend_anomalies = &anomaly_watchdog_.last().events;
+    analysis::write_radar_report(out, *pipeline_, report_options);
     payload = out.str();
   }
   const bool delivered = emitter_->emit(payload);

@@ -37,6 +37,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/pipeline.h"
 #include "capture/sample.h"
@@ -44,9 +45,11 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "control/overload.h"
+#include "obs/anomaly.h"
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "service/checkpoint.h"
 #include "service/sink.h"
@@ -95,6 +98,18 @@ struct ServiceConfig {
   /// admission, watermark-driven degradation, and the report circuit
   /// breaker. `overload.clock` defaults to this config's `clock` seam.
   control::OverloadConfig overload;
+
+  /// Longitudinal trends: the pipeline's epoch ring is configured with this
+  /// at construction and sampled at every checkpoint/report boundary (see
+  /// Pipeline::sample_trends); the anomaly watchdog rescans it at report
+  /// boundaries. History rides the checkpoint, so it survives crash-resume.
+  obs::EpochRingConfig trends;
+  obs::AnomalyConfig anomaly{};
+
+  /// Fleet PoP id, or -1 outside a fleet. When >= 0 every structured log
+  /// line from this service carries a tamper_pop field, so interleaved
+  /// per-PoP logs stay attributable.
+  std::int64_t pop = -1;
 
   /// Observability (all optional, all must outlive the service). When
   /// `metrics` is null the service creates a private registry — the
@@ -170,6 +185,12 @@ class SupervisedService {
   /// Only meaningful once the service is no longer running.
   [[nodiscard]] const analysis::Pipeline& pipeline() const { return *pipeline_; }
 
+  /// The anomaly watchdog's latest scan (rescanned at report boundaries).
+  /// Like pipeline(): only meaningful once the service is no longer running.
+  [[nodiscard]] const obs::AnomalyScan& anomalies() const noexcept {
+    return anomaly_watchdog_.last();
+  }
+
   /// Samples ingested by this run so far (restored count included; atomic
   /// counter read, any thread). Chaos harnesses poll this to wait for the
   /// worker to reach a stream position before injecting a fault there.
@@ -203,8 +224,16 @@ class SupervisedService {
   void register_metrics();
   void log(obs::LogLevel level, std::string_view message,
            std::initializer_list<obs::LogField> fields = {}) const {
-    if (config_.logger != nullptr)
+    if (config_.logger == nullptr) return;
+    if (config_.pop < 0) {
       config_.logger->log(level, "supervisor", message, fields);
+      return;
+    }
+    // Fleet context: stamp every line with the PoP id so interleaved
+    // per-PoP logs stay attributable.
+    std::vector<obs::LogField> tagged(fields);
+    tagged.push_back({"tamper_pop", std::to_string(config_.pop)});
+    config_.logger->log(level, "supervisor", message, tagged);
   }
   void write_checkpoint();
   void emit_report(bool force = false);
@@ -221,6 +250,10 @@ class SupervisedService {
   /// from the registry (see ~SupervisedService) because owned_metrics_ may
   /// die first.
   std::unique_ptr<control::OverloadController> overload_;
+  /// Rescans the pipeline's trends ring at report boundaries. Driven only
+  /// by the thread currently owning the pipeline (worker, or finish() after
+  /// the final join), like checkpoint_seq_.
+  obs::AnomalyWatchdog anomaly_watchdog_;
   /// Emitter spool depth is a directory scan; submit() reads this cache
   /// (refreshed at every emission) instead of hitting the filesystem per
   /// sample.

@@ -1,0 +1,19 @@
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  reg.counter("tamper_seen_total", "registered here");
+  reg.gauge("tamper_level", "registered here too");
+}
+
+const std::vector<SeriesSpec>& catalog() {
+  static const std::vector<SeriesSpec> kCatalog = {
+      series_spec("seen", "agg:tamper_seen_total"),
+      series_spec("level", "metric:tamper_level"),
+  };
+  return kCatalog;
+}
+
+}  // namespace tamper::obs

@@ -1,0 +1,19 @@
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace tamper::obs {
+
+void wire(Registry& reg) {
+  reg.counter("tamper_real_total", "a family that exists");
+}
+
+const std::vector<SeriesSpec>& catalog() {
+  static const std::vector<SeriesSpec> kCatalog = {
+      series_spec("good", "agg:tamper_real_total"),
+      series_spec("dangling", "agg:tamper_missing_total"),
+      series_spec("prefixless", "tamper_real_total"),
+  };
+  return kCatalog;
+}
+
+}  // namespace tamper::obs

@@ -1,0 +1,14 @@
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace tamper::obs {
+
+const std::vector<SeriesSpec>& catalog() {
+  static const std::vector<SeriesSpec> kCatalog = {
+      // tamperlint-allow(R12): the backing family is registered by a plugin
+      series_spec("external", "metric:tamper_plugin_total"),
+  };
+  return kCatalog;
+}
+
+}  // namespace tamper::obs

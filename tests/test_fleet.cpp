@@ -82,6 +82,19 @@ std::vector<std::uint8_t> state_bytes(const analysis::Pipeline& pipeline) {
   return service::encode_checkpoint(pipeline, service::CheckpointMeta{});
 }
 
+/// The same image with the trends ring normalized to empty. Fleet-vs-
+/// monolith equivalence is about the fold of the sample multiset; ring
+/// points are sampled at per-PoP report cadence — a property of the
+/// deployment shape, not of the data. Ring merge laws are pinned by the
+/// federated-trends tests instead.
+std::vector<std::uint8_t> without_trends(const std::vector<std::uint8_t>& image) {
+  analysis::Pipeline scratch(shared_world());
+  const service::LoadResult load = service::decode_checkpoint(image, scratch);
+  EXPECT_TRUE(load.ok) << load.error;
+  scratch.set_trends_config(scratch.trends().config());
+  return service::encode_checkpoint(scratch, {});
+}
+
 // ---------------------------------------------------------------------------
 // Anycast routing
 // ---------------------------------------------------------------------------
@@ -533,6 +546,88 @@ TEST_F(MergerTest, MergedBytesIgnoreArrivalOrder) {
 }
 
 // ---------------------------------------------------------------------------
+// Federated trends: the merged epoch ring obeys the same monoid laws as
+// the scalar aggregates, so the `tamper-timeseries/1` dump is a pure
+// function of the partial set — arrival order, replays, and checkpoint
+// round trips can never change a byte.
+// ---------------------------------------------------------------------------
+
+/// A partial whose pipeline carries a populated trends ring: samples are
+/// ingested in observation order with periodic sample_trends() calls, the
+/// way the service worker rolls up at checkpoint/report boundaries.
+std::string trends_partial(std::uint32_t pop, std::uint64_t epoch,
+                           std::uint64_t sequence, std::size_t samples,
+                           std::uint64_t seed) {
+  analysis::Pipeline p(shared_world());
+  std::size_t ingested = 0;
+  for (const auto& s : generate_samples(samples, seed)) {
+    p.ingest(s);
+    if (++ingested % 50 == 0) p.sample_trends();
+  }
+  p.sample_trends();
+  return fleet::encode_partial({pop, epoch, sequence, {}}, p);
+}
+
+TEST_F(MergerTest, TimeseriesDumpIgnoresArrivalOrderAndReplays) {
+  const std::string p0 = trends_partial(0, 8, 200, 180, 0xa000);
+  const std::string p1 = trends_partial(1, 8, 190, 160, 0xa001);
+  const std::string p2 = trends_partial(2, 9, 210, 200, 0xa002);
+  fleet::MergerConfig config{.pops_expected = 3};
+
+  fleet::Merger forward(shared_world(), config);
+  EXPECT_TRUE(forward.deliver(p0));
+  EXPECT_TRUE(forward.deliver(p1));
+  EXPECT_TRUE(forward.deliver(p2));
+
+  fleet::Merger shuffled(shared_world(), config);
+  EXPECT_TRUE(shuffled.deliver(p2));
+  EXPECT_TRUE(shuffled.deliver(p0));
+  EXPECT_TRUE(shuffled.deliver(p1));
+  EXPECT_TRUE(shuffled.deliver(p0));  // replay: idempotent on (pop, epoch, seq)
+  EXPECT_EQ(shuffled.stats().duplicates, 1u);
+
+  const std::string dump = forward.timeseries_dump();
+  EXPECT_EQ(dump, shuffled.timeseries_dump());
+  EXPECT_EQ(forward.merged_report(), shuffled.merged_report());
+
+  // The dump carries the fleet scope plus one scope per reporting PoP.
+  EXPECT_NE(dump.find("tamper-timeseries/1"), std::string::npos);
+  EXPECT_NE(dump.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(dump.find("\"pop:0\""), std::string::npos);
+  EXPECT_NE(dump.find("\"pop:1\""), std::string::npos);
+  EXPECT_NE(dump.find("\"pop:2\""), std::string::npos);
+
+  // And the fleet-scope trends view is populated, identically, on both.
+  const fleet::Merger::FleetTrends a = forward.fleet_trends();
+  const fleet::Merger::FleetTrends b = shuffled.fleet_trends();
+  EXPECT_FALSE(a.epochs.empty());
+  EXPECT_EQ(a.epochs.size(), b.epochs.size());
+  EXPECT_EQ(a.scan.points_scanned, b.scan.points_scanned);
+  EXPECT_EQ(a.scan.events.size(), b.scan.events.size());
+}
+
+TEST_F(MergerTest, TrendsRingSurvivesTheCheckpointRoundTripByteStably) {
+  // A pipeline with a non-empty ring: save -> restore -> save must be
+  // byte-identical, and the restored ring must serve the same series.
+  analysis::Pipeline pipeline(shared_world());
+  std::size_t ingested = 0;
+  for (const auto& s : generate_samples(300, 0xa100)) {
+    pipeline.ingest(s);
+    if (++ingested % 50 == 0) pipeline.sample_trends();
+  }
+  pipeline.sample_trends();
+  ASSERT_FALSE(pipeline.trends().series().empty());
+
+  const auto first = state_bytes(pipeline);
+  analysis::Pipeline restored(shared_world());
+  const service::LoadResult load = service::decode_checkpoint(first, restored);
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(state_bytes(restored), first);
+  EXPECT_EQ(restored.trends().series().size(), pipeline.trends().series().size());
+  EXPECT_EQ(restored.trends().max_epoch(), pipeline.trends().max_epoch());
+}
+
+// ---------------------------------------------------------------------------
 // Fleet end-to-end
 // ---------------------------------------------------------------------------
 
@@ -558,8 +653,10 @@ TEST(Fleet, MergedFleetEqualsMonolith) {
   for (const auto& s : samples) EXPECT_TRUE(fleet.submit(s).has_value());
   fleet.stop();
 
-  // Sharding by anycast must be invisible in the merged bytes.
-  EXPECT_EQ(fleet.merger().merged_state_image(), state_bytes(monolith));
+  // Sharding by anycast must be invisible in the merged aggregate bytes
+  // (the trends ring is sampled at per-PoP cadence, so it is normalized).
+  EXPECT_EQ(without_trends(fleet.merger().merged_state_image()),
+            without_trends(state_bytes(monolith)));
   const auto c = fleet.merger().coverage();
   EXPECT_EQ(c.pops_reporting, c.pops_expected);
   EXPECT_FALSE(c.degraded);

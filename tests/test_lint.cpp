@@ -366,6 +366,37 @@ TEST(LintR11, QuietOnExhaustiveSwitch) {
   EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
 }
 
+// ---------------------------------------------------------------- R12
+
+TEST(LintR12, FiresOnDanglingAndPrefixlessSources) {
+  const auto findings = lint_repo(load_repo("r12_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R12"), 2) << tamper::lint::format_text(findings);
+  bool dangling = false, prefixless = false;
+  for (const auto& f : findings) {
+    if (f.rule != "R12") continue;
+    EXPECT_EQ(f.path, "src/obs/catalog.cpp");
+    if (f.message.find("tamper_missing_total") != std::string::npos) dangling = true;
+    if (f.message.find("\"prefixless\"") != std::string::npos) {
+      prefixless = true;
+      EXPECT_NE(f.message.find("agg:<metric_family>"), std::string::npos)
+          << "the fix must be spelled out: " << f.message;
+    }
+  }
+  EXPECT_TRUE(dangling);
+  EXPECT_TRUE(prefixless);
+}
+
+TEST(LintR12, SuppressionAboveTheEntrySilencesIt) {
+  const auto findings = lint_repo(load_repo("r12_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R12"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR12, QuietWhenEverySourceResolves) {
+  const auto findings = lint_repo(load_repo("r12_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
 // ---------------------------------------------------------------- seeded repo
 
 TEST(LintSeeded, ExactlyOneFindingPerCrossFileRule) {
@@ -568,7 +599,7 @@ TEST(LintSarif, ValidatesAgainstThe210Shape) {
   EXPECT_EQ(driver->get("name")->str, "tamperlint");
   const JsonValue* rules = driver->get("rules");
   ASSERT_NE(rules, nullptr);
-  EXPECT_EQ(rules->array.size(), 12u);  // R0..R11
+  EXPECT_EQ(rules->array.size(), 13u);  // R0..R12
   for (const JsonValue& rule : rules->array) {
     ASSERT_NE(rule.get("id"), nullptr);
     ASSERT_NE(rule.get("shortDescription"), nullptr);
@@ -683,7 +714,7 @@ TEST(LintManifest, FormatSortsAndDeduplicates) {
 
 TEST(LintCatalog, ListsTheCrossFileRules) {
   const std::string catalog = tamper::lint::rule_catalog();
-  for (const char* id : {"R7", "R8", "R9", "R10", "R11"})
+  for (const char* id : {"R7", "R8", "R9", "R10", "R11", "R12"})
     EXPECT_NE(catalog.find(id), std::string::npos) << id;
 }
 

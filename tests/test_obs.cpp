@@ -10,17 +10,23 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "common/binio.h"
 #include "fault/chaos.h"
+#include "obs/anomaly.h"
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
 #include "service/supervisor.h"
@@ -499,6 +505,226 @@ TEST(ObsService, SharedRegistrySurvivesReuseAndSummariesStayDeltas) {
     const std::string text = second.metrics().prometheus_text();
     EXPECT_EQ(sample_value(text, "tamper_ingest_samples_total"), 300.0);
   }
+}
+
+// -------------------------------------------------- timeseries & anomaly --
+
+std::vector<std::uint8_t> ring_bytes(const obs::EpochRing& ring) {
+  common::BinWriter w;
+  ring.snapshot(w);
+  return w.bytes();
+}
+
+TEST(TimeseriesRing, WindowWrapKeepsNewestAndRefusesStalePoints) {
+  obs::EpochRing ring({.epoch_length_sec = 1, .max_epochs = 3, .max_series = 8});
+  for (std::int64_t e = 0; e <= 5; ++e)
+    ring.record_epoch("connections", "", obs::SeriesMerge::kSum, e,
+                      static_cast<double>(10 * (e + 1)));
+  EXPECT_EQ(ring.min_epoch(), 3);
+  EXPECT_EQ(ring.max_epoch(), 5);
+  EXPECT_EQ(ring.point_count(), 3u);
+  EXPECT_EQ(ring.dropped_points(), 3u);  // epochs 0..2 trimmed by the window
+  // A point older than the retained window is refused up front.
+  ring.record_epoch("connections", "", obs::SeriesMerge::kSum, 1, 999.0);
+  EXPECT_EQ(ring.point_count(), 3u);
+  EXPECT_EQ(ring.dropped_points(), 4u);
+  // Within an epoch: kSum is last-write-wins (cumulative), kMax keeps max.
+  ring.record_epoch("connections", "", obs::SeriesMerge::kSum, 5, 77.0);
+  ring.record_epoch("level", "", obs::SeriesMerge::kMax, 5, 3.0);
+  ring.record_epoch("level", "", obs::SeriesMerge::kMax, 5, 1.0);
+  const auto& series = ring.series();
+  EXPECT_EQ(series.find(obs::SeriesKey{"connections", ""})->second.points.at(5), 77.0);
+  EXPECT_EQ(series.find(obs::SeriesKey{"level", ""})->second.points.at(5), 3.0);
+}
+
+TEST(TimeseriesRing, SeriesCapEvictsBySortOrderDeterministically) {
+  obs::EpochRing ring({.epoch_length_sec = 1, .max_epochs = 8, .max_series = 2});
+  ring.record_epoch("a", "", obs::SeriesMerge::kSum, 1, 1.0);
+  ring.record_epoch("c", "", obs::SeriesMerge::kSum, 1, 3.0);
+  // A key past the cap in sort order is refused...
+  ring.record_epoch("d", "", obs::SeriesMerge::kSum, 1, 4.0);
+  EXPECT_EQ(ring.series().size(), 2u);
+  EXPECT_EQ(ring.dropped_points(), 1u);
+  // ...but a smaller key displaces the current last, so the surviving set is
+  // always the first max_series keys regardless of arrival order.
+  ring.record_epoch("b", "", obs::SeriesMerge::kSum, 1, 2.0);
+  ASSERT_EQ(ring.series().size(), 2u);
+  EXPECT_NE(ring.series().find(obs::SeriesKey{"a", ""}), ring.series().end());
+  EXPECT_NE(ring.series().find(obs::SeriesKey{"b", ""}), ring.series().end());
+}
+
+TEST(TimeseriesRing, MergeIsOrderAndGroupingInvariant) {
+  const auto make = [](std::int64_t base, double scale) {
+    obs::EpochRing ring({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 8});
+    for (std::int64_t e = base; e < base + 3; ++e) {
+      ring.record_epoch("connections", "", obs::SeriesMerge::kSum, e,
+                        scale * static_cast<double>(e + 1));
+      ring.record_epoch("level", "", obs::SeriesMerge::kMax, e, scale);
+    }
+    return ring;
+  };
+  const obs::EpochRing a = make(0, 1.0), b = make(2, 10.0), c = make(4, 100.0);
+
+  obs::EpochRing left({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 8});
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+  obs::EpochRing right({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 8});
+  // Different order AND different grouping (c+b folded first).
+  obs::EpochRing cb({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 8});
+  cb.merge_from(c);
+  cb.merge_from(b);
+  right.merge_from(cb);
+  right.merge_from(a);
+  EXPECT_EQ(ring_bytes(left), ring_bytes(right));
+  // Identity: merging into a default ring reproduces the source bytes.
+  obs::EpochRing identity;
+  identity.merge_from(a);
+  EXPECT_EQ(ring_bytes(identity), ring_bytes(a));
+}
+
+TEST(TimeseriesRing, SnapshotRestoreSnapshotIsByteStable) {
+  obs::EpochRing ring({.epoch_length_sec = 60, .max_epochs = 16, .max_series = 8});
+  ring.record_epoch("connections", "", obs::SeriesMerge::kSum, 3, 12.0);
+  ring.record_epoch("country_matches", "xa", obs::SeriesMerge::kSum, 3, 5.0);
+  ring.record_epoch("country_matches", "xb", obs::SeriesMerge::kSum, 4, 6.0);
+  const auto first = ring_bytes(ring);
+
+  obs::EpochRing restored;
+  common::BinReader r(first);
+  restored.restore(r);
+  EXPECT_EQ(ring_bytes(restored), first);
+  EXPECT_EQ(restored.config().epoch_length_sec, 60);
+  EXPECT_EQ(restored.max_epoch(), 4);
+}
+
+TEST(TimeseriesRing, CursorIsAPureLookupStrategy) {
+  // The sorted-run cursor must produce byte-identical ring state to plain
+  // record() calls — including when the run is NOT actually sorted and the
+  // cursor has to fall back.
+  const std::vector<std::pair<std::string, double>> labels = {
+      {"aa", 1.0}, {"ab", 2.0}, {"zz", 3.0}, {"ba", 4.0}, {"aa", 5.0}};
+  obs::EpochRing plain({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 4});
+  obs::EpochRing cursed({.epoch_length_sec = 1, .max_epochs = 4, .max_series = 4});
+  for (std::int64_t epoch = 0; epoch < 6; ++epoch) {
+    obs::EpochRing::Cursor cursor(cursed);
+    for (const auto& [label, value] : labels) {
+      plain.record_epoch("country_matches", label, obs::SeriesMerge::kSum, epoch,
+                         value * static_cast<double>(epoch + 1));
+      cursor.record_epoch("country_matches", label, obs::SeriesMerge::kSum, epoch,
+                          value * static_cast<double>(epoch + 1));
+    }
+  }
+  EXPECT_EQ(ring_bytes(cursed), ring_bytes(plain));
+  EXPECT_EQ(cursed.dropped_points(), plain.dropped_points());
+}
+
+obs::EpochRing steady_ring(std::int64_t epochs, double delta, double shift_at_last) {
+  obs::EpochRing ring({.epoch_length_sec = 1, .max_epochs = 168, .max_series = 8});
+  double total = 0.0;
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    total += e + 1 == epochs ? shift_at_last : delta;
+    ring.record_epoch("possibly_tampered", "", obs::SeriesMerge::kSum, e, total);
+  }
+  return ring;
+}
+
+TEST(AnomalyScan, SeededRateShiftRaisesExactlyOneEvent) {
+  // Deltas of 10 for 10 epochs, then a 100 jump: one event, at the jump.
+  const obs::EpochRing ring = steady_ring(11, 10.0, 100.0);
+  const auto scan =
+      obs::scan_anomalies(ring, obs::default_series_catalog(), obs::AnomalyConfig{});
+  ASSERT_EQ(scan.events.size(), 1u) << scan.events.size() << " events";
+  EXPECT_EQ(scan.events[0].family, "possibly_tampered");
+  EXPECT_EQ(scan.events[0].epoch, 10);
+  EXPECT_EQ(scan.events[0].delta, 100.0);
+  EXPECT_GT(scan.events[0].score, obs::AnomalyConfig{}.z_threshold);
+  EXPECT_EQ(scan.suppressed_degraded, 0u);
+  EXPECT_EQ(scan.suppressed_gap, 0u);
+  // Pure function: the same ring re-derives the identical event list.
+  const auto again =
+      obs::scan_anomalies(ring, obs::default_series_catalog(), obs::AnomalyConfig{});
+  EXPECT_TRUE(again.events == scan.events);
+}
+
+TEST(AnomalyScan, DegradedEpochRaisesNothing) {
+  const obs::EpochRing ring = steady_ring(11, 10.0, 100.0);
+  const auto scan = obs::scan_anomalies(ring, obs::default_series_catalog(),
+                                        obs::AnomalyConfig{}, {10});
+  EXPECT_TRUE(scan.events.empty());
+  EXPECT_GT(scan.suppressed_degraded, 0u);
+}
+
+TEST(AnomalyScan, EpochGapsAreSuppressedNotScored) {
+  obs::EpochRing ring({.epoch_length_sec = 1, .max_epochs = 168, .max_series = 8});
+  double total = 0.0;
+  for (std::int64_t e = 0; e < 8; ++e) {
+    total += 10.0;
+    // Epoch 5 is missing: the 4 -> 6 delta spans a gap and must not score,
+    // however large it looks.
+    if (e == 5) continue;
+    if (e == 6) total += 1000.0;
+    ring.record_epoch("possibly_tampered", "", obs::SeriesMerge::kSum, e, total);
+  }
+  const auto scan =
+      obs::scan_anomalies(ring, obs::default_series_catalog(), obs::AnomalyConfig{});
+  EXPECT_TRUE(scan.events.empty());
+  EXPECT_GT(scan.suppressed_gap, 0u);
+}
+
+TEST(AnomalyScan, InputNoiseDoesNotMarkTheEpochDegraded) {
+  // A stray junk flow (zero packets) is noise, not coverage loss: the
+  // `degraded` trends series must stay flat so the watchdog keeps scoring
+  // the epoch instead of suppressing it.
+  analysis::Pipeline pipeline(shared_world());
+  auto samples = generate_samples(100);
+  capture::ConnectionSample empty = samples.front();
+  empty.packets.clear();
+  pipeline.ingest(empty);
+  for (const auto& s : samples) pipeline.ingest(s);
+  pipeline.sample_trends();
+
+  EXPECT_EQ(pipeline.degraded().empty_samples, 1u);
+  EXPECT_EQ(pipeline.degraded().coverage_loss(), 0u);
+  EXPECT_TRUE(obs::epochs_where_rising(pipeline.trends(), "degraded").empty());
+  const auto scan = obs::scan_anomalies(
+      pipeline.trends(), obs::default_series_catalog(), obs::AnomalyConfig{},
+      obs::epochs_where_rising(pipeline.trends(), "degraded"));
+  EXPECT_EQ(scan.suppressed_degraded, 0u);
+}
+
+TEST(Validators, AcceptRealTimeseriesAndRejectBroken) {
+  obs::EpochRing ring({.epoch_length_sec = 3600, .max_epochs = 8, .max_series = 8});
+  ring.record_epoch("connections", "", obs::SeriesMerge::kSum, 1, 10.0);
+  ring.record_epoch("connections", "", obs::SeriesMerge::kSum, 2, 25.0);
+  obs::TimeseriesScope scope;
+  scope.name = "local";
+  scope.ring = &ring;
+  scope.epochs.push_back({.epoch = 1, .degraded = false});
+  scope.epochs.push_back({.epoch = 2, .degraded = true});
+  std::ostringstream out;
+  obs::write_timeseries_json(out, {scope}, 3600, /*pretty=*/true);
+  const auto good = obs::validate_timeseries_json(out.str());
+  EXPECT_TRUE(good.ok) << good.error << " at line " << good.line;
+
+  EXPECT_FALSE(obs::validate_timeseries_json("{}").ok);
+  EXPECT_FALSE(obs::validate_timeseries_json(
+                   "{\"schema\": \"tamper-timeseries/2\", \"epoch_length_sec\": 1, "
+                   "\"scopes\": []}")
+                   .ok);
+  EXPECT_FALSE(obs::validate_timeseries_json(
+                   "{\"schema\": \"tamper-timeseries/1\", \"epoch_length_sec\": 0, "
+                   "\"scopes\": []}")
+                   .ok);
+  // Epochs inside a series must ascend strictly.
+  EXPECT_FALSE(
+      obs::validate_timeseries_json(
+          "{\"schema\": \"tamper-timeseries/1\", \"epoch_length_sec\": 1, "
+          "\"scopes\": [{\"scope\": \"local\", \"series\": [{\"family\": \"c\", "
+          "\"label\": \"\", \"merge\": \"sum\", \"points\": [{\"epoch\": 2, "
+          "\"value\": 1}, {\"epoch\": 1, \"value\": 2}]}], \"epochs\": [], "
+          "\"anomalies\": []}]}")
+          .ok);
 }
 
 TEST(ObsService, PrivateRegistryIsCreatedWhenNoneConfigured) {

@@ -6,7 +6,10 @@
 #                       parse, and the snapshot carries the schema marker;
 #   2. SIGTERM drain  — the final flush after a mid-run signal must still
 #                       leave a complete Prometheus file and a trace with a
-#                       valid `]` terminator behind (exit code 128+15).
+#                       valid `]` terminator behind (exit code 128+15);
+#   3. trends         — the watch run's `tamper-timeseries/1` dump parses,
+#                       `tamperscope trends` reads the history back out of
+#                       the checkpoint, and its --json re-dump parses too.
 #
 # Usage: tools/obs_smoke.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -41,6 +44,24 @@ if ! grep -q '^tamper_ingest_samples_total 2000$' "$TMP/clean.prom"; then
   echo "obs_smoke: expected tamper_ingest_samples_total 2000 in clean.prom" >&2
   exit 1
 fi
+
+echo "== obs smoke: trends =="
+"$TS" watch --connections 2000 --seed 7 --queue 256 \
+  --checkpoint "$TMP/trends-ckpt" --checkpoint-every 500 --report-every 500 \
+  --report "$TMP/trends-report.json" \
+  --timeseries-out "$TMP/trends.ts.json" --log-format json >"$TMP/trends.out"
+"$CHECK" timeseries "$TMP/trends.ts.json"
+if ! grep -q 'tamper-timeseries/1' "$TMP/trends.ts.json"; then
+  echo "obs_smoke: timeseries dump missing tamper-timeseries/1 schema marker" >&2
+  exit 1
+fi
+"$TS" trends "$TMP/trends-ckpt" --json "$TMP/trends.offline.json" >"$TMP/trends.query.out"
+if ! grep -q 'history:' "$TMP/trends.query.out"; then
+  echo "obs_smoke: tamperscope trends printed no history summary" >&2
+  cat "$TMP/trends.query.out" >&2 || true
+  exit 1
+fi
+"$CHECK" timeseries "$TMP/trends.offline.json"
 
 echo "== obs smoke: SIGTERM drain =="
 # Enough offered load to guarantee the signal lands mid-run, even on a

@@ -1,7 +1,8 @@
 // obscheck — tiny validator CLI for the observability output formats.
 //
-//   obscheck prom <file>    Prometheus text exposition v0.0.4
-//   obscheck trace <file>   Chrome trace-event JSON (Perfetto-loadable)
+//   obscheck prom <file>        Prometheus text exposition v0.0.4
+//   obscheck trace <file>       Chrome trace-event JSON (Perfetto-loadable)
+//   obscheck timeseries <file>  `tamper-timeseries/1` longitudinal dump
 //
 // Exit 0 when the file parses, 1 with a one-line diagnostic when it does
 // not, 2 on usage/IO errors. This is the parser half of the CI obs smoke
@@ -17,8 +18,8 @@
 
 int main(int argc, char** argv) {
   const std::string kind = argc == 3 ? argv[1] : "";
-  if (kind != "prom" && kind != "trace") {
-    std::cerr << "usage: obscheck <prom|trace> <file>\n";
+  if (kind != "prom" && kind != "trace" && kind != "timeseries") {
+    std::cerr << "usage: obscheck <prom|trace|timeseries> <file>\n";
     return 2;
   }
   std::ifstream in(argv[2], std::ios::binary);
@@ -30,9 +31,10 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   const std::string text = buf.str();
 
-  const tamper::obs::Validation v = kind == "prom"
-                                        ? tamper::obs::validate_prometheus_text(text)
-                                        : tamper::obs::validate_chrome_trace(text);
+  const tamper::obs::Validation v =
+      kind == "prom"    ? tamper::obs::validate_prometheus_text(text)
+      : kind == "trace" ? tamper::obs::validate_chrome_trace(text)
+                        : tamper::obs::validate_timeseries_json(text);
   if (!v.ok) {
     std::cerr << "obscheck: " << argv[2] << ":" << v.line << ": " << v.error << '\n';
     return 1;
@@ -40,7 +42,10 @@ int main(int argc, char** argv) {
   if (kind == "prom")
     std::cout << argv[2] << ": ok (" << v.families << " families, " << v.samples
               << " samples)\n";
-  else
+  else if (kind == "trace")
     std::cout << argv[2] << ": ok (" << v.samples << " events)\n";
+  else
+    std::cout << argv[2] << ": ok (" << v.families << " series, " << v.samples
+              << " points)\n";
   return 0;
 }

@@ -22,6 +22,7 @@
 //                     [--report-every N] [--metrics-out PATH]
 //                     [--metrics-interval MS] [--trace-out PATH]
 //                     [--overload] [--admit-rate N] [--admit-burst N]
+//                     [--timeseries-out PATH] [--epoch-sec N]
 //       Run the analysis pipeline as a supervised streaming service:
 //       bounded ingest queue, periodic checkpoints (resume with the same
 //       --checkpoint path), report sink with retry + spool. SIGINT/SIGTERM
@@ -33,16 +34,38 @@
 //       --metrics-out snapshots Prometheus text (and PATH.json) every
 //       --metrics-interval ms, with a final flush on shutdown; --trace-out
 //       writes a Perfetto-loadable Chrome trace of pipeline stage spans.
+//       --timeseries-out writes the final `tamper-timeseries/1` dump of the
+//       pipeline's epoch ring (scope "local", --epoch-sec wide epochs) with
+//       the watchdog's last anomaly scan.
 //
 //   tamperscope fleet [--pops N] [--connections N] [--seed S] [--state DIR]
 //                     [--report out.json] [--report-every N]
 //                     [--checkpoint-every N] [--kill-pop P] [--lose-pop P]
-//                     [--metrics-out PATH]
+//                     [--metrics-out PATH] [--timeseries-out PATH]
 //       Run a multi-PoP fleet: anycast-routed per-PoP supervised services
 //       streaming epoch-tagged partial aggregates to a central merger.
 //       --kill-pop crashes PoP P mid-run and resumes it from its
 //       checkpoint (coverage recovers); --lose-pop crashes it for good
 //       (the merged report flags the affected epochs as degraded).
+//       --timeseries-out writes the merger's `tamper-timeseries/1` dump
+//       (fleet scope + per-PoP scopes).
+//
+//   tamperscope top [--pops N] [--connections N] [--seed S] [--frames N]
+//                   [--interval MS] [--clear] [--state DIR] [--overload]
+//       Live terminal dashboard over a seeded fleet campaign: every frame
+//       shows merged totals, signature and country leaders, per-PoP health
+//       (status / epoch / overload ladder level / shed), coverage, and the
+//       fleet anomaly scan. Frame CONTENT is a pure function of (seed,
+//       connections, pops, frame index) — wall time only paces rendering —
+//       so frames are byte-comparable across runs. Plain scrolling output
+//       by default; --clear redraws in place with ANSI clears.
+//
+//   tamperscope trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]
+//       Offline query of the longitudinal trends history a checkpoint
+//       carries (the epoch ring rides the versioned checkpoint): per-series
+//       point counts and latest values, per-epoch coverage, and the
+//       deterministic anomaly scan. --json writes the history as a
+//       `tamper-timeseries/1` document.
 //
 //   Common options: --log-level debug|info|warn|error, --log-format
 //   text|json — structured logging on stderr (stdout stays the product).
@@ -74,11 +97,14 @@
 #include "common/thread_annotations.h"
 #include "core/classifier.h"
 #include "net/pcap.h"
+#include "obs/anomaly.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "control/overload.h"
 #include "fleet/fleet.h"
+#include "service/checkpoint.h"
 #include "service/shutdown.h"
 #include "service/supervisor.h"
 #include "world/traffic.h"
@@ -512,6 +538,7 @@ int cmd_watch(const Args& args) {
   const std::string report_path = args.get("report", "tamperscope-report.json");
   const std::string metrics_path = args.get("metrics-out");
   const std::string trace_path = args.get("trace-out");
+  const std::string timeseries_path = args.get("timeseries-out");
   obs::Logger logger = make_logger(args);
 
   obs::Registry metrics;
@@ -532,6 +559,8 @@ int cmd_watch(const Args& args) {
   cfg.metrics = &metrics;
   cfg.tracer = tracer.get();
   cfg.logger = &logger;
+  cfg.trends.epoch_length_sec =
+      static_cast<std::int64_t>(args.get_u64("epoch-sec", 3600));
   if (args.has("overload")) {
     cfg.overload.enabled = true;
     cfg.overload.admit_rate_per_sec =
@@ -601,6 +630,25 @@ int cmd_watch(const Args& args) {
                 {{"path", trace_path},
                  {"events", std::to_string(tracer->size())},
                  {"dropped", std::to_string(tracer->dropped())}});
+
+  // The worker is joined (stop() above), so the pipeline's epoch ring and
+  // the watchdog's last scan are stable to read from this thread.
+  if (!timeseries_path.empty()) {
+    obs::TimeseriesScope scope;
+    scope.name = "local";
+    scope.ring = &svc.pipeline().trends();
+    scope.anomalies = svc.anomalies().events;
+    std::ostringstream ts;
+    obs::write_timeseries_json(ts, {scope},
+                               svc.pipeline().trends().config().epoch_length_sec);
+    if (!write_file_atomic(timeseries_path, ts.str()))
+      logger.warn("watch", "timeseries write failed", {{"path", timeseries_path}});
+    else
+      logger.info("watch", "timeseries written",
+                  {{"path", timeseries_path},
+                   {"series", std::to_string(svc.pipeline().trends().series().size())},
+                   {"anomalies", std::to_string(svc.anomalies().events.size())}});
+  }
 
   std::cout << "ingested:      " << s.ingested
             << (s.restored ? " (" + std::to_string(s.restored_samples) + " restored from checkpoint)"
@@ -707,6 +755,13 @@ int cmd_fleet(const Args& args) {
   }
   if (!metrics_path.empty() && !write_metrics_files(merger_metrics, metrics_path))
     logger.warn("fleet", "metrics snapshot write failed", {{"path", metrics_path}});
+  const std::string timeseries_path = args.get("timeseries-out");
+  if (!timeseries_path.empty()) {
+    if (!write_file_atomic(timeseries_path, fleet.merger().timeseries_dump()))
+      logger.warn("fleet", "timeseries write failed", {{"path", timeseries_path}});
+    else
+      std::cout << "fleet timeseries: " << timeseries_path << '\n';
+  }
 
   const analysis::FleetCoverage coverage = fleet.merger().coverage();
   const fleet::Merger::Stats ms = fleet.merger().stats();
@@ -732,6 +787,243 @@ int cmd_fleet(const Args& args) {
   return 0;
 }
 
+/// One `top` frame: pure function of the merger's current partial set (and
+/// the frame/offered counters), so equal seeds render equal frames.
+void render_top_frame(const fleet::Merger& merger, std::uint64_t frame,
+                      std::uint64_t frames, std::uint64_t offered,
+                      std::uint64_t total) {
+  const auto merged = merger.merged_pipeline();
+  const analysis::FleetCoverage cov = merger.coverage();
+  const fleet::Merger::FleetTrends trends = merger.fleet_trends(*merged, cov);
+  const auto& matrix = merged->signatures();
+
+  std::cout << "tamperscope top — frame " << frame << "/" << frames << ", "
+            << offered << "/" << total << " samples offered\n"
+            << "merged:    " << matrix.total_connections()
+            << " connections, possibly tampered "
+            << common::TextTable::pct(common::percent(matrix.possibly_tampered(),
+                                                      matrix.total_connections()))
+            << ", signature matched "
+            << common::TextTable::pct(
+                   common::percent(matrix.matched(), matrix.total_connections()))
+            << '\n'
+            << "coverage:  " << cov.pops_reporting << "/" << cov.pops_expected
+            << " PoPs reporting, watermark epoch " << cov.watermark
+            << (cov.degraded ? " [DEGRADED]" : "") << ", anomalies: "
+            << trends.scan.events.size();
+  if (!trends.scan.events.empty()) {
+    const obs::AnomalyEvent& last = trends.scan.events.back();
+    std::cout << " (last: " << last.family
+              << (last.label.empty() ? "" : "{" + last.label + "}") << " @ epoch "
+              << last.epoch << ")";
+  }
+  std::cout << "\n\n";
+
+  // Signature leaders (by matched connections).
+  std::vector<std::pair<std::string, std::uint64_t>> sigs;
+  for (core::Signature sig : core::all_signatures()) {
+    const std::uint64_t n = matrix.signature_total(sig);
+    if (n > 0) sigs.emplace_back(std::string(core::name(sig)), n);
+  }
+  std::stable_sort(sigs.begin(), sigs.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (sigs.size() > 5) sigs.resize(5);
+  common::TextTable sig_table({"Top signature", "Matches"});
+  for (const auto& [name, n] : sigs)
+    sig_table.add_row({name, common::TextTable::num(n)});
+  sig_table.print(std::cout);
+
+  // Country leaders (by matched connections; ties broken by country code).
+  std::vector<std::pair<std::string, std::uint64_t>> countries;
+  for (const std::string& cc : matrix.countries()) {
+    const std::uint64_t n = matrix.country_matches(cc);
+    if (n > 0) countries.emplace_back(cc, n);
+  }
+  std::stable_sort(countries.begin(), countries.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (countries.size() > 5) countries.resize(5);
+  common::TextTable cc_table({"Top country", "Matches", "Connections"});
+  for (const auto& [cc, n] : countries)
+    cc_table.add_row({cc, common::TextTable::num(n),
+                      common::TextTable::num(matrix.country_connections(cc))});
+  cc_table.print(std::cout);
+
+  common::TextTable pop_table({"PoP", "Status", "Last epoch", "Samples",
+                               "Overload", "Shed"});
+  for (const analysis::FleetPopStatus& pop : cov.pops)
+    pop_table.add_row({std::to_string(pop.pop), pop.status,
+                       common::TextTable::num(pop.last_epoch),
+                       common::TextTable::num(pop.samples), pop.overload,
+                       common::TextTable::num(pop.shed_samples)});
+  pop_table.print(std::cout);
+  std::cout << std::flush;
+}
+
+int cmd_top(const Args& args) {
+  const std::uint64_t connections = args.get_u64("connections", 20'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const auto pops = static_cast<std::uint32_t>(args.get_u64("pops", 3));
+  const std::uint64_t frames = std::max<std::uint64_t>(1, args.get_u64("frames", 8));
+  const std::uint64_t interval_ms = args.get_u64("interval", 0);
+  const bool clear = args.has("clear");
+  const std::string state_dir = args.get("state", "tamperscope-top");
+
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  world::World world(world_cfg);
+  world::TrafficConfig traffic;
+  traffic.seed = seed ^ 0x51;
+  world::TrafficGenerator generator(world, traffic);
+
+  // Same timestamp-ordered feed as `fleet`, so PoP epochs advance
+  // monotonically and frames at equal offsets see equal merged state.
+  std::vector<capture::ConnectionSample> samples;
+  samples.reserve(connections);
+  for (std::uint64_t i = 0; i < connections; ++i)
+    samples.push_back(generator.generate_one().sample);
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const capture::ConnectionSample& a,
+                      const capture::ConnectionSample& b) {
+                     return a.observation_end_sec < b.observation_end_sec;
+                   });
+
+  fleet::FleetConfig fc;
+  fc.pops = pops;
+  fc.seed = seed;
+  fc.state_dir = state_dir;
+  fc.report_every_samples = args.get_u64("report-every", 1000);
+  fc.checkpoint_every_samples = args.get_u64("checkpoint-every", 500);
+  if (args.has("overload")) {
+    fc.overload.enabled = true;
+    fc.overload.admit_rate_per_sec =
+        static_cast<double>(args.get_u64("admit-rate", 0));
+    fc.overload.admit_burst = static_cast<double>(args.get_u64("admit-burst", 0));
+  }
+  obs::Registry merger_metrics;
+  fleet::Fleet fleet(world, fc);
+  fleet.merger().set_obs(&merger_metrics);
+  install_signal_handlers();
+
+  const std::uint64_t chunk = (samples.size() + frames - 1) / frames;
+  std::uint64_t offered = 0;
+  bool interrupted = false;
+  for (std::uint64_t f = 0; f < frames && offered < samples.size(); ++f) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(samples.size(), offered + chunk);
+    for (; offered < end; ++offered) (void)fleet.submit(samples[offered]);
+    // Quiesce every PoP: partials are emitted synchronously at report
+    // boundaries by each worker, so after this the merged state is the pure
+    // function of the feed position the frame claims to show.
+    for (std::uint32_t p = 0; p < pops; ++p) fleet.quiesce_pop(p);
+    if (clear) std::cout << "\x1b[2J\x1b[H";
+    render_top_frame(fleet.merger(), f + 1, frames, offered, samples.size());
+    if (service::ShutdownGuard::requested()) {
+      interrupted = true;
+      break;
+    }
+    if (interval_ms > 0 && offered < samples.size())
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  (void)fleet.stop();
+  return interrupted ? 128 + service::ShutdownGuard::pending() : 0;
+}
+
+int cmd_trends(const Args& args) {
+  std::string path = args.get("checkpoint");
+  if (path.empty() && !args.positional.empty()) path = args.positional[0];
+  if (path.empty()) {
+    std::cerr << "usage: tamperscope trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]\n";
+    return 2;
+  }
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  obs::Logger logger = make_logger(args);
+
+  world::WorldConfig world_cfg;
+  world_cfg.seed = seed;
+  world::World world(world_cfg);
+  analysis::Pipeline pipeline(world);
+  const service::LoadResult loaded = service::load_checkpoint(path, pipeline);
+  if (!loaded.ok) {
+    logger.error("trends", "cannot load checkpoint",
+                 {{"path", path}, {"error", loaded.error}});
+    return 1;
+  }
+
+  const obs::EpochRing& ring = pipeline.trends();
+  if (ring.empty()) {
+    std::cout << "checkpoint " << path << ": " << loaded.meta.samples_ingested
+              << " samples ingested, no trend history (the service never "
+                 "crossed a checkpoint/report boundary)\n";
+    return 0;
+  }
+
+  // Re-derive the anomaly scan the resident watchdog would publish — the
+  // scan is a pure function of the ring, so offline and online agree.
+  const std::set<std::int64_t> degraded =
+      obs::epochs_where_rising(ring, "degraded");
+  const obs::AnomalyScan scan = obs::scan_anomalies(
+      ring, obs::default_series_catalog(), obs::AnomalyConfig{}, degraded);
+
+  std::cout << "checkpoint: " << path << " (" << loaded.meta.samples_ingested
+            << " samples ingested, sequence " << loaded.meta.sequence << ")\n"
+            << "history:    epochs " << ring.min_epoch() << ".." << ring.max_epoch()
+            << " (" << ring.config().epoch_length_sec << " s each), "
+            << ring.series().size() << " series, " << ring.point_count()
+            << " points (" << ring.dropped_points() << " dropped)\n"
+            << "anomalies:  " << scan.events.size() << " event(s), "
+            << scan.points_scanned << " deltas scanned, "
+            << scan.suppressed_degraded << " suppressed degraded, "
+            << scan.suppressed_gap << " suppressed gap\n\n";
+
+  common::TextTable table({"Series", "Points", "Last epoch", "Last value"});
+  std::size_t rows = 0;
+  for (const auto& [key, data] : ring.series()) {
+    if (++rows > 32) break;  // ring cardinality is bounded, but keep it scannable
+    const auto last = data.points.rbegin();
+    std::ostringstream value;
+    value << last->second;
+    table.add_row({key.label.empty() ? key.family
+                                     : key.family + "{" + key.label + "}",
+                   common::TextTable::num(std::uint64_t{data.points.size()}),
+                   common::TextTable::num(static_cast<std::uint64_t>(last->first)),
+                   value.str()});
+  }
+  table.print(std::cout);
+  if (ring.series().size() > 32)
+    std::cout << "(" << ring.series().size() - 32 << " more series; use --json for all)\n";
+
+  if (!scan.events.empty()) {
+    std::cout << '\n';
+    common::TextTable anomalies({"Anomaly", "Epoch", "Delta", "Expected", "Score"});
+    for (const obs::AnomalyEvent& e : scan.events) {
+      std::ostringstream delta, expected, score;
+      delta << e.delta;
+      expected << e.expected;
+      score << e.score;
+      anomalies.add_row({e.label.empty() ? e.family : e.family + "{" + e.label + "}",
+                         common::TextTable::num(static_cast<std::uint64_t>(e.epoch)),
+                         delta.str(), expected.str(), score.str()});
+    }
+    anomalies.print(std::cout);
+  }
+
+  if (args.has("json")) {
+    obs::TimeseriesScope scope;
+    scope.name = "local";
+    scope.ring = &ring;
+    scope.anomalies = scan.events;
+    std::ostringstream ts;
+    obs::write_timeseries_json(ts, {scope}, ring.config().epoch_length_sec);
+    const std::string out_path = args.get("json");
+    if (!write_file_atomic(out_path, ts.str())) {
+      logger.error("trends", "cannot write timeseries", {{"path", out_path}});
+      return 1;
+    }
+    std::cout << "\ntimeseries written to " << out_path << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -744,11 +1036,13 @@ int main(int argc, char** argv) {
     if (command == "testlists") return cmd_testlists(args);
     if (command == "watch") return cmd_watch(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "top") return cmd_top(args);
+    if (command == "trends") return cmd_trends(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch|fleet> [options]\n"
+  std::cerr << "usage: tamperscope <signatures|classify|simulate|testlists|watch|fleet|top|trends> [options]\n"
                "  signatures                         print the Table 1 taxonomy\n"
                "  classify <pcap> [--json] [--strict|--lenient]\n"
                "           [--metrics-out PATH] [--trace-out PATH]\n"
@@ -763,6 +1057,7 @@ int main(int argc, char** argv) {
                "        [--checkpoint-every N] [--report-every N]\n"
                "        [--metrics-out PATH] [--metrics-interval MS] [--trace-out PATH]\n"
                "        [--overload] [--admit-rate N] [--admit-burst N]\n"
+               "        [--timeseries-out PATH] [--epoch-sec N]\n"
                "                                     run the pipeline as a supervised\n"
                "                                     streaming service; SIGINT/SIGTERM drain,\n"
                "                                     checkpoint, and emit a final report (a\n"
@@ -775,12 +1070,27 @@ int main(int argc, char** argv) {
                "  fleet [--pops N] [--connections N] [--seed S] [--state DIR]\n"
                "        [--report out.json] [--report-every N] [--checkpoint-every N]\n"
                "        [--kill-pop P] [--lose-pop P] [--metrics-out PATH]\n"
+               "        [--timeseries-out PATH]\n"
                "                                     run N anycast-routed PoP services\n"
                "                                     streaming epoch-tagged partials to a\n"
                "                                     central merger; --kill-pop crashes and\n"
                "                                     resumes PoP P mid-run, --lose-pop\n"
                "                                     crashes it for good (merged report\n"
-               "                                     flags degraded epochs)\n"
+               "                                     flags degraded epochs);\n"
+               "                                     --timeseries-out dumps the merger's\n"
+               "                                     tamper-timeseries/1 document\n"
+               "  top [--pops N] [--connections N] [--seed S] [--frames N]\n"
+               "      [--interval MS] [--clear] [--state DIR] [--overload]\n"
+               "                                     live dashboard over a seeded fleet\n"
+               "                                     campaign: merged totals, signature and\n"
+               "                                     country leaders, PoP health + overload\n"
+               "                                     ladder, coverage, anomaly scan; frame\n"
+               "                                     content is deterministic per seed\n"
+               "  trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]\n"
+               "                                     offline query of the trend history a\n"
+               "                                     checkpoint carries: series, coverage,\n"
+               "                                     anomaly scan; --json writes the\n"
+               "                                     tamper-timeseries/1 document\n"
                "  common: --log-level debug|info|warn|error, --log-format text|json\n";
   return command.empty() ? 2 : 1;
 }
