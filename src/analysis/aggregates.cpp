@@ -206,7 +206,7 @@ void AsnAggregator::snapshot(common::BinWriter& w) const {
     w.str(cc);
     w.u64(ases.size());
     for (const auto& [asn, stats] : ases) {
-      w.u32(asn);
+      w.u32(asn.value());
       w.u64(stats.connections);
       w.u64(stats.matches);
     }
@@ -222,7 +222,7 @@ void AsnAggregator::restore(common::BinReader& r) {
     const std::uint64_t count = r.u64();
     for (std::uint64_t j = 0; j < count; ++j) {
       AsnStats stats;
-      stats.asn = r.u32();
+      stats.asn = common::AsnId(r.u32());
       stats.connections = r.u64();
       stats.matches = r.u64();
       ases.emplace(stats.asn, stats);
@@ -461,8 +461,8 @@ void CategoryAggregator::restore(common::BinReader& r) {
 
 void OverlapMatrix::add(const ConnectionRecord& record) {
   if (!record.domain) return;
-  const std::uint64_t key =
-      common::mix64(record.client_ip_hash ^ common::fnv1a(*record.domain));
+  const common::FlowId key(
+      common::mix64(record.client_ip_hash ^ common::fnv1a(*record.domain)));
   const std::size_t state = state_of(record.classification);
   const auto [it, inserted] = first_state_.try_emplace(key, state);
   if (inserted) return;                 // first observation of this pair
@@ -480,8 +480,8 @@ void OverlapMatrix::merge(const OverlapMatrix& other) {
 
 void OverlapMatrix::snapshot(common::BinWriter& w) const {
   w.u64(first_state_.size());
-  for (const std::uint64_t key : sorted_keys(first_state_)) {
-    w.u64(key);
+  for (const common::FlowId key : sorted_keys(first_state_)) {
+    w.u64(key.value());
     w.u64(first_state_.at(key));
   }
   for (const auto& row : matrix_)
@@ -493,7 +493,7 @@ void OverlapMatrix::restore(common::BinReader& r) {
   const std::uint64_t pairs = r.u64();
   first_state_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(pairs, 1u << 20)));
   for (std::uint64_t i = 0; i < pairs; ++i) {
-    const std::uint64_t key = r.u64();
+    const common::FlowId key(r.u64());
     // States index matrix_ rows; clamp so no payload can yield OOB writes.
     first_state_[key] = static_cast<std::size_t>(std::min<std::uint64_t>(r.u64(), kStates - 1));
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/record.h"
+#include "common/ids.h"
 #include "common/binio.h"
 #include "core/signature.h"
 #include "world/category.h"
@@ -83,7 +84,7 @@ class AsnAggregator {
   void add(const ConnectionRecord& record);
 
   struct AsnStats {
-    std::uint32_t asn = 0;
+    common::AsnId asn{};
     std::uint64_t connections = 0;
     std::uint64_t matches = 0;
     [[nodiscard]] double match_percent() const noexcept {
@@ -105,7 +106,9 @@ class AsnAggregator {
   void restore(common::BinReader& r);
 
  private:
-  std::map<std::string, std::map<std::uint32_t, AsnStats>> by_country_;
+  /// Keyed by strong id; AsnId orders by its raw rep, so snapshot bytes
+  /// are unchanged from the u32-keyed layout.
+  std::map<std::string, std::map<common::AsnId, AsnStats>> by_country_;
 };
 
 /// Hourly time series of match rates (Figures 6, 8, 9).
@@ -237,7 +240,7 @@ class OverlapMatrix {
   void restore(common::BinReader& r);
 
  private:
-  std::unordered_map<std::uint64_t, std::size_t> first_state_;  ///< pair-hash -> state
+  std::unordered_map<common::FlowId, std::size_t> first_state_;  ///< pair-hash -> state
   std::array<std::array<std::uint64_t, kStates>, kStates> matrix_{};
 };
 

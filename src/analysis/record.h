@@ -11,6 +11,7 @@
 #include <string>
 
 #include "appproto/dpi.h"
+#include "common/ids.h"
 #include "capture/sample.h"
 #include "core/classifier.h"
 #include "world/geo.h"
@@ -20,7 +21,7 @@ namespace tamper::analysis {
 struct ConnectionRecord {
   core::Classification classification;
   std::string country = "??";  ///< "??" when the source address is unattributed
-  std::uint32_t asn = 0;
+  common::AsnId asn{};
   net::IpVersion ip_version = net::IpVersion::kV4;
   appproto::AppProtocol protocol = appproto::AppProtocol::kUnknown;
   std::optional<std::string> domain;  ///< from SNI / Host; absent for drops

@@ -80,9 +80,9 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
     json.begin_array();
     for (const FleetPopStatus& pop : fleet.pops) {
       json.begin_object();
-      json.kv("pop", static_cast<std::uint64_t>(pop.pop));
+      json.kv("pop", static_cast<std::uint64_t>(pop.pop.value()));
       json.kv("status", pop.status);
-      json.kv("last_epoch", pop.last_epoch);
+      json.kv("last_epoch", pop.last_epoch.value());
       json.kv("samples", pop.samples);
       json.kv("overload", pop.overload);
       json.kv("shed_samples", pop.shed_samples);
@@ -93,7 +93,7 @@ void write_radar_report(std::ostream& out, const Pipeline& pipeline,
     json.begin_array();
     for (const FleetEpochCoverage& epoch : fleet.epochs) {
       json.begin_object();
-      json.kv("epoch", epoch.epoch);
+      json.kv("epoch", epoch.epoch.value());
       json.kv("pops_reporting", static_cast<std::uint64_t>(epoch.pops_reporting));
       json.kv("pops_expected", static_cast<std::uint64_t>(epoch.pops_expected));
       json.kv("pops_shedding", static_cast<std::uint64_t>(epoch.pops_shedding));

@@ -11,14 +11,15 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "common/ids.h"
 
 namespace tamper::analysis {
 
 /// Per-PoP status as seen by the fleet merger at report time.
 struct FleetPopStatus {
-  std::uint32_t pop = 0;
+  common::PopId pop{};
   std::string status;             ///< "live" | "lagging" | "dead" | "silent"
-  std::uint64_t last_epoch = 0;   ///< newest epoch received (0 when silent)
+  common::EpochId last_epoch{};   ///< newest epoch received (0 when silent)
   std::uint64_t samples = 0;      ///< samples in the PoP's newest partial
   /// Overload-control state carried in the PoP's newest partial:
   /// snake_case ladder level name (control::name) and cumulative admission
@@ -30,7 +31,7 @@ struct FleetPopStatus {
 /// Coverage for one closed epoch: which PoPs' data is inside the merged
 /// aggregates for that epoch.
 struct FleetEpochCoverage {
-  std::uint64_t epoch = 0;
+  common::EpochId epoch{};
   std::uint32_t pops_reporting = 0;
   std::uint32_t pops_expected = 0;
   /// PoPs whose partial covers this epoch while admission control was

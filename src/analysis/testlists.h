@@ -26,10 +26,12 @@ struct TestList {
   std::vector<std::string> entries;
   std::unordered_set<std::string> lookup;
 
+  // tamperlint-allow(R13): test lists match domain *text*, not interned identity
   [[nodiscard]] bool contains(const std::string& domain) const {
     return lookup.contains(domain);
   }
   /// Substring match in either direction (the paper's best-case rows).
+  // tamperlint-allow(R13): substring matching is inherently textual
   [[nodiscard]] bool contains_substring(const std::string& domain) const;
 };
 

@@ -39,7 +39,7 @@ bool ChaosSchedule::checkpoint_should_fail() {
 }
 
 std::optional<std::uint64_t> ChaosSchedule::pop_kill_point(
-    std::uint32_t pop, std::uint64_t samples) const noexcept {
+    common::PopId pop, std::uint64_t samples) const noexcept {
   if (samples == 0) return std::nullopt;
   if (pop_roll(pop, 0, 0xf1ee7c8a54ULL) >= config_.fleet.pop_crash_probability)
     return std::nullopt;
@@ -52,20 +52,21 @@ std::optional<std::uint64_t> ChaosSchedule::pop_kill_point(
   return lo + pop_hash(pop, 1, 0xf1ee7c8a54ULL) % span;
 }
 
-bool ChaosSchedule::pop_partitioned(std::uint32_t pop, std::uint64_t epoch) const noexcept {
+bool ChaosSchedule::pop_partitioned(common::PopId pop, common::EpochId epoch) const noexcept {
   const std::uint64_t len =
       config_.fleet.partition_epochs > 0 ? config_.fleet.partition_epochs : 1;
-  const std::uint64_t first = epoch >= len - 1 ? epoch - (len - 1) : 0;
-  for (std::uint64_t e = first; e <= epoch; ++e)
+  const std::uint64_t last = epoch.value();
+  const std::uint64_t first = last >= len - 1 ? last - (len - 1) : 0;
+  for (std::uint64_t e = first; e <= last; ++e)
     if (pop_roll(pop, e, 0xf1ee79a87ULL) < config_.fleet.partition_probability) return true;
   return false;
 }
 
-bool ChaosSchedule::pop_straggles(std::uint32_t pop, std::uint64_t epoch) const noexcept {
-  return pop_roll(pop, epoch, 0xf1ee57a3ULL) < config_.fleet.straggler_probability;
+bool ChaosSchedule::pop_straggles(common::PopId pop, common::EpochId epoch) const noexcept {
+  return pop_roll(pop, epoch.value(), 0xf1ee57a3ULL) < config_.fleet.straggler_probability;
 }
 
-std::int64_t ChaosSchedule::pop_clock_skew_sec(std::uint32_t pop) const noexcept {
+std::int64_t ChaosSchedule::pop_clock_skew_sec(common::PopId pop) const noexcept {
   if (pop_roll(pop, 0, 0xf1ee5e3aULL) >= config_.fleet.skew_probability) return 0;
   const std::int64_t bound = config_.fleet.max_skew_sec;
   if (bound <= 0) return 0;

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/rng.h"
 
 namespace tamper::fault {
@@ -81,19 +82,19 @@ class ChaosSchedule {
   /// point is uniform over the middle half of the feed so a crash always
   /// lands after some progress and before the drain.
   [[nodiscard]] std::optional<std::uint64_t> pop_kill_point(
-      std::uint32_t pop, std::uint64_t samples) const noexcept;
+      common::PopId pop, std::uint64_t samples) const noexcept;
 
   /// True when the PoP<->merger link is partitioned during `epoch`. A
   /// partition triggered at epoch e covers [e, e + partition_epochs), so
   /// the check scans the trigger window ending at `epoch`.
-  [[nodiscard]] bool pop_partitioned(std::uint32_t pop, std::uint64_t epoch) const noexcept;
+  [[nodiscard]] bool pop_partitioned(common::PopId pop, common::EpochId epoch) const noexcept;
 
   /// True when the PoP's partial for `epoch` straggles past the watermark.
-  [[nodiscard]] bool pop_straggles(std::uint32_t pop, std::uint64_t epoch) const noexcept;
+  [[nodiscard]] bool pop_straggles(common::PopId pop, common::EpochId epoch) const noexcept;
 
   /// Per-PoP clock skew in seconds, in [-max_skew_sec, +max_skew_sec]
   /// (0 unless the skew roll fires).
-  [[nodiscard]] std::int64_t pop_clock_skew_sec(std::uint32_t pop) const noexcept;
+  [[nodiscard]] std::int64_t pop_clock_skew_sec(common::PopId pop) const noexcept;
 
   struct Stats {
     std::uint64_t crashes_injected = 0;
@@ -108,11 +109,12 @@ class ChaosSchedule {
     const std::uint64_t h = common::mix64(seed_ ^ common::mix64(tick ^ salt));
     return static_cast<double>(h >> 11) * 0x1.0p-53;
   }
-  [[nodiscard]] std::uint64_t pop_hash(std::uint32_t pop, std::uint64_t x,
+  [[nodiscard]] std::uint64_t pop_hash(common::PopId pop, std::uint64_t x,
                                        std::uint64_t salt) const noexcept {
-    return common::mix64(seed_ ^ common::mix64((static_cast<std::uint64_t>(pop) << 32 ^ x) ^ salt));
+    return common::mix64(
+        seed_ ^ common::mix64((static_cast<std::uint64_t>(pop.value()) << 32 ^ x) ^ salt));
   }
-  [[nodiscard]] double pop_roll(std::uint32_t pop, std::uint64_t x,
+  [[nodiscard]] double pop_roll(common::PopId pop, std::uint64_t x,
                                 std::uint64_t salt) const noexcept {
     return static_cast<double>(pop_hash(pop, x, salt) >> 11) * 0x1.0p-53;
   }

@@ -22,10 +22,11 @@ CampaignResult run_campaign(const world::World& world,
   std::vector<std::vector<const capture::ConnectionSample*>> routed(options.pops);
   for (const capture::ConnectionSample& sample : samples) {
     const auto pop = fleet.anycast().route(sample.client_ip);
-    if (pop) routed[*pop].push_back(&sample);
+    if (pop) routed[pop->value()].push_back(&sample);
   }
 
-  for (std::uint32_t pop = 0; pop < options.pops; ++pop) {
+  for (std::uint32_t p = 0; p < options.pops; ++p) {
+    const common::PopId pop(p);
     const std::int64_t skew = chaos.pop_clock_skew_sec(pop);
     if (skew != 0) {
       fleet.set_pop_skew(pop, skew);
@@ -35,8 +36,9 @@ CampaignResult run_campaign(const world::World& world,
 
   const std::uint64_t interval =
       options.report_every_samples > 0 ? options.report_every_samples : 1;
-  for (std::uint32_t pop = 0; pop < options.pops; ++pop) {
-    const auto& feed = routed[pop];
+  for (std::uint32_t p = 0; p < options.pops; ++p) {
+    const common::PopId pop(p);
+    const auto& feed = routed[p];
     const auto kill_point =
         chaos.pop_kill_point(pop, static_cast<std::uint64_t>(feed.size()));
     bool gated = false;
@@ -51,8 +53,8 @@ CampaignResult run_campaign(const world::World& world,
         const std::uint64_t window = static_cast<std::uint64_t>(i) / interval;
         if (window != current_window) {
           current_window = window;
-          const bool partitioned = chaos.pop_partitioned(pop, window);
-          const bool straggling = chaos.pop_straggles(pop, window);
+          const bool partitioned = chaos.pop_partitioned(pop, common::EpochId(window));
+          const bool straggling = chaos.pop_straggles(pop, common::EpochId(window));
           if (partitioned) ++result.events.partition_windows;
           if (straggling) ++result.events.straggler_windows;
           const bool gate = partitioned || straggling;

@@ -22,7 +22,7 @@ Fleet::Fleet(const world::World& world, FleetConfig config)
   for (std::uint32_t pop = 0; pop < config_.pops; ++pop) {
     pops_[pop] = std::make_unique<Pop>();
     pops_[pop]->registry = std::make_unique<obs::Registry>();
-    build_pop(pop);
+    build_pop(common::PopId(pop));
   }
 }
 
@@ -33,12 +33,12 @@ Fleet::~Fleet() {
     if (pop) pop->service.reset();
 }
 
-std::string Fleet::pop_dir(std::uint32_t pop) const {
-  return config_.state_dir + "/pop-" + std::to_string(pop);
+std::string Fleet::pop_dir(common::PopId pop) const {
+  return config_.state_dir + "/pop-" + std::to_string(pop.value());
 }
 
-void Fleet::build_pop(std::uint32_t pop) {
-  Pop& p = *pops_[pop];
+void Fleet::build_pop(common::PopId pop) {
+  Pop& p = *pops_[pop.value()];
   const std::string dir = pop_dir(pop);
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -50,7 +50,7 @@ void Fleet::build_pop(std::uint32_t pop) {
   // must replay thousands of deliveries instantly.
   p.emitter = std::make_unique<service::ReportEmitter>(
       *p.gate, config_.retry, dir + "/spool",
-      common::mix64(config_.seed ^ (0x3e9dULL + pop)), [](double) {});
+      common::mix64(config_.seed ^ (0x3e9dULL + pop.value())), [](double) {});
 
   service::ServiceConfig cfg;
   cfg.queue_capacity = config_.queue_capacity;
@@ -61,7 +61,7 @@ void Fleet::build_pop(std::uint32_t pop) {
   cfg.metrics = p.registry.get();
   cfg.overload = config_.overload;
   cfg.logger = config_.logger;
-  cfg.pop = static_cast<std::int64_t>(pop);
+  cfg.pop = pop;
   cfg.trends = config_.trends;
   cfg.trends.epoch_length_sec =
       static_cast<std::int64_t>(config_.epoch_length_sec);
@@ -77,7 +77,7 @@ void Fleet::build_pop(std::uint32_t pop) {
   (void)p.service->start(service::SupervisedService::Resume::kResumeOrFresh);
 }
 
-std::string Fleet::encode_pop_partial(std::uint32_t pop,
+std::string Fleet::encode_pop_partial(common::PopId pop,
                                       const analysis::Pipeline& pipeline,
                                       std::uint64_t samples,
                                       const control::OverloadState& overload) const {
@@ -85,33 +85,35 @@ std::string Fleet::encode_pop_partial(std::uint32_t pop,
   header.pop = pop;
   header.sequence = samples;
   header.overload = overload;
-  const std::int64_t ts = pipeline.latest_ts_sec() + pops_[pop]->skew_sec.load();
-  header.epoch = ts <= 0 || config_.epoch_length_sec == 0
-                     ? 0
-                     : static_cast<std::uint64_t>(ts) / config_.epoch_length_sec;
+  const std::int64_t ts =
+      pipeline.latest_ts_sec() + pops_[pop.value()]->skew_sec.load();
+  header.epoch = common::EpochId(
+      ts <= 0 || config_.epoch_length_sec == 0
+          ? 0
+          : static_cast<std::uint64_t>(ts) / config_.epoch_length_sec);
   return encode_partial(header, pipeline);
 }
 
-std::optional<std::uint32_t> Fleet::submit(const capture::ConnectionSample& sample) {
+std::optional<common::PopId> Fleet::submit(const capture::ConnectionSample& sample) {
   const auto pop = anycast_.route(sample.client_ip);
   if (!pop) return std::nullopt;
   if (!feed_pop(*pop, sample)) return std::nullopt;
   return pop;
 }
 
-bool Fleet::feed_pop(std::uint32_t pop, const capture::ConnectionSample& sample) {
-  Pop& p = *pops_[pop];
+bool Fleet::feed_pop(common::PopId pop, const capture::ConnectionSample& sample) {
+  Pop& p = *pops_[pop.value()];
   if (config_.retain_samples) p.fed.push_back(sample);
   return p.service != nullptr && p.service->submit(sample);
 }
 
-void Fleet::kill_pop(std::uint32_t pop) {
-  Pop& p = *pops_[pop];
+void Fleet::kill_pop(common::PopId pop) {
+  Pop& p = *pops_[pop.value()];
   if (p.service != nullptr) (void)p.service->kill();
 }
 
-bool Fleet::restart_pop(std::uint32_t pop) {
-  Pop& p = *pops_[pop];
+bool Fleet::restart_pop(common::PopId pop) {
+  Pop& p = *pops_[pop.value()];
   // Where would the rebuilt PoP resume? Probe the checkpoint so we know
   // which tail of the retained feed the kill dropped.
   std::uint64_t resume_from = 0;
@@ -132,10 +134,10 @@ bool Fleet::restart_pop(std::uint32_t pop) {
   return true;
 }
 
-void Fleet::withdraw_pop(std::uint32_t pop) { anycast_.set_alive(pop, false); }
+void Fleet::withdraw_pop(common::PopId pop) { anycast_.set_alive(pop, false); }
 
-void Fleet::quiesce_pop(std::uint32_t pop) {
-  Pop& p = *pops_[pop];
+void Fleet::quiesce_pop(common::PopId pop) {
+  Pop& p = *pops_[pop.value()];
   if (p.service == nullptr || !config_.retain_samples) return;
   // After a resume, ingested() counts restored + re-fed samples, so it
   // converges on the retained feed size in every restart history. Bounded
@@ -147,12 +149,12 @@ void Fleet::quiesce_pop(std::uint32_t pop) {
   }
 }
 
-void Fleet::set_pop_partitioned(std::uint32_t pop, bool partitioned) {
-  pops_[pop]->gate->blocked.store(partitioned);
+void Fleet::set_pop_partitioned(common::PopId pop, bool partitioned) {
+  pops_[pop.value()]->gate->blocked.store(partitioned);
 }
 
-void Fleet::set_pop_skew(std::uint32_t pop, std::int64_t skew_sec) {
-  pops_[pop]->skew_sec.store(skew_sec);
+void Fleet::set_pop_skew(common::PopId pop, std::int64_t skew_sec) {
+  pops_[pop.value()]->skew_sec.store(skew_sec);
 }
 
 std::vector<service::RunSummary> Fleet::stop() {

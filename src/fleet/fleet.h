@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "capture/sample.h"
+#include "common/ids.h"
 #include "control/overload.h"
 #include "fleet/merger.h"
 #include "obs/log.h"
@@ -103,29 +104,29 @@ class Fleet {
   /// Route via anycast and feed the owning PoP. Returns the PoP, or
   /// nullopt when every PoP is withdrawn (sample unobserved) or the owning
   /// PoP refused (failed/stopped).
-  std::optional<std::uint32_t> submit(const capture::ConnectionSample& sample);
+  std::optional<common::PopId> submit(const capture::ConnectionSample& sample);
 
   /// Feed a specific PoP, bypassing routing (campaigns precompute a static
   /// routing so crash+resume runs stay byte-comparable to their baseline).
-  bool feed_pop(std::uint32_t pop, const capture::ConnectionSample& sample);
+  bool feed_pop(common::PopId pop, const capture::ConnectionSample& sample);
 
   /// kill -9 the PoP: threads join, nothing persists past its checkpoint.
-  void kill_pop(std::uint32_t pop);
+  void kill_pop(common::PopId pop);
   /// Fresh process image: recreate emitter + service, resume from the
   /// checkpoint, re-feed the dropped tail of the retained feed.
-  [[nodiscard]] bool restart_pop(std::uint32_t pop);
+  [[nodiscard]] bool restart_pop(common::PopId pop);
   /// Withdraw the PoP's anycast announcement (route() stops picking it).
-  void withdraw_pop(std::uint32_t pop);
+  void withdraw_pop(common::PopId pop);
 
-  void set_pop_partitioned(std::uint32_t pop, bool partitioned);
-  void set_pop_skew(std::uint32_t pop, std::int64_t skew_sec);
+  void set_pop_partitioned(common::PopId pop, bool partitioned);
+  void set_pop_skew(common::PopId pop, std::int64_t skew_sec);
 
   /// Wait until the PoP's worker has ingested everything fed so far (or the
   /// service died). The queue is asynchronous, so without this a fault
   /// injected "at sample i" can land at whatever earlier position the
   /// worker happens to be at; campaigns quiesce before kills and gate
   /// toggles so chaos hits the stream position the schedule chose.
-  void quiesce_pop(std::uint32_t pop);
+  void quiesce_pop(common::PopId pop);
 
   /// Graceful shutdown of every still-running PoP (final checkpoint +
   /// final partial each). Indexed by PoP id.
@@ -134,8 +135,8 @@ class Fleet {
   [[nodiscard]] Merger& merger() noexcept { return *merger_; }
   [[nodiscard]] const Merger& merger() const noexcept { return *merger_; }
   [[nodiscard]] world::AnycastMap& anycast() noexcept { return anycast_; }
-  [[nodiscard]] obs::Registry& pop_metrics(std::uint32_t pop) {
-    return *pops_[pop]->registry;
+  [[nodiscard]] obs::Registry& pop_metrics(common::PopId pop) {
+    return *pops_[pop.value()]->registry;
   }
   [[nodiscard]] std::uint32_t pop_count() const noexcept { return config_.pops; }
 
@@ -149,10 +150,10 @@ class Fleet {
     std::atomic<std::int64_t> skew_sec{0};
   };
 
-  [[nodiscard]] std::string pop_dir(std::uint32_t pop) const;
-  void build_pop(std::uint32_t pop);
+  [[nodiscard]] std::string pop_dir(common::PopId pop) const;
+  void build_pop(common::PopId pop);
   [[nodiscard]] std::string encode_pop_partial(
-      std::uint32_t pop, const analysis::Pipeline& pipeline,
+      common::PopId pop, const analysis::Pipeline& pipeline,
       std::uint64_t samples, const control::OverloadState& overload) const;
 
   const world::World& world_;

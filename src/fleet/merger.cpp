@@ -17,7 +17,8 @@ Merger::~Merger() {
 
 std::uint64_t Merger::max_epoch_locked() const {
   std::uint64_t max_epoch = 0;
-  for (const auto& [pop, entry] : pops_) max_epoch = std::max(max_epoch, entry.epoch);
+  for (const auto& [pop, entry] : pops_)
+    max_epoch = std::max(max_epoch, entry.epoch.value());
   return max_epoch;
 }
 
@@ -56,7 +57,7 @@ bool Merger::deliver(const std::string& payload) {
         return true;
       }
     }
-    if (h.epoch < watermark_locked()) ++stats_.late;  // counted, still merged
+    if (h.epoch.value() < watermark_locked()) ++stats_.late;  // counted, still merged
   }
 
   // The expensive restore happens outside the lock; concurrent PoPs decode
@@ -97,7 +98,7 @@ bool Merger::deliver(const std::string& payload) {
   if (pops_.size() >= 2) {
     std::vector<std::uint64_t> epochs;
     epochs.reserve(pops_.size());
-    for (const auto& [pop, e] : pops_) epochs.push_back(e.epoch);
+    for (const auto& [pop, e] : pops_) epochs.push_back(e.epoch.value());
     std::sort(epochs.begin(), epochs.end());
     const std::uint64_t median = epochs[epochs.size() / 2];
     const std::uint64_t skew_epochs =
@@ -107,7 +108,8 @@ bool Merger::deliver(const std::string& payload) {
                config_.epoch_length_sec - 1) /
                   config_.epoch_length_sec;
     const std::uint64_t bound = skew_epochs + config_.grace_epochs;
-    const std::uint64_t distance = h.epoch > median ? h.epoch - median : median - h.epoch;
+    const std::uint64_t distance = h.epoch.value() > median ? h.epoch.value() - median
+                                                           : median - h.epoch.value();
     if (distance > bound) ++stats_.skew_detected;
   }
   return true;
@@ -126,7 +128,8 @@ analysis::FleetCoverage Merger::coverage() const {
   c.max_epoch = max_epoch_locked();
   c.watermark = watermark_locked();
 
-  for (std::uint32_t pop = 0; pop < config_.pops_expected; ++pop) {
+  for (std::uint32_t p = 0; p < config_.pops_expected; ++p) {
+    const common::PopId pop(p);
     analysis::FleetPopStatus status;
     status.pop = pop;
     const auto it = pops_.find(pop);
@@ -137,9 +140,9 @@ analysis::FleetCoverage Merger::coverage() const {
       status.samples = it->second.sequence;
       status.overload = control::name(it->second.overload.level);
       status.shed_samples = it->second.overload.shed_samples;
-      if (c.max_epoch - it->second.epoch >= config_.heartbeat_timeout_epochs) {
+      if (c.max_epoch - it->second.epoch.value() >= config_.heartbeat_timeout_epochs) {
         status.status = "dead";
-      } else if (it->second.epoch < c.watermark) {
+      } else if (it->second.epoch.value() < c.watermark) {
         status.status = "lagging";
       } else {
         status.status = "live";
@@ -155,7 +158,7 @@ analysis::FleetCoverage Merger::coverage() const {
         c.watermark >= window - 1 ? c.watermark - (window - 1) : 0;
     for (std::uint64_t e = first; e <= c.watermark; ++e) {
       analysis::FleetEpochCoverage epoch;
-      epoch.epoch = e;
+      epoch.epoch = common::EpochId(e);
       epoch.pops_expected = config_.pops_expected;
       // Partials are cumulative, so a PoP whose newest partial is at epoch
       // >= e has epoch e's data inside the merged aggregates. A PoP that
@@ -164,7 +167,7 @@ analysis::FleetCoverage Merger::coverage() const {
       // epoch from that point on is marked shedding — a pure function of
       // the partial set, never of arrival order.
       for (const auto& [pop, entry] : pops_) {
-        if (entry.epoch < e) continue;
+        if (entry.epoch.value() < e) continue;
         ++epoch.pops_reporting;
         if (entry.overload.shed_samples > 0 && entry.overload.first_shed_ts_sec > 0) {
           const std::uint64_t first_shed_epoch =
@@ -214,7 +217,7 @@ Merger::FleetTrends Merger::fleet_trends(
   trends.epochs.reserve(coverage.epochs.size());
   for (const analysis::FleetEpochCoverage& e : coverage.epochs) {
     obs::EpochCoverageNote note;
-    note.epoch = static_cast<std::int64_t>(e.epoch);
+    note.epoch = static_cast<std::int64_t>(e.epoch.value());
     note.pops_reporting = e.pops_reporting;
     note.pops_expected = e.pops_expected;
     note.pops_shedding = e.pops_shedding;
@@ -247,7 +250,7 @@ std::string Merger::timeseries_dump(bool pretty) const {
   // Copy each reporting PoP's ring out from under the lock so the scopes
   // below can hold stable pointers (rings are small: bounded epochs ×
   // bounded series).
-  std::vector<std::pair<std::uint32_t, obs::EpochRing>> pop_rings;
+  std::vector<std::pair<common::PopId, obs::EpochRing>> pop_rings;
   {
     common::MutexLock lock(mu_);
     for (const auto& [pop, entry] : pops_)
@@ -264,7 +267,7 @@ std::string Merger::timeseries_dump(bool pretty) const {
   scopes.push_back(fleet_scope);
   for (const auto& [pop, ring] : pop_rings) {
     obs::TimeseriesScope scope;
-    scope.name = "pop:" + std::to_string(pop);
+    scope.name = common::format(pop);
     scope.ring = &ring;
     scopes.push_back(scope);
   }

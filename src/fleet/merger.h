@@ -32,6 +32,7 @@
 
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
+#include "common/ids.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "control/overload.h"
@@ -129,7 +130,7 @@ class Merger final : public service::Sink {
 
  private:
   struct PopEntry {
-    std::uint64_t epoch = 0;
+    common::EpochId epoch{};
     std::uint64_t sequence = 0;
     control::OverloadState overload;  ///< from the newest partial's header
     std::unique_ptr<analysis::Pipeline> pipeline;
@@ -141,7 +142,7 @@ class Merger final : public service::Sink {
   const world::World& world_;
   MergerConfig config_;
   mutable common::Mutex mu_;
-  std::map<std::uint32_t, PopEntry> pops_ TAMPER_GUARDED_BY(mu_);
+  std::map<common::PopId, PopEntry> pops_ TAMPER_GUARDED_BY(mu_);
   Stats stats_ TAMPER_GUARDED_BY(mu_);
   obs::Registry* metrics_ = nullptr;
   obs::Registry::CollectorId collector_ = 0;

@@ -19,8 +19,8 @@ std::string encode_partial(const PartialHeader& header,
   common::BinWriter out;
   for (char c : kPartialMagic) out.u8(static_cast<std::uint8_t>(c));
   out.u32(kPartialVersion);
-  out.u32(header.pop);
-  out.u64(header.epoch);
+  out.u32(header.pop.value());
+  out.u64(header.epoch.value());
   out.u64(header.sequence);
   out.u8(static_cast<std::uint8_t>(header.overload.level));
   out.u64(header.overload.shed_samples);
@@ -69,8 +69,8 @@ DecodeResult validate(const std::string& payload, const std::uint8_t** body,
                      ")";
       return result;
     }
-    result.header.pop = header.u32();
-    result.header.epoch = header.u64();
+    result.header.pop = common::PopId(header.u32());
+    result.header.epoch = common::EpochId(header.u64());
     result.header.sequence = header.u64();
     level = header.u8();
     result.header.overload.shed_samples = header.u64();

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "analysis/pipeline.h"
+#include "common/ids.h"
 #include "control/overload.h"
 
 namespace tamper::fleet {
@@ -43,8 +44,10 @@ inline constexpr char kPartialMagic[8] = {'T', 'S', 'P', 'A', 'R', 'T', '0', '1'
 inline constexpr std::uint32_t kPartialVersion = 3;
 
 struct PartialHeader {
-  std::uint32_t pop = 0;
-  std::uint64_t epoch = 0;     ///< latest_ts_sec (+skew) / epoch_length
+  /// Strong ids at the API surface; the codec writes their raw
+  /// representations (u32 pop, u64 epoch) so the wire bytes are unchanged.
+  common::PopId pop{};
+  common::EpochId epoch{};     ///< latest_ts_sec (+skew) / epoch_length
   std::uint64_t sequence = 0;  ///< cumulative samples ingested at emission
   /// Overload-control state at emission time (default: never degraded).
   control::OverloadState overload;

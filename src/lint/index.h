@@ -1,7 +1,8 @@
 // Pass 1 of the two-pass analyzer: a per-file structural index (includes,
 // enum definitions, switch sites, lock-acquisition nestings, metric-family
-// registrations, suppression directives) that the cross-file rules R7–R10
-// evaluate over once every file has been scanned. Per-file extraction is
+// registrations, exported function declarations, suppression directives)
+// that the cross-file rules R7–R13 evaluate over once every file has been
+// scanned. Per-file extraction is
 // pure and can run in parallel; merging is deterministic in path order.
 #pragma once
 
@@ -57,6 +58,26 @@ struct MetricRegistration {
   int line = 0;  ///< 1-based
 };
 
+/// One parameter of an exported function declaration: the declared type
+/// text (whitespace-collapsed, default argument stripped) and the name.
+/// Unnamed parameters are recorded with an empty name.
+struct ParamDecl {
+  std::string type;
+  std::string name;
+  int line = 0;  ///< 1-based line of the parameter itself (decls wrap)
+};
+
+/// A function declaration (or inline definition) in a header: name plus the
+/// parameter list. Extracted only for `.h` files — these are the
+/// cross-module signatures the API rules (R13) reason about. The extractor
+/// is token-level and deliberately conservative: constructs it cannot
+/// prove are declarations (calls, macros, member initializers) are skipped.
+struct FunctionDecl {
+  std::string name;
+  std::vector<ParamDecl> params;
+  int line = 0;  ///< 1-based line of the function name
+};
+
 /// A `series_spec("family", "source", ...)` catalog entry (R12 checks the
 /// source against the registered metric families).
 struct SeriesRegistration {
@@ -73,6 +94,7 @@ struct FileIndex {
   std::vector<LockNesting> lock_nestings;
   std::vector<MetricRegistration> metrics;
   std::vector<SeriesRegistration> series;
+  std::vector<FunctionDecl> functions;  ///< headers only (see FunctionDecl)
   /// suppressed[line0] holds rule ids suppressed on that 0-based line
   /// (well-formed `tamperlint-allow` directives only).
   std::vector<std::vector<std::string>> suppressed;
@@ -95,7 +117,8 @@ struct RepoIndex {
 
 /// Pass 2: evaluate R7 (layering), R8 (lock order), R9 (taxonomy
 /// exhaustiveness), R10 (metric–doc drift), R11 (ladder exhaustiveness),
-/// and R12 (series–metric linkage) over the merged index.
+/// R12 (series–metric linkage), and R13 (raw ID-taxonomy parameters in
+/// cross-module headers) over the merged index.
 /// Findings honor per-line suppressions recorded in the index; the caller
 /// sorts and merges them with the per-file findings.
 [[nodiscard]] std::vector<Finding> repo_rule_findings(const RepoIndex& index,

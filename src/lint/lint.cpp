@@ -52,7 +52,7 @@ constexpr std::string_view kNothrowMarker = "tamperlint: nothrow-path";
     if (id[i] < '0' || id[i] > '9') return false;
     n = n * 10 + (id[i] - '0');
   }
-  return n >= 1 && n <= 12;
+  return n >= 1 && n <= 13;
 }
 
 /// Per-line suppression state parsed from the raw text.
@@ -82,7 +82,7 @@ struct Directives {
     if (!known_rule(id) || reason.empty()) {
       d.malformed.push_back(
           {"R0", path, static_cast<int>(i + 1),
-           "malformed suppression (want `// tamperlint-allow(R1..R12): reason`); "
+           "malformed suppression (want `// tamperlint-allow(R1..R13): reason`); "
            "it suppresses nothing"});
       continue;
     }
@@ -583,7 +583,9 @@ std::string rule_catalog() {
       "R11 ladder exhaustiveness — switches over control::Level cover every "
       "rung (no silent default)\n"
       "R12 series–metric linkage — series_spec sources resolve to a "
-      "registered metric family (no dangling telemetry)\n";
+      "registered metric family (no dangling telemetry)\n"
+      "R13 strong ID parameters — ID-taxonomy parameter names in src/ "
+      "headers use common/ids.h types, never raw ints/strings\n";
 }
 
 }  // namespace tamper::lint

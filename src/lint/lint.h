@@ -58,6 +58,14 @@
 //       of the form "agg:<metric>" or "metric:<metric>" whose metric
 //       family is registered somewhere in the scanned prefixes; a dangling
 //       source is a series that samples a surface that does not exist.
+//   R13 strong ID parameters — a parameter in a src/ header whose name is
+//       one of the ID-taxonomy words (Config::id_taxonomy: pop, asn,
+//       country, epoch, flow, shard, domain, or their _id forms) must not
+//       have a raw int/string type (Config::id_raw_types); the strong
+//       types in common/ids.h exist so a swapped (pop, epoch) argument
+//       pair is a compile error, not a silently corrupted merge. Wire
+//       codecs and other genuine raw-representation boundaries carry
+//       per-site suppressions.
 //
 // Suppression:  // tamperlint-allow(R3): <non-empty reason>
 // on the offending line, or alone on the line directly above it. A
@@ -73,7 +81,7 @@
 namespace tamper::lint {
 
 struct Finding {
-  std::string rule;     ///< "R0".."R12"
+  std::string rule;     ///< "R0".."R13"
   std::string path;     ///< as given (normalized to forward slashes)
   int line = 0;         ///< 1-based
   std::string message;
@@ -148,6 +156,24 @@ struct Config {
   std::string metric_doc_path = "DESIGN.md";
   std::vector<std::string> metric_scan_prefixes = {"src/", "tools/"};
   std::string metric_prefix = "tamper_";
+
+  /// R13: parameter names (exact word, or "<word>_id") that denote a
+  /// pipeline identifier and therefore demand the matching strong type
+  /// from common/ids.h.
+  std::vector<std::string> id_taxonomy = {"pop",  "asn",   "country", "epoch",
+                                          "flow", "shard", "domain"};
+  /// R13: the raw core types (cv-qualifiers and &/* stripped) that fire
+  /// when paired with an ID-taxonomy parameter name.
+  std::vector<std::string> id_raw_types = {
+      "int",           "unsigned",      "unsigned int",  "long",
+      "unsigned long", "long long",     "unsigned long long",
+      "short",         "unsigned short",
+      "std::int8_t",   "std::int16_t",  "std::int32_t",  "std::int64_t",
+      "std::uint8_t",  "std::uint16_t", "std::uint32_t", "std::uint64_t",
+      "int8_t",        "int16_t",       "int32_t",       "int64_t",
+      "uint8_t",       "uint16_t",      "uint32_t",      "uint64_t",
+      "std::size_t",   "size_t",        "std::string",   "std::string_view",
+  };
 };
 
 /// One file of the repo, already read into memory.
@@ -164,7 +190,7 @@ struct SourceFile {
 
 /// Lint a whole file set: per-file rules on every C++ source (in parallel
 /// across `jobs` threads; 0 means hardware concurrency) plus the cross-file
-/// rules R7–R12 over the merged index. Output is deterministic — sorted by
+/// rules R7–R13 over the merged index. Output is deterministic — sorted by
 /// (path, line, rule, message) and byte-identical for every thread count.
 /// Non-C++ entries (the metric-inventory doc) contribute only to R10.
 [[nodiscard]] std::vector<Finding> lint_repo(const std::vector<SourceFile>& files,

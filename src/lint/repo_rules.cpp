@@ -1,8 +1,9 @@
-// Pass 2: the cross-file rules R7–R12, evaluated over the merged RepoIndex.
+// Pass 2: the cross-file rules R7–R13, evaluated over the merged RepoIndex.
 // Everything here is deterministic by construction: files arrive sorted by
 // path, graph nodes are visited in sorted order, and every finding anchors
 // at the first (path, line) site that exhibits the problem.
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
@@ -472,6 +473,76 @@ void rule_series_sources(const RepoIndex& index, const Config& config,
   }
 }
 
+/// R13 — raw ID-taxonomy parameters in cross-module interfaces. A header
+/// parameter named after one of the pipeline's identifier kinds (`pop`,
+/// `asn`, `epoch`, ...) but typed as a raw int or string is exactly the
+/// signature a swapped-argument bug slips through; common/ids.h has a
+/// strong type for each. Serialization boundaries that genuinely traffic
+/// in raw representations carry per-site suppressions.
+void rule_raw_id_params(const RepoIndex& index, const Config& config,
+                        std::vector<Finding>& out) {
+  const auto strong_name = [](const std::string& word) {
+    std::string t = word;
+    t[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(t[0])));
+    return t + "Id";
+  };
+  // The declared type minus cv-qualifiers and reference/pointer sigils:
+  // "const std::string&" -> "std::string".
+  const auto core_type = [](const std::string& type) {
+    std::string core;
+    std::string token;
+    const auto flush = [&] {
+      if (token.empty() || token == "const" || token == "volatile") {
+        token.clear();
+        return;
+      }
+      if (!core.empty()) core.push_back(' ');
+      core += token;
+      token.clear();
+    };
+    for (char c : type) {
+      if (c == ' ' || c == '&' || c == '*') flush();
+      else token.push_back(c);
+    }
+    flush();
+    return core;
+  };
+
+  for (const FileIndex& file : index.files) {
+    // Only src/ headers are cross-module interfaces; tools, tests, and
+    // bench own their argument parsing and fixtures.
+    if (file.path.rfind("src/", 0) != 0) continue;
+    for (const FunctionDecl& fn : file.functions) {
+      for (const ParamDecl& param : fn.params) {
+        if (param.name.empty()) continue;
+        std::string word;
+        for (const std::string& w : config.id_taxonomy)
+          if (param.name == w || param.name == w + "_id") {
+            word = w;
+            break;
+          }
+        if (word.empty()) continue;
+        const std::string core = core_type(param.type);
+        if (std::find(config.id_raw_types.begin(), config.id_raw_types.end(),
+                      core) == config.id_raw_types.end())
+          continue;
+        // Declarations wrap: a suppression on (or above) the function name
+        // covers every parameter line of that declaration.
+        if (suppressed_at(file, param.line, "R13") ||
+            suppressed_at(file, fn.line, "R13"))
+          continue;
+        out.push_back(
+            {"R13", file.path, param.line,
+             "parameter \"" + param.name + "\" of " + fn.name + "() has raw type \"" +
+                 core + "\" — ID-taxonomy names take strong types (common/ids.h: " +
+                 strong_name(word) +
+                 ") so swapped identifier arguments cannot compile; wrap it, or "
+                 "tamperlint-allow(R13) a genuine serialization boundary"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& config) {
@@ -482,6 +553,7 @@ std::vector<Finding> repo_rule_findings(const RepoIndex& index, const Config& co
   if (rule_enabled(config, "R10")) rule_metric_doc_drift(index, config, out);
   if (rule_enabled(config, "R11")) rule_ladder_exhaustiveness(index, config, out);
   if (rule_enabled(config, "R12")) rule_series_sources(index, config, out);
+  if (rule_enabled(config, "R13")) rule_raw_id_params(index, config, out);
   return out;
 }
 

@@ -44,6 +44,8 @@ constexpr RuleMeta kRules[] = {
      "Switches over the overload-control ladder enums cover every enumerator"},
     {"R12", "SeriesMetricLinkage",
      "series_spec catalog sources resolve to a registered metric family"},
+    {"R13", "StrongIdParameters",
+     "ID-taxonomy parameter names in src/ headers use common/ids.h strong types"},
 };
 
 void json_escape(std::ostringstream& out, std::string_view s) {

@@ -17,6 +17,7 @@ namespace tamper::middlebox {
 
 class TriggerSet {
  public:
+  // tamperlint-allow(R13): trigger rules store raw SNI text, not interned ids
   TriggerSet& add_exact_domain(std::string domain) {
     exact_.insert(std::move(domain));
     return *this;
@@ -46,6 +47,7 @@ class TriggerSet {
     return *this;
   }
 
+  // tamperlint-allow(R13): matches against wire SNI bytes (exact/suffix/substring)
   [[nodiscard]] bool matches_domain(std::string_view domain) const {
     if (match_all_) return true;
     if (exact_.contains(std::string(domain))) return true;

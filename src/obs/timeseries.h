@@ -164,6 +164,7 @@ class EpochRing {
   void record(std::string_view family, std::string_view label, SeriesMerge merge,
               std::int64_t ts_sec, double value);
   /// Same, keyed by epoch directly (merge paths and tests).
+  // tamperlint-allow(R13): obs rings do signed epoch arithmetic (offsets, clamps)
   void record_epoch(std::string_view family, std::string_view label,
                     SeriesMerge merge, std::int64_t epoch, double value);
 
@@ -202,6 +203,7 @@ class EpochRing {
   /// record_epoch with the lower_bound already in hand (`pos` must be
   /// series_.lower_bound({family, label})). Returns the series iterator the
   /// point landed in, or series_.end() if the point was dropped.
+  // tamperlint-allow(R13): internal hinted-insert path; epoch stays signed here
   SeriesMap::iterator record_at(SeriesMap::iterator pos, std::string_view family,
                                 std::string_view label, SeriesMerge merge,
                                 std::int64_t epoch, double value);
@@ -228,6 +230,7 @@ class EpochRing::Cursor {
               std::int64_t ts_sec, double value) {
     record_epoch(family, label, merge, ring_->epoch_of(ts_sec), value);
   }
+  // tamperlint-allow(R13): cursor mirrors EpochRing's signed epoch domain
   void record_epoch(std::string_view family, std::string_view label,
                     SeriesMerge merge, std::int64_t epoch, double value);
 

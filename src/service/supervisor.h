@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "analysis/pipeline.h"
 #include "capture/sample.h"
 #include "common/bounded_queue.h"
+#include "common/ids.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "control/overload.h"
@@ -106,10 +108,10 @@ struct ServiceConfig {
   obs::EpochRingConfig trends;
   obs::AnomalyConfig anomaly{};
 
-  /// Fleet PoP id, or -1 outside a fleet. When >= 0 every structured log
-  /// line from this service carries a tamper_pop field, so interleaved
-  /// per-PoP logs stay attributable.
-  std::int64_t pop = -1;
+  /// Fleet PoP id, or nullopt outside a fleet. When set, every structured
+  /// log line from this service carries a tamper_pop field (rendered
+  /// "pop:<id>"), so interleaved per-PoP logs stay attributable.
+  std::optional<common::PopId> pop;
 
   /// Observability (all optional, all must outlive the service). When
   /// `metrics` is null the service creates a private registry — the
@@ -225,14 +227,14 @@ class SupervisedService {
   void log(obs::LogLevel level, std::string_view message,
            std::initializer_list<obs::LogField> fields = {}) const {
     if (config_.logger == nullptr) return;
-    if (config_.pop < 0) {
+    if (!config_.pop) {
       config_.logger->log(level, "supervisor", message, fields);
       return;
     }
     // Fleet context: stamp every line with the PoP id so interleaved
     // per-PoP logs stay attributable.
     std::vector<obs::LogField> tagged(fields);
-    tagged.push_back({"tamper_pop", std::to_string(config_.pop)});
+    tagged.push_back({"tamper_pop", common::format(*config_.pop)});
     config_.logger->log(level, "supervisor", message, tagged);
   }
   void write_checkpoint();

@@ -7,7 +7,9 @@ namespace tamper::world {
 AnycastMap::AnycastMap(std::uint32_t pop_count, std::uint64_t seed)
     : seed_(common::mix64(seed ^ 0xa27ca57ULL)), alive_(pop_count, true) {}
 
-void AnycastMap::set_alive(std::uint32_t pop, bool alive) { alive_[pop] = alive; }
+void AnycastMap::set_alive(common::PopId pop, bool alive) {
+  alive_[pop.value()] = alive;
+}
 
 std::uint32_t AnycastMap::alive_count() const noexcept {
   std::uint32_t n = 0;
@@ -28,15 +30,15 @@ std::uint64_t AnycastMap::prefix_key(const net::IpAddress& client) noexcept {
          (static_cast<std::uint64_t>(b[2]) << 8) | b[3];
 }
 
-std::optional<std::uint32_t> AnycastMap::route(const net::IpAddress& client) const {
+std::optional<common::PopId> AnycastMap::route(const net::IpAddress& client) const {
   const std::uint64_t key = common::mix64(prefix_key(client) ^ seed_);
-  std::optional<std::uint32_t> best;
+  std::optional<common::PopId> best;
   std::uint64_t best_score = 0;
   for (std::uint32_t pop = 0; pop < alive_.size(); ++pop) {
     if (!alive_[pop]) continue;
     const std::uint64_t score = common::mix64(key ^ (0x90bULL + pop));
     if (!best || score > best_score) {
-      best = pop;
+      best = common::PopId(pop);
       best_score = score;
     }
   }

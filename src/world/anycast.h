@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/ids.h"
 #include "net/ip_address.h"
 
 namespace tamper::world {
@@ -31,8 +32,8 @@ class AnycastMap {
   AnycastMap(std::uint32_t pop_count, std::uint64_t seed);
 
   /// Withdraw or re-announce a PoP.
-  void set_alive(std::uint32_t pop, bool alive);
-  [[nodiscard]] bool alive(std::uint32_t pop) const { return alive_[pop]; }
+  void set_alive(common::PopId pop, bool alive);
+  [[nodiscard]] bool alive(common::PopId pop) const { return alive_[pop.value()]; }
   [[nodiscard]] std::uint32_t pop_count() const noexcept {
     return static_cast<std::uint32_t>(alive_.size());
   }
@@ -41,7 +42,7 @@ class AnycastMap {
   /// Highest-random-weight PoP among the alive set for this client, or
   /// nullopt when every PoP is withdrawn (the traffic is simply not
   /// observed — clients of a fully-dark anycast prefix get no answer).
-  [[nodiscard]] std::optional<std::uint32_t> route(const net::IpAddress& client) const;
+  [[nodiscard]] std::optional<common::PopId> route(const net::IpAddress& client) const;
 
   /// The routing key: the client's /16 (v4) or /32 (v6) prefix bits,
   /// family-tagged so a v4 /16 can never collide with a v6 /32.

@@ -576,6 +576,15 @@ const std::vector<CountrySpec>& default_countries() {
   return kCountries;
 }
 
+const common::CountryInventory& country_inventory() {
+  static const common::CountryInventory kInventory = [] {
+    common::CountryInventory inv;
+    for (const CountrySpec& c : default_countries()) inv.intern(c.code);
+    return inv;
+  }();
+  return kInventory;
+}
+
 int country_index(const std::string& code) {
   static const std::unordered_map<std::string, int> kIndex = [] {
     std::unordered_map<std::string, int> m;

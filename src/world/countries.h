@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "appproto/dpi.h"
+#include "common/ids.h"
 #include "world/category.h"
 
 namespace tamper::world {
@@ -72,5 +73,10 @@ struct CountrySpec {
 
 /// Index of a country in default_countries() by ISO code (-1 if absent).
 [[nodiscard]] int country_index(const std::string& code);
+
+/// The country table as a strong-id interner: every default country's ISO
+/// code, interned in table order, so `CountryId(i)` is exactly the index
+/// `country_index(code)` returns and names resolve both ways in O(log n).
+[[nodiscard]] const common::CountryInventory& country_inventory();
 
 }  // namespace tamper::world

@@ -15,7 +15,7 @@ GeoDatabase::GeoDatabase(const std::vector<std::pair<std::string, int>>& asn_cou
     auto& list = by_country_[country];
     for (int i = 0; i < count; ++i) {
       AsInfo info;
-      info.asn = next_asn++;
+      info.asn = common::AsnId(next_asn++);
       info.country = country;
       // Zipf-ish weights: the first AS in a country carries the most traffic.
       info.weight = 1.0 / std::pow(static_cast<double>(i + 1), 1.1) *
@@ -32,7 +32,7 @@ GeoDatabase::GeoDatabase(const std::vector<std::pair<std::string, int>>& asn_cou
 
       // IPv6: 2400:xxxx::/32 per AS.
       const std::uint64_t v6_hi =
-          0x2400000000000000ULL | (static_cast<std::uint64_t>(info.asn) << 16);
+          0x2400000000000000ULL | (static_cast<std::uint64_t>(info.asn.value()) << 16);
       info.prefix_v6 = net::IpPrefix(net::IpAddress::v6(v6_hi, 0), 64);
 
       by_asn_[info.asn] = ases_.size();
@@ -44,14 +44,14 @@ GeoDatabase::GeoDatabase(const std::vector<std::pair<std::string, int>>& asn_cou
   }
 }
 
-const AsInfo& GeoDatabase::as_by_number(std::uint32_t asn) const {
+const AsInfo& GeoDatabase::as_by_number(common::AsnId asn) const {
   const auto it = by_asn_.find(asn);
   if (it == by_asn_.end()) throw std::out_of_range("unknown ASN");
   return ases_[it->second];
 }
 
-const std::vector<std::uint32_t>& GeoDatabase::country_ases(const std::string& cc) const {
-  static const std::vector<std::uint32_t> kEmpty;
+const std::vector<common::AsnId>& GeoDatabase::country_ases(const std::string& cc) const {
+  static const std::vector<common::AsnId> kEmpty;
   const auto it = by_country_.find(cc);
   return it == by_country_.end() ? kEmpty : it->second;
 }
@@ -61,7 +61,7 @@ const AsInfo& GeoDatabase::sample_as(const std::string& cc, common::Rng& rng) co
   if (list.empty()) throw std::out_of_range("no ASNs for country " + cc);
   std::vector<double> weights;
   weights.reserve(list.size());
-  for (std::uint32_t asn : list) weights.push_back(as_by_number(asn).weight);
+  for (common::AsnId asn : list) weights.push_back(as_by_number(asn).weight);
   return as_by_number(list[rng.pick_weighted(weights)]);
 }
 
@@ -80,7 +80,7 @@ net::IpAddress GeoDatabase::sample_client_ip(const AsInfo& as_info, bool ipv6,
   return net::IpAddress::v4(base | host);
 }
 
-std::optional<std::uint32_t> GeoDatabase::lookup_asn(const net::IpAddress& addr) const {
+std::optional<common::AsnId> GeoDatabase::lookup_asn(const net::IpAddress& addr) const {
   if (addr.is_v4()) {
     const auto it = by_v4_hi_.find(addr.v4_value() >> 16);
     if (it == by_v4_hi_.end()) return std::nullopt;

@@ -14,13 +14,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/rng.h"
 #include "net/ip_address.h"
 
 namespace tamper::world {
 
 struct AsInfo {
-  std::uint32_t asn = 0;
+  common::AsnId asn{};
   std::string country;       ///< ISO-3166 alpha-2
   double weight = 1.0;       ///< share of the country's client traffic
   net::IpPrefix prefix_v4;
@@ -35,9 +36,9 @@ class GeoDatabase {
               std::uint64_t seed);
 
   [[nodiscard]] const std::vector<AsInfo>& ases() const noexcept { return ases_; }
-  [[nodiscard]] const AsInfo& as_by_number(std::uint32_t asn) const;
+  [[nodiscard]] const AsInfo& as_by_number(common::AsnId asn) const;
   /// ASNs registered to a country, most-traffic first.
-  [[nodiscard]] const std::vector<std::uint32_t>& country_ases(const std::string& cc) const;
+  [[nodiscard]] const std::vector<common::AsnId>& country_ases(const std::string& cc) const;
 
   /// Weighted pick of one of a country's ASNs.
   [[nodiscard]] const AsInfo& sample_as(const std::string& cc, common::Rng& rng) const;
@@ -48,13 +49,13 @@ class GeoDatabase {
 
   /// Reverse attribution; nullopt for addresses outside any allocated block
   /// (e.g. the CDN's own ranges).
-  [[nodiscard]] std::optional<std::uint32_t> lookup_asn(const net::IpAddress& addr) const;
+  [[nodiscard]] std::optional<common::AsnId> lookup_asn(const net::IpAddress& addr) const;
   [[nodiscard]] std::optional<std::string> lookup_country(const net::IpAddress& addr) const;
 
  private:
   std::vector<AsInfo> ases_;
-  std::unordered_map<std::uint32_t, std::size_t> by_asn_;
-  std::unordered_map<std::string, std::vector<std::uint32_t>> by_country_;
+  std::unordered_map<common::AsnId, std::size_t> by_asn_;
+  std::unordered_map<std::string, std::vector<common::AsnId>> by_country_;
   std::unordered_map<std::uint32_t, std::size_t> by_v4_hi_;  ///< /16 value -> index
   std::unordered_map<std::uint64_t, std::size_t> by_v6_hi_;  ///< top 64 bits -> index
 };

@@ -42,7 +42,7 @@ Scenario iran_protests_2022(std::uint64_t seed) {
   };
   // The paper attributes the surge to the mobile carriers; fixed-line ASes
   // still enforce, just less aggressively.
-  for (std::uint32_t asn : world.geo().country_ases("IR"))
+  for (const common::AsnId asn : world.geo().country_ases("IR"))
     world.set_asn_enforcement(asn, world.geo().as_by_number(asn).mobile ? 1.2 : 0.55);
 
   TrafficConfig& traffic = scenario.traffic;

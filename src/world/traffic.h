@@ -24,7 +24,7 @@ namespace tamper::world {
 
 struct GroundTruth {
   std::string country;
-  std::uint32_t asn = 0;
+  common::AsnId asn{};
   std::string domain;
   std::size_t domain_rank = static_cast<std::size_t>(-1);
   Category category = Category::kBusiness;
@@ -90,7 +90,7 @@ struct TrafficConfig {
 /// by the same client for Fig. 10, forced protocols, case studies).
 struct VisitPin {
   std::optional<net::IpAddress> client_ip;
-  std::optional<std::uint32_t> asn;
+  std::optional<common::AsnId> asn;
   std::optional<std::size_t> domain_rank;
   std::optional<appproto::AppProtocol> protocol;
   std::optional<tcp::ClientKind> client_kind;

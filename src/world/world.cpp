@@ -32,7 +32,7 @@ World::World(const WorldConfig& config)
   for (const auto& c : countries_) {
     const auto& ases = geo_->country_ases(c.code);
     if (!ases.empty()) dominant_asn_[c.code] = ases.front();
-    for (std::uint32_t asn : ases) {
+    for (const common::AsnId asn : ases) {
       const double sigma = c.policy.asn_spread;
       double mult = std::exp(rng.normal(0.0, sigma));
       // Decentralized systems include ASes that barely enforce at all.
@@ -91,12 +91,12 @@ double World::volume_factor(int country_index, common::SimTime t) const {
   return factor;
 }
 
-double World::asn_enforcement(std::uint32_t asn) const {
+double World::asn_enforcement(common::AsnId asn) const {
   const auto it = asn_multiplier_.find(asn);
   return it == asn_multiplier_.end() ? 1.0 : it->second;
 }
 
-const MethodWeight* World::pick_method(int country_index, std::uint32_t asn,
+const MethodWeight* World::pick_method(int country_index, common::AsnId asn,
                                        appproto::AppProtocol protocol,
                                        common::Rng& rng) const {
   const CountrySpec& spec = country(country_index);

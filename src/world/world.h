@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "world/countries.h"
@@ -57,17 +58,17 @@ class World {
   [[nodiscard]] double volume_factor(int country_index, common::SimTime t) const;
 
   /// Per-AS enforcement multiplier (lognormal around 1, sigma=asn_spread).
-  [[nodiscard]] double asn_enforcement(std::uint32_t asn) const;
+  [[nodiscard]] double asn_enforcement(common::AsnId asn) const;
   /// Scenario hook: pin an AS's enforcement multiplier (e.g. concentrate
   /// tampering on specific carriers, as in the Iran case study).
-  void set_asn_enforcement(std::uint32_t asn, double multiplier) {
+  void set_asn_enforcement(common::AsnId asn, double multiplier) {
     asn_multiplier_[asn] = multiplier;
   }
 
   /// Pick a tampering method for a connection; respects per-protocol
   /// restrictions and the dominant-AS override. Returns nullptr when the
   /// policy has no applicable method.
-  [[nodiscard]] const MethodWeight* pick_method(int country_index, std::uint32_t asn,
+  [[nodiscard]] const MethodWeight* pick_method(int country_index, common::AsnId asn,
                                                 appproto::AppProtocol protocol,
                                                 common::Rng& rng) const;
 
@@ -80,8 +81,8 @@ class World {
   std::unique_ptr<GeoDatabase> geo_;
   std::unique_ptr<DomainUniverse> domains_;
   std::vector<double> country_weights_;
-  std::unordered_map<std::uint32_t, double> asn_multiplier_;
-  std::unordered_map<std::string, std::uint32_t> dominant_asn_;  ///< country -> top AS
+  std::unordered_map<common::AsnId, double> asn_multiplier_;
+  std::unordered_map<std::string, common::AsnId> dominant_asn_;  ///< country -> top AS
 };
 
 }  // namespace tamper::world

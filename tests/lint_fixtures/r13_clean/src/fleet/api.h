@@ -1,0 +1,20 @@
+// R13 clean fixture: the taxonomy-named parameters carry strong types
+// (common/ids.h), and the remaining raw parameters use non-taxonomy names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace tamper::fleet {
+
+class Merger {
+ public:
+  bool feed_pop(common::PopId pop, const std::string& payload);
+  void note_epoch(std::uint64_t sequence, common::EpochId epoch);
+  void pin_domain(common::DomainId domain);
+  void resize(std::uint32_t count, int capacity);
+};
+
+}  // namespace tamper::fleet

@@ -1,0 +1,22 @@
+// R13 fire fixture: cross-module header parameters named after the ID
+// taxonomy but typed raw. Three findings: pop (u32), epoch (u64, on the
+// wrapped second line), and domain (std::string).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tamper::fleet {
+
+class Merger {
+ public:
+  bool feed_pop(std::uint32_t pop, const std::string& payload);
+  void note_epoch(std::uint64_t sequence,
+                  std::uint64_t epoch);
+  void pin_domain(const std::string& domain);
+
+  // Non-taxonomy names never fire, whatever the type.
+  void resize(std::uint32_t count, int capacity);
+};
+
+}  // namespace tamper::fleet

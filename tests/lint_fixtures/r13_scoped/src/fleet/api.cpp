@@ -1,0 +1,13 @@
+// Implementation file: R13 indexes headers only, so this raw `pop` never
+// fires — the signature is owned by api.h.
+#include "fleet/api.h"
+
+namespace tamper::fleet {
+
+void route(std::uint32_t pop_id) { (void)pop_id; }
+
+namespace {
+void helper(std::uint32_t pop) { (void)pop; }
+}  // namespace
+
+}  // namespace tamper::fleet

@@ -1,0 +1,15 @@
+// R13 scoping fixture, header side: exactly one raw taxonomy parameter
+// (pop_id below). The strong-typed sibling is quiet, and the .cpp and
+// tools/ files in this tree never index.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace tamper::fleet {
+
+void route(std::uint32_t pop_id);        // fires: _id form of a taxonomy word
+void route_strong(common::PopId pop);    // quiet: strong type
+
+}  // namespace tamper::fleet

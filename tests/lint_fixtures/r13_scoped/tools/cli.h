@@ -1,0 +1,11 @@
+// Outside src/: tools own their argument parsing, so a raw `pop` here is
+// not an R13 finding.
+#pragma once
+
+#include <cstdint>
+
+namespace tamper::tools {
+
+void select_pop(std::uint32_t pop);
+
+}  // namespace tamper::tools

@@ -1,0 +1,23 @@
+// R13 suppressed fixture: the same raw-typed taxonomy parameters as
+// r13_fire, each carrying a per-site suppression — on the line above a
+// one-line declaration, and above the function name of a wrapped one
+// (a suppression at the declaration start covers every parameter line).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tamper::fleet {
+
+class Merger {
+ public:
+  // tamperlint-allow(R13): wire codec boundary reads the raw u32
+  bool feed_pop(std::uint32_t pop, const std::string& payload);
+  // tamperlint-allow(R13): envelope decode hands back the raw u64
+  void note_epoch(std::uint64_t sequence,
+                  std::uint64_t epoch);
+  // tamperlint-allow(R13): matches domain text, not interned identity
+  void pin_domain(const std::string& domain);
+};
+
+}  // namespace tamper::fleet

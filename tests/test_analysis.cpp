@@ -117,7 +117,7 @@ TEST(Aggregates, AsnTopEightyPercent) {
   auto record_for = [](std::uint32_t asn, bool match) {
     ConnectionRecord r;
     r.country = "RU";
-    r.asn = asn;
+    r.asn = common::AsnId(asn);
     if (match) {
       r.classification.possibly_tampered = true;
       r.classification.signature = core::Signature::kPshRst;
@@ -130,7 +130,7 @@ TEST(Aggregates, AsnTopEightyPercent) {
   for (int i = 0; i < 5; ++i) agg.add(record_for(3, true));
   const auto top = agg.top_ases("RU", 0.8);
   ASSERT_EQ(top.size(), 1u);  // AS 1 alone carries 80%
-  EXPECT_EQ(top[0].asn, 1u);
+  EXPECT_EQ(top[0].asn, common::AsnId(1));
   EXPECT_NEAR(top[0].match_percent(), 50.0, 1e-9);
   EXPECT_EQ(agg.country_total("RU"), 100u);
 }

@@ -10,12 +10,14 @@
 #include <optional>
 #include <vector>
 
+#include "common/ids.h"
 #include "net/ip_address.h"
 #include "world/anycast.h"
 
 namespace tamper {
 namespace {
 
+using common::PopId;
 using world::AnycastMap;
 
 std::vector<net::IpAddress> sample_clients() {
@@ -80,9 +82,9 @@ TEST(AnycastRouting, SinglePopFleetTakesEverything) {
   for (const auto& client : sample_clients()) {
     const auto pop = map.route(client);
     ASSERT_TRUE(pop.has_value());
-    EXPECT_EQ(*pop, 0u);
+    EXPECT_EQ(*pop, PopId(0));
   }
-  map.set_alive(0, false);
+  map.set_alive(PopId(0), false);
   EXPECT_EQ(map.alive_count(), 0u);
   EXPECT_EQ(map.route(net::IpAddress::v4(1, 2, 3, 4)), std::nullopt);
 }
@@ -90,16 +92,16 @@ TEST(AnycastRouting, SinglePopFleetTakesEverything) {
 TEST(AnycastRouting, AllPopsWithdrawnRoutesNowhere) {
   AnycastMap map(5, 11);
   for (std::uint32_t pop = 0; pop < map.pop_count(); ++pop)
-    map.set_alive(pop, false);
+    map.set_alive(PopId(pop), false);
   EXPECT_EQ(map.alive_count(), 0u);
   for (const auto& client : sample_clients())
     EXPECT_EQ(map.route(client), std::nullopt);
   // One PoP re-announcing catches the whole address space.
-  map.set_alive(3, true);
+  map.set_alive(PopId(3), true);
   for (const auto& client : sample_clients()) {
     const auto pop = map.route(client);
     ASSERT_TRUE(pop.has_value());
-    EXPECT_EQ(*pop, 3u);
+    EXPECT_EQ(*pop, PopId(3));
   }
 }
 
@@ -108,16 +110,16 @@ TEST(AnycastRouting, AllPopsWithdrawnRoutesNowhere) {
 TEST(AnycastRouting, WithdrawReannounceRestoresRoutingExactly) {
   AnycastMap map(8, 0x5eed);
   const auto clients = sample_clients();
-  std::vector<std::optional<std::uint32_t>> before;
+  std::vector<std::optional<PopId>> before;
   before.reserve(clients.size());
   for (const auto& c : clients) before.push_back(map.route(c));
 
   // Full outage, then full recovery, in scrambled order: routing state is
   // the alive-set, not the transition history.
   for (std::uint32_t pop = 0; pop < map.pop_count(); ++pop)
-    map.set_alive(pop, false);
+    map.set_alive(PopId(pop), false);
   for (std::uint32_t pop = map.pop_count(); pop-- > 0;)
-    map.set_alive(pop, true);
+    map.set_alive(PopId(pop), true);
 
   for (std::size_t i = 0; i < clients.size(); ++i)
     EXPECT_EQ(map.route(clients[i]), before[i]) << "client " << i;
@@ -131,11 +133,11 @@ TEST(AnycastRouting, WithdrawReannounceRestoresRoutingExactly) {
 TEST(AnycastRouting, WithdrawMovesOnlyTheDeadPopsClients) {
   AnycastMap map(6, 42);
   const auto clients = sample_clients();
-  std::vector<std::uint32_t> before;
+  std::vector<PopId> before;
   before.reserve(clients.size());
   for (const auto& c : clients) before.push_back(*map.route(c));
 
-  const std::uint32_t victim = 2;
+  const PopId victim(2);
   map.set_alive(victim, false);
   std::size_t moved = 0;
   for (std::size_t i = 0; i < clients.size(); ++i) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "common/ids.h"
 #include "capture/sample.h"
 #include "control/overload.h"
 #include "fault/chaos.h"
@@ -35,6 +36,9 @@ namespace tamper {
 namespace {
 
 namespace fs = std::filesystem;
+
+using common::EpochId;
+using common::PopId;
 
 const world::World& shared_world() {
   static const world::World kWorld{
@@ -125,17 +129,17 @@ TEST(Anycast, ClientPrefixIsSticky) {
 TEST(Anycast, FailoverMovesOnlyTheDeadPopsClients) {
   const auto samples = generate_samples(400);
   world::AnycastMap map(4, 7);
-  std::vector<std::optional<std::uint32_t>> before;
+  std::vector<std::optional<PopId>> before;
   before.reserve(samples.size());
   for (const auto& s : samples) before.push_back(map.route(s.client_ip));
 
-  map.set_alive(2, false);
+  map.set_alive(PopId(2), false);
   std::size_t failed_over = 0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const auto after = map.route(samples[i].client_ip);
     ASSERT_TRUE(after.has_value());
-    if (before[i] == 2u) {
-      EXPECT_NE(*after, 2u);  // dead PoP's clients moved...
+    if (before[i] == PopId(2)) {
+      EXPECT_NE(*after, PopId(2));  // dead PoP's clients moved...
       ++failed_over;
     } else {
       EXPECT_EQ(after, before[i]);  // ...and nobody else did (rendezvous)
@@ -144,14 +148,14 @@ TEST(Anycast, FailoverMovesOnlyTheDeadPopsClients) {
   EXPECT_GT(failed_over, 0u);
 
   // Re-announcing restores the original assignment exactly.
-  map.set_alive(2, true);
+  map.set_alive(PopId(2), true);
   for (std::size_t i = 0; i < samples.size(); ++i)
     EXPECT_EQ(map.route(samples[i].client_ip), before[i]);
 }
 
 TEST(Anycast, FullyWithdrawnFleetObservesNothing) {
   world::AnycastMap map(3, 1);
-  for (std::uint32_t pop = 0; pop < 3; ++pop) map.set_alive(pop, false);
+  for (std::uint32_t pop = 0; pop < 3; ++pop) map.set_alive(PopId(pop), false);
   EXPECT_EQ(map.alive_count(), 0u);
   EXPECT_FALSE(map.route(net::IpAddress::v4(192, 0, 2, 1)).has_value());
 }
@@ -174,15 +178,15 @@ TEST(Partial, RoundTripsHeaderAndState) {
   for (const auto& s : samples) pipeline.ingest(s);
 
   fleet::PartialHeader header;
-  header.pop = 2;
-  header.epoch = 465'191;
+  header.pop = PopId(2);
+  header.epoch = EpochId(465'191);
   header.sequence = 150;
   const std::string wire = fleet::encode_partial(header, pipeline);
 
   const fleet::DecodeResult peek = fleet::peek_partial(wire);
   ASSERT_TRUE(peek.ok) << peek.error;
-  EXPECT_EQ(peek.header.pop, 2u);
-  EXPECT_EQ(peek.header.epoch, 465'191u);
+  EXPECT_EQ(peek.header.pop, PopId(2));
+  EXPECT_EQ(peek.header.epoch, EpochId(465'191));
   EXPECT_EQ(peek.header.sequence, 150u);
 
   analysis::Pipeline restored(shared_world());
@@ -194,7 +198,8 @@ TEST(Partial, RoundTripsHeaderAndState) {
 TEST(Partial, CorruptionIsRefusedNeverTrusted) {
   analysis::Pipeline pipeline(shared_world());
   for (const auto& s : generate_samples(40)) pipeline.ingest(s);
-  const std::string wire = fleet::encode_partial({1, 7, 40, {}}, pipeline);
+  const std::string wire =
+      fleet::encode_partial({PopId(1), EpochId(7), 40, {}}, pipeline);
 
   // Any single flipped payload byte must fail the checksum (the fixed
   // header is 40 bytes: magic + version + pop + epoch + sequence + size).
@@ -224,8 +229,8 @@ TEST(Partial, V2CarriesOverloadStateInTheEnvelope) {
   for (const auto& s : generate_samples(30)) pipeline.ingest(s);
 
   fleet::PartialHeader header;
-  header.pop = 4;
-  header.epoch = 12;
+  header.pop = PopId(4);
+  header.epoch = EpochId(12);
   header.sequence = 30;
   header.overload.level = control::Level::kEvidenceOnly;
   header.overload.shed_samples = 1234;
@@ -334,7 +339,7 @@ class MergerTest : public ::testing::Test {
                       std::size_t samples) {
     analysis::Pipeline p(shared_world());
     for (const auto& s : generate_samples(samples, 0x9000 + pop)) p.ingest(s);
-    return fleet::encode_partial({pop, epoch, sequence, {}}, p);
+    return fleet::encode_partial({PopId(pop), EpochId(epoch), sequence, {}}, p);
   }
 };
 
@@ -351,8 +356,8 @@ TEST_F(MergerTest, SheddingPopMarksItsEpochsDegradedNeverSilentlyComplete) {
   analysis::Pipeline p1(shared_world());
   for (const auto& s : generate_samples(60, 0x9100)) p1.ingest(s);
   fleet::PartialHeader h1;
-  h1.pop = 1;
-  h1.epoch = 11;
+  h1.pop = PopId(1);
+  h1.epoch = EpochId(11);
   h1.sequence = 180;
   h1.overload.level = control::Level::kEmbryonicShed;
   h1.overload.shed_samples = 20;
@@ -365,7 +370,7 @@ TEST_F(MergerTest, SheddingPopMarksItsEpochsDegradedNeverSilentlyComplete) {
   bool saw_shedding_epoch = false;
   for (const auto& e : c.epochs) {
     EXPECT_EQ(e.pops_reporting, 2u);
-    if (e.epoch >= 10) {
+    if (e.epoch >= EpochId(10)) {
       // Both PoPs reported, but one was shedding: the epoch must say so
       // rather than pass as complete.
       EXPECT_EQ(e.pops_shedding, 1u);
@@ -393,7 +398,7 @@ TEST_F(MergerTest, SheddingCoverageIgnoresArrivalOrder) {
 
   analysis::Pipeline p1(shared_world());
   for (const auto& s : generate_samples(40, 0x9200)) p1.ingest(s);
-  fleet::PartialHeader h1{1, 9, 40, {}};
+  fleet::PartialHeader h1{PopId(1), EpochId(9), 40, {}};
   h1.overload.level = control::Level::kShedding;
   h1.overload.shed_samples = 7;
   h1.overload.first_shed_ts_sec = 8 * 3600;
@@ -433,7 +438,7 @@ TEST_F(MergerTest, OlderSequenceIsStaleNotRegressing) {
   // The retained state is still the newer partial.
   const auto coverage = merger.coverage();
   EXPECT_EQ(coverage.pops[0].samples, 100u);
-  EXPECT_EQ(coverage.pops[0].last_epoch, 10u);
+  EXPECT_EQ(coverage.pops[0].last_epoch, EpochId(10));
 }
 
 TEST_F(MergerTest, LatePartialIsCountedButStillMerged) {
@@ -494,9 +499,9 @@ TEST_F(MergerTest, CoverageFlagsSilentAndLaggingPops) {
   // Epoch rows: 18 has both reporters (cumulative partials), 19 only PoP 0,
   // and every row is missing the silent PoP.
   ASSERT_EQ(c.epochs.size(), 4u);
-  EXPECT_EQ(c.epochs[2].epoch, 18u);
+  EXPECT_EQ(c.epochs[2].epoch, EpochId(18));
   EXPECT_EQ(c.epochs[2].pops_reporting, 2u);
-  EXPECT_EQ(c.epochs[3].epoch, 19u);
+  EXPECT_EQ(c.epochs[3].epoch, EpochId(19));
   EXPECT_EQ(c.epochs[3].pops_reporting, 1u);
   for (const auto& e : c.epochs) EXPECT_TRUE(e.degraded());
 }
@@ -565,7 +570,7 @@ std::string trends_partial(std::uint32_t pop, std::uint64_t epoch,
     if (++ingested % 50 == 0) p.sample_trends();
   }
   p.sample_trends();
-  return fleet::encode_partial({pop, epoch, sequence, {}}, p);
+  return fleet::encode_partial({PopId(pop), EpochId(epoch), sequence, {}}, p);
 }
 
 TEST_F(MergerTest, TimeseriesDumpIgnoresArrivalOrderAndReplays) {
@@ -679,8 +684,8 @@ TEST(Fleet, ResumeFromCheckpointHasNoDuplicateAndNoGap) {
     if (i == samples.size() / 3) {
       // kill -9 mid-epoch, past at least one checkpoint, then restart: the
       // PoP resumes from its checkpoint and re-feeds the dropped tail.
-      fleet.kill_pop(1);
-      ASSERT_TRUE(fleet.restart_pop(1));
+      fleet.kill_pop(PopId(1));
+      ASSERT_TRUE(fleet.restart_pop(PopId(1)));
     }
     fleet.submit(samples[i]);
   }
@@ -705,9 +710,9 @@ TEST(Fleet, PartitionSpoolsAndHealsWithoutLoss) {
 
   ScratchDir chaos_dir("partition_chaos");
   fleet::Fleet fleet(shared_world(), fleet_config(chaos_dir));
-  fleet.set_pop_partitioned(0, true);  // cut PoP 0 <-> merger from the start
+  fleet.set_pop_partitioned(PopId(0), true);  // cut PoP 0 <-> merger at start
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (i == (2 * samples.size()) / 3) fleet.set_pop_partitioned(0, false);
+    if (i == (2 * samples.size()) / 3) fleet.set_pop_partitioned(PopId(0), false);
     fleet.submit(samples[i]);
   }
   fleet.stop();
@@ -723,8 +728,8 @@ TEST(Fleet, PerPopMetricsSurviveRestart) {
   fleet::Fleet fleet(shared_world(), fleet_config(scratch));
   for (std::size_t i = 0; i < samples.size(); ++i) {
     if (i == samples.size() / 2) {
-      fleet.kill_pop(0);
-      ASSERT_TRUE(fleet.restart_pop(0));
+      fleet.kill_pop(PopId(0));
+      ASSERT_TRUE(fleet.restart_pop(PopId(0)));
     }
     fleet.submit(samples[i]);
   }
@@ -732,7 +737,7 @@ TEST(Fleet, PerPopMetricsSurviveRestart) {
   ASSERT_EQ(summaries.size(), 3u);
   // The registry is owned by the fleet, not the service: the rebuilt PoP
   // kept appending to the same metric families without re-registration.
-  const std::string prom = fleet.pop_metrics(0).prometheus_text();
+  const std::string prom = fleet.pop_metrics(PopId(0)).prometheus_text();
   EXPECT_NE(prom.find("tamper_reports_emitted_total"), std::string::npos);
   EXPECT_NE(prom.find("tamper_emitter_delivered_total"), std::string::npos);
 }

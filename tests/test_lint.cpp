@@ -397,6 +397,49 @@ TEST(LintR12, QuietWhenEverySourceResolves) {
   EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
 }
 
+TEST(LintR13, FiresOnRawTaxonomyParamsIncludingWrappedDecls) {
+  const auto findings = lint_repo(load_repo("r13_fire"), {});
+  EXPECT_EQ(count_rule(findings, "R13"), 3) << tamper::lint::format_text(findings);
+  bool pop = false, epoch = false, domain = false;
+  for (const auto& f : findings) {
+    if (f.rule != "R13") continue;
+    EXPECT_EQ(f.path, "src/fleet/api.h");
+    if (f.message.find("\"pop\"") != std::string::npos) {
+      pop = true;
+      // The fix must be spelled out: the strong type to reach for.
+      EXPECT_NE(f.message.find("common/ids.h: PopId"), std::string::npos)
+          << f.message;
+    }
+    if (f.message.find("\"epoch\"") != std::string::npos) epoch = true;
+    if (f.message.find("\"domain\"") != std::string::npos) domain = true;
+  }
+  EXPECT_TRUE(pop);
+  EXPECT_TRUE(epoch);  // lives on the wrapped second line of its declaration
+  EXPECT_TRUE(domain);
+}
+
+TEST(LintR13, PerSiteSuppressionCoversWholeDeclarations) {
+  const auto findings = lint_repo(load_repo("r13_suppressed"), {});
+  EXPECT_EQ(count_rule(findings, "R13"), 0) << tamper::lint::format_text(findings);
+  EXPECT_EQ(count_rule(findings, "R0"), 0);
+}
+
+TEST(LintR13, QuietWhenTaxonomyParamsCarryStrongTypes) {
+  const auto findings = lint_repo(load_repo("r13_clean"), {});
+  EXPECT_TRUE(findings.empty()) << tamper::lint::format_text(findings);
+}
+
+TEST(LintR13, ScopedToSrcHeadersAndFiresExactlyOnce) {
+  // The tree holds a raw `pop_id` in a src/ header (fires), the same
+  // signature in the .cpp (implementation files are not indexed), a raw
+  // `pop` in tools/ (outside src/), and a strong-typed sibling.
+  const auto findings = lint_repo(load_repo("r13_scoped"), {});
+  EXPECT_EQ(count_rule(findings, "R13"), 1) << tamper::lint::format_text(findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].path, "src/fleet/api.h");
+  EXPECT_NE(findings[0].message.find("\"pop_id\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------- seeded repo
 
 TEST(LintSeeded, ExactlyOneFindingPerCrossFileRule) {
@@ -599,7 +642,7 @@ TEST(LintSarif, ValidatesAgainstThe210Shape) {
   EXPECT_EQ(driver->get("name")->str, "tamperlint");
   const JsonValue* rules = driver->get("rules");
   ASSERT_NE(rules, nullptr);
-  EXPECT_EQ(rules->array.size(), 13u);  // R0..R12
+  EXPECT_EQ(rules->array.size(), 14u);  // R0..R13
   for (const JsonValue& rule : rules->array) {
     ASSERT_NE(rule.get("id"), nullptr);
     ASSERT_NE(rule.get("shortDescription"), nullptr);
@@ -714,7 +757,7 @@ TEST(LintManifest, FormatSortsAndDeduplicates) {
 
 TEST(LintCatalog, ListsTheCrossFileRules) {
   const std::string catalog = tamper::lint::rule_catalog();
-  for (const char* id : {"R7", "R8", "R9", "R10", "R11", "R12"})
+  for (const char* id : {"R7", "R8", "R9", "R10", "R11", "R12", "R13"})
     EXPECT_NE(catalog.find(id), std::string::npos) << id;
 }
 

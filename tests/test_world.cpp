@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "common/ids.h"
 #include "common/stats.h"
 #include "world/world.h"
 
@@ -74,7 +75,7 @@ TEST(Geo, CountryAsesOrderedByTraffic) {
 TEST(Geo, SampleAsFollowsWeights) {
   const auto& geo = shared_world().geo();
   common::Rng rng(2);
-  std::map<std::uint32_t, int> counts;
+  std::map<common::AsnId, int> counts;
   for (int i = 0; i < 5000; ++i) ++counts[geo.sample_as("RU", rng).asn];
   // The heaviest AS should dominate any single light one.
   const auto& ases = geo.country_ases("RU");
@@ -86,7 +87,7 @@ TEST(Geo, UnknownCountryThrows) {
   EXPECT_TRUE(geo.country_ases("ZZ").empty());
   common::Rng rng(3);
   EXPECT_THROW((void)geo.sample_as("ZZ", rng), std::out_of_range);
-  EXPECT_THROW((void)geo.as_by_number(1), std::out_of_range);
+  EXPECT_THROW((void)geo.as_by_number(common::AsnId(1)), std::out_of_range);
 }
 
 TEST(Domains, DeterministicAndIndexed) {
@@ -185,7 +186,7 @@ TEST(World, VolumePeaksInEvening) {
 TEST(World, PickMethodHonorsProtocolRestriction) {
   const World& world = shared_world();
   const int tm = country_index("TM");
-  const std::uint32_t asn = world.geo().country_ases("TM").front();
+  const common::AsnId asn = world.geo().country_ases("TM").front();
   common::Rng rng(13);
   for (int i = 0; i < 200; ++i) {
     const MethodWeight* tls = world.pick_method(tm, asn, appproto::AppProtocol::kTls, rng);
@@ -201,14 +202,14 @@ TEST(World, PickMethodHonorsProtocolRestriction) {
 TEST(World, DominantAsOverrideForKorea) {
   const World& world = shared_world();
   const int kr = country_index("KR");
-  const std::uint32_t dominant = world.geo().country_ases("KR").front();
+  const common::AsnId dominant = world.geo().country_ases("KR").front();
   common::Rng rng(14);
   const MethodWeight* method =
       world.pick_method(kr, dominant, appproto::AppProtocol::kTls, rng);
   ASSERT_NE(method, nullptr);
   EXPECT_EQ(method->preset, "korea_random_ttl");
   // Other KR ASes draw from the normal mix.
-  const std::uint32_t other = world.geo().country_ases("KR").back();
+  const common::AsnId other = world.geo().country_ases("KR").back();
   bool saw_non_dominant = false;
   for (int i = 0; i < 50; ++i) {
     const MethodWeight* m = world.pick_method(kr, other, appproto::AppProtocol::kTls, rng);
@@ -221,7 +222,7 @@ TEST(World, AsnEnforcementSpreadTracksCentralization) {
   const World& world = shared_world();
   auto spread = [&](const char* cc) {
     common::RunningMoments moments;
-    for (std::uint32_t asn : world.geo().country_ases(cc))
+    for (const common::AsnId asn : world.geo().country_ases(cc))
       moments.add(world.asn_enforcement(asn));
     return moments.stddev();
   };

@@ -61,11 +61,15 @@
 //       by default; --clear redraws in place with ANSI clears.
 //
 //   tamperscope trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]
+//                      [--scope local|fleet|pop:<N>]
 //       Offline query of the longitudinal trends history a checkpoint
 //       carries (the epoch ring rides the versioned checkpoint): per-series
 //       point counts and latest values, per-epoch coverage, and the
 //       deterministic anomaly scan. --json writes the history as a
-//       `tamper-timeseries/1` document.
+//       `tamper-timeseries/1` document whose scope is --scope (default
+//       local; a PoP's checkpoint is its "pop:<N>" scope). A malformed
+//       --kill-pop/--lose-pop/--scope id exits 4, distinct from usage (2)
+//       and runtime (1) failures.
 //
 //   Common options: --log-level debug|info|warn|error, --log-format
 //   text|json — structured logging on stderr (stdout stays the product).
@@ -76,6 +80,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +95,7 @@
 #include "analysis/report.h"
 #include "analysis/testlists.h"
 #include "capture/sampler.h"
+#include "common/ids.h"
 #include "common/json.h"
 #include "common/mutex.h"
 #include "common/stats.h"
@@ -683,6 +689,36 @@ int cmd_watch(const Args& args) {
   return interrupted ? 128 + service::ShutdownGuard::pending() : 0;
 }
 
+/// Exit code for an identifier that fails the id grammar or names nothing
+/// (an out-of-range PoP, an unknown scope) — distinct from 2 (usage error)
+/// and 1 (runtime/I-O failure), so scripts can tell a typo'd id apart from
+/// a broken run.
+constexpr int kExitUnknownId = 4;
+
+/// Validate a --kill-pop/--lose-pop value against the fleet size. Accepts
+/// a bare number or the rendered "pop:<N>" form. The old strtoull path read
+/// junk as PoP 0 and indexed out-of-range ids straight past the PoP vector.
+std::optional<common::PopId> parse_pop_option(const Args& args,
+                                              const std::string& name,
+                                              std::uint32_t pops,
+                                              obs::Logger& logger) {
+  const std::string text = args.get(name);
+  const auto pop = common::parse_id<common::PopId>(text);
+  if (!pop) {
+    logger.error("fleet", "unparseable PoP id (want a number or pop:<N>)",
+                 {{"option", "--" + name}, {"value", text}});
+    return std::nullopt;
+  }
+  if (pop->value() >= pops) {
+    logger.error("fleet", "unknown PoP",
+                 {{"option", "--" + name},
+                  {"value", common::format(*pop)},
+                  {"pops", std::to_string(pops)}});
+    return std::nullopt;
+  }
+  return pop;
+}
+
 int cmd_fleet(const Args& args) {
   const std::uint64_t connections = args.get_u64("connections", 20'000);
   const std::uint64_t seed = args.get_u64("seed", 42);
@@ -691,6 +727,18 @@ int cmd_fleet(const Args& args) {
   const std::string report_path = args.get("report", "tamperscope-fleet.json");
   const std::string metrics_path = args.get("metrics-out");
   obs::Logger logger = make_logger(args);
+
+  // Chaos ids are validated up front: a typo must fail before the run, not
+  // crash (or silently hit PoP 0) halfway through it.
+  std::optional<common::PopId> kill_pop, lose_pop;
+  if (args.has("kill-pop")) {
+    kill_pop = parse_pop_option(args, "kill-pop", pops, logger);
+    if (!kill_pop) return kExitUnknownId;
+  }
+  if (args.has("lose-pop")) {
+    lose_pop = parse_pop_option(args, "lose-pop", pops, logger);
+    if (!lose_pop) return kExitUnknownId;
+  }
 
   world::WorldConfig world_cfg;
   world_cfg.seed = seed;
@@ -726,20 +774,18 @@ int cmd_fleet(const Args& args) {
   std::uint64_t submitted = 0, unobserved = 0;
   for (std::uint64_t i = 0; i < samples.size(); ++i) {
     if (i == samples.size() / 2) {
-      if (args.has("kill-pop")) {
-        const auto pop = static_cast<std::uint32_t>(args.get_u64("kill-pop", 0));
-        fleet.kill_pop(pop);
-        const bool resumed = fleet.restart_pop(pop);
+      if (kill_pop) {
+        fleet.kill_pop(*kill_pop);
+        const bool resumed = fleet.restart_pop(*kill_pop);
         logger.info("fleet", resumed ? "PoP killed and resumed from checkpoint"
                                      : "PoP killed; restart FAILED",
-                    {{"pop", std::to_string(pop)}});
+                    {{"pop", common::format(*kill_pop)}});
       }
-      if (args.has("lose-pop")) {
-        const auto pop = static_cast<std::uint32_t>(args.get_u64("lose-pop", 0));
-        fleet.kill_pop(pop);
-        fleet.withdraw_pop(pop);
+      if (lose_pop) {
+        fleet.kill_pop(*lose_pop);
+        fleet.withdraw_pop(*lose_pop);
         logger.warn("fleet", "PoP lost for good; anycast withdrawn",
-                    {{"pop", std::to_string(pop)}});
+                    {{"pop", common::format(*lose_pop)}});
       }
     }
     if (fleet.submit(samples[i]))
@@ -770,9 +816,9 @@ int cmd_fleet(const Args& args) {
   std::cout << '\n';
   common::TextTable table({"PoP", "Status", "Last epoch", "Samples", "Crashes"});
   for (const auto& pop : coverage.pops) {
-    const service::RunSummary& s = summaries[pop.pop];
-    table.add_row({std::to_string(pop.pop), pop.status,
-                   common::TextTable::num(pop.last_epoch),
+    const service::RunSummary& s = summaries[pop.pop.value()];
+    table.add_row({common::format(pop.pop), pop.status,
+                   common::TextTable::num(pop.last_epoch.value()),
                    common::TextTable::num(pop.samples),
                    common::TextTable::num(s.worker_crashes)});
   }
@@ -851,8 +897,8 @@ void render_top_frame(const fleet::Merger& merger, std::uint64_t frame,
   common::TextTable pop_table({"PoP", "Status", "Last epoch", "Samples",
                                "Overload", "Shed"});
   for (const analysis::FleetPopStatus& pop : cov.pops)
-    pop_table.add_row({std::to_string(pop.pop), pop.status,
-                       common::TextTable::num(pop.last_epoch),
+    pop_table.add_row({common::format(pop.pop), pop.status,
+                       common::TextTable::num(pop.last_epoch.value()),
                        common::TextTable::num(pop.samples), pop.overload,
                        common::TextTable::num(pop.shed_samples)});
   pop_table.print(std::cout);
@@ -914,7 +960,7 @@ int cmd_top(const Args& args) {
     // Quiesce every PoP: partials are emitted synchronously at report
     // boundaries by each worker, so after this the merged state is the pure
     // function of the feed position the frame claims to show.
-    for (std::uint32_t p = 0; p < pops; ++p) fleet.quiesce_pop(p);
+    for (std::uint32_t p = 0; p < pops; ++p) fleet.quiesce_pop(common::PopId(p));
     if (clear) std::cout << "\x1b[2J\x1b[H";
     render_top_frame(fleet.merger(), f + 1, frames, offered, samples.size());
     if (service::ShutdownGuard::requested()) {
@@ -932,11 +978,26 @@ int cmd_trends(const Args& args) {
   std::string path = args.get("checkpoint");
   if (path.empty() && !args.positional.empty()) path = args.positional[0];
   if (path.empty()) {
-    std::cerr << "usage: tamperscope trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]\n";
+    std::cerr << "usage: tamperscope trends (--checkpoint PATH | PATH) [--json OUT]\n"
+                 "                          [--scope local|fleet|pop:<N>] [--seed S]\n";
     return 2;
   }
   const std::uint64_t seed = args.get_u64("seed", 42);
   obs::Logger logger = make_logger(args);
+
+  // --scope labels the emitted timeseries scope (a checkpoint from a fleet
+  // PoP is "pop:<N>", a monolith's is "local"). Validate the grammar up
+  // front so a typo fails before the checkpoint is even opened.
+  common::ScopeName scope_name;  // default: local
+  if (args.has("scope")) {
+    const auto parsed = common::parse_scope(args.get("scope"));
+    if (!parsed) {
+      logger.error("trends", "unknown scope (want local, fleet, or pop:<N>)",
+                   {{"value", args.get("scope")}});
+      return kExitUnknownId;
+    }
+    scope_name = *parsed;
+  }
 
   world::WorldConfig world_cfg;
   world_cfg.seed = seed;
@@ -1009,7 +1070,7 @@ int cmd_trends(const Args& args) {
 
   if (args.has("json")) {
     obs::TimeseriesScope scope;
-    scope.name = "local";
+    scope.name = scope_name.str();
     scope.ring = &ring;
     scope.anomalies = scan.events;
     std::ostringstream ts;
@@ -1087,10 +1148,12 @@ int main(int argc, char** argv) {
                "                                     ladder, coverage, anomaly scan; frame\n"
                "                                     content is deterministic per seed\n"
                "  trends (--checkpoint PATH | PATH) [--json OUT] [--seed S]\n"
+               "         [--scope local|fleet|pop:<N>]\n"
                "                                     offline query of the trend history a\n"
                "                                     checkpoint carries: series, coverage,\n"
                "                                     anomaly scan; --json writes the\n"
-               "                                     tamper-timeseries/1 document\n"
+               "                                     tamper-timeseries/1 document, --scope\n"
+               "                                     labels it (a PoP checkpoint is pop:<N>)\n"
                "  common: --log-level debug|info|warn|error, --log-format text|json\n";
   return command.empty() ? 2 : 1;
 }
